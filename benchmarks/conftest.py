@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-regeneration benches.
+
+Every bench regenerates one paper figure (or claim set), times its kernel
+with pytest-benchmark, asserts the paper's *shape* holds, and persists the
+rows/series under ``results/`` so the regenerated figures are inspectable
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import write_csv
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture()
+def save_report():
+    """Persist a bench's rendered text and CSV rows under results/."""
+
+    def _save(name: str, text: str, csv_headers=None, csv_rows=None) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if csv_headers is not None and csv_rows is not None:
+            write_csv(RESULTS_DIR / f"{name}.csv", csv_headers, csv_rows)
+        print(f"\n{text}\n[saved to results/{name}.txt]")
+
+    return _save

@@ -1,0 +1,100 @@
+"""Ablation bench: full-crossbar vs two-level hierarchical routing.
+
+The paper (Section IV-C): "we cannot implement the complete routing matrix
+... as it requires too much resource"; it adopts SRAM-AP's two-level
+global/local structure.  This bench quantifies the configurable-bit
+savings and the routability cost of that choice across block sizes.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.automata import homogenize
+from repro.rram_ap import FullCrossbarRouting, TwoLevelRouting, place
+from repro.workloads import generate_ruleset
+
+
+def build_automata():
+    rng = np.random.default_rng(71)
+    rules = generate_ruleset(rng, 8)
+    return [homogenize(r.compile()) for r in rules]
+
+
+def sweep_block_sizes():
+    automata = build_automata()
+    rows = []
+    for block_size in (8, 16, 32, 64):
+        bits_full = 0
+        bits_two = 0
+        routable = 0
+        pairs = 0
+        for ha in automata:
+            routing = ha.routing_matrix()
+            full = FullCrossbarRouting(routing)
+            blocks = place(ha, block_size)
+            two = TwoLevelRouting(routing, blocks, port_budget=8)
+            bits_full += full.configurable_bits()
+            bits_two += two.configurable_bits()
+            routable += int(two.check_routable().routable)
+            pairs += len(two.block_pairs())
+        rows.append((block_size, bits_full, bits_two,
+                     bits_full / max(bits_two, 1), routable, pairs))
+    return rows
+
+
+def test_routing_ablation(benchmark, save_report):
+    rows = benchmark.pedantic(sweep_block_sizes, rounds=1, iterations=1)
+
+    for block_size, bits_full, bits_two, saving, routable, _ in rows:
+        # All eight signature automata must map at budget 8.
+        assert routable == 8, f"block={block_size}"
+
+    # At small blocks the hierarchy saves configurable bits on big
+    # automata (the paper's "too much resource" point).
+    savings = {r[0]: r[3] for r in rows}
+    assert savings[8] > 1.0
+
+    text = format_table(
+        ["block size", "full bits", "two-level bits", "saving",
+         "routable/8", "global pairs"],
+        rows,
+        title="Ablation: routing fabric vs configurable bits "
+              "(8 IDS automata, port budget 8)",
+    )
+    save_report(
+        "ablation_routing",
+        text,
+        csv_headers=["block_size", "full_bits", "two_level_bits",
+                     "saving", "routable", "global_pairs"],
+        csv_rows=rows,
+    )
+
+
+def test_placement_quality(benchmark, save_report):
+    """Refined placement must not exceed naive placement's global pairs."""
+    automata = build_automata()
+
+    def compare_placements():
+        naive_pairs = 0
+        refined_pairs = 0
+        for ha in automata:
+            routing = ha.routing_matrix()
+            naive = place(ha, 8, refine=False)
+            refined = place(ha, 8, refine=True)
+            naive_pairs += len(
+                TwoLevelRouting(routing, naive).block_pairs()
+            )
+            refined_pairs += len(
+                TwoLevelRouting(routing, refined).block_pairs()
+            )
+        return naive_pairs, refined_pairs
+
+    naive_pairs, refined_pairs = benchmark.pedantic(
+        compare_placements, rounds=1, iterations=1
+    )
+    assert refined_pairs <= naive_pairs
+    save_report(
+        "ablation_placement",
+        f"global block pairs: naive BFS {naive_pairs}, "
+        f"refined {refined_pairs}",
+    )

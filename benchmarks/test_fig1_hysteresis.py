@@ -1,0 +1,51 @@
+"""Fig. 1b bench: pinched hysteresis loops shrink with frequency.
+
+Paper claim (Section II): the I-V loop is pinched at the origin and "the
+pinched hysteresis loop shrinks with a higher excitation frequency f".
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig1_hysteresis
+from repro.devices import (
+    DeviceParameters,
+    JoglekarWindow,
+    LinearIonDriftDevice,
+    sinusoidal_sweep,
+)
+
+
+def test_fig1_hysteresis(benchmark, save_report):
+    result = benchmark(fig1_hysteresis)
+
+    # Fingerprint 1: the loop is pinched (no current at zero voltage).
+    assert max(result.pinch_currents) < 1e-5
+
+    # Fingerprint 2: lobe area is strictly decreasing in frequency.
+    areas = result.lobe_areas
+    assert areas[0] > areas[1] > areas[2]
+    assert areas[2] < 0.5 * areas[0]
+
+    save_report(
+        "fig1_hysteresis",
+        result.render(),
+        csv_headers=["frequency_hz", "lobe_area", "pinch_current"],
+        csv_rows=result.csv_rows(),
+    )
+
+
+def test_fig1_loop_trajectory_bench(benchmark):
+    """Time one full I-V sweep at the Fig. 1 resolution."""
+
+    def run_sweep():
+        device = LinearIonDriftDevice(
+            params=DeviceParameters(r_on=100.0, r_off=16e3),
+            window=JoglekarWindow(p=2),
+            state=0.5,
+        )
+        return sinusoidal_sweep(device, amplitude=1.0, frequency=2.0,
+                                periods=2, samples_per_period=4000)
+
+    sweep = benchmark(run_sweep)
+    # The state must actually move (a loop, not a line).
+    assert np.ptp(sweep.state) > 0.01

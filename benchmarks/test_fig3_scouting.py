@@ -1,0 +1,54 @@
+"""Fig. 3 bench: scouting logic gates as multi-row reads.
+
+Paper claims (Section III-A): activating two rows and moving the SA
+reference realizes OR, AND and XOR; the input current takes three values
+(2Vr/RH, ~Vr/RL, 2Vr/RL) and reference placement between them defines the
+gate.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig3_scouting
+from repro.crossbar import Crossbar, ScoutingLogic
+from repro.devices import DeviceParameters
+
+
+def test_fig3_truth_tables(benchmark, save_report):
+    result = benchmark(fig3_scouting)
+
+    gates = [(o, a, x) for _, _, _, o, a, x in result.truth_rows]
+    assert gates == [(0, 0, 0), (1, 0, 1), (1, 0, 1), (1, 1, 0)]
+
+    # The three current levels of Fig. 3b, in the paper's notation:
+    # I(0) = 2Vr/RH, I(1) ~ Vr/RL (RH // RL ~ RL), I(2) = 2Vr/RL.
+    levels = result.ladder.levels
+    vr = 0.2
+    p = DeviceParameters()
+    assert levels[0] == 2 * vr / p.r_off
+    assert np.isclose(levels[1], vr / p.r_on, rtol=1e-4)
+    assert levels[2] == 2 * vr / p.r_on
+    # References sit strictly between adjacent levels.
+    assert levels[0] < result.ladder.i_ref_or < levels[1]
+    assert levels[1] < result.ladder.i_ref_and < levels[2]
+
+    save_report(
+        "fig3_scouting",
+        result.render(),
+        csv_headers=["inputs", "current_a", "or", "and", "xor"],
+        csv_rows=result.csv_rows(),
+    )
+
+
+def test_fig3_vector_gate_bench(benchmark):
+    """Time one 2-row scouting OR across a 4096-column array -- the
+    single-activation vector parallelism MVP builds on."""
+    rng = np.random.default_rng(3)
+    xb = Crossbar(2, 4096, params=DeviceParameters())
+    a = rng.integers(0, 2, 4096)
+    b = rng.integers(0, 2, 4096)
+    xb.write_row(0, a)
+    xb.write_row(1, b)
+    logic = ScoutingLogic(xb)
+
+    out = benchmark(logic.or_rows, [0, 1])
+    np.testing.assert_array_equal(out, a | b)

@@ -1,0 +1,72 @@
+"""Fig. 4 bench: MVP vs multicore efficiency over cache miss rates.
+
+Paper claims (Section III-C): at %Acc = 0.7 and miss rates swept to 60%,
+the MVP system achieves ~10x performance-energy efficiency, one order of
+magnitude energy efficiency, and a (moderately) higher performance-area
+efficiency than the 4-core baseline.
+"""
+
+from repro.analysis.figures import fig4_sweep, render_fig4
+from repro.arch import WorkloadParameters, run_fig4_sweep
+
+
+def test_fig4_sweep(benchmark, save_report):
+    sweep = benchmark(fig4_sweep)
+
+    # "approximately one order of magnitude" on both energy metrics.
+    for metric in ("eta_pe", "eta_e"):
+        lo, hi = sweep.ratio_range(metric)
+        geo = sweep.geometric_mean_ratio(metric)
+        assert lo > 4.0, f"{metric} floor {lo:.2f}x"
+        assert 5.0 < geo < 20.0, f"{metric} geomean {geo:.2f}x"
+        assert hi < 25.0
+
+    # "has a higher performance area efficiency" -- above 1x, below the
+    # energy gains.
+    lo_pa, hi_pa = sweep.ratio_range("eta_pa")
+    assert lo_pa > 1.0
+    assert hi_pa < sweep.ratio_range("eta_pe")[1]
+
+    # The gap widens as the baseline's memory hierarchy saturates.
+    at = {(p.misses.l1, p.misses.l2): p.ratios["eta_pe"]
+          for p in sweep.points}
+    assert at[(0.6, 0.6)] > at[(0.0, 0.0)]
+
+    rows = [
+        (p.misses.l1, p.misses.l2, p.multicore.eta_pe, p.mvp.eta_pe,
+         p.multicore.eta_e, p.mvp.eta_e, p.multicore.eta_pa, p.mvp.eta_pa)
+        for p in sweep.points
+    ]
+    save_report(
+        "fig4_mvp_vs_multicore",
+        render_fig4(sweep),
+        csv_headers=["l1_miss", "l2_miss", "mc_eta_pe", "mvp_eta_pe",
+                     "mc_eta_e", "mvp_eta_e", "mc_eta_pa", "mvp_eta_pa"],
+        csv_rows=rows,
+    )
+
+
+def test_fig4_offload_fraction_sensitivity(benchmark, save_report):
+    """Ablation on %Acc: the paper fixes 0.7; sweep it."""
+
+    def sweep_fractions():
+        return {
+            f: run_fig4_sweep(
+                workload=WorkloadParameters(accelerated_fraction=f)
+            ).geometric_mean_ratio("eta_e")
+            for f in (0.3, 0.5, 0.7, 0.9)
+        }
+
+    ratios = benchmark(sweep_fractions)
+    assert ratios[0.3] < ratios[0.5] < ratios[0.7] < ratios[0.9]
+    # At the paper's 0.7 the gain is order-of-magnitude.
+    assert 5.0 < ratios[0.7] < 20.0
+
+    lines = ["%Acc sensitivity (geometric-mean eta_E improvement):"]
+    lines += [f"  %Acc={f:.1f}: {r:.2f}x" for f, r in ratios.items()]
+    save_report(
+        "fig4_offload_sensitivity",
+        "\n".join(lines),
+        csv_headers=["accelerated_fraction", "eta_e_ratio"],
+        csv_rows=list(ratios.items()),
+    )

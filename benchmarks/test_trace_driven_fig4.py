@@ -1,0 +1,83 @@
+"""Trace-driven Fig. 4: measured miss rates instead of swept ones.
+
+The paper parameterizes Fig. 4 by free-floating miss rates.  Here the
+paper's own application patterns (streaming scans, key-value skew, graph
+pointer chasing) run through the 32 KB L1 / 256 KB L2 hierarchy both
+systems share, the measured (m1, m2) feed the analytical models, and the
+MVP-over-multicore factors come out per *workload* rather than per
+miss-rate point -- confirming the Fig. 4 story on realistic inputs.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.arch import (
+    EfficiencyMetrics,
+    MulticoreModel,
+    MVPSystemModel,
+    WorkloadParameters,
+    measure_miss_rates,
+)
+from repro.workloads import (
+    pointer_chase,
+    random_uniform,
+    sequential_scan,
+    zipf_accesses,
+)
+
+N_ACCESSES = 40_000
+
+
+def build_traces():
+    rng = np.random.default_rng(113)
+    return {
+        "database column scan": sequential_scan(N_ACCESSES,
+                                                element_bytes=8),
+        "key-value (zipf)": zipf_accesses(rng, N_ACCESSES,
+                                          footprint_bytes=64 << 20),
+        "hash join (uniform 16 MB)": random_uniform(
+            rng, N_ACCESSES, footprint_bytes=16 << 20, element_bytes=64),
+        "graph pointer chase": pointer_chase(
+            rng, N_ACCESSES, footprint_bytes=8 << 20),
+        "resident working set": random_uniform(
+            rng, N_ACCESSES, footprint_bytes=16 << 10, element_bytes=8),
+    }
+
+
+def run_trace_study():
+    workload = WorkloadParameters()
+    multicore = MulticoreModel()
+    mvp = MVPSystemModel()
+    rows = []
+    for name, trace in build_traces().items():
+        rates = measure_miss_rates(trace)
+        mc = EfficiencyMetrics.from_point(
+            multicore.evaluate(rates, workload))
+        accel = EfficiencyMetrics.from_point(mvp.evaluate(rates, workload))
+        rows.append((name, rates.l1, rates.l2,
+                     accel.ratios_vs(mc)["eta_e"]))
+    return rows
+
+
+def test_trace_driven_fig4(benchmark, save_report):
+    rows = benchmark.pedantic(run_trace_study, rounds=1, iterations=1)
+    gains = {name: gain for name, _, _, gain in rows}
+
+    # MVP wins on every named application pattern.
+    assert all(gain > 3.0 for gain in gains.values())
+    # Cache-hostile traversals gain the most; resident sets the least.
+    assert gains["graph pointer chase"] > gains["resident working set"]
+    assert gains["graph pointer chase"] > 8.0
+
+    save_report(
+        "trace_driven_fig4",
+        format_table(
+            ["workload pattern", "measured m1", "measured m2",
+             "MVP eta_E gain"],
+            rows,
+            title="Fig. 4 on measured miss rates (32 KB L1 / 256 KB L2, "
+                  "%Acc = 0.7)",
+        ),
+        csv_headers=["pattern", "m1", "m2", "eta_e_gain"],
+        csv_rows=rows,
+    )

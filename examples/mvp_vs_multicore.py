@@ -1,0 +1,42 @@
+"""Reproduce the Fig. 4 study from the public API.
+
+Sweeps L1/L2 cache miss rates for the 4-core multicore baseline and the
+MVP-accelerated system, prints the three efficiency metrics and the
+improvement factors, and shows where the "one order of magnitude" of the
+paper comes from (and how it depends on the offloaded fraction %Acc).
+
+Run:  python examples/mvp_vs_multicore.py
+"""
+
+from repro.analysis.figures import render_fig4
+from repro.analysis.tables import format_table
+from repro.arch import WorkloadParameters, run_fig4_sweep
+
+
+def main() -> None:
+    sweep = run_fig4_sweep()
+    print(render_fig4(sweep))
+
+    print("\nImprovement factors across the miss grid (MVP / multicore):")
+    rows = []
+    for metric, label in [("eta_pe", "perf-energy (MOPs/mW)"),
+                          ("eta_e", "energy (pJ/op)"),
+                          ("eta_pa", "perf-area (MOPs/mm^2)")]:
+        lo, hi = sweep.ratio_range(metric)
+        rows.append((label, lo, sweep.geometric_mean_ratio(metric), hi))
+    print(format_table(["metric", "min", "geomean", "max"], rows))
+
+    print("\nSensitivity to the offloadable fraction (%Acc):")
+    rows = []
+    for f in (0.3, 0.5, 0.7, 0.9):
+        s = run_fig4_sweep(
+            workload=WorkloadParameters(accelerated_fraction=f)
+        )
+        rows.append((f, s.geometric_mean_ratio("eta_e")))
+    print(format_table(["%Acc", "eta_E improvement"], rows))
+    print("\nThe paper's 10x headline holds near %Acc = 0.7; the residual"
+          "\n30% on the conventional core bounds the gain (Amdahl).")
+
+
+if __name__ == "__main__":
+    main()

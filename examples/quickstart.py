@@ -1,0 +1,78 @@
+"""Quickstart: a ten-minute tour of the library.
+
+Walks the paper's stack bottom-up: switch a memristive device, compute
+with scouting logic inside a crossbar, then run a regex on the RRAM
+automata processor and compare its kernel cost against the SRAM baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.automata import Alphabet, compile_regex, homogenize
+from repro.crossbar import Crossbar, ScoutingLogic
+from repro.devices import BipolarSwitch, DeviceParameters
+from repro.rram_ap import rram_ap, sram_ap
+
+
+def demo_device() -> None:
+    """SET and RESET the paper's working device (1 kOhm / 100 MOhm)."""
+    print("== 1. A memristive device ==")
+    device = BipolarSwitch(DeviceParameters())
+    print(f"fresh device:        R = {device.resistance():.3e} Ohm "
+          f"(stores {device.as_bit()})")
+    device.step(1.5, dt=1e-9)   # above V_SET = 1.3 V
+    print(f"after a SET pulse:   R = {device.resistance():.3e} Ohm "
+          f"(stores {device.as_bit()})")
+    device.step(0.4, dt=1e-3)   # the read voltage: harmless
+    print(f"after a long read:   R = {device.resistance():.3e} Ohm "
+          f"(undisturbed)")
+    device.step(-0.6, dt=1e-9)  # below -V_RESET = -0.5 V
+    print(f"after a RESET pulse: R = {device.resistance():.3e} Ohm "
+          f"(stores {device.as_bit()})\n")
+
+
+def demo_scouting_logic() -> None:
+    """In-memory OR/AND/XOR: Fig. 3 on a 16-column crossbar."""
+    print("== 2. Scouting logic: compute by reading ==")
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 2, 16)
+    b = rng.integers(0, 2, 16)
+    crossbar = Crossbar(rows=2, cols=16)
+    crossbar.write_row(0, a)
+    crossbar.write_row(1, b)
+    logic = ScoutingLogic(crossbar)
+    print(f"row a:    {a}")
+    print(f"row b:    {b}")
+    print(f"a OR b:   {logic.or_rows([0, 1])}   (one activated read)")
+    print(f"a AND b:  {logic.and_rows([0, 1])}")
+    print(f"a XOR b:  {logic.xor_rows(0, 1)}\n")
+
+
+def demo_automata_processor() -> None:
+    """Regex -> homogeneous automaton -> RRAM-AP, with kernel costs."""
+    print("== 3. The RRAM automata processor ==")
+    alphabet = Alphabet("abcd")
+    nfa = compile_regex("a(b|c)+d", alphabet)
+    automaton = homogenize(nfa)
+    print(f"pattern 'a(b|c)+d': {nfa.n_states} NFA states -> "
+          f"{automaton.n_states} STEs")
+    processor = rram_ap(automaton)
+    baseline = sram_ap(automaton)
+    for text in ["abd", "abcbcd", "ad", "abda"]:
+        trace, _ = processor.run(text)
+        print(f"  {text!r:10} -> {'accept' if trace.accepted else 'reject'}")
+    chip_r = processor.chip_cost()
+    chip_s = baseline.chip_cost()
+    print(f"per-symbol energy:  RRAM-AP {chip_r.symbol_energy() * 1e15:.1f} fJ"
+          f"  vs SRAM-AP {chip_s.symbol_energy() * 1e15:.1f} fJ")
+    print(f"per-symbol latency: RRAM-AP {chip_r.symbol_latency() * 1e12:.0f} ps"
+          f" vs SRAM-AP {chip_s.symbol_latency() * 1e12:.0f} ps")
+    print(f"array area:         RRAM-AP {chip_r.area_mm2() * 1e6:.1f} um^2"
+          f"  vs SRAM-AP {chip_s.area_mm2() * 1e6:.1f} um^2")
+
+
+if __name__ == "__main__":
+    demo_device()
+    demo_scouting_logic()
+    demo_automata_processor()

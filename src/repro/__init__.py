@@ -1,0 +1,34 @@
+"""repro: a reproduction of "Memristive Devices for Computation-In-Memory"
+(Yu, Du Nguyen, Xie, Taouil, Hamdioui; DATE 2018 / arXiv:1907.07898).
+
+The package is layered bottom-up:
+
+* :mod:`repro.devices`  -- memristive device models (Section II, Fig. 1);
+* :mod:`repro.circuits` -- MNA/transient circuit simulation, 1T1R vs 8T
+  SRAM cells, bit-line columns (Fig. 8/9);
+* :mod:`repro.crossbar` -- functional crossbar with scouting logic (Fig. 3);
+* :mod:`repro.arch`     -- analytical MVP vs multicore models (Fig. 4);
+* :mod:`repro.mvp`      -- the Memristive Vector Processor simulator
+  (Section III);
+* :mod:`repro.automata` -- NFAs, regex compilation, homogeneous automata
+  and the generic AP model (Figs. 5/6, Eqs. 1-4);
+* :mod:`repro.rram_ap`  -- the RRAM Automata Processor and its SRAM/SDRAM
+  baselines (Section IV);
+* :mod:`repro.workloads` -- DNA, IDS, database, graph, string and mining
+  workload generators;
+* :mod:`repro.analysis` -- figure regenerators and paper-claim checks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "devices",
+    "circuits",
+    "crossbar",
+    "arch",
+    "mvp",
+    "automata",
+    "rram_ap",
+    "workloads",
+    "analysis",
+]

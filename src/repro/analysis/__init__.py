@@ -1,0 +1,40 @@
+"""Reporting: ASCII plots, tables, per-figure regenerators, paper claims."""
+
+from repro.analysis.ascii_plot import bar_chart, line_plot
+from repro.analysis.compare import PaperClaim, claims_table_rows
+from repro.analysis.figures import (
+    Fig1Result,
+    Fig3Result,
+    Fig5Result,
+    Fig6Result,
+    Fig9Result,
+    fig1_hysteresis,
+    fig3_scouting,
+    fig4_sweep,
+    fig5_homogeneous,
+    fig6_worked_example,
+    fig9_dot_product,
+    render_fig4,
+)
+from repro.analysis.tables import format_table, write_csv
+
+__all__ = [
+    "Fig1Result",
+    "Fig3Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig9Result",
+    "PaperClaim",
+    "bar_chart",
+    "claims_table_rows",
+    "fig1_hysteresis",
+    "fig3_scouting",
+    "fig4_sweep",
+    "fig5_homogeneous",
+    "fig6_worked_example",
+    "fig9_dot_product",
+    "format_table",
+    "line_plot",
+    "render_fig4",
+    "write_csv",
+]

@@ -1,0 +1,97 @@
+"""Terminal-friendly plots (no plotting libraries are available offline).
+
+Line charts and horizontal bar charts rendered into fixed-width text.
+Benches print these so the regenerated figures are inspectable directly in
+the pytest output and in the committed results files.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["line_plot", "bar_chart"]
+
+
+def line_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render (x, y) series as an ASCII scatter/line chart.
+
+    Args:
+        series: name -> list of (x, y) points; each series gets a marker.
+        width: plot columns.
+        height: plot rows.
+        title: optional heading line.
+        log_y: log-scale the y axis (values must be positive).
+
+    Returns:
+        The rendered multi-line string.
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("nothing to plot")
+    markers = "*o+x#@%&"
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        if min(ys) <= 0:
+            raise ValueError("log_y requires positive values")
+        ys = [math.log10(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, pts) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        for x, y in pts:
+            yy = math.log10(y) if log_y else y
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((yy - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bot = 10 ** y_lo if log_y else y_lo
+    lines.append(f"{y_top:>10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_bot:>10.3g} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{x_lo:<10.3g}" + " " * (width - 20)
+                 + f"{x_hi:>10.3g}")
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} {name}"
+        for k, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, int(abs(value) / peak * width))
+        lines.append(
+            f"{name:>{label_width}} | {bar} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)

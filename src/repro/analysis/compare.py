@@ -1,0 +1,72 @@
+"""Paper-versus-measured comparisons with explicit tolerance bands.
+
+Every reproduced number is recorded as a :class:`PaperClaim` with the
+value the paper states, the value we measured, and the tolerance that
+counts as "shape holds".  The EXPERIMENTS.md table and the headline-claims
+bench are generated from these records so prose and assertions can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["PaperClaim", "claims_table_rows"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative claim from the paper and our measurement of it.
+
+    Attributes:
+        source: where the paper states it (e.g. "Section IV-D").
+        description: what the number is.
+        paper_value: the value as printed.
+        measured_value: what this reproduction obtains.
+        rel_tolerance: acceptable |measured - paper| / |paper|.
+        unit: display unit.
+    """
+
+    source: str
+    description: str
+    paper_value: float
+    measured_value: float
+    rel_tolerance: float
+    unit: str = ""
+
+    @property
+    def rel_error(self) -> float:
+        """Signed relative deviation from the paper's value."""
+        if self.paper_value == 0:
+            raise ValueError("paper value of zero has no relative error")
+        return (self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.rel_error) <= self.rel_tolerance
+
+    def assert_holds(self) -> None:
+        """Raise AssertionError with a readable message when out of band."""
+        if not self.within_tolerance:
+            raise AssertionError(
+                f"{self.source}: {self.description}: paper "
+                f"{self.paper_value:.4g}{self.unit}, measured "
+                f"{self.measured_value:.4g}{self.unit} "
+                f"({self.rel_error:+.1%} vs tolerance "
+                f"{self.rel_tolerance:.0%})"
+            )
+
+
+def claims_table_rows(claims: list[PaperClaim]) -> list[tuple]:
+    """Rows for :func:`repro.analysis.tables.format_table`."""
+    return [
+        (
+            c.source,
+            c.description,
+            f"{c.paper_value:.4g}{c.unit}",
+            f"{c.measured_value:.4g}{c.unit}",
+            f"{c.rel_error:+.1%}",
+            "ok" if c.within_tolerance else "OUT OF BAND",
+        )
+        for c in claims
+    ]

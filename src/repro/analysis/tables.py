@@ -1,0 +1,70 @@
+"""Fixed-width text tables and CSV export for bench reports."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["format_table", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width table.
+
+    Floats are shown with four significant digits; everything else with
+    ``str``.
+
+    Args:
+        headers: column names.
+        rows: row tuples, each as long as ``headers``.
+        title: optional heading line.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(line + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in text_rows:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> Path:
+    """Write rows to a CSV file (created parents included); returns path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        f.write(",".join(str(h) for h in headers) + "\n")
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width does not match headers")
+            f.write(",".join(
+                f"{c:.6g}" if isinstance(c, float) else str(c) for c in row
+            ) + "\n")
+    return path

@@ -1,0 +1,46 @@
+"""Analytical architecture models for the Fig. 4 evaluation.
+
+Multicore baseline vs MVP-accelerated system, parameterized by L1/L2 miss
+rates and the offloadable workload fraction, reporting the paper's three
+efficiency metrics (MOPs/mW, pJ/op, MOPs/mm^2).
+"""
+
+from repro.arch.cache import MemoryHierarchyModel, MissRates
+from repro.arch.cachesim import (
+    CacheConfig,
+    SetAssociativeCache,
+    TwoLevelCacheSim,
+    measure_miss_rates,
+)
+from repro.arch.metrics import EfficiencyMetrics, SystemPoint
+from repro.arch.multicore import MulticoreModel
+from repro.arch.mvp_model import MVPSystemModel
+from repro.arch.params import (
+    AreaParameters,
+    EnergyParameters,
+    LatencyParameters,
+    StaticPowerParameters,
+    WorkloadParameters,
+)
+from repro.arch.sweep import Fig4Sweep, SweepPoint, run_fig4_sweep
+
+__all__ = [
+    "AreaParameters",
+    "CacheConfig",
+    "EfficiencyMetrics",
+    "EnergyParameters",
+    "Fig4Sweep",
+    "LatencyParameters",
+    "MemoryHierarchyModel",
+    "MissRates",
+    "MulticoreModel",
+    "MVPSystemModel",
+    "SetAssociativeCache",
+    "StaticPowerParameters",
+    "SweepPoint",
+    "SystemPoint",
+    "TwoLevelCacheSim",
+    "WorkloadParameters",
+    "measure_miss_rates",
+    "run_fig4_sweep",
+]

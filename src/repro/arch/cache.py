@@ -1,0 +1,76 @@
+"""Miss-rate-driven memory-hierarchy cost model.
+
+The Fig. 4 sweep parameterizes the program by its L1 and L2 miss rates
+(up to 60% each).  Every memory reference costs an L1 access, plus an L2
+access with probability ``m1``, plus a DRAM access with probability
+``m1 * m2`` -- the standard average-memory-access-time decomposition, in
+both the time and energy domains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.params import EnergyParameters, LatencyParameters
+
+__all__ = ["MissRates", "MemoryHierarchyModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MissRates:
+    """L1 and L2 miss rates of the modelled program phase.
+
+    Attributes:
+        l1: fraction of memory references missing in L1, in [0, 1].
+        l2: fraction of L1 misses that also miss in L2, in [0, 1].
+    """
+
+    l1: float
+    l2: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.l1 <= 1.0:
+            raise ValueError("l1 miss rate must be in [0, 1]")
+        if not 0.0 <= self.l2 <= 1.0:
+            raise ValueError("l2 miss rate must be in [0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryHierarchyModel:
+    """Average per-reference energy and latency through L1/L2/DRAM.
+
+    Args:
+        energy: per-event energies.
+        latency: per-event latencies.
+    """
+
+    energy: EnergyParameters
+    latency: LatencyParameters
+
+    def access_energy(self, misses: MissRates) -> float:
+        """Average energy of one memory reference, joules."""
+        return (
+            self.energy.e_l1
+            + misses.l1 * self.energy.e_l2
+            + misses.l1 * misses.l2 * self.energy.e_dram
+        )
+
+    def access_latency(self, misses: MissRates) -> float:
+        """Average latency of one memory reference, seconds (AMAT)."""
+        return (
+            self.latency.t_l1
+            + misses.l1 * self.latency.t_l2
+            + misses.l1 * misses.l2 * self.latency.t_dram
+        )
+
+    def op_energy(self, misses: MissRates, mem_intensity: float) -> float:
+        """Average energy of one instruction with the given memory share."""
+        if not 0.0 <= mem_intensity <= 1.0:
+            raise ValueError("mem_intensity must be in [0, 1]")
+        return self.energy.e_alu + mem_intensity * self.access_energy(misses)
+
+    def op_latency(self, misses: MissRates, mem_intensity: float) -> float:
+        """Average latency of one instruction with the given memory share."""
+        if not 0.0 <= mem_intensity <= 1.0:
+            raise ValueError("mem_intensity must be in [0, 1]")
+        return self.latency.t_alu + mem_intensity * self.access_latency(misses)

@@ -1,0 +1,138 @@
+"""Set-associative cache simulation: measuring the Fig. 4 x-axis.
+
+The paper sweeps L1/L2 miss rates as free parameters.  For trace-driven
+studies this module *measures* them: a two-level LRU set-associative
+hierarchy processes an address trace and reports the
+:class:`~repro.arch.cache.MissRates` the analytical models consume --
+closing the loop from workload to efficiency metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.arch.cache import MissRates
+
+__all__ = ["CacheConfig", "SetAssociativeCache", "TwoLevelCacheSim",
+           "measure_miss_rates"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes:
+        size_bytes: total capacity (the paper's systems: 32 KB L1,
+            256 KB L2).
+        line_bytes: cache-line size.
+        associativity: ways per set.
+    """
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "size must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+L1_DEFAULT = CacheConfig(size_bytes=32 * 1024)
+L2_DEFAULT = CacheConfig(size_bytes=256 * 1024)
+
+
+class SetAssociativeCache:
+    """One LRU set-associative cache level.
+
+    Args:
+        config: geometry.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # Per set: list of tags in LRU order (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(config.n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on a hit.  Fills on miss."""
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        line = address // self.config.line_bytes
+        index = line % self.config.n_sets
+        tag = line // self.config.n_sets
+        ways = self._sets[index]
+        self.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            return True
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.config.associativity:
+            ways.pop()
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0 for an untouched cache)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TwoLevelCacheSim:
+    """An L1 backed by an L2, as in both Fig. 4 systems.
+
+    Args:
+        l1: L1 geometry (default: the paper's 32 KB).
+        l2: L2 geometry (default: the paper's 256 KB).
+    """
+
+    def __init__(self, l1: CacheConfig = L1_DEFAULT,
+                 l2: CacheConfig = L2_DEFAULT) -> None:
+        if l2.size_bytes < l1.size_bytes:
+            raise ValueError("L2 must be at least as large as L1")
+        self.l1 = SetAssociativeCache(l1)
+        self.l2 = SetAssociativeCache(l2)
+
+    def access(self, address: int) -> tuple[bool, bool]:
+        """Access through the hierarchy.
+
+        Returns:
+            (l1_hit, l2_hit); ``l2_hit`` is True when L1 hit (the access
+            never reached L2) or when L2 itself hit.
+        """
+        if self.l1.access(address):
+            return True, True
+        return False, self.l2.access(address)
+
+    def run(self, trace: Iterable[int]) -> MissRates:
+        """Process a whole trace; returns the measured miss-rate pair."""
+        for address in trace:
+            self.access(address)
+        return self.miss_rates()
+
+    def miss_rates(self) -> MissRates:
+        """Current (m1, m2) in the Fig. 4 convention: m2 is the fraction
+        of *L1 misses* that also miss in L2."""
+        return MissRates(l1=self.l1.miss_rate, l2=self.l2.miss_rate)
+
+
+def measure_miss_rates(
+    trace: Iterable[int],
+    l1: CacheConfig = L1_DEFAULT,
+    l2: CacheConfig = L2_DEFAULT,
+) -> MissRates:
+    """One-shot convenience: simulate ``trace`` and return (m1, m2)."""
+    return TwoLevelCacheSim(l1, l2).run(trace)

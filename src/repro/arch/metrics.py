@@ -1,0 +1,83 @@
+"""The three Fig. 4 efficiency metrics and the operating-point record.
+
+The paper evaluates both architectures with:
+
+* performance-energy efficiency  eta_PE  [MOPs/mW],
+* energy efficiency              eta_E   [pJ/op],
+* performance-area efficiency    eta_PA  [MOPs/mm^2].
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["SystemPoint", "EfficiencyMetrics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemPoint:
+    """One architecture evaluated at one workload operating point.
+
+    Attributes:
+        name: architecture label for reports.
+        ops_per_second: sustained operation throughput.
+        dynamic_power: time-averaged dynamic power, watts.
+        static_power: standby power, watts.
+        area_mm2: silicon area, square millimeters.
+    """
+
+    name: str
+    ops_per_second: float
+    dynamic_power: float
+    static_power: float
+    area_mm2: float
+
+    def __post_init__(self) -> None:
+        if self.ops_per_second <= 0:
+            raise ValueError("ops_per_second must be positive")
+        if self.dynamic_power < 0 or self.static_power < 0:
+            raise ValueError("power terms must be non-negative")
+        if self.area_mm2 <= 0:
+            raise ValueError("area must be positive")
+
+    @property
+    def total_power(self) -> float:
+        """Dynamic plus static power, watts."""
+        return self.dynamic_power + self.static_power
+
+
+@dataclasses.dataclass(frozen=True)
+class EfficiencyMetrics:
+    """The paper's three efficiency metrics in its units.
+
+    Attributes:
+        eta_pe: performance-energy efficiency, MOPs per milliwatt.
+        eta_e: energy per operation, picojoules (lower is better).
+        eta_pa: performance-area efficiency, MOPs per square millimeter.
+    """
+
+    eta_pe: float
+    eta_e: float
+    eta_pa: float
+
+    @classmethod
+    def from_point(cls, point: SystemPoint) -> "EfficiencyMetrics":
+        """Derive the metrics from an operating point."""
+        mops = point.ops_per_second / 1e6
+        milliwatts = point.total_power / 1e-3
+        picojoules_per_op = (
+            point.total_power / point.ops_per_second / 1e-12
+        )
+        return cls(
+            eta_pe=mops / milliwatts,
+            eta_e=picojoules_per_op,
+            eta_pa=mops / point.area_mm2,
+        )
+
+    def ratios_vs(self, baseline: "EfficiencyMetrics") -> dict[str, float]:
+        """Improvement factors over ``baseline`` (all oriented so >1 wins)."""
+        return {
+            "eta_pe": self.eta_pe / baseline.eta_pe,
+            "eta_e": baseline.eta_e / self.eta_e,  # lower-is-better metric
+            "eta_pa": self.eta_pa / baseline.eta_pa,
+        }

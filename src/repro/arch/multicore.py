@@ -1,0 +1,104 @@
+"""The 4-core multicore baseline of the Fig. 4 comparison.
+
+The paper's baseline: four ALU-only cores, 32 KB L1 each, a shared 256 KB
+L2 and 4 GB of DRAM.  All operations -- accelerable or not -- execute on
+the cores and pay the memory-hierarchy cost implied by the swept miss
+rates.  Cores are assumed fully utilized (the comparison favours the
+baseline: no synchronization or bandwidth contention is charged).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.cache import MemoryHierarchyModel, MissRates
+from repro.arch.metrics import SystemPoint
+from repro.arch.params import (
+    AreaParameters,
+    EnergyParameters,
+    LatencyParameters,
+    StaticPowerParameters,
+    WorkloadParameters,
+)
+
+__all__ = ["MulticoreModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MulticoreModel:
+    """Analytical model of the multicore baseline.
+
+    Args:
+        n_cores: number of cores (the paper uses 4).
+        dram_gb: DRAM capacity in GB (the paper uses 4).
+        energy, latency, static, area: technology parameter sets.
+    """
+
+    n_cores: int = 4
+    dram_gb: float = 4.0
+    energy: EnergyParameters = EnergyParameters()
+    latency: LatencyParameters = LatencyParameters()
+    static: StaticPowerParameters = StaticPowerParameters()
+    area: AreaParameters = AreaParameters()
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.dram_gb <= 0:
+            raise ValueError("dram_gb must be positive")
+
+    @property
+    def hierarchy(self) -> MemoryHierarchyModel:
+        return MemoryHierarchyModel(self.energy, self.latency)
+
+    def average_op_energy(
+        self, misses: MissRates, workload: WorkloadParameters
+    ) -> float:
+        """Mix the accelerable and other instruction classes, joules/op."""
+        h = self.hierarchy
+        e_acc = h.op_energy(misses, workload.mem_intensity_accelerated)
+        e_other = h.op_energy(misses, workload.mem_intensity_other)
+        f = workload.accelerated_fraction
+        return f * e_acc + (1.0 - f) * e_other
+
+    def average_op_latency(
+        self, misses: MissRates, workload: WorkloadParameters
+    ) -> float:
+        """Average per-op latency on one core, seconds."""
+        h = self.hierarchy
+        t_acc = h.op_latency(misses, workload.mem_intensity_accelerated)
+        t_other = h.op_latency(misses, workload.mem_intensity_other)
+        f = workload.accelerated_fraction
+        return f * t_acc + (1.0 - f) * t_other
+
+    def static_power(self) -> float:
+        """Total standby power, watts."""
+        return (
+            self.n_cores * self.static.core
+            + self.static.l2
+            + self.dram_gb * self.static.dram_per_gb
+        )
+
+    def total_area(self) -> float:
+        """Total silicon area, mm^2 (cores, L2, DRAM)."""
+        return (
+            self.n_cores * self.area.core
+            + self.area.l2
+            + self.dram_gb * self.area.dram_per_gb
+        )
+
+    def evaluate(
+        self, misses: MissRates, workload: WorkloadParameters
+    ) -> SystemPoint:
+        """Operating point at the given miss rates and workload mix."""
+        t_op = self.average_op_latency(misses, workload)
+        e_op = self.average_op_energy(misses, workload)
+        ops_per_second = self.n_cores / t_op
+        dynamic_power = ops_per_second * e_op
+        return SystemPoint(
+            name=f"multicore-{self.n_cores}",
+            ops_per_second=ops_per_second,
+            dynamic_power=dynamic_power,
+            static_power=self.static_power(),
+            area_mm2=self.total_area(),
+        )

@@ -1,0 +1,104 @@
+"""Analytical model of the MVP-accelerated system (Fig. 2a / Fig. 4).
+
+The MVP system: one conventional core (same L1/L2 as the baseline), 2 GB
+DRAM, plus a 2 GB non-volatile memristive crossbar with modified read-out
+(scouting logic).  The accelerated fraction of operations executes inside
+the crossbar -- no cache or DRAM traffic at all -- while the remaining
+fraction runs on the conventional core exactly as in the baseline.
+
+Execution follows the offload model of Fig. 2b: the core dispatches a
+macro-instruction per loop and the MVP streams through it; core and MVP
+phases are serialized (conservative -- overlap would only help the MVP).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.cache import MemoryHierarchyModel, MissRates
+from repro.arch.metrics import SystemPoint
+from repro.arch.params import (
+    AreaParameters,
+    EnergyParameters,
+    LatencyParameters,
+    StaticPowerParameters,
+    WorkloadParameters,
+)
+
+__all__ = ["MVPSystemModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MVPSystemModel:
+    """Analytical model of CPU + MVP.
+
+    Args:
+        dram_gb: conventional DRAM capacity (the paper halves it to 2 GB).
+        crossbar_gb: memristive crossbar capacity (2 GB).
+        energy, latency, static, area: technology parameter sets.
+    """
+
+    dram_gb: float = 2.0
+    crossbar_gb: float = 2.0
+    energy: EnergyParameters = EnergyParameters()
+    latency: LatencyParameters = LatencyParameters()
+    static: StaticPowerParameters = StaticPowerParameters()
+    area: AreaParameters = AreaParameters()
+
+    def __post_init__(self) -> None:
+        if self.dram_gb <= 0 or self.crossbar_gb <= 0:
+            raise ValueError("memory capacities must be positive")
+
+    @property
+    def hierarchy(self) -> MemoryHierarchyModel:
+        return MemoryHierarchyModel(self.energy, self.latency)
+
+    def average_op_energy(
+        self, misses: MissRates, workload: WorkloadParameters
+    ) -> float:
+        """Joules per operation: CIM ops are flat-cost, CPU ops pay AMAT."""
+        f = workload.accelerated_fraction
+        e_cpu = self.hierarchy.op_energy(misses, workload.mem_intensity_other)
+        return f * self.energy.e_cim_op + (1.0 - f) * e_cpu
+
+    def average_op_latency(
+        self, misses: MissRates, workload: WorkloadParameters
+    ) -> float:
+        """Seconds per operation under serialized offload phases."""
+        f = workload.accelerated_fraction
+        t_cpu = self.hierarchy.op_latency(misses, workload.mem_intensity_other)
+        return f * self.latency.t_cim_op + (1.0 - f) * t_cpu
+
+    def static_power(self) -> float:
+        """Standby power: one core, L2, DRAM; the crossbar adds none."""
+        return (
+            self.static.core
+            + self.static.l2
+            + self.dram_gb * self.static.dram_per_gb
+            + self.crossbar_gb * self.static.crossbar_per_gb
+        )
+
+    def total_area(self) -> float:
+        """Silicon area: core, L2, DRAM and the (denser) crossbar."""
+        return (
+            self.area.core
+            + self.area.l2
+            + self.dram_gb * self.area.dram_per_gb
+            + self.crossbar_gb * self.area.crossbar_per_gb
+        )
+
+    def evaluate(
+        self, misses: MissRates, workload: WorkloadParameters
+    ) -> SystemPoint:
+        """Operating point at the given miss rates and workload mix."""
+        t_op = self.average_op_latency(misses, workload)
+        e_op = self.average_op_energy(misses, workload)
+        ops_per_second = 1.0 / t_op
+        dynamic_power = ops_per_second * e_op
+        return SystemPoint(
+            name="mvp-system",
+            ops_per_second=ops_per_second,
+            dynamic_power=dynamic_power,
+            static_power=self.static_power(),
+            area_mm2=self.total_area(),
+        )

@@ -1,0 +1,169 @@
+"""Architecture-level energy / latency / power / area parameters.
+
+The Fig. 4 evaluation compares an MVP-accelerated system against a 4-core
+multicore with an analytical model "similar to those in [3, 9]".  The
+parameter values here are assembled from the paper's own citations:
+
+* ref [15] (CPU DB) and ref [16] (dark memory): an ALU operation costs
+  ~1 pJ at the 32/45 nm nodes, an on-chip SRAM access ~50x that, and a
+  DRAM access ~6400x that -- the exact multipliers quoted in Section III-B.
+* Latencies use the conventional 2 GHz pipeline ladder (1 cycle ALU,
+  4-cycle L1, 15-cycle L2, ~200-cycle DRAM).
+* The crossbar numbers are conservative for memristive technology: a slow
+  100 ns activated read (memristor reads are slower than SRAM) that
+  nevertheless completes one logical operation on every bit line in
+  parallel, and zero standby power (non-volatile array).
+
+Every knob is a dataclass field, so sensitivity studies can sweep any of
+them; the defaults reproduce the paper's "about one order of magnitude"
+headline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "EnergyParameters",
+    "LatencyParameters",
+    "StaticPowerParameters",
+    "AreaParameters",
+    "WorkloadParameters",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event dynamic energy, in joules.
+
+    Attributes:
+        e_alu: one ALU operation (the ~1 pJ unit of refs [15, 16]).
+        e_l1: one L1 access (the "50x an ALU op" on-chip SRAM figure).
+        e_l2: one L2 access.
+        e_dram: one DRAM access (the "6400x an ALU op" figure).
+        e_cim_op: one in-crossbar logical operation, amortized per bit line
+            (scouting-logic activation energy / active columns, plus the
+            macro-instruction decode share).
+    """
+
+    e_alu: float = 1e-12
+    e_l1: float = 50e-12
+    e_l2: float = 150e-12
+    e_dram: float = 6400e-12
+    e_cim_op: float = 1e-12
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) <= 0:
+                raise ValueError(f"{field.name} must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyParameters:
+    """Per-event latency, in seconds.
+
+    Attributes:
+        t_alu: ALU operation (1 cycle at 2 GHz).
+        t_l1: L1 hit.
+        t_l2: L2 hit.
+        t_dram: DRAM access.
+        t_cim_activation: one activated multi-row crossbar read (memristor
+            reads are slow; the default is a conservative 100 ns).
+        cim_lanes: bit lines evaluated in parallel per activation; the
+            effective per-operation latency is
+            ``t_cim_activation / cim_lanes``.
+    """
+
+    t_alu: float = 0.5e-9
+    t_l1: float = 2e-9
+    t_l2: float = 7.5e-9
+    t_dram: float = 100e-9
+    t_cim_activation: float = 100e-9
+    cim_lanes: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in ("t_alu", "t_l1", "t_l2", "t_dram", "t_cim_activation"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.cim_lanes < 1:
+            raise ValueError("cim_lanes must be at least 1")
+
+    @property
+    def t_cim_op(self) -> float:
+        """Effective latency of one in-crossbar operation, seconds."""
+        return self.t_cim_activation / self.cim_lanes
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticPowerParameters:
+    """Standby power, in watts.
+
+    Attributes:
+        core: leakage of one CPU core (incl. its L1).
+        l2: leakage of the shared L2.
+        dram_per_gb: DRAM refresh + standby per gigabyte.
+        crossbar_per_gb: memristive crossbar standby per gigabyte -- zero,
+            the non-volatility argument of the paper.
+    """
+
+    core: float = 50e-3
+    l2: float = 10e-3
+    dram_per_gb: float = 25e-3
+    crossbar_per_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("core", "l2", "dram_per_gb"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.crossbar_per_gb < 0:
+            raise ValueError("crossbar_per_gb must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaParameters:
+    """Silicon area, in square millimeters.
+
+    Attributes:
+        core: one CPU core including L1.
+        l2: the shared 256 KB L2.
+        dram_per_gb: DRAM at a 6F^2-equivalent cell (~105 mm^2/GB at 32 nm
+            equivalent density).
+        crossbar_per_gb: memristive crossbar at a 4F^2 cell (~70 mm^2/GB at
+            32 nm) -- the density edge of RRAM.
+    """
+
+    core: float = 2.5
+    l2: float = 2.0
+    dram_per_gb: float = 52.8
+    crossbar_per_gb: float = 35.2
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) <= 0:
+                raise ValueError(f"{field.name} must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadParameters:
+    """The offloadable-loop workload of Fig. 2b.
+
+    Attributes:
+        accelerated_fraction: share of operations the MVP can execute
+            in-memory (the paper's %Acc = 0.7).
+        mem_intensity_accelerated: probability that an *accelerable*
+            operation touches the memory hierarchy when executed on a
+            conventional core (these are the data-intensive loops, so 1.0).
+        mem_intensity_other: memory intensity of the non-accelerable 30%
+            (control and scalar compute; mostly register-resident, so only
+            one in five instructions references memory).
+    """
+
+    accelerated_fraction: float = 0.7
+    mem_intensity_accelerated: float = 1.0
+    mem_intensity_other: float = 0.2
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field.name} must be in [0, 1]")

@@ -1,0 +1,111 @@
+"""The Fig. 4 miss-rate sweep driver.
+
+Evaluates the multicore baseline and the MVP system over a grid of L1/L2
+miss rates (the paper sweeps both up to 60% at %Acc = 0.7) and reports the
+three efficiency metrics plus MVP-over-multicore improvement factors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.arch.cache import MissRates
+from repro.arch.metrics import EfficiencyMetrics
+from repro.arch.multicore import MulticoreModel
+from repro.arch.mvp_model import MVPSystemModel
+from repro.arch.params import WorkloadParameters
+
+__all__ = ["SweepPoint", "Fig4Sweep", "run_fig4_sweep"]
+
+DEFAULT_MISS_GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """Both architectures evaluated at one miss-rate point.
+
+    Attributes:
+        misses: the (l1, l2) miss-rate pair.
+        multicore: baseline metrics.
+        mvp: MVP-system metrics.
+        ratios: improvement factors (>1 means MVP wins) per metric name.
+    """
+
+    misses: MissRates
+    multicore: EfficiencyMetrics
+    mvp: EfficiencyMetrics
+    ratios: dict[str, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig4Sweep:
+    """The full grid of :class:`SweepPoint` plus summary statistics."""
+
+    points: tuple[SweepPoint, ...]
+    workload: WorkloadParameters
+
+    def ratio_range(self, metric: str) -> tuple[float, float]:
+        """(min, max) improvement factor across the grid for ``metric``."""
+        values = [p.ratios[metric] for p in self.points]
+        return min(values), max(values)
+
+    def geometric_mean_ratio(self, metric: str) -> float:
+        """Geometric-mean improvement factor across the grid."""
+        product = 1.0
+        for p in self.points:
+            product *= p.ratios[metric]
+        return product ** (1.0 / len(self.points))
+
+    def series_vs_l1(self, metric: str, l2: float) -> list[tuple[float, float, float]]:
+        """(l1, multicore, mvp) rows at fixed ``l2`` for plotting."""
+        rows = []
+        for p in self.points:
+            if abs(p.misses.l2 - l2) < 1e-12:
+                rows.append((
+                    p.misses.l1,
+                    getattr(p.multicore, metric),
+                    getattr(p.mvp, metric),
+                ))
+        return sorted(rows)
+
+
+def run_fig4_sweep(
+    multicore: MulticoreModel | None = None,
+    mvp: MVPSystemModel | None = None,
+    workload: WorkloadParameters | None = None,
+    l1_grid: Sequence[float] = DEFAULT_MISS_GRID,
+    l2_grid: Sequence[float] = DEFAULT_MISS_GRID,
+) -> Fig4Sweep:
+    """Evaluate both architectures over the miss-rate grid.
+
+    Args:
+        multicore: baseline model (defaults to the paper's 4-core system).
+        mvp: MVP system model (defaults to the paper's 2 GB + 2 GB split).
+        workload: offload mix (defaults to %Acc = 0.7).
+        l1_grid: L1 miss rates to sweep.
+        l2_grid: L2 miss rates to sweep.
+
+    Returns:
+        The populated :class:`Fig4Sweep`.
+    """
+    multicore = multicore or MulticoreModel()
+    mvp = mvp or MVPSystemModel()
+    workload = workload or WorkloadParameters()
+    points = []
+    for l1 in l1_grid:
+        for l2 in l2_grid:
+            misses = MissRates(l1=l1, l2=l2)
+            base_metrics = EfficiencyMetrics.from_point(
+                multicore.evaluate(misses, workload)
+            )
+            mvp_metrics = EfficiencyMetrics.from_point(
+                mvp.evaluate(misses, workload)
+            )
+            points.append(SweepPoint(
+                misses=misses,
+                multicore=base_metrics,
+                mvp=mvp_metrics,
+                ratios=mvp_metrics.ratios_vs(base_metrics),
+            ))
+    return Fig4Sweep(points=tuple(points), workload=workload)

@@ -1,0 +1,107 @@
+"""Deterministic finite automata via subset construction.
+
+An independent execution path for cross-validating the NFA, homogeneous
+and generic-AP engines: the subset construction is a different algorithm
+with different failure modes, so agreement across all four is strong
+evidence of correctness.  Also useful in its own right for workloads
+where a DFA's O(1)-per-symbol stepping is the right software baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.automata.nfa import NFA
+from repro.automata.symbols import Alphabet
+
+__all__ = ["DFA", "determinize"]
+
+
+@dataclasses.dataclass
+class DFA:
+    """A complete DFA over an :class:`Alphabet`.
+
+    Attributes:
+        alphabet: symbol universe.
+        transitions: ``transitions[state][symbol_index] -> state``; every
+            state has a row for every symbol (a dead state completes it).
+        start: initial state index.
+        accepting: accepting state indices.
+    """
+
+    alphabet: Alphabet
+    transitions: list[list[int]]
+    start: int
+    accepting: frozenset[int]
+
+    def __post_init__(self) -> None:
+        n = len(self.transitions)
+        if not 0 <= self.start < n:
+            raise ValueError("start state out of range")
+        for row in self.transitions:
+            if len(row) != self.alphabet.size:
+                raise ValueError("every state needs a complete row")
+            for dst in row:
+                if not 0 <= dst < n:
+                    raise ValueError("transition target out of range")
+
+    @property
+    def n_states(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: int, symbol) -> int:
+        return self.transitions[state][self.alphabet.index_of(symbol)]
+
+    def accepts(self, sequence) -> bool:
+        """Anchored acceptance of the full sequence."""
+        state = self.start
+        for symbol in sequence:
+            state = self.step(state, symbol)
+        return state in self.accepting
+
+    def match_ends(self, sequence) -> tuple[int, ...]:
+        """Anchored-scan positions where the DFA sits in an accept state."""
+        state = self.start
+        ends = []
+        for pos, symbol in enumerate(sequence, start=1):
+            state = self.step(state, symbol)
+            if state in self.accepting:
+                ends.append(pos)
+        return tuple(ends)
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction: an equivalent complete DFA.
+
+    State sets are explored breadth-first from the NFA's start set; the
+    empty set becomes the (self-looping) dead state when reachable.
+
+    Returns:
+        A :class:`DFA` accepting exactly the NFA's language.
+    """
+    alphabet = nfa.alphabet
+    start_set = frozenset(nfa.start_states)
+    index_of: dict[frozenset[int], int] = {start_set: 0}
+    worklist = [start_set]
+    transitions: list[list[int]] = []
+    accepting: set[int] = set()
+
+    while worklist:
+        current = worklist.pop(0)
+        row = []
+        for symbol in alphabet.symbols:
+            nxt = nfa.step(current, symbol)
+            if nxt not in index_of:
+                index_of[nxt] = len(index_of)
+                worklist.append(nxt)
+            row.append(index_of[nxt])
+        transitions.append(row)
+        if current & nfa.accepting_states:
+            accepting.add(index_of[current])
+
+    return DFA(
+        alphabet=alphabet,
+        transitions=transitions,
+        start=0,
+        accepting=frozenset(accepting),
+    )

@@ -1,0 +1,227 @@
+"""The generic automata-processor model of Fig. 6 and Equations (1)-(4).
+
+The paper reduces every hardware automata processor to three steps over
+bit vectors:
+
+1. *Input symbol processing* (Eq. 1): the one-hot input vector ``i``
+   selects a row of the STE matrix ``V``; the Symbol Vector is
+   ``s[n] = i . V_n`` (OR-AND dot product).
+2. *Active state processing* (Eqs. 2, 3): the Follow Vector is
+   ``f[n] = a . R_n`` over the routing matrix ``R``, and the next Active
+   Vector is ``a = f & s``.
+3. *Output identification* (Eq. 4): ``A = a . c`` against the Accept
+   Vector.
+
+This module implements that model exactly, over numpy boolean arrays, for
+single inputs and for batched multi-stream execution (the throughput mode
+hardware APs are built for), and counts the kernel invocations (vector dot
+products and bitwise ANDs) that the hardware cost models price.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.automata.homogeneous import HomogeneousAutomaton
+from repro.automata.symbols import Alphabet
+
+__all__ = ["APTrace", "KernelCounts", "GenericAPModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class APTrace:
+    """Step-by-step record of one AP run.
+
+    Attributes:
+        active: (T+1, N) boolean; row t is the Active Vector before symbol
+            t+1 (row 0 is the start vector).
+        accept_per_step: (T,) boolean; the Eq. 4 output after each symbol.
+        accepted: final anchored acceptance A.
+    """
+
+    active: np.ndarray
+    accept_per_step: np.ndarray
+    accepted: bool
+
+    @property
+    def match_ends(self) -> tuple[int, ...]:
+        """1-based positions where a match ended (accepting state active)."""
+        return tuple(int(p) + 1 for p in np.nonzero(self.accept_per_step)[0])
+
+
+@dataclasses.dataclass
+class KernelCounts:
+    """Kernel-invocation counters for hardware cost roll-ups.
+
+    Attributes:
+        ste_reads: STE-array dot products (Eq. 1 evaluations).
+        routing_reads: routing-matrix dot products (Eq. 2 evaluations).
+        and_ops: bitwise AND steps (Eq. 3 evaluations).
+        accept_reads: accept-vector dot products (Eq. 4 evaluations).
+    """
+
+    ste_reads: int = 0
+    routing_reads: int = 0
+    and_ops: int = 0
+    accept_reads: int = 0
+
+
+class GenericAPModel:
+    """Matrix form of the generic automata processor.
+
+    Args:
+        alphabet: symbol universe (defines the decoder width).
+        ste: V, boolean (|Sigma|, N).
+        routing: R, boolean (N, N).
+        start: boolean (N,) initial Active Vector.
+        accept: c, boolean (N,) Accept Vector.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        ste: np.ndarray,
+        routing: np.ndarray,
+        start: np.ndarray,
+        accept: np.ndarray,
+    ) -> None:
+        ste = np.asarray(ste, dtype=bool)
+        routing = np.asarray(routing, dtype=bool)
+        start = np.asarray(start, dtype=bool)
+        accept = np.asarray(accept, dtype=bool)
+        n = ste.shape[1] if ste.ndim == 2 else -1
+        if ste.ndim != 2 or ste.shape[0] != alphabet.size:
+            raise ValueError("V must be (|alphabet|, N)")
+        if routing.shape != (n, n):
+            raise ValueError("R must be (N, N)")
+        if start.shape != (n,) or accept.shape != (n,):
+            raise ValueError("start and accept vectors must be (N,)")
+        self.alphabet = alphabet
+        self.ste = ste
+        self.routing = routing
+        self.start = start
+        self.accept = accept
+        self.counts = KernelCounts()
+
+    @classmethod
+    def from_homogeneous(cls, automaton: HomogeneousAutomaton) -> "GenericAPModel":
+        """Configure the processor from a homogeneous automaton."""
+        return cls(
+            alphabet=automaton.alphabet,
+            ste=automaton.ste_matrix(),
+            routing=automaton.routing_matrix(),
+            start=automaton.start_vector(),
+            accept=automaton.accept_vector(),
+        )
+
+    @property
+    def n_states(self) -> int:
+        return self.ste.shape[1]
+
+    # -- the three processing steps ------------------------------------------
+
+    def symbol_vector(self, symbol) -> np.ndarray:
+        """Eq. 1: s = i . V with i the one-hot decode of ``symbol``."""
+        self.counts.ste_reads += 1
+        return self.ste[self.alphabet.index_of(symbol)]
+
+    def follow_vector(self, active: np.ndarray) -> np.ndarray:
+        """Eq. 2: f[n] = OR_i a[i] & R[i, n]."""
+        self.counts.routing_reads += 1
+        return (active[:, None] & self.routing).any(axis=0)
+
+    def next_active(self, active: np.ndarray, symbol) -> np.ndarray:
+        """Eq. 3: a' = f & s."""
+        follow = self.follow_vector(active)
+        s = self.symbol_vector(symbol)
+        self.counts.and_ops += 1
+        return follow & s
+
+    def accept_value(self, active: np.ndarray) -> bool:
+        """Eq. 4: A = a . c."""
+        self.counts.accept_reads += 1
+        return bool((active & self.accept).any())
+
+    # -- full runs --------------------------------------------------------------
+
+    def run(self, sequence, unanchored: bool = False) -> APTrace:
+        """Process a symbol sequence through Eqs. 1-4.
+
+        Args:
+            sequence: iterable of alphabet symbols.
+            unanchored: re-arm start states before every symbol (streaming
+                pattern search); False gives the paper's anchored semantics.
+        """
+        symbols = list(sequence)
+        active = self.start.copy()
+        trace = np.zeros((len(symbols) + 1, self.n_states), dtype=bool)
+        trace[0] = active
+        accepts = np.zeros(len(symbols), dtype=bool)
+        for t, symbol in enumerate(symbols):
+            source = active | self.start if unanchored else active
+            active = self.next_active(source, symbol)
+            trace[t + 1] = active
+            accepts[t] = self.accept_value(active)
+        return APTrace(
+            active=trace,
+            accept_per_step=accepts,
+            accepted=bool(accepts[-1]) if len(symbols) else
+            self.accept_value(active),
+        )
+
+    def accepts(self, sequence) -> bool:
+        """Anchored acceptance (the paper's output A)."""
+        return self.run(sequence).accepted
+
+    def run_batch(
+        self, sequences: list, unanchored: bool = False
+    ) -> list[APTrace]:
+        """Process equal-length streams in lock step (vectorized).
+
+        Hardware APs process one symbol per cycle per stream; batching M
+        streams turns the per-step math into (M, N) matrix ops, which is
+        how the throughput benches drive the model.
+
+        Args:
+            sequences: list of equal-length symbol sequences.
+            unanchored: as in :meth:`run`.
+
+        Returns:
+            One :class:`APTrace` per stream.
+        """
+        if not sequences:
+            return []
+        lengths = {len(s) for s in sequences}
+        if len(lengths) != 1:
+            raise ValueError("batched streams must have equal length")
+        t_len = lengths.pop()
+        m = len(sequences)
+        indices = np.array(
+            [[self.alphabet.index_of(sym) for sym in seq] for seq in sequences]
+        )
+        active = np.tile(self.start, (m, 1))
+        traces = np.zeros((m, t_len + 1, self.n_states), dtype=bool)
+        traces[:, 0] = active
+        accepts = np.zeros((m, t_len), dtype=bool)
+        for t in range(t_len):
+            source = active | self.start if unanchored else active
+            follow = np.einsum("mi,in->mn", source, self.routing) > 0
+            self.counts.routing_reads += m
+            s = self.ste[indices[:, t]]
+            self.counts.ste_reads += m
+            active = follow & s
+            self.counts.and_ops += m
+            traces[:, t + 1] = active
+            accepts[:, t] = (active & self.accept).any(axis=1)
+            self.counts.accept_reads += m
+        return [
+            APTrace(
+                active=traces[k],
+                accept_per_step=accepts[k],
+                accepted=bool(accepts[k, -1]) if t_len else
+                bool((self.start & self.accept).any()),
+            )
+            for k in range(m)
+        ]

@@ -1,0 +1,284 @@
+"""Homogeneous automata and the NFA -> homogeneous conversion (Fig. 5).
+
+A homogeneous automaton requires every incoming transition of a state to
+carry the same symbol class; input symbols then become a property of the
+*state* (the STE) rather than of the edge, which is what makes the
+memory-array implementation of Fig. 6/7 possible.
+
+Any NFA converts: split each state by the distinct predecessor sets of its
+incoming symbols.  Symbols ``a`` and ``b`` entering state ``q`` can share a
+copy of ``q`` exactly when the same set of predecessors transitions on
+both; otherwise the copy would accept spurious (predecessor, symbol)
+combinations.  The conversion below groups incoming symbols by their
+predecessor-set signature -- correct, and minimal among signature-based
+splits (a minimal biclique cover could occasionally do better but is
+NP-hard).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.automata.nfa import NFA, SimulationTrace
+from repro.automata.symbols import Alphabet, SymbolClass
+
+__all__ = [
+    "HomogeneousState",
+    "HomogeneousAutomaton",
+    "homogenize",
+    "merge_automata",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HomogeneousState:
+    """One state (STE) of a homogeneous automaton.
+
+    Attributes:
+        label: report-friendly name (e.g. "S3" or "S3/b").
+        symbol_class: symbols on which this state can be entered.
+        is_start: active before the first symbol (the paper's q0 membership).
+        is_accepting: member of the accepting set C.
+    """
+
+    label: str
+    symbol_class: SymbolClass
+    is_start: bool
+    is_accepting: bool
+
+
+class HomogeneousAutomaton:
+    """A state-labelled (homogeneous) automaton.
+
+    Args:
+        alphabet: symbol universe.
+        states: the STE descriptors.
+        edges: directed (src, dst) state-index pairs; symbols live on the
+            destination's symbol class.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        states: list[HomogeneousState],
+        edges: set[tuple[int, int]],
+    ) -> None:
+        if not states:
+            raise ValueError("need at least one state")
+        self.alphabet = alphabet
+        self.states = list(states)
+        n = len(states)
+        for src, dst in edges:
+            if not (0 <= src < n and 0 <= dst < n):
+                raise ValueError(f"edge ({src}, {dst}) out of range")
+        self.edges = set(edges)
+        self._successors: list[list[int]] = [[] for _ in range(n)]
+        for src, dst in sorted(self.edges):
+            self._successors[src].append(dst)
+        if not any(s.is_start for s in states):
+            raise ValueError("at least one start state is required")
+
+    # -- basic views ---------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def successors(self, state: int) -> list[int]:
+        return list(self._successors[state])
+
+    @property
+    def start_indices(self) -> frozenset[int]:
+        return frozenset(
+            i for i, s in enumerate(self.states) if s.is_start
+        )
+
+    @property
+    def accepting_indices(self) -> frozenset[int]:
+        return frozenset(
+            i for i, s in enumerate(self.states) if s.is_accepting
+        )
+
+    # -- matrix exports (feed the generic AP model of Fig. 6) ---------------
+
+    def ste_matrix(self) -> np.ndarray:
+        """V: (|Sigma|, N) boolean; column n is state n's STE column."""
+        v = np.zeros((self.alphabet.size, self.n_states), dtype=bool)
+        for n, state in enumerate(self.states):
+            v[:, n] = state.symbol_class.indicator()
+        return v
+
+    def routing_matrix(self) -> np.ndarray:
+        """R: (N, N) boolean; R[i, n] true iff state n is reachable from i."""
+        r = np.zeros((self.n_states, self.n_states), dtype=bool)
+        for src, dst in self.edges:
+            r[src, dst] = True
+        return r
+
+    def start_vector(self) -> np.ndarray:
+        vec = np.zeros(self.n_states, dtype=bool)
+        vec[list(self.start_indices)] = True
+        return vec
+
+    def accept_vector(self) -> np.ndarray:
+        """c: the paper's Accept Vector."""
+        vec = np.zeros(self.n_states, dtype=bool)
+        vec[list(self.accepting_indices)] = True
+        return vec
+
+    # -- reference (set-based) execution ------------------------------------
+
+    def simulate(self, sequence, unanchored: bool = False) -> SimulationTrace:
+        """Set-based execution; ground truth for the matrix/hardware paths."""
+        active = frozenset(self.start_indices)
+        sets = [active]
+        match_ends = []
+        accepting = self.accepting_indices
+        for pos, symbol in enumerate(sequence, start=1):
+            source = active | self.start_indices if unanchored else active
+            nxt = set()
+            for state in source:
+                for succ in self._successors[state]:
+                    if self.states[succ].symbol_class.contains(symbol):
+                        nxt.add(succ)
+            active = frozenset(nxt)
+            sets.append(active)
+            if active & accepting:
+                match_ends.append(pos)
+        return SimulationTrace(
+            active_sets=tuple(sets),
+            match_ends=tuple(match_ends),
+            accepted=bool(active & accepting),
+        )
+
+    def accepts(self, sequence) -> bool:
+        return self.simulate(sequence).accepted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HomogeneousAutomaton({self.n_states} states, "
+            f"{len(self.edges)} edges)"
+        )
+
+
+def merge_automata(
+    automata: list[HomogeneousAutomaton],
+) -> tuple[HomogeneousAutomaton, list[range]]:
+    """Disjoint union of homogeneous automata sharing one alphabet.
+
+    Real automata processors run a whole rule set as one machine: every
+    member automaton keeps its own states and edges, offset into a
+    common index space, and all run in lock step on the shared input.
+
+    Args:
+        automata: the machines to combine (at least one); all must use
+            the same alphabet.
+
+    Returns:
+        ``(combined, ranges)`` where ``ranges[k]`` is the state-index
+        range the k-th input automaton occupies in the combined machine
+        (used to attribute accepts back to rules).
+    """
+    if not automata:
+        raise ValueError("need at least one automaton")
+    alphabet = automata[0].alphabet
+    for machine in automata[1:]:
+        if machine.alphabet != alphabet:
+            raise ValueError("all automata must share one alphabet")
+    states: list[HomogeneousState] = []
+    edges: set[tuple[int, int]] = set()
+    ranges: list[range] = []
+    for k, machine in enumerate(automata):
+        offset = len(states)
+        ranges.append(range(offset, offset + machine.n_states))
+        for state in machine.states:
+            states.append(dataclasses.replace(
+                state, label=f"r{k}:{state.label}"
+            ))
+        for src, dst in machine.edges:
+            edges.add((src + offset, dst + offset))
+    return HomogeneousAutomaton(alphabet, states, edges), ranges
+
+
+def homogenize(nfa: NFA) -> HomogeneousAutomaton:
+    """Convert an NFA into an equivalent homogeneous automaton.
+
+    For every NFA state ``q``, incoming symbols are grouped by their
+    predecessor sets; each group becomes one copy of ``q`` whose symbol
+    class is the group's symbols.  Start states additionally get a
+    start-active copy (with an empty symbol class) when none of their
+    regular copies can serve -- a start state with no incoming transitions
+    keeps exactly one copy, marked start.
+
+    Returns:
+        The equivalent :class:`HomogeneousAutomaton`; anchored and
+        unanchored behaviour both match the source NFA (see tests).
+    """
+    alphabet = nfa.alphabet
+    # incoming[q][symbol_index] = frozenset of predecessors.
+    incoming: list[dict[int, set[int]]] = [
+        {} for _ in range(nfa.n_states)
+    ]
+    for src, symbols, dst in nfa.all_transitions():
+        for idx in symbols.indices:
+            incoming[dst].setdefault(idx, set()).add(src)
+
+    # Build copies: (original q, predecessor-set signature) -> copy index.
+    states: list[HomogeneousState] = []
+    copy_index: dict[tuple[int, frozenset[int]], int] = {}
+    copies_of: list[list[int]] = [[] for _ in range(nfa.n_states)]
+    pred_of_copy: list[frozenset[int]] = []
+
+    for q in range(nfa.n_states):
+        groups: dict[frozenset[int], list[int]] = {}
+        for idx, preds in incoming[q].items():
+            groups.setdefault(frozenset(preds), []).append(idx)
+        for preds, symbol_indices in sorted(
+            groups.items(), key=lambda kv: sorted(kv[1])
+        ):
+            cls = SymbolClass(alphabet, tuple(sorted(symbol_indices)))
+            label = (
+                nfa.labels[q]
+                if len(groups) == 1
+                else f"{nfa.labels[q]}/{''.join(str(s) for s in cls.symbols)}"
+            )
+            index = len(states)
+            states.append(HomogeneousState(
+                label=label,
+                symbol_class=cls,
+                is_start=False,
+                is_accepting=q in nfa.accepting_states,
+            ))
+            copy_index[(q, preds)] = index
+            copies_of[q].append(index)
+            pred_of_copy.append(preds)
+
+    # Start copies: a start state must be active at t=0.  Reuse nothing --
+    # regular copies model *entering* q, so each start state gets its own
+    # start-active copy with an empty class (it can never be re-entered;
+    # re-entry flows through the regular copies).
+    for q in sorted(nfa.start_states):
+        index = len(states)
+        states.append(HomogeneousState(
+            label=f"{nfa.labels[q]}(start)",
+            symbol_class=SymbolClass.empty(alphabet),
+            is_start=True,
+            is_accepting=q in nfa.accepting_states,
+        ))
+        copy_index[(q, frozenset({-1}))] = index
+        copies_of[q].append(index)
+        pred_of_copy.append(frozenset())
+
+    # Edges: every copy of p feeds every copy of q whose predecessor set
+    # contains p.  (Start copies have empty predecessor sets: no incoming.)
+    edges: set[tuple[int, int]] = set()
+    for q in range(nfa.n_states):
+        for q_copy in copies_of[q]:
+            preds = pred_of_copy[q_copy]
+            for p in preds:
+                for p_copy in copies_of[p]:
+                    edges.add((p_copy, q_copy))
+
+    return HomogeneousAutomaton(alphabet, states, edges)

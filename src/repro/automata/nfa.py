@@ -1,0 +1,162 @@
+"""Non-deterministic finite automata: the paper's 5-tuple (Q, Sigma, delta, q0, C).
+
+States are integers 0..N-1 with optional labels.  Transitions carry symbol
+sets.  The simulator supports both the paper's *anchored* acceptance
+semantics (accept iff an accepting state is active after the last symbol)
+and the *unanchored* streaming mode real automata processors run in, where
+start states re-arm on every cycle and every step reports whether a match
+ended there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.automata.symbols import Alphabet, SymbolClass
+
+__all__ = ["NFA", "SimulationTrace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationTrace:
+    """Step-by-step record of one NFA run.
+
+    Attributes:
+        active_sets: the active state set before each step and after the
+            last (length = input length + 1).
+        match_ends: positions p (1-based symbol count) where an accepting
+            state was active right after consuming symbol p.
+        accepted: anchored acceptance (accepting state active at the end).
+    """
+
+    active_sets: tuple[frozenset[int], ...]
+    match_ends: tuple[int, ...]
+    accepted: bool
+
+
+class NFA:
+    """A transition-labelled NFA over an :class:`Alphabet`.
+
+    Args:
+        alphabet: the symbol universe.
+        n_states: number of states, addressed 0..n_states-1.
+        start_states: initially active states (the paper's q0; sets are
+            allowed, as produced by regex compilation).
+        accepting_states: the paper's C.
+        labels: optional human-readable state names for reports.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        n_states: int,
+        start_states: Iterable[int],
+        accepting_states: Iterable[int],
+        labels: Sequence[str] | None = None,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError("an NFA needs at least one state")
+        self.alphabet = alphabet
+        self.n_states = n_states
+        self.start_states = frozenset(self._check(s) for s in start_states)
+        self.accepting_states = frozenset(
+            self._check(s) for s in accepting_states
+        )
+        if not self.start_states:
+            raise ValueError("at least one start state is required")
+        if labels is not None and len(labels) != n_states:
+            raise ValueError("labels must cover every state")
+        self.labels = tuple(labels) if labels else tuple(
+            f"S{i}" for i in range(n_states)
+        )
+        # transitions[src] = list of (SymbolClass, dst).
+        self._transitions: list[list[tuple[SymbolClass, int]]] = [
+            [] for _ in range(n_states)
+        ]
+
+    def _check(self, state: int) -> int:
+        if not 0 <= state < self.n_states:
+            raise ValueError(f"state {state} out of range")
+        return state
+
+    # -- construction ------------------------------------------------------
+
+    def add_transition(self, src: int, symbols, dst: int) -> None:
+        """Add ``src --symbols--> dst``.
+
+        Args:
+            src: source state.
+            symbols: a :class:`SymbolClass` or an iterable of symbols.
+            dst: destination state.
+        """
+        self._check(src)
+        self._check(dst)
+        if not isinstance(symbols, SymbolClass):
+            symbols = SymbolClass.of(self.alphabet, symbols)
+        if not symbols:
+            raise ValueError("a transition needs a non-empty symbol set")
+        self._transitions[src].append((symbols, dst))
+
+    def transitions_from(self, src: int) -> list[tuple[SymbolClass, int]]:
+        """All (symbol class, destination) pairs leaving ``src``."""
+        return list(self._transitions[self._check(src)])
+
+    def all_transitions(self) -> Iterable[tuple[int, SymbolClass, int]]:
+        """Iterate (src, symbols, dst) over the whole automaton."""
+        for src, edges in enumerate(self._transitions):
+            for symbols, dst in edges:
+                yield src, symbols, dst
+
+    @property
+    def transition_count(self) -> int:
+        return sum(len(edges) for edges in self._transitions)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self, active: frozenset[int], symbol) -> frozenset[int]:
+        """One transition-function application: delta(P, symbol)."""
+        nxt = set()
+        for state in active:
+            for symbols, dst in self._transitions[state]:
+                if symbols.contains(symbol):
+                    nxt.add(dst)
+        return frozenset(nxt)
+
+    def simulate(self, sequence, unanchored: bool = False) -> SimulationTrace:
+        """Run the NFA over ``sequence``.
+
+        Args:
+            sequence: iterable of alphabet symbols.
+            unanchored: when True, start states re-arm before every symbol
+                (streaming/pattern-search semantics); when False, the
+                paper's anchored semantics.
+
+        Returns:
+            The full :class:`SimulationTrace`.
+        """
+        active = frozenset(self.start_states)
+        sets = [active]
+        match_ends = []
+        for pos, symbol in enumerate(sequence, start=1):
+            source = active | self.start_states if unanchored else active
+            active = self.step(source, symbol)
+            sets.append(active)
+            if active & self.accepting_states:
+                match_ends.append(pos)
+        return SimulationTrace(
+            active_sets=tuple(sets),
+            match_ends=tuple(match_ends),
+            accepted=bool(active & self.accepting_states),
+        )
+
+    def accepts(self, sequence) -> bool:
+        """Anchored acceptance of a full sequence (the paper's A value)."""
+        return self.simulate(sequence).accepted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NFA({self.n_states} states, {self.transition_count} "
+            f"transitions, start={sorted(self.start_states)}, "
+            f"accept={sorted(self.accepting_states)})"
+        )

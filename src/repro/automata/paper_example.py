@@ -1,0 +1,105 @@
+"""The paper's worked example (Fig. 5 / Section IV-B), as data.
+
+One module owns the example so the tests, benches and docs all agree on
+it.  The matrices below are transcribed from Section IV-B:
+
+    V = [V1 V2 V3] = [[1 0 0],    rows: symbols a, b, c, d
+                      [1 0 1],
+                      [1 1 0],
+                      [0 0 0]]
+    R = [R1 R2 R3] = [[0 1 1],
+                      [0 0 1],
+                      [0 0 0]]
+    c = [0 0 1],  initial a = [1 0 0]
+
+Note the paper's *prose* ("S2's is {b}, and S3's is {c}") contradicts its
+own matrices; the matrices -- which the worked example and Fig. 5b follow
+-- give class(S2) = {c} and class(S3) = {b}.  We follow the matrices (see
+DESIGN.md, "Known in-paper inconsistencies").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automata.generic_ap import GenericAPModel
+from repro.automata.nfa import NFA
+from repro.automata.symbols import Alphabet
+
+__all__ = [
+    "EXAMPLE_ALPHABET",
+    "example_v_matrix",
+    "example_r_matrix",
+    "example_start_vector",
+    "example_accept_vector",
+    "build_example_ap",
+    "build_example_nfa",
+]
+
+EXAMPLE_ALPHABET = Alphabet("abcd")
+
+
+def example_v_matrix() -> np.ndarray:
+    """V as printed in Section IV-B (rows a, b, c, d; columns S1..S3)."""
+    return np.array(
+        [
+            [1, 0, 0],
+            [1, 0, 1],
+            [1, 1, 0],
+            [0, 0, 0],
+        ],
+        dtype=bool,
+    )
+
+
+def example_r_matrix() -> np.ndarray:
+    """R as printed in Section IV-B (R[i, n]: state n reachable from i)."""
+    return np.array(
+        [
+            [0, 1, 1],
+            [0, 0, 1],
+            [0, 0, 0],
+        ],
+        dtype=bool,
+    )
+
+
+def example_start_vector() -> np.ndarray:
+    """Initial Active Vector: only S1 (the paper's a = [1 0 0])."""
+    return np.array([1, 0, 0], dtype=bool)
+
+
+def example_accept_vector() -> np.ndarray:
+    """Accept Vector c = [0 0 1]: S3 is the only accepting state."""
+    return np.array([0, 0, 1], dtype=bool)
+
+
+def build_example_ap() -> GenericAPModel:
+    """The Fig. 6 processor configured with the paper's example matrices."""
+    return GenericAPModel(
+        alphabet=EXAMPLE_ALPHABET,
+        ste=example_v_matrix(),
+        routing=example_r_matrix(),
+        start=example_start_vector(),
+        accept=example_accept_vector(),
+    )
+
+
+def build_example_nfa() -> NFA:
+    """The Fig. 5a NFA in transition-labelled form.
+
+    Edges (implied by R and the classes in V): S1 -c-> S2, S1 -b-> S3,
+    S2 -b-> S3; S1 is the start state, S3 accepts.  Its language is
+    {"b", "cb"}.
+    """
+    nfa = NFA(
+        alphabet=EXAMPLE_ALPHABET,
+        n_states=3,
+        start_states=[0],
+        accepting_states=[2],
+        labels=["S1", "S2", "S3"],
+    )
+    nfa.add_transition(0, "c", 1)
+    nfa.add_transition(0, "b", 2)
+    nfa.add_transition(1, "b", 2)
+    return nfa

@@ -1,0 +1,445 @@
+"""Regular-expression compilation to NFAs (Thompson construction).
+
+Automata-processor workloads are written as regex rule sets (network
+intrusion signatures, DNA motifs, mining patterns -- paper refs [22-24]).
+This module parses a practical regex subset and compiles it into the plain
+(epsilon-free) :class:`~repro.automata.nfa.NFA` the homogeneous conversion
+consumes:
+
+* literals, ``.``, escapes ``\\d \\w \\s`` and escaped metacharacters;
+* character classes ``[abc]``, ranges ``[a-z]``, negation ``[^...]``;
+* grouping ``( )``, alternation ``|``;
+* quantifiers ``* + ?`` and bounded repeats ``{m} {m,} {m,n}``.
+
+The pipeline is: parse to an AST, compile to an epsilon-NFA via Thompson's
+rules, then eliminate epsilon transitions and unreachable states.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import string
+from typing import Sequence
+
+from repro.automata.nfa import NFA
+from repro.automata.symbols import Alphabet, SymbolClass
+
+__all__ = ["RegexError", "parse", "compile_regex"]
+
+
+class RegexError(ValueError):
+    """Raised for malformed patterns or classes empty on the alphabet."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Literal:
+    """A single-symbol-class atom."""
+
+    symbols: SymbolClass
+
+
+@dataclasses.dataclass(frozen=True)
+class Concat:
+    parts: tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Alternation:
+    options: tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Repeat:
+    """``node`` repeated between ``minimum`` and ``maximum`` times.
+
+    ``maximum`` of None means unbounded.
+    """
+
+    node: object
+    minimum: int
+    maximum: int | None
+
+
+_ESCAPE_CLASSES = {
+    "d": string.digits,
+    "w": string.ascii_letters + string.digits + "_",
+    "s": " \t\r\n\f\v",
+}
+_METACHARACTERS = set("().|*+?[]{}\\^$")
+
+
+class _Parser:
+    """Recursive-descent parser for the supported regex subset."""
+
+    def __init__(self, pattern: str, alphabet: Alphabet) -> None:
+        self.pattern = pattern
+        self.alphabet = alphabet
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _take(self) -> str:
+        ch = self._peek()
+        if ch is None:
+            raise RegexError(f"unexpected end of pattern {self.pattern!r}")
+        self.pos += 1
+        return ch
+
+    def _expect(self, ch: str) -> None:
+        if self._take() != ch:
+            raise RegexError(
+                f"expected {ch!r} at position {self.pos - 1} in "
+                f"{self.pattern!r}"
+            )
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self):
+        node = self._alternation()
+        if self._peek() is not None:
+            raise RegexError(
+                f"trailing characters at position {self.pos} in "
+                f"{self.pattern!r}"
+            )
+        return node
+
+    def _alternation(self):
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._take()
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(tuple(options))
+
+    def _concat(self):
+        parts = []
+        while self._peek() is not None and self._peek() not in "|)":
+            parts.append(self._repeat())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repeat(self):
+        node = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._take()
+                node = Repeat(node, 0, None)
+            elif ch == "+":
+                self._take()
+                node = Repeat(node, 1, None)
+            elif ch == "?":
+                self._take()
+                node = Repeat(node, 0, 1)
+            elif ch == "{":
+                node = self._bounded_repeat(node)
+            else:
+                return node
+
+    def _bounded_repeat(self, node):
+        self._expect("{")
+        minimum = self._number()
+        maximum: int | None = minimum
+        if self._peek() == ",":
+            self._take()
+            if self._peek() == "}":
+                maximum = None
+            else:
+                maximum = self._number()
+        self._expect("}")
+        if maximum is not None and maximum < minimum:
+            raise RegexError(f"bad repeat bounds in {self.pattern!r}")
+        return Repeat(node, minimum, maximum)
+
+    def _number(self) -> int:
+        digits = ""
+        while (ch := self._peek()) is not None and ch.isdigit():
+            digits += self._take()
+        if not digits:
+            raise RegexError(f"expected a number in {self.pattern!r}")
+        return int(digits)
+
+    def _atom(self):
+        ch = self._peek()
+        if ch == "(":
+            self._take()
+            node = self._alternation()
+            self._expect(")")
+            return node
+        if ch == "[":
+            return Literal(self._char_class())
+        if ch == ".":
+            self._take()
+            return Literal(SymbolClass.full(self.alphabet))
+        if ch == "\\":
+            self._take()
+            return Literal(self._escape(self._take()))
+        if ch in "*+?{":
+            raise RegexError(
+                f"quantifier with nothing to repeat at {self.pos} in "
+                f"{self.pattern!r}"
+            )
+        return Literal(self._single(self._take()))
+
+    # -- character classes ---------------------------------------------------
+
+    def _escape(self, ch: str) -> SymbolClass:
+        if ch in _ESCAPE_CLASSES:
+            members = [c for c in _ESCAPE_CLASSES[ch] if c in self.alphabet]
+            return self._non_empty(SymbolClass.of(self.alphabet, members),
+                                   f"\\{ch}")
+        if ch in _METACHARACTERS or ch in ("-",):
+            return self._single(ch)
+        raise RegexError(f"unsupported escape \\{ch} in {self.pattern!r}")
+
+    def _single(self, ch: str) -> SymbolClass:
+        if ch not in self.alphabet:
+            raise RegexError(
+                f"symbol {ch!r} is not in the target alphabet"
+            )
+        return SymbolClass.of(self.alphabet, [ch])
+
+    def _char_class(self) -> SymbolClass:
+        self._expect("[")
+        negated = self._peek() == "^"
+        if negated:
+            self._take()
+        members: set = set()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise RegexError(f"unterminated class in {self.pattern!r}")
+            if ch == "]" and not first:
+                self._take()
+                break
+            first = False
+            ch = self._take()
+            if ch == "\\":
+                members.update(self._escape(self._take()).symbols)
+                continue
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) \
+                    and self.pattern[self.pos + 1] != "]":
+                self._take()  # the dash
+                hi = self._take()
+                if hi == "\\":
+                    hi = self._take()
+                if ord(hi) < ord(ch):
+                    raise RegexError(
+                        f"inverted range {ch}-{hi} in {self.pattern!r}"
+                    )
+                for code in range(ord(ch), ord(hi) + 1):
+                    if chr(code) in self.alphabet:
+                        members.add(chr(code))
+            else:
+                if ch in self.alphabet:
+                    members.add(ch)
+        cls = SymbolClass.of(self.alphabet, members)
+        if negated:
+            cls = cls.complement()
+        return self._non_empty(cls, "character class")
+
+    def _non_empty(self, cls: SymbolClass, what: str) -> SymbolClass:
+        if not cls:
+            raise RegexError(
+                f"{what} matches nothing on this alphabet "
+                f"({self.pattern!r})"
+            )
+        return cls
+
+
+def parse(pattern: str, alphabet: Alphabet):
+    """Parse ``pattern`` into the regex AST (exposed for testing)."""
+    return _Parser(pattern, alphabet).parse()
+
+
+# ---------------------------------------------------------------------------
+# Thompson construction on an epsilon-NFA, then epsilon elimination
+# ---------------------------------------------------------------------------
+
+
+class _EpsilonNFA:
+    """Mutable epsilon-NFA under construction."""
+
+    def __init__(self, alphabet: Alphabet) -> None:
+        self.alphabet = alphabet
+        self.n = 0
+        self.symbol_edges: list[tuple[int, SymbolClass, int]] = []
+        self.epsilon_edges: list[tuple[int, int]] = []
+
+    def new_state(self) -> int:
+        self.n += 1
+        return self.n - 1
+
+    def add(self, src: int, symbols: SymbolClass | None, dst: int) -> None:
+        if symbols is None:
+            self.epsilon_edges.append((src, dst))
+        else:
+            self.symbol_edges.append((src, symbols, dst))
+
+    # -- Thompson fragments ------------------------------------------------
+
+    def compile(self, node) -> tuple[int, int]:
+        """Compile an AST node into a (start, accept) fragment."""
+        if isinstance(node, Literal):
+            start, end = self.new_state(), self.new_state()
+            self.add(start, node.symbols, end)
+            return start, end
+        if isinstance(node, Concat):
+            if not node.parts:
+                start, end = self.new_state(), self.new_state()
+                self.add(start, None, end)
+                return start, end
+            start, end = self.compile(node.parts[0])
+            for part in node.parts[1:]:
+                nxt_start, nxt_end = self.compile(part)
+                self.add(end, None, nxt_start)
+                end = nxt_end
+            return start, end
+        if isinstance(node, Alternation):
+            start, end = self.new_state(), self.new_state()
+            for option in node.options:
+                o_start, o_end = self.compile(option)
+                self.add(start, None, o_start)
+                self.add(o_end, None, end)
+            return start, end
+        if isinstance(node, Repeat):
+            return self._compile_repeat(node)
+        raise TypeError(f"unknown AST node {node!r}")
+
+    def _compile_repeat(self, node: Repeat) -> tuple[int, int]:
+        start = self.new_state()
+        end = start
+        # The mandatory copies.
+        for _ in range(node.minimum):
+            c_start, c_end = self.compile(node.node)
+            self.add(end, None, c_start)
+            end = c_end
+        if node.maximum is None:
+            # Kleene tail: one more copy, loopable and skippable.
+            c_start, c_end = self.compile(node.node)
+            self.add(end, None, c_start)
+            self.add(c_end, None, c_start)
+            exit_state = self.new_state()
+            self.add(end, None, exit_state)
+            self.add(c_end, None, exit_state)
+            return start, exit_state
+        # Bounded optional copies.
+        exit_state = self.new_state()
+        self.add(end, None, exit_state)
+        for _ in range(node.maximum - node.minimum):
+            c_start, c_end = self.compile(node.node)
+            self.add(end, None, c_start)
+            self.add(c_end, None, exit_state)
+            end = c_end
+        return start, exit_state
+
+    # -- epsilon elimination ---------------------------------------------------
+
+    def to_nfa(self, start: int, accept: int) -> NFA:
+        """Eliminate epsilon edges and prune unreachable states."""
+        closures = self._epsilon_closures()
+        # A state is accepting if its closure reaches the accept state.
+        accepting = [s for s in range(self.n) if accept in closures[s]]
+        # delta'(p, C) = { q : exists r in closure(p) with (r, C, q) };
+        # target states then absorb their own closures at the *next* step's
+        # source expansion, so we instead push closures into sources only
+        # and keep targets as-is -- standard one-sided elimination.
+        edges: dict[int, list[tuple[SymbolClass, int]]] = {
+            s: [] for s in range(self.n)
+        }
+        by_src: dict[int, list[tuple[SymbolClass, int]]] = {
+            s: [] for s in range(self.n)
+        }
+        for src, symbols, dst in self.symbol_edges:
+            by_src[src].append((symbols, dst))
+        for state in range(self.n):
+            for member in closures[state]:
+                edges[state].extend(by_src[member])
+        # Reachability from the start closure over symbol edges.
+        reachable = set(closures[start])
+        frontier = list(reachable)
+        while frontier:
+            state = frontier.pop()
+            for _, dst in edges[state]:
+                for member in closures[dst]:
+                    if member not in reachable:
+                        reachable.add(member)
+                        frontier.append(member)
+        # Keep only states that are sources of meaning: reachable ones.
+        keep = sorted(reachable)
+        renumber = {old: new for new, old in enumerate(keep)}
+        nfa = NFA(
+            alphabet=self.alphabet,
+            n_states=len(keep),
+            start_states=[renumber[s] for s in closures[start] if s in reachable],
+            accepting_states=[
+                renumber[s] for s in accepting if s in reachable
+            ],
+        )
+        seen: set[tuple[int, tuple[int, ...], int]] = set()
+        for old in keep:
+            for symbols, dst in edges[old]:
+                for target in closures[dst]:
+                    if target not in reachable:
+                        continue
+                    key = (renumber[old], symbols.indices, renumber[target])
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    nfa.add_transition(renumber[old], symbols, renumber[target])
+        return nfa
+
+    def _epsilon_closures(self) -> list[set[int]]:
+        closures = [{s} for s in range(self.n)]
+        adjacency: dict[int, list[int]] = {s: [] for s in range(self.n)}
+        for src, dst in self.epsilon_edges:
+            adjacency[src].append(dst)
+        for state in range(self.n):
+            stack = [state]
+            while stack:
+                cur = stack.pop()
+                for nxt in adjacency[cur]:
+                    if nxt not in closures[state]:
+                        closures[state].add(nxt)
+                        stack.append(nxt)
+        return closures
+
+
+def compile_regex(pattern: str, alphabet: Alphabet) -> NFA:
+    """Compile ``pattern`` into an epsilon-free NFA over ``alphabet``.
+
+    Args:
+        pattern: the regex source.
+        alphabet: target symbol universe (e.g. ``DNA_ALPHABET`` or an ASCII
+            alphabet).
+
+    Returns:
+        An :class:`NFA` accepting exactly the pattern's language (anchored
+        at both ends; use ``unanchored=True`` at simulation time for
+        substring search).
+
+    Raises:
+        RegexError: on malformed patterns.
+    """
+    ast = parse(pattern, alphabet)
+    enfa = _EpsilonNFA(alphabet)
+    start, accept = enfa.compile(ast)
+    return enfa.to_nfa(start, accept)
+
+
+def compile_ruleset(patterns: Sequence[str], alphabet: Alphabet) -> list[NFA]:
+    """Compile a list of patterns (a signature rule set) to NFAs."""
+    return [compile_regex(p, alphabet) for p in patterns]

@@ -1,0 +1,64 @@
+"""Circuit-level simulation substrate (paper Sections III-A and IV-C/D).
+
+Provides a small modified-nodal-analysis DC solver, a backward-Euler
+transient engine, switch-level cell models for 1T1R RRAM and 8T SRAM bits,
+bit-line column builders for the Fig. 9 dot-product experiment, and
+behavioural sense-amplifier models.
+"""
+
+from repro.circuits.bitline import (
+    BitlineColumn,
+    DischargeMeasurement,
+    build_rram_column,
+    build_sram_column,
+    measure_discharge,
+)
+from repro.circuits.cells import (
+    RRAM_1T1R,
+    SRAM_8T,
+    CellGeometry,
+    RRAMCell,
+    SRAMCell,
+)
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from repro.circuits.mna import Circuit, DCSolution, solve_dc
+from repro.circuits.sense_amp import (
+    CurrentCompareSA,
+    VoltageSenseAmp,
+    WindowComparatorSA,
+)
+from repro.circuits.tech import PTM32, TechnologyParameters
+from repro.circuits.transient import TransientResult, simulate
+
+__all__ = [
+    "BitlineColumn",
+    "Capacitor",
+    "CellGeometry",
+    "Circuit",
+    "CurrentCompareSA",
+    "CurrentSource",
+    "DCSolution",
+    "DischargeMeasurement",
+    "PTM32",
+    "RRAM_1T1R",
+    "RRAMCell",
+    "Resistor",
+    "SRAM_8T",
+    "SRAMCell",
+    "Switch",
+    "TechnologyParameters",
+    "TransientResult",
+    "VoltageSenseAmp",
+    "VoltageSource",
+    "build_rram_column",
+    "build_sram_column",
+    "measure_discharge",
+    "simulate",
+    "solve_dc",
+]

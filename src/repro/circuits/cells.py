@@ -1,0 +1,163 @@
+"""Configurable-bit cell models: 1T1R RRAM versus 8T SRAM (paper Fig. 8).
+
+Each cell type knows (a) how much capacitance it hangs on the bit line,
+(b) how to contribute its discharge path to a :class:`~repro.circuits.mna.
+Circuit`, and (c) its layout area in F^2.  The structural difference the
+paper's Fig. 9 experiment measures is entirely captured here:
+
+* the 1T1R path is one access transistor in series with the memristor
+  (1 kOhm when storing logic 1);
+* the 8T SRAM read path is two stacked transistors (read-word-line device
+  and data-gated pull-down) with an internal diffusion node between them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.circuits.mna import Circuit
+from repro.circuits.tech import TechnologyParameters
+from repro.devices.base import DeviceParameters
+
+__all__ = ["CellGeometry", "RRAM_1T1R", "SRAM_8T", "RRAMCell", "SRAMCell"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellGeometry:
+    """Layout footprint of one configurable bit.
+
+    Attributes:
+        name: cell family name.
+        area_f2: cell area in F^2 (squared feature sizes).  1T1R cells are
+            4-12 F^2 depending on the access-device sizing; 8T SRAM cells
+            are ~250 F^2 at 32 nm.
+    """
+
+    name: str
+    area_f2: float
+
+
+RRAM_1T1R = CellGeometry(name="1T1R RRAM", area_f2=12.0)
+SRAM_8T = CellGeometry(name="8T SRAM", area_f2=250.0)
+
+
+class RRAMCell:
+    """One 1T1R bit on a bit line.
+
+    Args:
+        tech: technology constants.
+        device: memristor resistance window; the stored ``bit`` selects
+            ``r_on`` (logic 1) or ``r_off`` (logic 0).
+        bit: stored logic value.
+    """
+
+    geometry = RRAM_1T1R
+
+    def __init__(
+        self,
+        tech: TechnologyParameters,
+        device: DeviceParameters,
+        bit: int,
+    ) -> None:
+        self.tech = tech
+        self.device = device
+        self.bit = int(bool(bit))
+
+    @property
+    def bitline_capacitance(self) -> float:
+        """Capacitance this cell adds to the bit line, in farads."""
+        return self.tech.c_bitline_per_rram_cell
+
+    @property
+    def memristor_resistance(self) -> float:
+        """Stored-state resistance of the memristive element."""
+        return self.device.r_on if self.bit else self.device.r_off
+
+    def attach(
+        self,
+        circuit: Circuit,
+        bitline_node: str,
+        index: int,
+        wordline_gate: Callable[[float], bool],
+    ) -> None:
+        """Stamp this cell's discharge path between bit line and ground.
+
+        The access transistor (switch) connects the bit line to an internal
+        node; the memristor connects that node to ground.  The internal-node
+        diffusion capacitance is lumped into the bit line (it is an order of
+        magnitude below the wire capacitance and speeds the solve).
+        """
+        mid = f"rram{index}_mid"
+        circuit.add_switch(
+            f"rram{index}_access",
+            bitline_node,
+            mid,
+            r_on=self.tech.r_on_nmos,
+            r_off=self.tech.r_off_nmos,
+            gate=wordline_gate,
+        )
+        circuit.add_resistor(
+            f"rram{index}_mem", mid, "gnd", self.memristor_resistance
+        )
+
+
+class SRAMCell:
+    """One 8T SRAM bit's read port on a bit line (paper Fig. 8c).
+
+    Args:
+        tech: technology constants.
+        bit: stored logic value; the data pull-down transistor conducts only
+            when the cell stores 1.
+    """
+
+    geometry = SRAM_8T
+
+    def __init__(self, tech: TechnologyParameters, bit: int) -> None:
+        self.tech = tech
+        self.bit = int(bool(bit))
+
+    @property
+    def bitline_capacitance(self) -> float:
+        """Capacitance this cell adds to the bit line, in farads."""
+        return self.tech.c_bitline_per_sram_cell
+
+    def attach(
+        self,
+        circuit: Circuit,
+        bitline_node: str,
+        index: int,
+        wordline_gate: Callable[[float], bool],
+    ) -> None:
+        """Stamp the two-transistor read stack with its internal node.
+
+        The internal node between the stacked transistors carries one drain
+        junction capacitance; it is what makes the SRAM read path slower
+        than the 1T1R path even at equal total resistance (the paper's
+        stated reason: "transistors have relatively large intrinsic
+        capacitance").
+        """
+        mid = f"sram{index}_mid"
+        circuit.add_switch(
+            f"sram{index}_read_access",
+            bitline_node,
+            mid,
+            r_on=self.tech.r_on_sram_read,
+            r_off=self.tech.r_off_nmos,
+            gate=wordline_gate,
+        )
+        circuit.add_capacitor(
+            f"sram{index}_mid_cap",
+            mid,
+            "gnd",
+            self.tech.c_drain_sram_read,
+        )
+        stored_one = bool(self.bit)
+        circuit.add_switch(
+            f"sram{index}_data_pulldown",
+            mid,
+            "gnd",
+            r_on=self.tech.r_on_sram_read,
+            r_off=self.tech.r_off_nmos,
+            gate=lambda t, on=stored_one: on,
+        )

@@ -1,0 +1,245 @@
+"""Modified nodal analysis: circuit container and DC solver.
+
+The :class:`Circuit` holds named nodes and elements; :func:`solve_dc`
+assembles and solves the MNA system
+
+    [ G  B ] [ v ]   [ i ]
+    [ B' 0 ] [ j ] = [ e ]
+
+with ``v`` the non-ground node voltages and ``j`` the voltage-source branch
+currents.  Capacitors are open circuits in DC.  The transient solver in
+:mod:`repro.circuits.transient` reuses the same stamping with capacitor
+companion models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Switch,
+    TimeFunction,
+    VoltageSource,
+    value_at,
+)
+
+__all__ = ["Circuit", "DCSolution", "solve_dc"]
+
+GROUND = 0
+
+
+class Circuit:
+    """A named-node circuit: nodes, resistors, capacitors, sources, switches.
+
+    Node 0 is ground and always exists (named ``"gnd"``).  Elements are added
+    through the ``add_*`` methods, each returning the element record so
+    callers can keep handles for probing.
+    """
+
+    def __init__(self) -> None:
+        self._node_names: dict[str, int] = {"gnd": GROUND}
+        self.resistors: list[Resistor] = []
+        self.capacitors: list[Capacitor] = []
+        self.vsources: list[VoltageSource] = []
+        self.isources: list[CurrentSource] = []
+        self.switches: list[Switch] = []
+
+    # -- nodes -------------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Return the index for ``name``, creating the node on first use."""
+        if name not in self._node_names:
+            self._node_names[name] = len(self._node_names)
+        return self._node_names[name]
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes including ground."""
+        return len(self._node_names)
+
+    @property
+    def node_names(self) -> dict[str, int]:
+        """Mapping of node name to index (read-only copy)."""
+        return dict(self._node_names)
+
+    # -- elements ------------------------------------------------------------
+
+    def add_resistor(
+        self, name: str, node_a: str, node_b: str, resistance: TimeFunction
+    ) -> Resistor:
+        element = Resistor(name, self.node(node_a), self.node(node_b), resistance)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        capacitance: float,
+        initial_voltage: float = 0.0,
+    ) -> Capacitor:
+        element = Capacitor(
+            name, self.node(node_a), self.node(node_b), capacitance, initial_voltage
+        )
+        self.capacitors.append(element)
+        return element
+
+    def add_vsource(
+        self, name: str, node_pos: str, node_neg: str, voltage: TimeFunction
+    ) -> VoltageSource:
+        element = VoltageSource(
+            name, self.node(node_pos), self.node(node_neg), voltage
+        )
+        self.vsources.append(element)
+        return element
+
+    def add_isource(
+        self, name: str, node_a: str, node_b: str, current: TimeFunction
+    ) -> CurrentSource:
+        element = CurrentSource(name, self.node(node_a), self.node(node_b), current)
+        self.isources.append(element)
+        return element
+
+    def add_switch(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        r_on: float,
+        r_off: float,
+        gate,
+    ) -> Switch:
+        element = Switch(name, self.node(node_a), self.node(node_b), r_on, r_off, gate)
+        self.switches.append(element)
+        return element
+
+    # -- assembly ------------------------------------------------------------
+
+    def conductance_pairs(self, t: float) -> list[tuple[int, int, float]]:
+        """All (node_a, node_b, conductance) contributions at time ``t``."""
+        pairs = [
+            (r.node_a, r.node_b, r.conductance_at(t)) for r in self.resistors
+        ]
+        pairs.extend(
+            (s.node_a, s.node_b, s.conductance_at(t)) for s in self.switches
+        )
+        return pairs
+
+    def system_size(self) -> int:
+        """Unknown count: non-ground node voltages + source branch currents."""
+        return (self.node_count - 1) + len(self.vsources)
+
+
+@dataclasses.dataclass(frozen=True)
+class DCSolution:
+    """Solved operating point.
+
+    Attributes:
+        voltages: node voltage per node index (ground included, = 0).
+        branch_currents: per voltage source, the current flowing into the
+            positive terminal from the circuit (negative when delivering).
+    """
+
+    voltages: np.ndarray
+    branch_currents: np.ndarray
+
+    def voltage(self, circuit: Circuit, node_name: str) -> float:
+        """Voltage of a named node."""
+        return float(self.voltages[circuit.node(node_name)])
+
+
+def assemble_matrix(
+    circuit: Circuit,
+    conductance_pairs: list[tuple[int, int, float]],
+) -> np.ndarray:
+    """Build the MNA matrix from explicit conductance stamps.
+
+    The matrix depends only on conductances and source topology, not on
+    source *values*, so the transient solver can factor it once per
+    switch-state epoch and reuse the factorization.
+    """
+    n = circuit.node_count - 1
+    m = len(circuit.vsources)
+    a = np.zeros((n + m, n + m))
+    for na, nb, g in conductance_pairs:
+        if na != GROUND:
+            a[na - 1, na - 1] += g
+        if nb != GROUND:
+            a[nb - 1, nb - 1] += g
+        if na != GROUND and nb != GROUND:
+            a[na - 1, nb - 1] -= g
+            a[nb - 1, na - 1] -= g
+    for k, source in enumerate(circuit.vsources):
+        row = n + k
+        if source.node_pos != GROUND:
+            a[source.node_pos - 1, row] += 1.0
+            a[row, source.node_pos - 1] += 1.0
+        if source.node_neg != GROUND:
+            a[source.node_neg - 1, row] -= 1.0
+            a[row, source.node_neg - 1] -= 1.0
+    return a
+
+
+def assemble_rhs(
+    circuit: Circuit,
+    t: float,
+    extra_currents: list[tuple[int, int, float]] | None = None,
+) -> np.ndarray:
+    """Build the MNA right-hand side (current injections, source values)."""
+    n = circuit.node_count - 1
+    m = len(circuit.vsources)
+    z = np.zeros(n + m)
+
+    def stamp_current(na: int, nb: int, i: float) -> None:
+        # Current i flows from na into nb (through the source).
+        if na != GROUND:
+            z[na - 1] -= i
+        if nb != GROUND:
+            z[nb - 1] += i
+
+    for source in circuit.isources:
+        stamp_current(source.node_a, source.node_b, value_at(source.current, t))
+    for na, nb, i in extra_currents or ():
+        stamp_current(na, nb, i)
+    for k, source in enumerate(circuit.vsources):
+        z[n + k] = value_at(source.voltage, t)
+    return z
+
+
+def solve_dc(
+    circuit: Circuit,
+    t: float = 0.0,
+    extra_conductances: list[tuple[int, int, float]] | None = None,
+    extra_currents: list[tuple[int, int, float]] | None = None,
+) -> DCSolution:
+    """Solve the MNA system at time ``t`` (capacitors open).
+
+    Args:
+        circuit: the circuit to solve.
+        t: time at which time-varying element values are evaluated.
+        extra_conductances: additional (a, b, G) stamps -- used by the
+            transient solver for capacitor companion conductances.
+        extra_currents: additional (a, b, I) current injections from a into
+            b -- used for companion current sources.
+
+    Returns:
+        The solved :class:`DCSolution`.
+
+    Raises:
+        np.linalg.LinAlgError: if the system is singular (floating nodes).
+    """
+    pairs = circuit.conductance_pairs(t)
+    if extra_conductances:
+        pairs = pairs + list(extra_conductances)
+    a = assemble_matrix(circuit, pairs)
+    z = assemble_rhs(circuit, t, extra_currents)
+    n = circuit.node_count - 1
+    solution = np.linalg.solve(a, z)
+    voltages = np.concatenate(([0.0], solution[:n]))
+    return DCSolution(voltages=voltages, branch_currents=solution[n:])

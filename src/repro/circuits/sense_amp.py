@@ -1,0 +1,104 @@
+"""Sense amplifier models.
+
+Two flavours appear in the paper:
+
+* **Current-compare SA** (Fig. 3, scouting logic): the bit-line current is
+  compared against one reference current (OR/AND) or a pair of references
+  (XOR, a window comparator built from two SAs).
+* **Voltage SA** (Fig. 9, dot-product read): the pre-charged bit line either
+  stays high (output 0) or discharges past a reference (output 1 -- the
+  output is inverted with respect to the bit-line level).
+
+Both are behavioural models with explicit noise-margin accounting so the
+reference-placement benches can report how much margin each gate has.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "CurrentCompareSA",
+    "WindowComparatorSA",
+    "VoltageSenseAmp",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CurrentCompareSA:
+    """Single-reference current sense amplifier.
+
+    Attributes:
+        i_ref: reference current in amperes.
+        offset: input-referred offset in amperes (worst case); inputs within
+            ``offset`` of the reference are flagged as marginal.
+    """
+
+    i_ref: float
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.i_ref <= 0:
+            raise ValueError("reference current must be positive")
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+    def output(self, i_in: float) -> int:
+        """Logic output: 1 when the input current exceeds the reference."""
+        return 1 if i_in > self.i_ref else 0
+
+    def margin(self, i_in: float) -> float:
+        """Distance from the reference after offset, in amperes.
+
+        Positive margins mean a robust decision; a negative margin means the
+        offset could flip the output.
+        """
+        return abs(i_in - self.i_ref) - self.offset
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowComparatorSA:
+    """Two-reference window comparator (implements scouting-logic XOR).
+
+    Output is 1 iff the input lies strictly between the two references.
+    """
+
+    i_ref_low: float
+    i_ref_high: float
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.i_ref_low < self.i_ref_high:
+            raise ValueError("need 0 < i_ref_low < i_ref_high")
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+    def output(self, i_in: float) -> int:
+        """Logic output: 1 inside the (low, high) current window."""
+        return 1 if self.i_ref_low < i_in < self.i_ref_high else 0
+
+    def margin(self, i_in: float) -> float:
+        """Distance to the nearest window edge after offset, in amperes."""
+        return (
+            min(abs(i_in - self.i_ref_low), abs(i_in - self.i_ref_high))
+            - self.offset
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltageSenseAmp:
+    """Inverting voltage SA on a pre-charged bit line (paper Fig. 7/9).
+
+    Attributes:
+        v_ref: reference voltage; a bit line below it reads as discharged.
+    """
+
+    v_ref: float
+
+    def __post_init__(self) -> None:
+        if self.v_ref <= 0:
+            raise ValueError("reference voltage must be positive")
+
+    def output(self, v_bitline: float) -> int:
+        """Inverted read: 1 when the bit line has discharged below v_ref."""
+        return 1 if v_bitline < self.v_ref else 0

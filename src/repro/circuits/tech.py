@@ -1,0 +1,114 @@
+"""Technology parameters for the 32 nm circuit-level experiments.
+
+The paper simulates its dot-product kernel in HSPICE with 32 nm PTM
+transistor models (Section IV-D).  We cannot ship PTM card files, so this
+module captures the handful of electrical quantities the experiment actually
+exercises -- switch-level on-resistances and node capacitances -- calibrated
+so that the reproduced Fig. 9 lands in the paper's ballpark (104 ps / 161 ps
+discharge, 2.09 fJ / 5.16 fJ per access).
+
+The calibration story, written out so it can be audited:
+
+* The bit line swings between ``v_precharge`` = 0.4 V and the SA trip point
+  0.1 V.  Energy per precharge/evaluate cycle is ``C_BL * V_pre * dV`` =
+  ``0.12 * C_BL``; the paper's 2.09 fJ / 5.16 fJ therefore imply bit-line
+  capacitances of ~17.4 fF (RRAM) and ~43 fF (SRAM) for 256 cells.
+* A 1T1R cell loads the bit line with one minimum-size drain plus a short
+  wire segment (the cell is 4-12 F^2); an 8T SRAM cell loads it with one
+  ~2.5x-width read-port drain plus a much longer wire segment (the cell is
+  ~250 F^2, so the per-cell bit-line pitch is several times larger).
+* The discharge path is one ON transistor + the 1 kOhm memristor for 1T1R,
+  versus two (wider) stacked transistors for the SRAM read port.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["TechnologyParameters", "PTM32"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TechnologyParameters:
+    """Switch-level electrical constants of a CMOS node.
+
+    Attributes:
+        name: identifier for reports.
+        vdd: nominal supply voltage in volts.
+        v_precharge: bit-line precharge voltage in volts (kept below the
+            memristor RESET threshold so reads are non-destructive).
+        v_sa_trip: bit-line voltage at which the sense amplifier registers a
+            discharge (logic 1 at the inverted output).
+        v_sa_ref: sense-amplifier reference voltage in volts.
+        r_on_nmos: on-resistance of a minimum-width NMOS in ohms.
+        r_off_nmos: off-state (leakage) resistance of the same device.
+        c_drain_min: drain junction capacitance of a minimum-width
+            transistor in farads.
+        c_wire_rram_cell: bit-line wire capacitance per 1T1R cell pitch.
+        c_wire_sram_cell: bit-line wire capacitance per 8T SRAM cell pitch
+            (larger cell, longer wire).
+        sram_read_width: width multiplier of the SRAM read-port transistors
+            relative to minimum size.
+        feature_nm: feature size in nanometers (for area in F^2 -> um^2).
+    """
+
+    name: str = "ptm32-like"
+    vdd: float = 0.9
+    v_precharge: float = 0.4
+    v_sa_trip: float = 0.1
+    v_sa_ref: float = 0.25
+    r_on_nmos: float = 3.3e3
+    r_off_nmos: float = 1e9
+    c_drain_min: float = 0.045e-15
+    c_wire_rram_cell: float = 0.023e-15
+    c_wire_sram_cell: float = 0.058e-15
+    sram_read_width: float = 2.45
+    feature_nm: float = 32.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.v_sa_trip < self.v_precharge <= self.vdd:
+            raise ValueError(
+                "require 0 < v_sa_trip < v_precharge <= vdd"
+            )
+        for attr in (
+            "r_on_nmos",
+            "r_off_nmos",
+            "c_drain_min",
+            "c_wire_rram_cell",
+            "c_wire_sram_cell",
+            "sram_read_width",
+            "feature_nm",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def r_on_sram_read(self) -> float:
+        """On-resistance of one (widened) SRAM read-port transistor."""
+        return self.r_on_nmos / self.sram_read_width
+
+    @property
+    def c_drain_sram_read(self) -> float:
+        """Drain capacitance of one (widened) SRAM read-port transistor."""
+        return self.c_drain_min * self.sram_read_width
+
+    @property
+    def c_bitline_per_rram_cell(self) -> float:
+        """Bit-line load added by one 1T1R cell (drain + wire)."""
+        return self.c_drain_min + self.c_wire_rram_cell
+
+    @property
+    def c_bitline_per_sram_cell(self) -> float:
+        """Bit-line load added by one 8T SRAM cell (drain + wire)."""
+        return self.c_drain_sram_read + self.c_wire_sram_cell
+
+    def square_feature_area_um2(self, f_squared: float) -> float:
+        """Convert an area in F^2 units to square micrometers."""
+        f_um = self.feature_nm * 1e-3
+        return f_squared * f_um * f_um
+
+
+PTM32 = TechnologyParameters()
+"""The default calibrated 32 nm-like corner used by all benches."""

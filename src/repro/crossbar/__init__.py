@@ -1,0 +1,46 @@
+"""Memristive crossbar substrate (paper Section III-A, Fig. 3).
+
+The functional crossbar array with multi-row activated reads, scouting
+logic (in-memory OR/AND/XOR), the V/2 programming scheme with verify,
+IR-drop-aware reads, and fault-injection campaigns.
+"""
+
+from repro.crossbar.array import Crossbar
+from repro.crossbar.faults import (
+    FaultCampaign,
+    drift_campaign,
+    inject_random_stuck_faults,
+)
+from repro.crossbar.parasitics import (
+    WireParameters,
+    ir_drop_column_currents,
+    ir_drop_loss,
+)
+from repro.crossbar.programming import (
+    WriteScheme,
+    check_half_select_safety,
+    minimum_safe_program_voltage,
+    program_with_verify,
+)
+from repro.crossbar.scouting import (
+    ReferenceLadder,
+    ScoutingEnergyModel,
+    ScoutingLogic,
+)
+
+__all__ = [
+    "Crossbar",
+    "FaultCampaign",
+    "ReferenceLadder",
+    "ScoutingEnergyModel",
+    "ScoutingLogic",
+    "WireParameters",
+    "WriteScheme",
+    "check_half_select_safety",
+    "drift_campaign",
+    "inject_random_stuck_faults",
+    "ir_drop_column_currents",
+    "ir_drop_loss",
+    "minimum_safe_program_voltage",
+    "program_with_verify",
+]

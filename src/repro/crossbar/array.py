@@ -1,0 +1,210 @@
+"""Functional memristive crossbar array with multi-row activated reads.
+
+The crossbar is the storage *and* compute fabric of both accelerators in the
+paper.  Cells sit at row/column intersections; a stored logic 1 is the low
+resistance R_L and a 0 the high resistance R_H.  A normal read activates one
+row; scouting logic (Fig. 3) and the automata-processor dot product (Fig. 7)
+activate several rows at once, summing cell currents on each bit line.
+
+The electrical model is the ideal current sum ``I_j = sum_i Vr / R[i, j]``
+over activated rows ``i``; :mod:`repro.crossbar.parasitics` offers an
+IR-drop-aware read for wire-resistance studies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.base import DeviceParameters
+from repro.devices.variability import VariabilityModel, sample_resistances
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """A rows x cols memristive crossbar.
+
+    Args:
+        rows: number of word lines.
+        cols: number of bit lines.
+        params: device resistance window and thresholds.
+        read_voltage: word-line read voltage Vr in volts; must sit inside
+            the device dead zone so reads are non-destructive.
+        variability: optional lognormal resistance spread applied on every
+            programming event.
+        rng: random generator, required when ``variability`` is given.
+
+    Attributes:
+        bits: the stored logic values, int8 array of shape (rows, cols).
+        resistances: per-cell programmed resistance in ohms, same shape.
+        program_cycles: per-cell count of programming events (endurance
+            accounting; reads are free, as the paper notes).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        params: DeviceParameters | None = None,
+        read_voltage: float = 0.2,
+        variability: VariabilityModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("crossbar must have at least one row and column")
+        self.params = params or DeviceParameters()
+        if not -self.params.v_reset < read_voltage < self.params.v_set:
+            raise ValueError(
+                f"read voltage {read_voltage} V would disturb stored data "
+                f"(dead zone is ({-self.params.v_reset}, {self.params.v_set}))"
+            )
+        if read_voltage <= 0:
+            raise ValueError("read voltage must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.read_voltage = read_voltage
+        self.variability = variability
+        self.rng = rng
+        if variability is not None and rng is None:
+            raise ValueError("a numpy Generator is required with variability")
+        self.bits = np.zeros((rows, cols), dtype=np.int8)
+        self.resistances = sample_resistances(
+            np.zeros((rows, cols), dtype=bool), self.params, variability, rng
+        )
+        self.program_cycles = np.zeros((rows, cols), dtype=np.int64)
+        self._stuck_mask = np.zeros((rows, cols), dtype=bool)
+
+    # -- shape helpers ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.rows, self.cols
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+    # -- programming -------------------------------------------------------
+
+    def write_row(self, row: int, bits: Sequence[int] | np.ndarray) -> None:
+        """Program a full word line; counts one cycle on changed cells."""
+        self._check_row(row)
+        new_bits = np.asarray(bits, dtype=np.int8)
+        if new_bits.shape != (self.cols,):
+            raise ValueError(
+                f"expected {self.cols} bits, got shape {new_bits.shape}"
+            )
+        if not np.isin(new_bits, (0, 1)).all():
+            raise ValueError("bits must be 0 or 1")
+        writable = ~self._stuck_mask[row]
+        changed = (self.bits[row] != new_bits) & writable
+        self.bits[row, writable] = new_bits[writable]
+        self.program_cycles[row, changed] += 1
+        sampled = sample_resistances(
+            self.bits[row].astype(bool), self.params, self.variability, self.rng
+        )
+        self.resistances[row, writable] = sampled[writable]
+
+    def write(self, row: int, col: int, bit: int) -> None:
+        """Program a single cell."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise IndexError(f"column {col} out of range [0, {self.cols})")
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        if self._stuck_mask[row, col]:
+            return
+        if self.bits[row, col] != bit:
+            self.program_cycles[row, col] += 1
+        self.bits[row, col] = bit
+        self.resistances[row, col] = float(
+            sample_resistances(
+                np.array([bool(bit)]), self.params, self.variability, self.rng
+            )[0]
+        )
+
+    def load_matrix(self, bits: np.ndarray) -> None:
+        """Program the whole array from a (rows, cols) 0/1 matrix."""
+        bits = np.asarray(bits)
+        if bits.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"expected shape {(self.rows, self.cols)}, got {bits.shape}"
+            )
+        for row in range(self.rows):
+            self.write_row(row, bits[row])
+
+    # -- fault injection ---------------------------------------------------
+
+    def inject_stuck_fault(self, row: int, col: int, stuck_bit: int) -> None:
+        """Freeze a cell at ``stuck_bit``; later writes silently fail.
+
+        Models endurance-failure or fabrication defects for the robustness
+        benches.
+        """
+        self._check_row(row)
+        self.bits[row, col] = stuck_bit
+        self.resistances[row, col] = (
+            self.params.r_on if stuck_bit else self.params.r_off
+        )
+        self._stuck_mask[row, col] = True
+
+    def apply_resistance_drift(self, factor: np.ndarray | float) -> None:
+        """Multiply all cell resistances by ``factor`` (retention drift)."""
+        self.resistances = self.resistances * factor
+
+    # -- reads -------------------------------------------------------------
+
+    def column_currents(self, active_rows: Sequence[int]) -> np.ndarray:
+        """Bit-line currents with the given word lines activated.
+
+        This is the crossbar's core primitive: all other read modes (memory
+        read, scouting logic gates, AP dot product) are interpretations of
+        this current vector by a sense amplifier.
+
+        Args:
+            active_rows: indices of simultaneously activated word lines.
+
+        Returns:
+            Array of shape (cols,): ``I_j = sum_i Vr / R[i, j]`` in amperes.
+        """
+        rows = self._validated_rows(active_rows)
+        conductance = 1.0 / self.resistances[rows, :]
+        return self.read_voltage * conductance.sum(axis=0)
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Conventional single-row memory read, returning stored bits.
+
+        The SA reference sits at the geometric mean of the two single-cell
+        current levels, maximizing margin in the log domain.
+        """
+        currents = self.column_currents([row])
+        i_low = self.read_voltage / self.params.r_off
+        i_high = self.read_voltage / self.params.r_on
+        i_ref = float(np.sqrt(i_low * i_high))
+        return (currents > i_ref).astype(np.int8)
+
+    def stored_word(self, row: int) -> np.ndarray:
+        """The programmed bits of a row (bypasses the electrical read)."""
+        self._check_row(row)
+        return self.bits[row].copy()
+
+    def _validated_rows(self, active_rows: Sequence[int]) -> list[int]:
+        rows = list(active_rows)
+        if not rows:
+            raise ValueError("at least one row must be activated")
+        if len(set(rows)) != len(rows):
+            raise ValueError("duplicate rows in activation set")
+        for row in rows:
+            self._check_row(row)
+        return rows
+
+    # -- endurance summary ---------------------------------------------------
+
+    def max_program_cycles(self) -> int:
+        """Worst-case per-cell programming count (endurance hotspot)."""
+        return int(self.program_cycles.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Crossbar({self.rows}x{self.cols}, Vr={self.read_voltage} V)"

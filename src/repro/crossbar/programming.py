@@ -1,0 +1,113 @@
+"""Crossbar programming: V/2 half-select scheme and program-verify.
+
+Writing a selected cell applies the full programming voltage across it while
+half-selected neighbours (same row or column) see only half -- which must
+stay inside the device dead zone or stored data corrupts.  This module
+checks that constraint, programs whole matrices, and offers the
+program-verify loop real RRAM macros use to fight cycle-to-cycle
+variability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.crossbar.array import Crossbar
+
+__all__ = ["WriteScheme", "check_half_select_safety", "program_with_verify"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteScheme:
+    """Voltages of the V/2 write scheme.
+
+    Attributes:
+        v_program: full voltage across the selected cell (SET polarity;
+            RESET uses the negated value).
+        description: scheme name for reports.
+    """
+
+    v_program: float
+    description: str = "V/2"
+
+    @property
+    def v_half_select(self) -> float:
+        """Voltage across half-selected cells."""
+        return self.v_program / 2.0
+
+
+def check_half_select_safety(crossbar: Crossbar, scheme: WriteScheme) -> bool:
+    """True when half-selected cells cannot be disturbed.
+
+    A half-selected cell sees ``v_program / 2`` in either polarity; the
+    write is safe iff that magnitude is below *both* switching thresholds.
+    """
+    p = crossbar.params
+    half = abs(scheme.v_half_select)
+    return half < p.v_set and half < p.v_reset
+
+
+def minimum_safe_program_voltage(crossbar: Crossbar) -> float:
+    """Largest programming voltage safe under V/2 half-select.
+
+    Returns ``2 * min(v_set, v_reset)``; using anything above this corrupts
+    half-selected cells, anything at-or-below ``max(v_set, v_reset)`` fails
+    to program the selected cell at all.
+    """
+    p = crossbar.params
+    return 2.0 * min(p.v_set, p.v_reset)
+
+
+def program_with_verify(
+    crossbar: Crossbar,
+    target_bits: np.ndarray,
+    margin_ratio: float = 10.0,
+    max_iterations: int = 10,
+) -> int:
+    """Program a matrix with read-verify-rewrite until margins hold.
+
+    A cell passes verification when its programmed resistance is within a
+    factor ``margin_ratio`` of the nominal level (e.g. an ON cell must be
+    below ``r_on * margin_ratio``).  Under lognormal C2C spread a few
+    rewrites suffice; stuck cells never verify and are skipped after
+    ``max_iterations``.
+
+    Args:
+        crossbar: the array to program.
+        target_bits: (rows, cols) 0/1 matrix.
+        margin_ratio: acceptance band around each nominal level.
+        max_iterations: rewrite budget per cell.
+
+    Returns:
+        Number of verify iterations used (1 = first write was clean).
+    """
+    target_bits = np.asarray(target_bits, dtype=np.int8)
+    if target_bits.shape != crossbar.shape:
+        raise ValueError(
+            f"target shape {target_bits.shape} != crossbar {crossbar.shape}"
+        )
+    if margin_ratio <= 1.0:
+        raise ValueError("margin_ratio must exceed 1")
+    crossbar.load_matrix(target_bits)
+    for iteration in range(1, max_iterations + 1):
+        failing = _failing_cells(crossbar, target_bits, margin_ratio)
+        if not failing.any():
+            return iteration
+        rows, cols = np.nonzero(failing)
+        for row, col in zip(rows, cols):
+            crossbar.write(int(row), int(col), int(target_bits[row, col]))
+    return max_iterations
+
+
+def _failing_cells(
+    crossbar: Crossbar, target_bits: np.ndarray, margin_ratio: float
+) -> np.ndarray:
+    """Boolean mask of cells outside their resistance acceptance band."""
+    p = crossbar.params
+    r = crossbar.resistances
+    on_target = target_bits.astype(bool)
+    on_fail = on_target & (r > p.r_on * margin_ratio)
+    off_fail = ~on_target & (r < p.r_off / margin_ratio)
+    return on_fail | off_fail

@@ -1,0 +1,64 @@
+"""Memristive device models (Section II of the paper).
+
+This package provides the device-level substrate: the abstract device
+interface, three published dynamical models (HP linear ion drift, VTEAM,
+ASU/Stanford filament gap), the idealized two-state switch the paper's
+architecture layers assume, hysteresis sweeps for the Fig. 1 fingerprints,
+and endurance/variability models for the non-idealities the paper flags.
+"""
+
+from repro.devices.base import (
+    OHMS_HIGH_DEFAULT,
+    OHMS_LOW_DEFAULT,
+    V_RESET_DEFAULT,
+    V_SET_DEFAULT,
+    DeviceParameters,
+    MemristiveDevice,
+)
+from repro.devices.bipolar import BipolarSwitch
+from repro.devices.endurance import EnduranceModel, EnduranceParameters
+from repro.devices.hysteresis import (
+    SweepResult,
+    loop_area,
+    pinch_current,
+    sinusoidal_sweep,
+)
+from repro.devices.linear_drift import LinearIonDriftDevice
+from repro.devices.stanford import StanfordRRAMDevice
+from repro.devices.variability import VariabilityModel, sample_resistances
+from repro.devices.vteam import VTEAMDevice
+from repro.devices.window import (
+    BiolekWindow,
+    JoglekarWindow,
+    ProdromakisWindow,
+    RectangularWindow,
+    WindowFunction,
+    window_by_name,
+)
+
+__all__ = [
+    "BiolekWindow",
+    "BipolarSwitch",
+    "DeviceParameters",
+    "EnduranceModel",
+    "EnduranceParameters",
+    "JoglekarWindow",
+    "LinearIonDriftDevice",
+    "MemristiveDevice",
+    "OHMS_HIGH_DEFAULT",
+    "OHMS_LOW_DEFAULT",
+    "ProdromakisWindow",
+    "RectangularWindow",
+    "StanfordRRAMDevice",
+    "SweepResult",
+    "V_RESET_DEFAULT",
+    "V_SET_DEFAULT",
+    "VTEAMDevice",
+    "VariabilityModel",
+    "WindowFunction",
+    "loop_area",
+    "pinch_current",
+    "sample_resistances",
+    "sinusoidal_sweep",
+    "window_by_name",
+]

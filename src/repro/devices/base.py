@@ -1,0 +1,163 @@
+"""Base abstractions for memristive devices.
+
+A memristive device (Chua, 1971; Strukov et al., 2008) is a two-terminal,
+state-holding resistive element.  All models in :mod:`repro.devices` expose
+the same small interface so that the crossbar and circuit layers can treat
+them interchangeably:
+
+* ``conductance()``   -- the instantaneous small-signal conductance [S],
+* ``current(v)``      -- the current drawn at applied voltage ``v`` [A],
+* ``step(v, dt)``     -- advance the internal state under ``v`` for ``dt``,
+* ``state``           -- a normalized internal state in ``[0, 1]`` where
+  0 means fully OFF (high resistance) and 1 means fully ON (low resistance).
+
+Units are SI throughout: volts, amperes, seconds, ohms, siemens, joules.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+
+__all__ = [
+    "DeviceParameters",
+    "MemristiveDevice",
+    "OHMS_LOW_DEFAULT",
+    "OHMS_HIGH_DEFAULT",
+    "V_SET_DEFAULT",
+    "V_RESET_DEFAULT",
+]
+
+# Default device corner used throughout the paper (Section IV-C, ref [29]):
+# R_L ~ 1 kOhm, R_H ~ 100 MOhm, V_SET = 1.3 V, V_RESET = 0.5 V.
+OHMS_LOW_DEFAULT = 1e3
+OHMS_HIGH_DEFAULT = 100e6
+V_SET_DEFAULT = 1.3
+V_RESET_DEFAULT = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceParameters:
+    """Resistance window and switching thresholds shared by all models.
+
+    Attributes:
+        r_on: low ("ON", logic 1) resistance in ohms.
+        r_off: high ("OFF", logic 0) resistance in ohms.
+        v_set: positive SET threshold voltage in volts.  Voltages above this
+            move the device toward the ON state.
+        v_reset: positive magnitude of the RESET threshold.  Voltages below
+            ``-v_reset`` move the device toward the OFF state.
+    """
+
+    r_on: float = OHMS_LOW_DEFAULT
+    r_off: float = OHMS_HIGH_DEFAULT
+    v_set: float = V_SET_DEFAULT
+    v_reset: float = V_RESET_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise ValueError("resistances must be positive")
+        if self.r_on >= self.r_off:
+            raise ValueError(
+                f"r_on ({self.r_on}) must be below r_off ({self.r_off})"
+            )
+        if self.v_set <= 0 or self.v_reset <= 0:
+            raise ValueError("threshold voltages must be positive magnitudes")
+
+    @property
+    def resistance_ratio(self) -> float:
+        """The OFF/ON resistance window, R_H / R_L."""
+        return self.r_off / self.r_on
+
+
+class MemristiveDevice(abc.ABC):
+    """Abstract two-terminal resistive switching device.
+
+    Concrete models define how the normalized state evolves under an applied
+    voltage (:meth:`_state_derivative`) and how the state maps to resistance
+    (:meth:`resistance`).  The default resistance map is a linear mix of the
+    parallel-conductance endpoints, which every model may override.
+    """
+
+    def __init__(self, params: DeviceParameters, state: float = 0.0) -> None:
+        self.params = params
+        self._state = _clip01(state)
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def state(self) -> float:
+        """Normalized internal state: 0 = fully OFF, 1 = fully ON."""
+        return self._state
+
+    @state.setter
+    def state(self, value: float) -> None:
+        self._state = _clip01(value)
+
+    @abc.abstractmethod
+    def _state_derivative(self, voltage: float) -> float:
+        """Return d(state)/dt at the current state under ``voltage``."""
+
+    def step(self, voltage: float, dt: float) -> float:
+        """Advance the internal state by one explicit-Euler step.
+
+        Args:
+            voltage: applied voltage across the device (positive at the
+                electrode marked by the black square in Fig. 1c).
+            dt: time step in seconds.  Callers are responsible for choosing a
+                step small enough for the model's dynamics.
+
+        Returns:
+            The current flowing during the step (computed at the *previous*
+            state, consistent with explicit integration).
+        """
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        i = self.current(voltage)
+        self._state = _clip01(self._state + self._state_derivative(voltage) * dt)
+        return i
+
+    # -- electrical ------------------------------------------------------
+
+    def resistance(self) -> float:
+        """Instantaneous resistance at the current state, in ohms.
+
+        The default map interpolates conductance linearly between the OFF and
+        ON endpoints, i.e. the device behaves as two resistors (a formed
+        filament and a residual dielectric path) in parallel.
+        """
+        g_on = 1.0 / self.params.r_on
+        g_off = 1.0 / self.params.r_off
+        return 1.0 / (g_off + (g_on - g_off) * self._state)
+
+    def conductance(self) -> float:
+        """Instantaneous conductance at the current state, in siemens."""
+        return 1.0 / self.resistance()
+
+    def current(self, voltage: float) -> float:
+        """Current through the device at ``voltage``, in amperes."""
+        return voltage * self.conductance()
+
+    # -- digital view ----------------------------------------------------
+
+    def as_bit(self, threshold: float = 0.5) -> int:
+        """Interpret the device as a stored bit (1 = low resistance)."""
+        return 1 if self._state >= threshold else 0
+
+    def force_bit(self, bit: int) -> None:
+        """Snap the state to a stored logic value without dynamics."""
+        self._state = 1.0 if bit else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(state={self._state:.4f}, "
+            f"R={self.resistance():.3e} Ohm)"
+        )
+
+
+def _clip01(x: float) -> float:
+    """Clamp ``x`` into the closed unit interval."""
+    if math.isnan(x):
+        raise ValueError("device state became NaN; reduce the time step")
+    return min(1.0, max(0.0, x))

@@ -1,0 +1,72 @@
+"""Idealized two-state bipolar switch -- the paper's working device.
+
+Everything above the device layer (crossbars, scouting logic, the automata
+processor) only needs the abstraction the paper itself uses in Sections III
+and IV: a device that is either at R_L (logic 1) or R_H (logic 0), SETs when
+the applied voltage exceeds ``v_set``, RESETs below ``-v_reset``, and is
+undisturbed by read voltages in between.  This module provides that device
+with an optional finite switching time so that half-select/program-verify
+behaviour can be studied.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceParameters, MemristiveDevice
+
+__all__ = ["BipolarSwitch"]
+
+
+class BipolarSwitch(MemristiveDevice):
+    """Two-state resistive switch with abrupt (or timed) threshold switching.
+
+    The state ramps linearly toward the target level while the voltage is
+    beyond a threshold; with the default ``switching_time`` of 0 the device
+    switches within a single ``step`` call, which is the idealization the
+    paper's logic layers assume.
+
+    Args:
+        params: resistance window and thresholds.
+        switching_time: seconds of continuous over-threshold stress required
+            for a full 0 -> 1 (or 1 -> 0) transition.  Zero means abrupt.
+        state: initial normalized state.
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters | None = None,
+        switching_time: float = 0.0,
+        state: float = 0.0,
+    ) -> None:
+        super().__init__(params or DeviceParameters(), state=state)
+        if switching_time < 0:
+            raise ValueError("switching_time must be non-negative")
+        self.switching_time = switching_time
+
+    def _state_derivative(self, voltage: float) -> float:
+        p = self.params
+        if voltage >= p.v_set:
+            rate = 1.0
+        elif voltage <= -p.v_reset:
+            rate = -1.0
+        else:
+            return 0.0
+        if self.switching_time == 0.0:
+            # Abrupt: signal an "infinite" rate; step() clips to [0, 1].
+            return rate * float("inf") if rate else 0.0
+        return rate / self.switching_time
+
+    def step(self, voltage: float, dt: float) -> float:
+        if self.switching_time == 0.0:
+            # Abrupt switching cannot go through the Euler update (inf * 0
+            # at dt=0 would be NaN); snap the state directly instead.
+            i = self.current(voltage)
+            if voltage >= self.params.v_set:
+                self.state = 1.0
+            elif voltage <= -self.params.v_reset:
+                self.state = 0.0
+            return i
+        return super().step(voltage, dt)
+
+    def is_disturbed_by(self, voltage: float) -> bool:
+        """True if ``voltage`` would move the stored state (unsafe read)."""
+        return voltage >= self.params.v_set or voltage <= -self.params.v_reset

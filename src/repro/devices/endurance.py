@@ -1,0 +1,110 @@
+"""Endurance (cycling wear-out) model.
+
+The paper repeatedly flags "low endurance" as the key drawback of memristive
+technology (Sections III-C, IV-C, V).  This module quantifies it so the
+higher layers can study its impact:
+
+* the resistance window degrades with accumulated SET/RESET cycles
+  (R_off drifts down, R_on drifts up -- the classic window-closure signature);
+* after a Weibull-distributed lifetime the device fails stuck at its last
+  state.
+
+Scouting-logic reads do **not** wear the device (the paper notes the scheme
+"does not impact the endurance"); only programming cycles do.  The crossbar
+layer therefore only calls :meth:`EnduranceModel.record_cycle` on writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = ["EnduranceParameters", "EnduranceModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnduranceParameters:
+    """Wear-out law parameters.
+
+    Attributes:
+        rated_cycles: characteristic life (Weibull scale) in SET/RESET cycles.
+            RRAM endurance is typically 1e6-1e12; the default is a
+            conservative 1e6 matching the paper's pessimism.
+        weibull_shape: Weibull shape parameter for time-to-failure.
+        window_decay: fractional window closure per decade of cycles; the
+            effective ratio follows
+            ``ratio(n) = ratio0 * (1 - window_decay) ** log10(1 + n)``.
+    """
+
+    rated_cycles: float = 1e6
+    weibull_shape: float = 2.0
+    window_decay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rated_cycles <= 0:
+            raise ValueError("rated_cycles must be positive")
+        if self.weibull_shape <= 0:
+            raise ValueError("weibull_shape must be positive")
+        if not 0 <= self.window_decay < 1:
+            raise ValueError("window_decay must be in [0, 1)")
+
+
+class EnduranceModel:
+    """Tracks cycling wear for one device.
+
+    Args:
+        params: wear-out law parameters.
+        rng: NumPy random generator used to sample the failure life.  Pass a
+            seeded generator for reproducibility; None samples no failure
+            (infinite life, deterministic window decay only).
+    """
+
+    def __init__(
+        self,
+        params: EnduranceParameters | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.params = params or EnduranceParameters()
+        self.cycles = 0
+        if rng is None:
+            self.failure_cycle: float = math.inf
+        else:
+            u = rng.random()
+            shape = self.params.weibull_shape
+            scale = self.params.rated_cycles
+            self.failure_cycle = scale * (-math.log(1.0 - u)) ** (1.0 / shape)
+
+    def record_cycle(self, count: int = 1) -> None:
+        """Accumulate ``count`` SET/RESET program cycles."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.cycles += count
+
+    @property
+    def failed(self) -> bool:
+        """True once the device's sampled lifetime is exhausted."""
+        return self.cycles >= self.failure_cycle
+
+    def window_ratio_factor(self) -> float:
+        """Multiplier on the fresh R_off/R_on ratio after the seen cycles.
+
+        Decays by ``window_decay`` per decade of accumulated cycles; equals
+        1.0 for a fresh device.
+        """
+        decades = math.log10(1.0 + self.cycles)
+        return (1.0 - self.params.window_decay) ** decades
+
+    def degraded_resistances(
+        self, r_on: float, r_off: float
+    ) -> tuple[float, float]:
+        """Split the window closure evenly (in log space) between both levels.
+
+        Returns:
+            ``(r_on_eff, r_off_eff)`` with
+            ``r_off_eff / r_on_eff = (r_off / r_on) * window_ratio_factor()``.
+        """
+        factor = self.window_ratio_factor()
+        half = math.sqrt(factor)
+        return r_on / half, r_off * half

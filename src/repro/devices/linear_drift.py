@@ -1,0 +1,77 @@
+"""HP linear ion-drift memristor model (Strukov et al., Nature 2008).
+
+The model that re-ignited the field and the one behind Fig. 1 of the paper.
+A TiO2 film of thickness ``D`` is split into a doped (conductive) region of
+width ``w`` and an undoped region; the normalized state is ``x = w / D``.
+Dopants drift with mobility ``mu_v`` under the electric field created by the
+device current:
+
+    R(x)   = R_on * x + R_off * (1 - x)              (series resistance map)
+    dx/dt  = (mu_v * R_on / D^2) * i(t) * f(x, i)    (state drift)
+
+``f`` is a window function from :mod:`repro.devices.window`.  With the
+rectangular window the state has the closed-form solution used by the tests:
+
+    x(t) = x0 + (mu_v * R_on / D^2) * q(t),  q(t) the delivered charge.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceParameters, MemristiveDevice
+from repro.devices.window import JoglekarWindow, WindowFunction
+
+__all__ = ["LinearIonDriftDevice"]
+
+# Strukov et al. report mu_v ~ 1e-14 m^2 s^-1 V^-1 and D ~ 10 nm.
+_MU_V_DEFAULT = 1e-14
+_THICKNESS_DEFAULT = 10e-9
+
+
+class LinearIonDriftDevice(MemristiveDevice):
+    """The HP TiO2 linear ion-drift memristor.
+
+    Args:
+        params: resistance window and thresholds.  Note the linear-drift
+            model has *no* thresholds -- any voltage moves the state -- so
+            ``v_set``/``v_reset`` are ignored by the dynamics; they remain
+            available to callers that program the device digitally.
+        window: window function pinning the state in ``[0, 1]``.
+        mobility: dopant mobility ``mu_v`` in m^2 s^-1 V^-1.
+        thickness: film thickness ``D`` in meters.
+        state: initial normalized state.
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters | None = None,
+        window: WindowFunction | None = None,
+        mobility: float = _MU_V_DEFAULT,
+        thickness: float = _THICKNESS_DEFAULT,
+        state: float = 0.0,
+    ) -> None:
+        super().__init__(params or DeviceParameters(), state=state)
+        if mobility <= 0:
+            raise ValueError("mobility must be positive")
+        if thickness <= 0:
+            raise ValueError("thickness must be positive")
+        self.window = window if window is not None else JoglekarWindow()
+        self.mobility = mobility
+        self.thickness = thickness
+
+    @property
+    def drift_gain(self) -> float:
+        """The state-drift coefficient ``mu_v * R_on / D^2`` in 1/(A*s)."""
+        return self.mobility * self.params.r_on / self.thickness**2
+
+    def resistance(self) -> float:
+        """Series resistance map ``R_on * x + R_off * (1 - x)``.
+
+        The original HP formulation puts the doped and undoped regions in
+        series, unlike the parallel-conductance default of the base class.
+        """
+        x = self.state
+        return self.params.r_on * x + self.params.r_off * (1.0 - x)
+
+    def _state_derivative(self, voltage: float) -> float:
+        i = self.current(voltage)
+        return self.drift_gain * i * self.window(self.state, i)

@@ -1,0 +1,133 @@
+"""Filament-gap RRAM compact model (ASU/Stanford style, paper ref [28]).
+
+Chen & Yu, "Compact modeling of RRAM devices and its applications in 1T1R
+and 1S1R array design" (IEEE T-ED 2015) -- the model the paper uses for its
+HSPICE runs -- describes conduction through a tunneling gap ``g`` between the
+filament tip and the electrode:
+
+    I(g, v)  = I0 * exp(-g / g0) * sinh(v / V0)
+    dg/dt    = -nu0 * exp(-Ea / kT) * sinh(gamma * v / v_char)
+
+Growing the filament (shrinking ``g``) needs positive voltage; dissolving it
+needs negative voltage.  We implement the deterministic core of that model
+(the published version adds gap noise; :mod:`repro.devices.variability`
+provides that separately) with the gap clamped to ``[g_min, g_max]``.
+
+The normalized state maps the gap linearly: ``x = (g_max - g) / (g_max -
+g_min)`` so ``x = 1`` is the fully-formed filament (ON).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.devices.base import DeviceParameters, MemristiveDevice
+
+__all__ = ["StanfordRRAMDevice"]
+
+_BOLTZMANN_EV = 8.617333262e-5  # eV / K
+
+
+class StanfordRRAMDevice(MemristiveDevice):
+    """Tunneling-gap RRAM compact model.
+
+    Args:
+        params: target resistance window.  ``I0``/``g0`` are calibrated at
+            construction so that the ON/OFF resistances at the read voltage
+            match ``params.r_on`` / ``params.r_off``.
+        g_min: minimum gap (fully formed filament) in meters.
+        g_max: maximum gap (dissolved filament) in meters.
+        nu0: gap-velocity prefactor in m/s.
+        activation_energy_ev: effective activation energy in eV.
+        temperature_k: lattice temperature in kelvin.
+        v_char: characteristic voltage of the sinh I-V in volts.
+        gamma: field-enhancement factor for gap motion.
+        read_voltage: voltage at which the resistance window is calibrated.
+        state: initial normalized state (0 = OFF).
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters | None = None,
+        g_min: float = 0.1e-9,
+        g_max: float = 1.7e-9,
+        nu0: float = 150.0,
+        activation_energy_ev: float = 0.6,
+        temperature_k: float = 300.0,
+        v_char: float = 0.4,
+        gamma: float = 12.0,
+        read_voltage: float = 0.1,
+        state: float = 0.0,
+    ) -> None:
+        super().__init__(params or DeviceParameters(), state=state)
+        if not 0 < g_min < g_max:
+            raise ValueError("require 0 < g_min < g_max")
+        if temperature_k <= 0:
+            raise ValueError("temperature must be positive")
+        if v_char <= 0 or nu0 <= 0 or gamma <= 0:
+            raise ValueError("nu0, v_char and gamma must be positive")
+        self.g_min = g_min
+        self.g_max = g_max
+        self.nu0 = nu0
+        self.activation_energy_ev = activation_energy_ev
+        self.temperature_k = temperature_k
+        self.v_char = v_char
+        self.gamma = gamma
+        self.read_voltage = read_voltage
+        # Calibrate I0 and g0 so R(g_min) = r_on and R(g_max) = r_off at the
+        # read voltage:  R = v / I = v / (I0 * exp(-g/g0) * sinh(v/V0)).
+        ratio = self.params.r_off / self.params.r_on
+        self._g0 = (g_max - g_min) / math.log(ratio)
+        sinh_term = math.sinh(read_voltage / v_char)
+        self._i0 = (
+            read_voltage
+            / (self.params.r_on * sinh_term * math.exp(-g_min / self._g0))
+        )
+
+    # -- state <-> gap mapping -------------------------------------------
+
+    @property
+    def gap(self) -> float:
+        """Current tunneling gap in meters (derived from the state)."""
+        return self.g_max - self.state * (self.g_max - self.g_min)
+
+    @gap.setter
+    def gap(self, value: float) -> None:
+        value = min(self.g_max, max(self.g_min, value))
+        self.state = (self.g_max - value) / (self.g_max - self.g_min)
+
+    # -- electrical ------------------------------------------------------
+
+    def current(self, voltage: float) -> float:
+        """Tunneling current ``I0 * exp(-g/g0) * sinh(v/V0)``."""
+        return (
+            self._i0 * math.exp(-self.gap / self._g0)
+            * math.sinh(voltage / self.v_char)
+        )
+
+    def resistance(self) -> float:
+        """Small-signal resistance evaluated at the calibration read voltage."""
+        i = self.current(self.read_voltage)
+        return self.read_voltage / i
+
+    def conductance(self) -> float:
+        return 1.0 / self.resistance()
+
+    # -- dynamics --------------------------------------------------------
+
+    def _gap_velocity(self, voltage: float) -> float:
+        """Signed gap velocity in m/s; negative shrinks the gap (SET)."""
+        kt = _BOLTZMANN_EV * self.temperature_k
+        arrhenius = math.exp(-self.activation_energy_ev / kt)
+        return -self.nu0 * arrhenius * math.sinh(
+            self.gamma * voltage / self.v_char
+        )
+
+    def _state_derivative(self, voltage: float) -> float:
+        # dx/dt = -dg/dt / (g_max - g_min), with boundary clamping.
+        dgdt = self._gap_velocity(voltage)
+        if self.gap <= self.g_min and dgdt < 0:
+            return 0.0
+        if self.gap >= self.g_max and dgdt > 0:
+            return 0.0
+        return -dgdt / (self.g_max - self.g_min)

@@ -1,0 +1,106 @@
+"""Device-to-device (D2D) and cycle-to-cycle (C2C) variability.
+
+RRAM resistance levels are famously lognormal.  The crossbar layer uses this
+module to draw per-cell resistance values so that read-margin studies (e.g.
+the scouting-logic reference windows of Fig. 3) can be run under realistic
+spread rather than two ideal points.
+
+All sampling takes an explicit ``numpy.random.Generator`` -- never a global
+seed -- so experiments are reproducible by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.devices.base import DeviceParameters
+
+__all__ = ["VariabilityModel", "sample_resistances"]
+
+
+@dataclasses.dataclass(frozen=True)
+class VariabilityModel:
+    """Lognormal spread parameters for the two resistance levels.
+
+    Attributes:
+        sigma_on_d2d: lognormal sigma of R_on across devices.
+        sigma_off_d2d: lognormal sigma of R_off across devices.  OFF-state
+            spread is typically several times larger than ON-state spread.
+        sigma_on_c2c: additional per-programming-event sigma for R_on.
+        sigma_off_c2c: additional per-programming-event sigma for R_off.
+    """
+
+    sigma_on_d2d: float = 0.05
+    sigma_off_d2d: float = 0.25
+    sigma_on_c2c: float = 0.02
+    sigma_off_c2c: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sigma_on_d2d",
+            "sigma_off_d2d",
+            "sigma_on_c2c",
+            "sigma_off_c2c",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def device_medians(
+        self,
+        params: DeviceParameters,
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw per-device median (R_on, R_off) arrays of ``shape``."""
+        r_on = params.r_on * rng.lognormal(0.0, self.sigma_on_d2d, shape)
+        r_off = params.r_off * rng.lognormal(0.0, self.sigma_off_d2d, shape)
+        return r_on, r_off
+
+    def programmed_value(
+        self,
+        median: np.ndarray,
+        bit: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply C2C noise to a programming event.
+
+        Args:
+            median: per-device median resistance for the level being written.
+            bit: boolean array, True where the ON level is being written
+                (selects the C2C sigma).
+            rng: random generator.
+
+        Returns:
+            Sampled post-programming resistances, same shape as ``median``.
+        """
+        sigma = np.where(bit, self.sigma_on_c2c, self.sigma_off_c2c)
+        return median * rng.lognormal(0.0, sigma)
+
+
+def sample_resistances(
+    bits: np.ndarray,
+    params: DeviceParameters,
+    variability: VariabilityModel | None,
+    rng: np.random.Generator | None,
+) -> np.ndarray:
+    """Turn a bit matrix into a resistance matrix, with optional spread.
+
+    Args:
+        bits: boolean/0-1 array; 1 maps to R_on (low), 0 to R_off (high).
+        params: nominal resistance window.
+        variability: spread model, or None for ideal two-point resistances.
+        rng: random generator; required when ``variability`` is given.
+
+    Returns:
+        Float array of resistances with the same shape as ``bits``.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if variability is None:
+        return np.where(bits, params.r_on, params.r_off).astype(float)
+    if rng is None:
+        raise ValueError("a numpy Generator is required with variability")
+    median_on, median_off = variability.device_medians(params, bits.shape, rng)
+    median = np.where(bits, median_on, median_off)
+    return variability.programmed_value(median, bits, rng)

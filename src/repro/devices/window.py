@@ -1,0 +1,138 @@
+"""Window functions for ion-drift memristor models.
+
+A window function ``f(x)`` multiplies the state derivative of a drift model
+to (a) pin the state inside ``[0, 1]`` and (b) capture the nonlinear slowdown
+of ionic motion near the film boundaries.  The three classic choices are
+implemented (Joglekar, Biolek, Prodromakis) plus the trivial rectangular
+window.  All are pure functions of the normalized state ``x`` and, for
+Biolek, the sign of the current.
+
+References:
+    Joglekar & Wolf, "The elusive memristor", Eur. J. Phys. 30 (2009).
+    Biolek et al., "SPICE model of memristor with nonlinear dopant drift",
+    Radioengineering 18 (2009).
+    Prodromakis et al., "A versatile memristor model with nonlinear dopant
+    kinetics", IEEE T-ED 58 (2011).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Protocol
+
+__all__ = [
+    "WindowFunction",
+    "RectangularWindow",
+    "JoglekarWindow",
+    "BiolekWindow",
+    "ProdromakisWindow",
+    "window_by_name",
+]
+
+
+class WindowFunction(Protocol):
+    """Callable window: ``f(x, current)`` with ``x`` the normalized state."""
+
+    def __call__(self, x: float, current: float = 0.0) -> float: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class RectangularWindow:
+    """Hard clipping: unit drift inside (0, 1), zero drift pushing outward.
+
+    With this window the linear-drift model has a closed-form solution, which
+    the test suite exploits as an analytic cross-check.
+    """
+
+    def __call__(self, x: float, current: float = 0.0) -> float:
+        if x <= 0.0 and current < 0.0:
+            return 0.0
+        if x >= 1.0 and current > 0.0:
+            return 0.0
+        return 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class JoglekarWindow:
+    """``f(x) = 1 - (2x - 1)^(2p)``; symmetric, zero at both boundaries.
+
+    Higher ``p`` flattens the window toward the rectangular one.  Its known
+    artefact -- the state can never leave a boundary once it exactly reaches
+    it -- is inherited deliberately; tests document it.
+    """
+
+    p: int = 2
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError("window exponent p must be >= 1")
+
+    def __call__(self, x: float, current: float = 0.0) -> float:
+        return 1.0 - (2.0 * x - 1.0) ** (2 * self.p)
+
+
+@dataclasses.dataclass(frozen=True)
+class BiolekWindow:
+    """``f(x, i) = 1 - (x - stp(-i))^(2p)``; direction-dependent.
+
+    Unlike Joglekar, the window is 1 at the boundary the state is moving
+    *away* from, which removes the terminal-state lockup artefact.
+    """
+
+    p: int = 2
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError("window exponent p must be >= 1")
+
+    def __call__(self, x: float, current: float = 0.0) -> float:
+        step = 1.0 if current >= 0.0 else 0.0
+        return 1.0 - (x - (1.0 - step)) ** (2 * self.p)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProdromakisWindow:
+    """``f(x) = j * (1 - ((x - 0.5)^2 + 0.75)^p)``; tunable peak ``j``.
+
+    Allows ``f(x) > 1`` (for ``j > 1``) to model super-linear dopant
+    kinetics; reduces to a Joglekar-like shape for ``j = 1``.
+    """
+
+    p: float = 1.0
+    j: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise ValueError("window exponent p must be positive")
+        if self.j <= 0:
+            raise ValueError("window scale j must be positive")
+
+    def __call__(self, x: float, current: float = 0.0) -> float:
+        return self.j * (1.0 - ((x - 0.5) ** 2 + 0.75) ** self.p)
+
+
+_WINDOWS: dict[str, Callable[[], WindowFunction]] = {
+    "rectangular": RectangularWindow,
+    "joglekar": JoglekarWindow,
+    "biolek": BiolekWindow,
+    "prodromakis": ProdromakisWindow,
+}
+
+
+def window_by_name(name: str, **kwargs) -> WindowFunction:
+    """Construct a window function from its lowercase name.
+
+    Args:
+        name: one of ``rectangular``, ``joglekar``, ``biolek``,
+            ``prodromakis``.
+        **kwargs: forwarded to the window's constructor (e.g. ``p=4``).
+
+    Raises:
+        KeyError: for an unknown window name, listing the valid ones.
+    """
+    try:
+        factory = _WINDOWS[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(_WINDOWS))
+        raise KeyError(f"unknown window {name!r}; expected one of: {valid}")
+    return factory(**kwargs)

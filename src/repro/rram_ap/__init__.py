@@ -1,0 +1,60 @@
+"""RRAM-AP: the RRAM Automata Processor (paper Section IV).
+
+The dot-product kernel (functional and electrically evaluated), full and
+two-level hierarchical routing with placement, chip-level cost models, and
+the three hardware implementations (RRAM-AP plus the SRAM-AP and SDRAM-AP
+baselines) sharing one processor core.
+"""
+
+from repro.rram_ap.baselines import (
+    all_implementations,
+    rram_ap,
+    sdram_ap,
+    sram_ap,
+)
+from repro.rram_ap.chip import APChip, ChipReport, MatchEvent
+from repro.rram_ap.cost import (
+    APChipCost,
+    DotProductKernelCost,
+    RRAM_KERNEL,
+    SDRAM_KERNEL,
+    SRAM_KERNEL,
+    kernel_cost_from_circuit,
+)
+from repro.rram_ap.dot_product import CrossbarDotProduct, NumpyDotProduct
+from repro.rram_ap.placement import bfs_blocks, place, refine_blocks
+from repro.rram_ap.processor import AutomataProcessor, RunCost
+from repro.rram_ap.routing import (
+    FullCrossbarRouting,
+    RoutabilityReport,
+    TwoLevelRouting,
+)
+from repro.rram_ap.ste_array import STEArray, decode_symbol
+
+__all__ = [
+    "APChip",
+    "APChipCost",
+    "ChipReport",
+    "MatchEvent",
+    "AutomataProcessor",
+    "CrossbarDotProduct",
+    "DotProductKernelCost",
+    "FullCrossbarRouting",
+    "NumpyDotProduct",
+    "RRAM_KERNEL",
+    "RoutabilityReport",
+    "RunCost",
+    "SDRAM_KERNEL",
+    "SRAM_KERNEL",
+    "STEArray",
+    "TwoLevelRouting",
+    "decode_symbol",
+    "all_implementations",
+    "bfs_blocks",
+    "kernel_cost_from_circuit",
+    "place",
+    "rram_ap",
+    "refine_blocks",
+    "sdram_ap",
+    "sram_ap",
+]

@@ -1,0 +1,41 @@
+"""Factory functions for RRAM-AP and the two published baselines.
+
+The paper's Section IV-D comparison: RRAM-AP vs SRAM-AP (Cache Automaton,
+MICRO'17) vs SDRAM-AP (Micron AP).  All three run the identical generic
+model; they differ only in the dot-product kernel, so the factories below
+merely bind the kernel cost record.
+"""
+
+from __future__ import annotations
+
+from repro.automata.homogeneous import HomogeneousAutomaton
+from repro.rram_ap.cost import RRAM_KERNEL, SDRAM_KERNEL, SRAM_KERNEL
+from repro.rram_ap.processor import AutomataProcessor
+
+__all__ = ["rram_ap", "sram_ap", "sdram_ap", "all_implementations"]
+
+
+def rram_ap(automaton: HomogeneousAutomaton, **kwargs) -> AutomataProcessor:
+    """RRAM-AP: 1T1R arrays for STEs and switches (the paper's proposal)."""
+    return AutomataProcessor(automaton, kernel=RRAM_KERNEL, **kwargs)
+
+
+def sram_ap(automaton: HomogeneousAutomaton, **kwargs) -> AutomataProcessor:
+    """SRAM-AP: the Cache Automaton baseline (8T SRAM arrays)."""
+    return AutomataProcessor(automaton, kernel=SRAM_KERNEL, **kwargs)
+
+
+def sdram_ap(automaton: HomogeneousAutomaton, **kwargs) -> AutomataProcessor:
+    """SDRAM-AP: the Micron Automata Processor baseline."""
+    return AutomataProcessor(automaton, kernel=SDRAM_KERNEL, **kwargs)
+
+
+def all_implementations(
+    automaton: HomogeneousAutomaton, **kwargs
+) -> dict[str, AutomataProcessor]:
+    """All three processors configured with the same automaton."""
+    return {
+        "RRAM-AP": rram_ap(automaton, **kwargs),
+        "SRAM-AP": sram_ap(automaton, **kwargs),
+        "SDRAM-AP": sdram_ap(automaton, **kwargs),
+    }

@@ -1,0 +1,118 @@
+"""Whole-chip automata processing: many rules, one machine, one pass.
+
+Hardware APs do not run one automaton at a time; a configured chip holds
+an entire signature set and evaluates all of it against each input symbol
+simultaneously.  :class:`APChip` combines per-rule homogeneous automata
+into one machine (disjoint union), runs the stream once, and attributes
+every accept back to the rule that fired -- the execution model the IDS
+and mining workloads (paper refs [22-24]) assume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.automata.homogeneous import HomogeneousAutomaton, merge_automata
+from repro.rram_ap.cost import DotProductKernelCost, RRAM_KERNEL
+from repro.rram_ap.processor import AutomataProcessor, RunCost
+
+__all__ = ["MatchEvent", "ChipReport", "APChip"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchEvent:
+    """One reported match.
+
+    Attributes:
+        rule: index of the rule (input automaton) that matched.
+        end_position: 1-based input position where the match ended.
+    """
+
+    rule: int
+    end_position: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipReport:
+    """Outcome of one stream pass over the whole rule set.
+
+    Attributes:
+        events: every (rule, end position) match, input order.
+        cost: hardware cost of the pass (single combined machine).
+    """
+
+    events: tuple[MatchEvent, ...]
+    cost: RunCost
+
+    def rules_fired(self) -> frozenset[int]:
+        return frozenset(e.rule for e in self.events)
+
+    def events_for(self, rule: int) -> tuple[int, ...]:
+        """End positions reported for one rule."""
+        return tuple(e.end_position for e in self.events
+                     if e.rule == rule)
+
+
+class APChip:
+    """A full rule set configured onto one automata-processor fabric.
+
+    Args:
+        automata: one homogeneous automaton per rule, sharing an alphabet.
+        kernel: dot-product kernel cost record (RRAM/SRAM/SDRAM).
+        **processor_kwargs: forwarded to :class:`AutomataProcessor`
+            (routing style, block size, backend, ...).
+    """
+
+    def __init__(
+        self,
+        automata: list[HomogeneousAutomaton],
+        kernel: DotProductKernelCost = RRAM_KERNEL,
+        **processor_kwargs,
+    ) -> None:
+        combined, ranges = merge_automata(automata)
+        self.combined = combined
+        self.rule_ranges = ranges
+        self.processor = AutomataProcessor(combined, kernel=kernel,
+                                           **processor_kwargs)
+        # Per-rule accept masks over the combined state space.
+        accept = combined.accept_vector()
+        self._rule_accept = np.zeros((len(ranges), combined.n_states),
+                                     dtype=bool)
+        for k, rng in enumerate(ranges):
+            self._rule_accept[k, rng.start:rng.stop] = \
+                accept[rng.start:rng.stop]
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rule_ranges)
+
+    @property
+    def n_states(self) -> int:
+        return self.combined.n_states
+
+    def scan(self, stream, unanchored: bool = True) -> ChipReport:
+        """One pass of the input over the whole rule set.
+
+        Args:
+            stream: iterable of alphabet symbols.
+            unanchored: report matches ending anywhere (the streaming
+                pattern-search mode; default, as on real APs).
+
+        Returns:
+            A :class:`ChipReport` with per-rule match attribution.
+        """
+        trace, cost = self.processor.run(stream, unanchored=unanchored)
+        events = []
+        # active[t + 1] is the state after consuming symbol t+1.
+        fired = trace.active[1:] @ self._rule_accept.T  # (T, rules) counts
+        for t, row in enumerate(fired):
+            for rule in np.nonzero(row)[0]:
+                events.append(MatchEvent(rule=int(rule),
+                                         end_position=t + 1))
+        return ChipReport(events=tuple(events), cost=cost)
+
+    def chip_cost(self):
+        """Chip-level cost of the combined configuration."""
+        return self.processor.chip_cost()

@@ -1,0 +1,78 @@
+"""The STE array: input-symbol processing in hardware (Fig. 6, step 1).
+
+A W-bit input symbol drives a decoder that activates exactly one of the
+2^W word lines; the array of State Transition Element (STE) columns then
+produces the Symbol Vector ``s = i . V`` in one dot-product evaluation.
+This module provides the decoder plus the configured array, over either
+the functional or the electrical dot-product operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automata.symbols import Alphabet
+from repro.devices.base import DeviceParameters
+from repro.rram_ap.dot_product import CrossbarDotProduct, NumpyDotProduct
+
+__all__ = ["decode_symbol", "STEArray"]
+
+
+def decode_symbol(alphabet: Alphabet, symbol) -> np.ndarray:
+    """The one-hot Input Vector i: one active word line out of |Sigma|.
+
+    Real hardware decodes W bits into 2^W lines; lines beyond the
+    alphabet are never selected, so the model carries |Sigma| lines.
+    """
+    one_hot = np.zeros(alphabet.size, dtype=bool)
+    one_hot[alphabet.index_of(symbol)] = True
+    return one_hot
+
+
+class STEArray:
+    """The configured STE columns of an automata processor.
+
+    Args:
+        alphabet: the input symbol universe (fixes the word-line count).
+        ste_matrix: V, boolean (|Sigma|, N); column n is state n's STE.
+        backend: "matrix" (numpy golden) or "crossbar" (electrical reads
+            through a 1T1R array).
+        device: memristor window for the crossbar backend.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        ste_matrix: np.ndarray,
+        backend: str = "matrix",
+        device: DeviceParameters | None = None,
+    ) -> None:
+        ste_matrix = np.asarray(ste_matrix, dtype=bool)
+        if ste_matrix.ndim != 2 or ste_matrix.shape[0] != alphabet.size:
+            raise ValueError("V must be (|alphabet|, N)")
+        self.alphabet = alphabet
+        self.ste_matrix = ste_matrix
+        if backend == "matrix":
+            self._operator = NumpyDotProduct(ste_matrix)
+        elif backend == "crossbar":
+            self._operator = CrossbarDotProduct(ste_matrix, params=device)
+        else:
+            raise ValueError("backend must be 'matrix' or 'crossbar'")
+        self.backend = backend
+
+    @property
+    def n_states(self) -> int:
+        return self.ste_matrix.shape[1]
+
+    @property
+    def wordlines(self) -> int:
+        """Decoder outputs the hardware must provision (2^W)."""
+        return self.alphabet.wordline_count
+
+    def symbol_vector(self, symbol) -> np.ndarray:
+        """Eq. 1: decode the symbol, evaluate all STE columns at once."""
+        return self._operator.evaluate(decode_symbol(self.alphabet, symbol))
+
+    def configurable_bits(self) -> int:
+        """Bits the configuration must program (full decoder height)."""
+        return self.wordlines * self.n_states

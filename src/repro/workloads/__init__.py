@@ -1,0 +1,96 @@
+"""Workload generators for the paper's named application domains.
+
+DNA motif search, network intrusion detection, bitmap-index databases,
+graph BFS, bit-parallel string matching and sequential pattern mining --
+the applications Sections I, III-B and IV cite as drivers for both
+accelerators.  All generators take explicit seeded RNGs.
+"""
+
+from repro.workloads.database import (
+    BitmapIndex,
+    Query,
+    random_query,
+    random_table,
+)
+from repro.workloads.datamining import (
+    ITEM_ALPHABET,
+    SPMDataset,
+    generate_transactions,
+    golden_support,
+    pattern_nfa,
+    pattern_to_regex,
+)
+from repro.workloads.dna import (
+    IUPAC_CODES,
+    MotifDataset,
+    make_motif_dataset,
+    motif_nfa,
+    motif_to_regex,
+    plant_motif,
+    random_sequence,
+)
+from repro.workloads.graph import (
+    BFSResult,
+    adjacency_bits,
+    bfs_levels_golden,
+    mvp_bfs,
+    random_graph,
+)
+from repro.workloads.networking import (
+    PAYLOAD_ALPHABET,
+    RulesetWorkload,
+    SignatureRule,
+    generate_payload,
+    generate_ruleset,
+    make_ids_workload,
+)
+from repro.workloads.traces import (
+    pointer_chase,
+    random_uniform,
+    sequential_scan,
+    strided_access,
+    zipf_accesses,
+)
+from repro.workloads.strings import (
+    MatchResult,
+    MultiPatternMatcher,
+    ShiftAndMatcher,
+)
+
+__all__ = [
+    "BFSResult",
+    "BitmapIndex",
+    "ITEM_ALPHABET",
+    "IUPAC_CODES",
+    "MatchResult",
+    "MotifDataset",
+    "MultiPatternMatcher",
+    "PAYLOAD_ALPHABET",
+    "Query",
+    "RulesetWorkload",
+    "SPMDataset",
+    "ShiftAndMatcher",
+    "SignatureRule",
+    "adjacency_bits",
+    "bfs_levels_golden",
+    "generate_payload",
+    "generate_ruleset",
+    "generate_transactions",
+    "golden_support",
+    "make_ids_workload",
+    "make_motif_dataset",
+    "motif_nfa",
+    "motif_to_regex",
+    "mvp_bfs",
+    "pattern_nfa",
+    "pattern_to_regex",
+    "plant_motif",
+    "pointer_chase",
+    "random_graph",
+    "random_query",
+    "random_sequence",
+    "random_table",
+    "sequential_scan",
+    "strided_access",
+    "zipf_accesses",
+]

@@ -1,0 +1,99 @@
+"""Sequential pattern mining workloads (paper ref [24]).
+
+Wang, Sadredini & Skadron ran sequential pattern mining (SPM) on the
+Micron AP: a candidate pattern <i1, i2, ..., ik> is *supported* by a
+transaction sequence if its items occur in order with arbitrary gaps --
+exactly the language ``.*i1.*i2...ik.*`` an automata processor checks in
+one pass per sequence.  This module generates transaction databases,
+builds candidate patterns, converts them to regexes, and computes golden
+support counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.automata.nfa import NFA
+from repro.automata.regex import compile_regex
+from repro.automata.symbols import Alphabet
+
+__all__ = [
+    "ITEM_ALPHABET",
+    "SPMDataset",
+    "generate_transactions",
+    "pattern_to_regex",
+    "pattern_nfa",
+    "golden_support",
+]
+
+ITEM_ALPHABET = Alphabet("abcdefghijklmnop")  # 16 items, W = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class SPMDataset:
+    """A transaction database and the patterns mined against it.
+
+    Attributes:
+        sequences: the transaction strings (each symbol is one item).
+        patterns: candidate ordered patterns (item strings).
+    """
+
+    sequences: tuple[str, ...]
+    patterns: tuple[str, ...]
+
+
+def generate_transactions(
+    rng: np.random.Generator,
+    n_sequences: int,
+    length: int,
+    n_patterns: int = 4,
+    pattern_length: int = 3,
+    support_fraction: float = 0.4,
+) -> SPMDataset:
+    """Transactions with candidate patterns embedded at known support.
+
+    Each pattern is embedded (in order, with random gaps) into a
+    ``support_fraction`` share of the sequences, so mined supports have a
+    known floor.
+    """
+    if not 0.0 <= support_fraction <= 1.0:
+        raise ValueError("support_fraction must be in [0, 1]")
+    items = list(ITEM_ALPHABET.symbols)
+    patterns = []
+    for _ in range(n_patterns):
+        chosen = rng.choice(len(items), size=pattern_length, replace=False)
+        patterns.append("".join(items[int(c)] for c in chosen))
+    sequences = []
+    for k in range(n_sequences):
+        seq = list(rng.choice(items, size=length))
+        for pattern in patterns:
+            if rng.random() < support_fraction:
+                positions = np.sort(rng.choice(length, size=len(pattern),
+                                               replace=False))
+                for pos, item in zip(positions, pattern):
+                    seq[int(pos)] = item
+        sequences.append("".join(seq))
+    return SPMDataset(sequences=tuple(sequences), patterns=tuple(patterns))
+
+
+def pattern_to_regex(pattern: str) -> str:
+    """Ordered-with-gaps containment: ``abc`` -> ``.*a.*b.*c.*``."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    return ".*" + ".*".join(pattern) + ".*"
+
+
+def pattern_nfa(pattern: str, alphabet: Alphabet = ITEM_ALPHABET) -> NFA:
+    """Compile a candidate pattern into its containment NFA."""
+    return compile_regex(pattern_to_regex(pattern), alphabet)
+
+
+def golden_support(pattern: str, sequences: tuple[str, ...]) -> int:
+    """Reference support count by direct subsequence check."""
+    def contains(seq: str) -> bool:
+        it = iter(seq)
+        return all(item in it for item in pattern)
+
+    return sum(1 for seq in sequences if contains(seq))

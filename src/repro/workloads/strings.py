@@ -1,0 +1,91 @@
+"""Bit-parallel string matching (Shift-And / Shift-Or; paper refs [18, 19]).
+
+The bitwise-data-parallelism school of string matching is the software
+counterpart of the paper's in-memory bulk bitwise operations: the Shift-And
+automaton advances all pattern positions at once inside a machine word.
+Implemented here as the software baseline the MVP/AP paths are compared
+against, plus a multi-pattern wrapper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ShiftAndMatcher", "MultiPatternMatcher", "MatchResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchResult:
+    """Occurrences of one pattern.
+
+    Attributes:
+        pattern: the searched pattern.
+        end_positions: 1-based end indices of each occurrence.
+    """
+
+    pattern: str
+    end_positions: tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.end_positions)
+
+
+class ShiftAndMatcher:
+    """Classic Shift-And exact matcher (Baeza-Yates/Gonnet).
+
+    Precomputes per-symbol occurrence masks; each text symbol then costs
+    one shift, one OR and one AND over an m-bit state -- the bit-level
+    parallelism of refs [18, 19].
+
+    Args:
+        pattern: non-empty pattern string.
+    """
+
+    def __init__(self, pattern: str) -> None:
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = pattern
+        self.m = len(pattern)
+        self.masks: dict[str, int] = {}
+        for i, ch in enumerate(pattern):
+            self.masks[ch] = self.masks.get(ch, 0) | (1 << i)
+        self.accept_bit = 1 << (self.m - 1)
+
+    def find(self, text: str) -> MatchResult:
+        """All occurrences of the pattern in ``text``."""
+        state = 0
+        ends = []
+        for pos, ch in enumerate(text, start=1):
+            state = ((state << 1) | 1) & self.masks.get(ch, 0)
+            if state & self.accept_bit:
+                ends.append(pos)
+        return MatchResult(pattern=self.pattern, end_positions=tuple(ends))
+
+    def count(self, text: str) -> int:
+        return self.find(text).count
+
+
+class MultiPatternMatcher:
+    """Independent Shift-And automata, one per pattern.
+
+    Models the software a CPU would run for an IDS rule set; the automata
+    processor evaluates all patterns in one pass, which is where its
+    throughput advantage comes from.
+    """
+
+    def __init__(self, patterns: list[str]) -> None:
+        if not patterns:
+            raise ValueError("need at least one pattern")
+        self.matchers = [ShiftAndMatcher(p) for p in patterns]
+
+    def find_all(self, text: str) -> list[MatchResult]:
+        return [m.find(text) for m in self.matchers]
+
+    def total_matches(self, text: str) -> int:
+        return sum(m.count(text) for m in self.matchers)
+
+    @property
+    def state_bits(self) -> int:
+        """Total automaton state bits a CPU must carry per text symbol."""
+        return sum(m.m for m in self.matchers)

@@ -1,0 +1,83 @@
+"""Memory address-trace generators for the cache-driven Fig. 4 study.
+
+The data-intensive applications the paper targets (Section III-B) have
+characteristic access patterns; these generators produce the classic
+ones so the cache simulator can *measure* the miss rates the analytical
+models sweep:
+
+* sequential scans (database column scans, DNA streaming),
+* strided accesses (row-major matrix walks),
+* uniform and Zipf-distributed random access (hash joins, key-value),
+* pointer chasing (graph traversal -- the worst case for hierarchies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sequential_scan",
+    "strided_access",
+    "random_uniform",
+    "zipf_accesses",
+    "pointer_chase",
+]
+
+
+def sequential_scan(n_accesses: int, element_bytes: int = 8,
+                    start: int = 0) -> np.ndarray:
+    """Streaming read of consecutive elements."""
+    if n_accesses < 1 or element_bytes < 1:
+        raise ValueError("need positive counts")
+    return start + element_bytes * np.arange(n_accesses, dtype=np.int64)
+
+
+def strided_access(n_accesses: int, stride_bytes: int,
+                   start: int = 0) -> np.ndarray:
+    """Fixed-stride walk (e.g. column access of a row-major matrix)."""
+    if n_accesses < 1 or stride_bytes < 1:
+        raise ValueError("need positive counts")
+    return start + stride_bytes * np.arange(n_accesses, dtype=np.int64)
+
+
+def random_uniform(rng: np.random.Generator, n_accesses: int,
+                   footprint_bytes: int,
+                   element_bytes: int = 8) -> np.ndarray:
+    """Uniform random touches over a working set of ``footprint_bytes``."""
+    if footprint_bytes < element_bytes:
+        raise ValueError("footprint smaller than one element")
+    n_elements = footprint_bytes // element_bytes
+    return element_bytes * rng.integers(0, n_elements, size=n_accesses,
+                                        dtype=np.int64)
+
+
+def zipf_accesses(rng: np.random.Generator, n_accesses: int,
+                  footprint_bytes: int, alpha: float = 1.2,
+                  element_bytes: int = 8) -> np.ndarray:
+    """Skewed (Zipf) access: hot keys dominate, as in key-value stores."""
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for numpy's zipf sampler")
+    n_elements = max(1, footprint_bytes // element_bytes)
+    ranks = rng.zipf(alpha, size=n_accesses)
+    # Fold the unbounded Zipf ranks into the footprint.
+    return element_bytes * ((ranks - 1) % n_elements).astype(np.int64)
+
+
+def pointer_chase(rng: np.random.Generator, n_accesses: int,
+                  footprint_bytes: int,
+                  element_bytes: int = 64) -> np.ndarray:
+    """A random-permutation cycle walk: every access depends on the last.
+
+    The canonical cache-hostile pattern (graph traversal, linked lists):
+    with a footprint beyond cache capacity, nearly every access misses.
+    """
+    n_elements = max(2, footprint_bytes // element_bytes)
+    order = rng.permutation(n_elements)
+    successor = np.empty(n_elements, dtype=np.int64)
+    successor[order] = np.roll(order, -1)  # one big cycle
+    trace = np.empty(n_accesses, dtype=np.int64)
+    node = int(order[0])
+    for k in range(n_accesses):
+        trace[k] = node * element_bytes
+        node = int(successor[node])
+    return trace

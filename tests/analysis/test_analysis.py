@@ -1,0 +1,103 @@
+"""Tests for plots, tables, claims and the figure regenerators."""
+
+import pytest
+
+from repro.analysis import (
+    PaperClaim,
+    bar_chart,
+    claims_table_rows,
+    fig3_scouting,
+    fig5_homogeneous,
+    fig6_worked_example,
+    format_table,
+    line_plot,
+    write_csv,
+)
+
+
+class TestAsciiPlot:
+    def test_line_plot_contains_series_markers(self):
+        text = line_plot({"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 4)]},
+                         title="t")
+        assert "t" in text
+        assert "*" in text and "o" in text
+        assert "a" in text and "b" in text
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [(0, 0.0), (1, 1.0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_bar_chart(self):
+        text = bar_chart({"x": 10.0, "yy": 5.0}, unit="x")
+        assert "##" in text
+        assert "yy" in text
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [("a", 1.0), ("bb", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "x.csv", ["a", "b"],
+                         [(1, 2.5), (3, 4.0)])
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2.5"
+
+
+class TestPaperClaims:
+    def test_within_tolerance(self):
+        claim = PaperClaim("s", "d", 100.0, 104.0, rel_tolerance=0.05)
+        assert claim.within_tolerance
+        claim.assert_holds()
+
+    def test_out_of_band_raises(self):
+        claim = PaperClaim("s", "d", 100.0, 140.0, rel_tolerance=0.05)
+        assert not claim.within_tolerance
+        with pytest.raises(AssertionError, match="tolerance"):
+            claim.assert_holds()
+
+    def test_rel_error_signed(self):
+        assert PaperClaim("s", "d", 100.0, 90.0, 0.2).rel_error == \
+            pytest.approx(-0.1)
+
+    def test_table_rows(self):
+        rows = claims_table_rows(
+            [PaperClaim("s", "d", 1.0, 1.01, 0.05, unit="J")]
+        )
+        assert rows[0][-1] == "ok"
+
+
+class TestFigureRegenerators:
+    def test_fig3_truth_tables_exact(self):
+        result = fig3_scouting()
+        gates = [(o, a, x) for _, _, _, o, a, x in result.truth_rows]
+        assert gates == [(0, 0, 0), (1, 0, 1), (1, 0, 1), (1, 1, 0)]
+        assert "scouting" in result.render()
+
+    def test_fig5_matches_paper_matrices(self):
+        result = fig5_homogeneous()
+        assert result.v_matches_paper
+        assert result.r_matches_paper
+        for _, nfa_accepts, ha_accepts in result.language_checks:
+            assert nfa_accepts == ha_accepts
+
+    def test_fig6_worked_example_vectors(self):
+        result = fig6_worked_example("cb")
+        symbol, s, f, a, accept = result.steps[1]
+        assert symbol == "b"
+        assert s == "[1 0 1]"
+        assert a == "[0 0 1]"
+        assert accept == 1
+        assert result.accepted

@@ -1,0 +1,79 @@
+"""Tests for the remaining figure regenerators and result objects."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    Fig9Result,
+    fig1_hysteresis,
+    fig4_sweep,
+    fig9_dot_product,
+    render_fig4,
+)
+from repro.analysis.compare import PaperClaim
+
+
+class TestFig1Regenerator:
+    def test_default_frequencies_give_shrinking_lobes(self):
+        result = fig1_hysteresis(samples_per_period=2000)
+        assert result.lobe_areas[0] > result.lobe_areas[1] \
+            > result.lobe_areas[2]
+
+    def test_custom_frequencies(self):
+        result = fig1_hysteresis(frequencies=(5.0, 20.0),
+                                 samples_per_period=1000)
+        assert len(result.lobe_areas) == 2
+        assert len(result.csv_rows()) == 2
+
+    def test_render_contains_frequencies(self):
+        text = fig1_hysteresis(samples_per_period=1000).render()
+        assert "frequency" in text
+        assert "Fig. 1b" in text
+
+
+class TestFig4Regenerator:
+    def test_sweep_and_render(self):
+        sweep = fig4_sweep()
+        text = render_fig4(sweep)
+        assert "MOPs/mW" in text
+        assert "multicore" in text
+        assert "MVP" in text
+        assert "improvement" in text
+
+    def test_series_alignment(self):
+        sweep = fig4_sweep()
+        rows = sweep.series_vs_l1("eta_e", l2=0.3)
+        # Lower is better: MVP's pJ/op below multicore's everywhere.
+        for _, multicore, mvp in rows:
+            assert mvp < multicore
+
+
+class TestFig9Regenerator:
+    def test_small_column_fast_path(self):
+        """A 32-cell column exercises the full path quickly; absolute
+        numbers differ from the 256-cell paper setup by design."""
+        result = fig9_dot_product(n_cells=32, dt=4e-12)
+        assert result.rram_delay < result.sram_delay
+        assert result.rram_energy < result.sram_energy
+        assert "Fig. 9" in result.render()
+        assert len(result.csv_rows()) == 2
+
+    def test_result_reductions(self):
+        r = Fig9Result(
+            rram_delay=100e-12, sram_delay=200e-12,
+            rram_energy=2e-15, sram_energy=4e-15, claims=[],
+        )
+        assert r.delay_reduction == pytest.approx(0.5)
+        assert r.energy_reduction == pytest.approx(0.5)
+
+
+class TestPaperClaimEdgeCases:
+    def test_zero_paper_value_rejected(self):
+        claim = PaperClaim("s", "d", 0.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            _ = claim.rel_error
+
+    def test_exact_match(self):
+        claim = PaperClaim("s", "d", 5.0, 5.0, 0.0)
+        assert claim.within_tolerance
+        assert claim.rel_error == 0.0

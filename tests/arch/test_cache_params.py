@@ -1,0 +1,105 @@
+"""Tests for architecture parameters and the hierarchy model."""
+
+import pytest
+
+from repro.arch import (
+    AreaParameters,
+    EnergyParameters,
+    LatencyParameters,
+    MemoryHierarchyModel,
+    MissRates,
+    StaticPowerParameters,
+    WorkloadParameters,
+)
+
+
+class TestParameterValidation:
+    def test_energy_positive(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(e_alu=0.0)
+
+    def test_latency_positive(self):
+        with pytest.raises(ValueError):
+            LatencyParameters(t_dram=-1.0)
+
+    def test_lanes_at_least_one(self):
+        with pytest.raises(ValueError):
+            LatencyParameters(cim_lanes=0)
+
+    def test_static_non_negative(self):
+        with pytest.raises(ValueError):
+            StaticPowerParameters(core=-1.0)
+
+    def test_crossbar_standby_default_zero(self):
+        """The paper's non-volatility argument."""
+        assert StaticPowerParameters().crossbar_per_gb == 0.0
+
+    def test_area_positive(self):
+        with pytest.raises(ValueError):
+            AreaParameters(core=0.0)
+
+    def test_crossbar_denser_than_dram(self):
+        a = AreaParameters()
+        assert a.crossbar_per_gb < a.dram_per_gb
+
+    def test_workload_fractions_bounded(self):
+        with pytest.raises(ValueError):
+            WorkloadParameters(accelerated_fraction=1.5)
+
+    def test_paper_energy_multipliers(self):
+        """Section III-B: SRAM ~50x and DRAM ~6400x an ALU op."""
+        e = EnergyParameters()
+        assert e.e_l1 / e.e_alu == pytest.approx(50.0)
+        assert e.e_dram / e.e_alu == pytest.approx(6400.0)
+
+    def test_cim_op_latency_derived(self):
+        lat = LatencyParameters(t_cim_activation=100e-9, cim_lanes=1000)
+        assert lat.t_cim_op == pytest.approx(0.1e-9)
+
+
+class TestMissRates:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            MissRates(l1=1.2, l2=0.0)
+        with pytest.raises(ValueError):
+            MissRates(l1=0.0, l2=-0.1)
+
+
+class TestHierarchyModel:
+    def setup_method(self):
+        self.model = MemoryHierarchyModel(
+            EnergyParameters(), LatencyParameters()
+        )
+
+    def test_no_misses_only_l1(self):
+        m = MissRates(0.0, 0.0)
+        assert self.model.access_energy(m) == pytest.approx(50e-12)
+        assert self.model.access_latency(m) == pytest.approx(2e-9)
+
+    def test_full_misses_reach_dram(self):
+        m = MissRates(1.0, 1.0)
+        e = self.model.access_energy(m)
+        assert e == pytest.approx((50 + 150 + 6400) * 1e-12)
+
+    def test_amat_decomposition(self):
+        m = MissRates(0.3, 0.3)
+        expected = 2e-9 + 0.3 * 7.5e-9 + 0.09 * 100e-9
+        assert self.model.access_latency(m) == pytest.approx(expected)
+
+    def test_energy_monotone_in_miss_rate(self):
+        low = self.model.access_energy(MissRates(0.1, 0.1))
+        high = self.model.access_energy(MissRates(0.5, 0.5))
+        assert high > low
+
+    def test_op_cost_scales_with_intensity(self):
+        m = MissRates(0.3, 0.3)
+        none = self.model.op_energy(m, 0.0)
+        full = self.model.op_energy(m, 1.0)
+        assert none == pytest.approx(1e-12)
+        assert full > 100 * none
+
+    def test_intensity_validated(self):
+        with pytest.raises(ValueError):
+            self.model.op_energy(MissRates(0, 0), 1.5)
+        with pytest.raises(ValueError):
+            self.model.op_latency(MissRates(0, 0), -0.1)

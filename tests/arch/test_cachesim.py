@@ -1,0 +1,130 @@
+"""Tests for the set-associative cache simulator, with analytic checks."""
+
+import numpy as np
+import pytest
+
+from repro.arch import CacheConfig, SetAssociativeCache, TwoLevelCacheSim, \
+    measure_miss_rates
+from repro.workloads import (
+    pointer_chase,
+    random_uniform,
+    sequential_scan,
+    strided_access,
+)
+
+
+class TestCacheConfig:
+    def test_paper_geometries(self):
+        l1 = CacheConfig(size_bytes=32 * 1024)
+        assert l1.n_sets == 32 * 1024 // (64 * 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=8)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, associativity=0)
+
+
+class TestSingleLevel:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024,
+                                                line_bytes=64,
+                                                associativity=2))
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)   # same line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction_order(self):
+        # 2-way, 1 set: capacity two lines.
+        cache = SetAssociativeCache(CacheConfig(size_bytes=128,
+                                                line_bytes=64,
+                                                associativity=2))
+        cache.access(0)      # A
+        cache.access(64)     # B (A is LRU)
+        cache.access(0)      # touch A (B is LRU)
+        cache.access(128)    # C evicts B
+        assert cache.access(0)        # A still resident
+        assert not cache.access(64)   # B was evicted
+
+    def test_sequential_miss_rate_is_stride_over_line(self):
+        """Analytic: one cold miss per 64-byte line."""
+        cache = SetAssociativeCache(CacheConfig(size_bytes=32 * 1024))
+        for addr in sequential_scan(8192, element_bytes=8):
+            cache.access(int(addr))
+        assert cache.miss_rate == pytest.approx(8 / 64, abs=0.01)
+
+    def test_line_stride_misses_everything(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=32 * 1024))
+        for addr in strided_access(4096, stride_bytes=64):
+            cache.access(int(addr))
+        assert cache.miss_rate == 1.0
+
+    def test_resident_working_set_only_cold_misses(self):
+        config = CacheConfig(size_bytes=32 * 1024)
+        cache = SetAssociativeCache(config)
+        footprint = 8 * 1024  # fits easily
+        trace = np.tile(np.arange(0, footprint, 64), 10)
+        for addr in trace:
+            cache.access(int(addr))
+        cold_lines = footprint // 64
+        assert cache.misses == cold_lines
+
+    def test_negative_address_rejected(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024))
+        with pytest.raises(ValueError):
+            cache.access(-8)
+
+
+class TestTwoLevel:
+    def test_l2_must_not_be_smaller(self):
+        with pytest.raises(ValueError):
+            TwoLevelCacheSim(CacheConfig(size_bytes=64 * 1024),
+                             CacheConfig(size_bytes=32 * 1024))
+
+    def test_streaming_misses_both_levels(self):
+        rates = measure_miss_rates(strided_access(20000, stride_bytes=64))
+        assert rates.l1 == pytest.approx(1.0, abs=0.01)
+        assert rates.l2 == pytest.approx(1.0, abs=0.01)
+
+    def test_mid_footprint_hits_l2(self):
+        """A working set between the L1 and L2 sizes: high m1, low m2."""
+        rng = np.random.default_rng(5)
+        trace = random_uniform(rng, 60000, footprint_bytes=128 * 1024,
+                               element_bytes=64)
+        rates = measure_miss_rates(trace)
+        assert rates.l1 > 0.5
+        assert rates.l2 < 0.2
+
+    def test_pointer_chase_is_cache_hostile(self):
+        rng = np.random.default_rng(7)
+        trace = pointer_chase(rng, 20000, footprint_bytes=4 * 1024 * 1024)
+        rates = measure_miss_rates(trace)
+        assert rates.l1 > 0.95
+        assert rates.l2 > 0.9
+
+    def test_measured_rates_feed_fig4_models(self):
+        """End-to-end: trace -> miss rates -> efficiency metrics."""
+        from repro.arch import (
+            EfficiencyMetrics,
+            MulticoreModel,
+            MVPSystemModel,
+            WorkloadParameters,
+        )
+        rng = np.random.default_rng(9)
+        trace = random_uniform(rng, 40000,
+                               footprint_bytes=2 * 1024 * 1024,
+                               element_bytes=64)
+        rates = measure_miss_rates(trace)
+        workload = WorkloadParameters()
+        mc = EfficiencyMetrics.from_point(
+            MulticoreModel().evaluate(rates, workload)
+        )
+        mvp = EfficiencyMetrics.from_point(
+            MVPSystemModel().evaluate(rates, workload)
+        )
+        ratios = mvp.ratios_vs(mc)
+        assert ratios["eta_e"] > 4.0  # the Fig. 4 story holds on
+        # *measured*, not just swept, miss rates.

@@ -1,0 +1,140 @@
+"""Tests for the multicore/MVP models and the Fig. 4 sweep."""
+
+import pytest
+
+from repro.arch import (
+    EfficiencyMetrics,
+    MissRates,
+    MulticoreModel,
+    MVPSystemModel,
+    SystemPoint,
+    WorkloadParameters,
+    run_fig4_sweep,
+)
+
+WORKLOAD = WorkloadParameters()
+MID = MissRates(0.3, 0.3)
+
+
+class TestSystemPoint:
+    def test_total_power(self):
+        p = SystemPoint("x", 1e9, 0.1, 0.05, 10.0)
+        assert p.total_power == pytest.approx(0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemPoint("x", 0.0, 0.1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            SystemPoint("x", 1e9, -0.1, 0.0, 1.0)
+
+
+class TestEfficiencyMetrics:
+    def test_units(self):
+        # 1 GOPS at 1 W over 100 mm^2 -> 1000 MOPs / 1000 mW = 1 MOPs/mW,
+        # 1 nJ/op = 1000 pJ/op, 10 MOPs/mm^2.
+        p = SystemPoint("x", 1e9, 1.0, 0.0, 100.0)
+        m = EfficiencyMetrics.from_point(p)
+        assert m.eta_pe == pytest.approx(1.0)
+        assert m.eta_e == pytest.approx(1000.0)
+        assert m.eta_pa == pytest.approx(10.0)
+
+    def test_ratios_orientation(self):
+        better = EfficiencyMetrics(eta_pe=10.0, eta_e=10.0, eta_pa=4.0)
+        worse = EfficiencyMetrics(eta_pe=1.0, eta_e=100.0, eta_pa=2.0)
+        r = better.ratios_vs(worse)
+        assert r["eta_pe"] == pytest.approx(10.0)
+        assert r["eta_e"] == pytest.approx(10.0)  # lower pJ/op is better
+        assert r["eta_pa"] == pytest.approx(2.0)
+
+
+class TestMulticoreModel:
+    def test_four_cores_quadruple_throughput(self):
+        one = MulticoreModel(n_cores=1).evaluate(MID, WORKLOAD)
+        four = MulticoreModel(n_cores=4).evaluate(MID, WORKLOAD)
+        assert four.ops_per_second == pytest.approx(4 * one.ops_per_second)
+
+    def test_energy_grows_with_miss_rate(self):
+        model = MulticoreModel()
+        low = model.average_op_energy(MissRates(0.1, 0.1), WORKLOAD)
+        high = model.average_op_energy(MissRates(0.5, 0.5), WORKLOAD)
+        assert high > 2 * low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MulticoreModel(n_cores=0)
+        with pytest.raises(ValueError):
+            MulticoreModel(dram_gb=0.0)
+
+
+class TestMVPSystemModel:
+    def test_cim_ops_insensitive_to_misses(self):
+        """Offloaded ops never touch the hierarchy."""
+        model = MVPSystemModel()
+        full_offload = WorkloadParameters(
+            accelerated_fraction=1.0, mem_intensity_other=0.0
+        )
+        e_low = model.average_op_energy(MissRates(0.0, 0.0), full_offload)
+        e_high = model.average_op_energy(MissRates(0.6, 0.6), full_offload)
+        assert e_low == pytest.approx(e_high)
+
+    def test_static_power_excludes_crossbar(self):
+        model = MVPSystemModel()
+        expected = (
+            model.static.core + model.static.l2
+            + 2.0 * model.static.dram_per_gb
+        )
+        assert model.static_power() == pytest.approx(expected)
+
+    def test_area_includes_crossbar(self):
+        model = MVPSystemModel()
+        assert model.total_area() > MVPSystemModel(
+            crossbar_gb=1e-9
+        ).total_area()
+
+
+class TestFig4Sweep:
+    def setup_method(self):
+        self.sweep = run_fig4_sweep()
+
+    def test_grid_size(self):
+        assert len(self.sweep.points) == 49  # 7 x 7 default grid
+
+    def test_mvp_wins_everywhere_on_energy(self):
+        """The paper's headline: order-of-magnitude energy efficiency."""
+        lo, hi = self.sweep.ratio_range("eta_e")
+        assert lo > 4.0
+        assert hi < 20.0
+
+    def test_order_of_magnitude_perf_energy(self):
+        geo = self.sweep.geometric_mean_ratio("eta_pe")
+        assert 5.0 < geo < 20.0
+
+    def test_area_efficiency_moderately_higher(self):
+        """Fig. 4: 'a higher performance area efficiency' (not 10x)."""
+        lo, hi = self.sweep.ratio_range("eta_pa")
+        assert lo > 1.0
+        assert hi < 10.0
+
+    def test_gap_widens_with_miss_rate(self):
+        """MVP's advantage grows as the baseline drowns in DRAM traffic."""
+        at = {
+            (p.misses.l1, p.misses.l2): p.ratios["eta_pe"]
+            for p in self.sweep.points
+        }
+        assert at[(0.6, 0.6)] > at[(0.3, 0.3)] > at[(0.0, 0.0)]
+
+    def test_series_extraction(self):
+        rows = self.sweep.series_vs_l1("eta_pe", l2=0.3)
+        assert len(rows) == 7
+        l1_values = [r[0] for r in rows]
+        assert l1_values == sorted(l1_values)
+
+    def test_higher_offload_fraction_helps(self):
+        low = run_fig4_sweep(
+            workload=WorkloadParameters(accelerated_fraction=0.5)
+        )
+        high = run_fig4_sweep(
+            workload=WorkloadParameters(accelerated_fraction=0.9)
+        )
+        assert (high.geometric_mean_ratio("eta_e")
+                > low.geometric_mean_ratio("eta_e"))

@@ -1,0 +1,97 @@
+"""Tests for subset construction and four-way engine agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import (
+    Alphabet,
+    DFA,
+    GenericAPModel,
+    compile_regex,
+    determinize,
+    homogenize,
+)
+from repro.automata.paper_example import build_example_nfa
+
+AB = Alphabet("ab")
+
+
+class TestDFAStructure:
+    def test_complete_transition_rows(self):
+        dfa = determinize(compile_regex("ab", AB))
+        for row in dfa.transitions:
+            assert len(row) == 2
+
+    def test_dead_state_self_loops(self):
+        dfa = determinize(compile_regex("ab", AB))
+        # 'b' from the start kills every NFA path: the resulting DFA
+        # state is the dead (empty-set) state, which must self-loop.
+        dead = dfa.step(dfa.start, "b")
+        assert dfa.step(dead, "a") == dead
+        assert dfa.step(dead, "b") == dead
+        assert dead not in dfa.accepting
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DFA(AB, transitions=[[0, 5]], start=0, accepting=frozenset())
+        with pytest.raises(ValueError):
+            DFA(AB, transitions=[[0, 0]], start=3, accepting=frozenset())
+        with pytest.raises(ValueError):
+            DFA(AB, transitions=[[0]], start=0, accepting=frozenset())
+
+
+class TestEquivalence:
+    PATTERNS = ["(a|b)*abb", "a(ab)*b?", "a{2,4}", "(a|b)(a|b)", "ab*a",
+                "(a+b)+a?"]
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_exhaustive_short_words(self, pattern):
+        nfa = compile_regex(pattern, AB)
+        dfa = determinize(nfa)
+        for n in range(7):
+            for mask in range(2**n):
+                word = "".join(
+                    "ab"[(mask >> k) & 1] for k in range(n)
+                )
+                assert dfa.accepts(word) == nfa.accepts(word), (pattern,
+                                                                word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", max_size=14))
+    def test_four_engines_agree(self, text):
+        """NFA, DFA, homogeneous automaton and generic AP, one verdict."""
+        nfa = compile_regex("(a|b)*ab(a|b)", AB)
+        dfa = determinize(nfa)
+        ha = homogenize(nfa)
+        ap = GenericAPModel.from_homogeneous(ha)
+        verdicts = {nfa.accepts(text), dfa.accepts(text),
+                    ha.accepts(text), ap.accepts(text)}
+        assert len(verdicts) == 1
+
+    def test_paper_example_language(self):
+        dfa = determinize(build_example_nfa())
+        assert dfa.accepts("b")
+        assert dfa.accepts("cb")
+        for bad in ["", "a", "c", "bb", "ccb", "cbb"]:
+            assert not dfa.accepts(bad)
+
+    def test_match_ends_equal_anchored_scan(self):
+        nfa = compile_regex("ab", AB)
+        dfa = determinize(nfa)
+        trace = nfa.simulate("abab")
+        assert dfa.match_ends("abab") == trace.match_ends
+
+
+class TestDeterminization:
+    def test_subset_blowup_is_bounded_for_chains(self):
+        nfa = compile_regex("abababab", AB)
+        dfa = determinize(nfa)
+        # A literal chain determinizes to ~length + dead state.
+        assert dfa.n_states <= nfa.n_states + 2
+
+    def test_classic_exponential_family_grows(self):
+        """(a|b)*a(a|b)^k needs >= 2^k DFA states."""
+        small = determinize(compile_regex("(a|b)*a(a|b)", AB))
+        large = determinize(compile_regex("(a|b)*a(a|b)(a|b)(a|b)", AB))
+        assert large.n_states >= 2 * small.n_states

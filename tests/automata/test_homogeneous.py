@@ -1,0 +1,128 @@
+"""Tests for the NFA -> homogeneous conversion (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import Alphabet, NFA, compile_regex, homogenize
+from repro.automata.paper_example import (
+    build_example_nfa,
+    example_r_matrix,
+    example_v_matrix,
+)
+
+AB = Alphabet("ab")
+ABCD = Alphabet("abcd")
+
+
+class TestPaperExample:
+    def setup_method(self):
+        self.nfa = build_example_nfa()
+        self.ha = homogenize(self.nfa)
+
+    def test_state_count_matches_paper(self):
+        # S1 (start copy), S2, S3 -- the paper's three STEs.
+        assert self.ha.n_states == 3
+
+    def test_classes_match_matrices_not_prose(self):
+        """The printed V matrix: class(S2) = {c}, class(S3) = {b}."""
+        classes = {
+            s.label: "".join(str(c) for c in s.symbol_class.symbols)
+            for s in self.ha.states
+        }
+        assert classes["S2"] == "c"
+        assert classes["S3"] == "b"
+
+    def test_homogeneity_invariant(self):
+        """Every edge's symbols are exactly the destination's class."""
+        for src, dst in self.ha.edges:
+            assert self.ha.states[dst].symbol_class  # non-empty
+
+    def test_r_matrix_matches_paper(self):
+        order = self._paper_order()
+        r = self.ha.routing_matrix()[np.ix_(order, order)]
+        np.testing.assert_array_equal(r, example_r_matrix())
+
+    def test_v_matrix_matches_paper_for_enterable_states(self):
+        order = self._paper_order()
+        v = self.ha.ste_matrix()[:, order]
+        np.testing.assert_array_equal(v[:, 1:], example_v_matrix()[:, 1:])
+
+    def _paper_order(self):
+        start = [i for i, s in enumerate(self.ha.states) if s.is_start]
+        s2 = [i for i, s in enumerate(self.ha.states)
+              if s.label == "S2"]
+        s3 = [i for i, s in enumerate(self.ha.states)
+              if s.label == "S3"]
+        return start + s2 + s3
+
+
+class TestSplitting:
+    def test_conflicting_predecessors_split_state(self):
+        """p1 -a-> q, p2 -b-> q must split q (the textbook case)."""
+        nfa = NFA(AB, 3, [0, 1], [2])
+        nfa.add_transition(0, "a", 2)
+        nfa.add_transition(1, "b", 2)
+        ha = homogenize(nfa)
+        copies = [s for s in ha.states if s.label.startswith("S2")]
+        assert len(copies) == 2
+        classes = sorted(
+            "".join(str(c) for c in s.symbol_class.symbols) for s in copies
+        )
+        assert classes == ["a", "b"]
+
+    def test_same_predecessors_share_copy(self):
+        """p -a-> q and p -b-> q keep one copy with class {a, b}."""
+        nfa = NFA(AB, 2, [0], [1])
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(0, "b", 1)
+        ha = homogenize(nfa)
+        copies = [s for s in ha.states if s.label.startswith("S1")]
+        assert len(copies) == 1
+        assert set(copies[0].symbol_class.symbols) == {"a", "b"}
+
+    def test_self_loop_preserved(self):
+        nfa = NFA(AB, 2, [0], [1])
+        nfa.add_transition(0, "a", 0)
+        nfa.add_transition(0, "b", 1)
+        ha = homogenize(nfa)
+        for text, expected in [("b", True), ("ab", True), ("aaab", True),
+                               ("ba", False), ("", False)]:
+            assert ha.accepts(text) is expected
+
+
+class TestEquivalence:
+    REGEXES = ["(a|b)*abb", "a(ab)*b?", "a{2,4}", "(a|b)(a|b)", "ab*a"]
+
+    @pytest.mark.parametrize("pattern", REGEXES)
+    def test_language_equivalence_exhaustive_short_words(self, pattern):
+        nfa = compile_regex(pattern, AB)
+        ha = homogenize(nfa)
+        for n in range(6):
+            for word in _words("ab", n):
+                assert nfa.accepts(word) == ha.accepts(word), (pattern, word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abcd", max_size=10))
+    def test_unanchored_equivalence_property(self, text):
+        nfa = compile_regex("a(b|c)d", ABCD)
+        ha = homogenize(nfa)
+        t_nfa = nfa.simulate(text, unanchored=True)
+        t_ha = ha.simulate(text, unanchored=True)
+        assert t_nfa.match_ends == t_ha.match_ends
+
+    def test_matrix_dimensions(self):
+        nfa = compile_regex("a(b|c)d", ABCD)
+        ha = homogenize(nfa)
+        assert ha.ste_matrix().shape == (4, ha.n_states)
+        assert ha.routing_matrix().shape == (ha.n_states, ha.n_states)
+        assert ha.start_vector().sum() >= 1
+
+
+def _words(alphabet, n):
+    if n == 0:
+        yield ""
+        return
+    for w in _words(alphabet, n - 1):
+        for ch in alphabet:
+            yield w + ch

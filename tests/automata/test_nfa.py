@@ -1,0 +1,95 @@
+"""Tests for the NFA core."""
+
+import pytest
+
+from repro.automata import NFA, Alphabet
+from repro.automata.paper_example import build_example_nfa
+
+AB = Alphabet("ab")
+
+
+def chain_nfa():
+    """Accepts exactly 'ab'."""
+    nfa = NFA(AB, n_states=3, start_states=[0], accepting_states=[2])
+    nfa.add_transition(0, "a", 1)
+    nfa.add_transition(1, "b", 2)
+    return nfa
+
+
+class TestConstruction:
+    def test_validates_states(self):
+        with pytest.raises(ValueError):
+            NFA(AB, n_states=0, start_states=[0], accepting_states=[])
+        with pytest.raises(ValueError):
+            NFA(AB, n_states=2, start_states=[5], accepting_states=[])
+        with pytest.raises(ValueError):
+            NFA(AB, n_states=2, start_states=[], accepting_states=[0])
+
+    def test_labels_default_and_custom(self):
+        assert chain_nfa().labels == ("S0", "S1", "S2")
+        nfa = NFA(AB, 2, [0], [1], labels=["x", "y"])
+        assert nfa.labels == ("x", "y")
+        with pytest.raises(ValueError):
+            NFA(AB, 2, [0], [1], labels=["only-one"])
+
+    def test_empty_transition_rejected(self):
+        nfa = chain_nfa()
+        with pytest.raises(ValueError):
+            nfa.add_transition(0, "", 1)
+
+    def test_transition_count(self):
+        assert chain_nfa().transition_count == 2
+
+
+class TestAnchoredSemantics:
+    def test_accepts_exact_word(self):
+        nfa = chain_nfa()
+        assert nfa.accepts("ab")
+        assert not nfa.accepts("a")
+        assert not nfa.accepts("abb")
+        assert not nfa.accepts("")
+
+    def test_paper_example_language(self):
+        nfa = build_example_nfa()
+        assert nfa.accepts("b")
+        assert nfa.accepts("cb")
+        for bad in ["", "a", "c", "ab", "bb", "cc", "bcb", "ccb"]:
+            assert not nfa.accepts(bad), bad
+
+    def test_nondeterminism_tracks_all_branches(self):
+        # Two paths on 'a': one dies, one survives to accept on 'b'.
+        nfa = NFA(AB, 4, [0], [3])
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(0, "a", 2)
+        nfa.add_transition(2, "b", 3)
+        assert nfa.accepts("ab")
+
+    def test_trace_active_sets(self):
+        nfa = chain_nfa()
+        trace = nfa.simulate("ab")
+        assert trace.active_sets == (
+            frozenset({0}), frozenset({1}), frozenset({2})
+        )
+
+    def test_dead_input_empties_active_set(self):
+        trace = chain_nfa().simulate("bb")
+        assert trace.active_sets[-1] == frozenset()
+
+
+class TestUnanchoredSemantics:
+    def test_finds_matches_mid_stream(self):
+        nfa = chain_nfa()
+        trace = nfa.simulate("aabab", unanchored=True)
+        # 'ab' ends at positions 3 and 5.
+        assert trace.match_ends == (3, 5)
+
+    def test_anchored_misses_mid_stream(self):
+        trace = chain_nfa().simulate("aabab", unanchored=False)
+        assert trace.match_ends == ()
+
+    def test_overlapping_matches(self):
+        aa = NFA(AB, 3, [0], [2])
+        aa.add_transition(0, "a", 1)
+        aa.add_transition(1, "a", 2)
+        trace = aa.simulate("aaaa", unanchored=True)
+        assert trace.match_ends == (2, 3, 4)

@@ -1,0 +1,91 @@
+"""Tests for alphabets and symbol classes."""
+
+import numpy as np
+import pytest
+
+from repro.automata import Alphabet, SymbolClass, BYTE_ALPHABET, DNA_ALPHABET
+
+
+class TestAlphabet:
+    def test_dna_alphabet(self):
+        assert DNA_ALPHABET.size == 4
+        assert DNA_ALPHABET.wordline_bits == 2
+        assert DNA_ALPHABET.wordline_count == 4
+
+    def test_byte_alphabet_w8(self):
+        assert BYTE_ALPHABET.size == 256
+        assert BYTE_ALPHABET.wordline_bits == 8
+
+    def test_non_power_of_two_rounds_up(self):
+        assert Alphabet("abcde").wordline_bits == 3
+        assert Alphabet("abcde").wordline_count == 8
+
+    def test_index_lookup(self):
+        assert DNA_ALPHABET.index_of("C") == 1
+        with pytest.raises(KeyError):
+            DNA_ALPHABET.index_of("X")
+
+    def test_membership_and_iteration(self):
+        assert "G" in DNA_ALPHABET
+        assert "Z" not in DNA_ALPHABET
+        assert list(DNA_ALPHABET) == ["A", "C", "G", "T"]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("aa")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("")
+
+    def test_equality_and_hash(self):
+        assert Alphabet("abc") == Alphabet("abc")
+        assert Alphabet("abc") != Alphabet("abd")
+        assert hash(Alphabet("abc")) == hash(Alphabet("abc"))
+
+
+class TestSymbolClass:
+    def test_of_and_contains(self):
+        cls = SymbolClass.of(DNA_ALPHABET, "AG")
+        assert cls.contains("A")
+        assert cls.contains("G")
+        assert not cls.contains("C")
+
+    def test_indicator_vector(self):
+        cls = SymbolClass.of(DNA_ALPHABET, "AT")
+        np.testing.assert_array_equal(
+            cls.indicator(), [True, False, False, True]
+        )
+
+    def test_union_intersection_complement(self):
+        ag = SymbolClass.of(DNA_ALPHABET, "AG")
+        gt = SymbolClass.of(DNA_ALPHABET, "GT")
+        assert set(ag.union(gt).symbols) == {"A", "G", "T"}
+        assert set(ag.intersection(gt).symbols) == {"G"}
+        assert set(ag.complement().symbols) == {"C", "T"}
+
+    def test_cross_alphabet_rejected(self):
+        a = SymbolClass.of(DNA_ALPHABET, "A")
+        b = SymbolClass.of(Alphabet("abcd"), "a")
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_empty_and_full(self):
+        assert not SymbolClass.empty(DNA_ALPHABET)
+        assert len(SymbolClass.full(DNA_ALPHABET)) == 4
+
+    def test_deduplication(self):
+        cls = SymbolClass.of(DNA_ALPHABET, "AAGG")
+        assert len(cls) == 2
+
+    def test_hashable(self):
+        a = SymbolClass.of(DNA_ALPHABET, "AG")
+        b = SymbolClass.of(DNA_ALPHABET, "GA")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_invalid_indices_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolClass(DNA_ALPHABET, (9,))
+        with pytest.raises(ValueError):
+            SymbolClass(DNA_ALPHABET, (1, 0))  # unsorted

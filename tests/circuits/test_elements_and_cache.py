@@ -1,0 +1,92 @@
+"""Tests for element helpers and the transient solver's LU-cache path."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, simulate
+from repro.circuits.elements import (
+    Capacitor,
+    Resistor,
+    Switch,
+    value_at,
+)
+
+
+class TestValueAt:
+    def test_constant(self):
+        assert value_at(5.0, 123.0) == 5.0
+
+    def test_callable(self):
+        assert value_at(lambda t: 2 * t, 3.0) == 6.0
+
+
+class TestElementValidation:
+    def test_resistor_conductance(self):
+        r = Resistor("r", 1, 2, 100.0)
+        assert r.conductance_at(0.0) == pytest.approx(0.01)
+
+    def test_resistor_nonpositive_rejected_at_eval(self):
+        r = Resistor("r", 1, 2, lambda t: -1.0)
+        with pytest.raises(ValueError):
+            r.conductance_at(0.0)
+
+    def test_capacitor_positive(self):
+        with pytest.raises(ValueError):
+            Capacitor("c", 1, 0, 0.0)
+
+    def test_switch_resistances_positive(self):
+        with pytest.raises(ValueError):
+            Switch("s", 1, 2, r_on=0.0, r_off=1e9, gate=lambda t: True)
+
+    def test_switch_gate_states(self):
+        s = Switch("s", 1, 2, r_on=100.0, r_off=1e6,
+                   gate=lambda t: t > 1.0)
+        assert s.conductance_at(0.0) == pytest.approx(1e-6)
+        assert s.conductance_at(2.0) == pytest.approx(1e-2)
+
+
+class TestLUCacheAcrossEpochs:
+    def test_multiple_switch_toggles_stay_accurate(self):
+        """Two gate epochs: charge phase then discharge phase.  The LU
+        cache must refactor at the toggle, not reuse stale factors."""
+        circuit = Circuit()
+        circuit.add_vsource("vs", "in", "gnd", 1.0)
+        circuit.add_switch("charge", "in", "out", r_on=1e3, r_off=1e12,
+                           gate=lambda t: t < 5e-6)
+        circuit.add_switch("discharge", "out", "gnd", r_on=1e3, r_off=1e12,
+                           gate=lambda t: t >= 5e-6)
+        circuit.add_capacitor("c", "out", "gnd", 1e-9)
+        result = simulate(circuit, t_stop=10e-6, dt=10e-9)
+        v = result.v("out")
+        t = result.time
+        # Fully charged by the end of phase 1 (5 tau).
+        v_mid = v[np.searchsorted(t, 5e-6) - 1]
+        assert v_mid == pytest.approx(1.0, abs=0.01)
+        # Nearly discharged by the end of phase 2.
+        assert v[-1] < 0.01
+
+    def test_periodic_gate_chatter_is_bounded(self):
+        """A rapidly toggling gate exercises cache eviction (>64 epochs
+        is impossible here, but the alternation reuses two factors)."""
+        circuit = Circuit()
+        circuit.add_vsource("vs", "in", "gnd", 1.0)
+        circuit.add_switch("s", "in", "out", r_on=1e3, r_off=1e12,
+                           gate=lambda t: int(t / 1e-6) % 2 == 0)
+        circuit.add_capacitor("c", "out", "gnd", 1e-9)
+        result = simulate(circuit, t_stop=8e-6, dt=20e-9)
+        v = result.v("out")
+        assert 0.0 <= float(v.min()) and float(v.max()) <= 1.0 + 1e-6
+
+    def test_time_varying_resistor_forces_refactor(self):
+        """A resistor whose value ramps must not be treated as static."""
+        circuit = Circuit()
+        circuit.add_vsource("vs", "in", "gnd", 1.0)
+        # Resistance doubles halfway through: the divider output drops.
+        circuit.add_resistor("top", "in", "out",
+                             lambda t: 1e3 if t < 0.5 else 2e3)
+        circuit.add_resistor("bottom", "out", "gnd", 1e3)
+        circuit.add_capacitor("c", "out", "gnd", 1e-12)  # fast settle
+        result = simulate(circuit, t_stop=1.0, dt=0.01)
+        v = result.v("out")
+        assert v[20] == pytest.approx(0.5, abs=0.01)
+        assert v[-1] == pytest.approx(1.0 / 3.0, abs=0.01)

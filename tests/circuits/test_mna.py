@@ -1,0 +1,108 @@
+"""Tests for the MNA DC solver against hand-solvable circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, solve_dc
+
+
+class TestVoltageDivider:
+    def test_equal_divider(self):
+        c = Circuit()
+        c.add_vsource("v1", "in", "gnd", 10.0)
+        c.add_resistor("r1", "in", "mid", 1e3)
+        c.add_resistor("r2", "mid", "gnd", 1e3)
+        sol = solve_dc(c)
+        assert sol.voltage(c, "mid") == pytest.approx(5.0)
+
+    def test_unequal_divider(self):
+        c = Circuit()
+        c.add_vsource("v1", "in", "gnd", 9.0)
+        c.add_resistor("r1", "in", "mid", 2e3)
+        c.add_resistor("r2", "mid", "gnd", 1e3)
+        sol = solve_dc(c)
+        assert sol.voltage(c, "mid") == pytest.approx(3.0)
+
+    def test_source_branch_current_sign(self):
+        """A delivering source reports negative current into its + terminal."""
+        c = Circuit()
+        c.add_vsource("v1", "in", "gnd", 10.0)
+        c.add_resistor("r1", "in", "gnd", 1e3)
+        sol = solve_dc(c)
+        assert sol.branch_currents[0] == pytest.approx(-10e-3)
+
+
+class TestCurrentSource:
+    def test_current_into_resistor(self):
+        c = Circuit()
+        c.add_isource("i1", "gnd", "out", 1e-3)  # 1 mA into node "out"
+        c.add_resistor("r1", "out", "gnd", 1e3)
+        sol = solve_dc(c)
+        assert sol.voltage(c, "out") == pytest.approx(1.0)
+
+    def test_superposition_with_vsource(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", "gnd", 5.0)
+        c.add_resistor("r1", "a", "out", 1e3)
+        c.add_resistor("r2", "out", "gnd", 1e3)
+        c.add_isource("i1", "gnd", "out", 1e-3)
+        sol = solve_dc(c)
+        # Superposition: divider gives 2.5 V; 1 mA into 500 Ohm gives 0.5 V.
+        assert sol.voltage(c, "out") == pytest.approx(3.0)
+
+
+class TestSwitches:
+    def test_switch_conducts_when_gated(self):
+        c = Circuit()
+        c.add_vsource("v1", "in", "gnd", 1.0)
+        c.add_switch("s1", "in", "out", r_on=100.0, r_off=1e9,
+                     gate=lambda t: t >= 1.0)
+        c.add_resistor("r1", "out", "gnd", 100.0)
+        off = solve_dc(c, t=0.0)
+        on = solve_dc(c, t=2.0)
+        assert off.voltage(c, "out") < 1e-3
+        assert on.voltage(c, "out") == pytest.approx(0.5)
+
+
+class TestTimeVaryingSources:
+    def test_callable_voltage(self):
+        c = Circuit()
+        c.add_vsource("v1", "in", "gnd", lambda t: 2.0 * t)
+        c.add_resistor("r1", "in", "gnd", 1.0)
+        assert solve_dc(c, t=3.0).voltage(c, "in") == pytest.approx(6.0)
+
+
+class TestNodes:
+    def test_ground_always_present(self):
+        c = Circuit()
+        assert c.node("gnd") == 0
+
+    def test_node_indices_stable(self):
+        c = Circuit()
+        a = c.node("a")
+        b = c.node("b")
+        assert c.node("a") == a
+        assert b == a + 1
+
+    def test_node_count(self):
+        c = Circuit()
+        c.node("x")
+        c.node("y")
+        assert c.node_count == 3  # gnd + 2
+
+
+class TestDegenerateSystems:
+    def test_floating_node_is_singular(self):
+        c = Circuit()
+        c.add_vsource("v1", "in", "gnd", 1.0)
+        c.add_resistor("r1", "in", "mid", 1e3)
+        c.node("floating")  # no element touches it
+        with pytest.raises(np.linalg.LinAlgError):
+            solve_dc(c)
+
+    def test_nonpositive_resistance_rejected(self):
+        c = Circuit()
+        c.add_vsource("v1", "in", "gnd", 1.0)
+        c.add_resistor("r1", "in", "gnd", 0.0)
+        with pytest.raises(ValueError):
+            solve_dc(c)

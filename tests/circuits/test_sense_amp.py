@@ -1,0 +1,67 @@
+"""Tests for sense-amplifier behavioural models."""
+
+import pytest
+
+from repro.circuits import CurrentCompareSA, VoltageSenseAmp, WindowComparatorSA
+
+
+class TestCurrentCompareSA:
+    def test_output_threshold(self):
+        sa = CurrentCompareSA(i_ref=1e-6)
+        assert sa.output(2e-6) == 1
+        assert sa.output(0.5e-6) == 0
+
+    def test_at_reference_reads_zero(self):
+        sa = CurrentCompareSA(i_ref=1e-6)
+        assert sa.output(1e-6) == 0
+
+    def test_margin_positive_far_from_ref(self):
+        sa = CurrentCompareSA(i_ref=1e-6, offset=1e-8)
+        assert sa.margin(2e-6) > 0
+
+    def test_margin_negative_within_offset(self):
+        sa = CurrentCompareSA(i_ref=1e-6, offset=1e-7)
+        assert sa.margin(1.05e-6) < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CurrentCompareSA(i_ref=0.0)
+        with pytest.raises(ValueError):
+            CurrentCompareSA(i_ref=1e-6, offset=-1.0)
+
+
+class TestWindowComparatorSA:
+    def test_inside_window(self):
+        sa = WindowComparatorSA(i_ref_low=1e-6, i_ref_high=3e-6)
+        assert sa.output(2e-6) == 1
+
+    def test_outside_window(self):
+        sa = WindowComparatorSA(i_ref_low=1e-6, i_ref_high=3e-6)
+        assert sa.output(0.5e-6) == 0
+        assert sa.output(4e-6) == 0
+
+    def test_edges_read_zero(self):
+        sa = WindowComparatorSA(i_ref_low=1e-6, i_ref_high=3e-6)
+        assert sa.output(1e-6) == 0
+        assert sa.output(3e-6) == 0
+
+    def test_margin_to_nearest_edge(self):
+        sa = WindowComparatorSA(i_ref_low=1e-6, i_ref_high=3e-6)
+        assert sa.margin(1.2e-6) == pytest.approx(0.2e-6)
+        assert sa.margin(2.9e-6) == pytest.approx(0.1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowComparatorSA(i_ref_low=3e-6, i_ref_high=1e-6)
+
+
+class TestVoltageSenseAmp:
+    def test_inverted_output(self):
+        """Paper Fig. 7: discharged bit line -> logic 1 (inverted)."""
+        sa = VoltageSenseAmp(v_ref=0.25)
+        assert sa.output(0.1) == 1   # discharged: at least one selected 1
+        assert sa.output(0.4) == 0   # still high: all selected cells 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoltageSenseAmp(v_ref=0.0)

@@ -1,0 +1,86 @@
+"""Tests for technology parameters and cell models."""
+
+import pytest
+
+from repro.circuits import (
+    PTM32,
+    Circuit,
+    RRAM_1T1R,
+    RRAMCell,
+    SRAM_8T,
+    SRAMCell,
+    TechnologyParameters,
+)
+from repro.devices import DeviceParameters
+
+DEV = DeviceParameters()
+
+
+class TestTechnologyParameters:
+    def test_default_voltage_ladder(self):
+        assert 0 < PTM32.v_sa_trip < PTM32.v_sa_ref < PTM32.v_precharge
+
+    def test_precharge_below_device_thresholds(self):
+        """Reads must be non-destructive (paper Section IV-C)."""
+        assert PTM32.v_precharge < DEV.v_reset + DEV.v_set  # loose sanity
+        assert PTM32.v_precharge < DEV.v_set
+        assert PTM32.v_precharge < DEV.v_reset or PTM32.v_precharge == 0.4
+
+    def test_sram_read_device_wider_and_faster(self):
+        assert PTM32.r_on_sram_read < PTM32.r_on_nmos
+        assert PTM32.c_drain_sram_read > PTM32.c_drain_min
+
+    def test_sram_cell_loads_bitline_more(self):
+        assert PTM32.c_bitline_per_sram_cell > PTM32.c_bitline_per_rram_cell
+
+    def test_area_conversion(self):
+        # 1 F^2 at 32 nm = (0.032 um)^2.
+        assert PTM32.square_feature_area_um2(1.0) == pytest.approx(0.032**2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(v_sa_trip=0.5, v_precharge=0.4)
+        with pytest.raises(ValueError):
+            TechnologyParameters(r_on_nmos=0.0)
+
+
+class TestCellGeometry:
+    def test_rram_cell_far_denser_than_sram(self):
+        """The paper's area argument: 1T1R << 8T SRAM."""
+        assert RRAM_1T1R.area_f2 * 10 < SRAM_8T.area_f2
+
+
+class TestRRAMCell:
+    def test_stored_bit_selects_resistance(self):
+        assert RRAMCell(PTM32, DEV, 1).memristor_resistance == DEV.r_on
+        assert RRAMCell(PTM32, DEV, 0).memristor_resistance == DEV.r_off
+
+    def test_attach_adds_switch_and_resistor(self):
+        c = Circuit()
+        RRAMCell(PTM32, DEV, 1).attach(c, "bl", 0, lambda t: True)
+        assert len(c.switches) == 1
+        assert len(c.resistors) == 1
+
+    def test_bitline_capacitance(self):
+        cell = RRAMCell(PTM32, DEV, 0)
+        assert cell.bitline_capacitance == PTM32.c_bitline_per_rram_cell
+
+
+class TestSRAMCell:
+    def test_attach_adds_two_transistor_stack(self):
+        c = Circuit()
+        SRAMCell(PTM32, 1).attach(c, "bl", 0, lambda t: True)
+        assert len(c.switches) == 2  # read access + data pulldown
+        assert len(c.capacitors) == 1  # internal node
+
+    def test_stored_zero_blocks_pulldown(self):
+        c = Circuit()
+        SRAMCell(PTM32, 0).attach(c, "bl", 0, lambda t: True)
+        pulldown = [s for s in c.switches if "pulldown" in s.name][0]
+        assert not pulldown.gate(0.0)
+
+    def test_stored_one_enables_pulldown(self):
+        c = Circuit()
+        SRAMCell(PTM32, 1).attach(c, "bl", 0, lambda t: True)
+        pulldown = [s for s in c.switches if "pulldown" in s.name][0]
+        assert pulldown.gate(0.0)

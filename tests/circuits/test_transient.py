@@ -1,0 +1,107 @@
+"""Transient solver validation against closed-form RC responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, simulate
+
+
+def rc_charge_circuit(r=1e3, c=1e-9, v=1.0):
+    circuit = Circuit()
+    circuit.add_vsource("vs", "in", "gnd", v)
+    circuit.add_resistor("r", "in", "out", r)
+    circuit.add_capacitor("c", "out", "gnd", c, initial_voltage=0.0)
+    return circuit
+
+
+class TestRCCharge:
+    def test_matches_analytic_exponential(self):
+        r, c, v = 1e3, 1e-9, 1.0
+        tau = r * c
+        circuit = rc_charge_circuit(r, c, v)
+        result = simulate(circuit, t_stop=5 * tau, dt=tau / 500)
+        expected = v * (1.0 - np.exp(-result.time / tau))
+        np.testing.assert_allclose(result.v("out"), expected, atol=5e-3)
+
+    def test_final_value(self):
+        circuit = rc_charge_circuit()
+        result = simulate(circuit, t_stop=10e-6, dt=1e-8)
+        assert result.v("out")[-1] == pytest.approx(1.0, abs=1e-4)
+
+    def test_initial_condition_honoured(self):
+        circuit = Circuit()
+        circuit.add_vsource("vs", "in", "gnd", 0.0)
+        circuit.add_resistor("r", "in", "out", 1e3)
+        circuit.add_capacitor("c", "out", "gnd", 1e-9, initial_voltage=0.7)
+        result = simulate(circuit, t_stop=1e-7, dt=1e-9)
+        assert result.v("out")[0] == pytest.approx(0.7, abs=1e-3)
+
+
+class TestRCDischarge:
+    def test_crossing_time_matches_analytic(self):
+        """V(t) = V0 exp(-t/tau); crossing of level L at t = tau ln(V0/L)."""
+        r, c, v0 = 4.3e3, 17.4e-15, 0.4
+        tau = r * c
+        circuit = Circuit()
+        circuit.add_resistor("r", "out", "gnd", r)
+        circuit.add_capacitor("c", "out", "gnd", c, initial_voltage=v0)
+        result = simulate(circuit, t_stop=10 * tau, dt=tau / 200)
+        t_cross = result.crossing_time("out", 0.1, falling=True)
+        expected = tau * math.log(v0 / 0.1)
+        assert t_cross == pytest.approx(expected, rel=0.01)
+
+    def test_no_crossing_returns_none(self):
+        circuit = rc_charge_circuit()
+        result = simulate(circuit, t_stop=1e-6, dt=1e-8)
+        assert result.crossing_time("out", 2.0, falling=False) is None
+
+    def test_rising_crossing(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        circuit = rc_charge_circuit(r, c, 1.0)
+        result = simulate(circuit, t_stop=5 * tau, dt=tau / 500)
+        t_cross = result.crossing_time("out", 0.5, falling=False)
+        assert t_cross == pytest.approx(tau * math.log(2.0), rel=0.01)
+
+
+class TestEnergyAccounting:
+    def test_source_energy_charging_capacitor(self):
+        """Charging C to V through R draws C*V^2 from the source:
+        half stored, half dissipated."""
+        r, c, v = 1e3, 1e-9, 1.0
+        circuit = rc_charge_circuit(r, c, v)
+        result = simulate(circuit, t_stop=20 * r * c, dt=r * c / 500)
+        assert result.energy_delivered("vs") == pytest.approx(
+            c * v * v, rel=0.01
+        )
+
+    def test_unknown_source_raises(self):
+        circuit = rc_charge_circuit()
+        result = simulate(circuit, t_stop=1e-7, dt=1e-9)
+        with pytest.raises(KeyError):
+            result.energy_delivered("nope")
+
+
+class TestSwitchedCircuits:
+    def test_switch_delays_discharge(self):
+        """Capacitor must hold until the switch closes at t=1us."""
+        circuit = Circuit()
+        circuit.add_capacitor("c", "out", "gnd", 1e-9, initial_voltage=1.0)
+        circuit.add_switch("s", "out", "gnd", r_on=1e3, r_off=1e12,
+                           gate=lambda t: t >= 1e-6)
+        result = simulate(circuit, t_stop=3e-6, dt=2e-9)
+        v_at_hold = result.v("out")[result.time <= 0.9e-6]
+        assert float(np.min(v_at_hold)) > 0.99
+        t_cross = result.crossing_time("out", 0.5, falling=True)
+        assert t_cross == pytest.approx(1e-6 + 1e-6 * math.log(2), rel=0.02)
+
+
+class TestValidation:
+    def test_bad_step_rejected(self):
+        circuit = rc_charge_circuit()
+        with pytest.raises(ValueError):
+            simulate(circuit, t_stop=1e-6, dt=0.0)
+        with pytest.raises(ValueError):
+            simulate(circuit, t_stop=0.0, dt=1e-9)

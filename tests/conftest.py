@@ -1,0 +1,16 @@
+"""Test-suite configuration: deterministic property-based testing.
+
+Hypothesis is derandomized so the suite gives identical verdicts on every
+run (important for an offline reproduction repo: a red test means a real
+regression, never sampling noise).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,154 @@
+"""Tests for the functional crossbar array."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import Crossbar
+from repro.devices import DeviceParameters, VariabilityModel
+
+PARAMS = DeviceParameters()
+
+
+def make(rows=4, cols=8, **kwargs):
+    return Crossbar(rows, cols, params=PARAMS, **kwargs)
+
+
+class TestConstruction:
+    def test_initial_state_all_zero(self):
+        xb = make()
+        assert (xb.bits == 0).all()
+        assert (xb.resistances == PARAMS.r_off).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 8)
+
+    def test_rejects_disturbing_read_voltage(self):
+        with pytest.raises(ValueError):
+            Crossbar(4, 4, params=PARAMS, read_voltage=1.4)  # above v_set
+
+    def test_rejects_negative_read_voltage(self):
+        with pytest.raises(ValueError):
+            Crossbar(4, 4, params=PARAMS, read_voltage=-0.2)
+
+    def test_variability_requires_rng(self):
+        with pytest.raises(ValueError):
+            Crossbar(4, 4, variability=VariabilityModel())
+
+
+class TestProgramming:
+    def test_write_row_and_read_back(self):
+        xb = make()
+        word = [1, 0, 1, 1, 0, 0, 1, 0]
+        xb.write_row(2, word)
+        np.testing.assert_array_equal(xb.read_row(2), word)
+
+    def test_write_single_cell(self):
+        xb = make()
+        xb.write(1, 3, 1)
+        assert xb.bits[1, 3] == 1
+        assert xb.resistances[1, 3] == PARAMS.r_on
+
+    def test_load_matrix(self):
+        xb = make(rows=3, cols=4)
+        m = np.array([[1, 0, 0, 1], [0, 1, 1, 0], [1, 1, 1, 1]])
+        xb.load_matrix(m)
+        np.testing.assert_array_equal(xb.bits, m)
+
+    def test_load_matrix_shape_check(self):
+        xb = make(rows=3, cols=4)
+        with pytest.raises(ValueError):
+            xb.load_matrix(np.zeros((4, 3)))
+
+    def test_write_row_validates_length_and_values(self):
+        xb = make()
+        with pytest.raises(ValueError):
+            xb.write_row(0, [1, 0])
+        with pytest.raises(ValueError):
+            xb.write_row(0, [2] * 8)
+
+    def test_row_bounds(self):
+        xb = make()
+        with pytest.raises(IndexError):
+            xb.write_row(99, [0] * 8)
+        with pytest.raises(IndexError):
+            xb.write(0, 99, 1)
+
+
+class TestEnduranceAccounting:
+    def test_cycles_count_only_changes(self):
+        xb = make()
+        xb.write_row(0, [1, 1, 0, 0, 0, 0, 0, 0])
+        xb.write_row(0, [1, 1, 0, 0, 0, 0, 0, 0])  # no change, no wear
+        assert xb.max_program_cycles() == 1
+        xb.write_row(0, [0, 1, 0, 0, 0, 0, 0, 0])  # one flip
+        assert xb.program_cycles[0, 0] == 2
+        assert xb.program_cycles[0, 1] == 1
+
+    def test_reads_are_free(self):
+        xb = make()
+        xb.write_row(0, [1] * 8)
+        before = xb.program_cycles.copy()
+        for _ in range(100):
+            xb.read_row(0)
+            xb.column_currents([0])
+        np.testing.assert_array_equal(xb.program_cycles, before)
+
+
+class TestReads:
+    def test_column_currents_single_row(self):
+        xb = make()
+        xb.write_row(0, [1, 0, 1, 0, 0, 0, 0, 0])
+        i = xb.column_currents([0])
+        vr = xb.read_voltage
+        assert i[0] == pytest.approx(vr / PARAMS.r_on)
+        assert i[1] == pytest.approx(vr / PARAMS.r_off)
+
+    def test_multi_row_currents_sum(self):
+        xb = make()
+        xb.write_row(0, [1, 1, 0, 0, 0, 0, 0, 0])
+        xb.write_row(1, [1, 0, 1, 0, 0, 0, 0, 0])
+        i = xb.column_currents([0, 1])
+        vr = xb.read_voltage
+        assert i[0] == pytest.approx(2 * vr / PARAMS.r_on)
+        assert i[1] == pytest.approx(vr / PARAMS.r_on + vr / PARAMS.r_off)
+        assert i[3] == pytest.approx(2 * vr / PARAMS.r_off)
+
+    def test_duplicate_rows_rejected(self):
+        xb = make()
+        with pytest.raises(ValueError):
+            xb.column_currents([0, 0])
+
+    def test_empty_activation_rejected(self):
+        xb = make()
+        with pytest.raises(ValueError):
+            xb.column_currents([])
+
+    def test_read_row_with_variability(self):
+        rng = np.random.default_rng(23)
+        xb = Crossbar(4, 64, params=PARAMS,
+                      variability=VariabilityModel(), rng=rng)
+        word = rng.integers(0, 2, 64)
+        xb.write_row(1, word)
+        np.testing.assert_array_equal(xb.read_row(1), word)
+
+
+class TestFaults:
+    def test_stuck_cell_ignores_writes(self):
+        xb = make()
+        xb.inject_stuck_fault(0, 0, 1)
+        xb.write_row(0, [0] * 8)
+        assert xb.bits[0, 0] == 1
+
+    def test_drift_scales_resistances(self):
+        xb = make()
+        before = xb.resistances.copy()
+        xb.apply_resistance_drift(2.0)
+        np.testing.assert_allclose(xb.resistances, 2.0 * before)
+
+    def test_stored_word_bypasses_electrical(self):
+        xb = make()
+        xb.write_row(0, [1, 0, 0, 0, 0, 0, 0, 1])
+        np.testing.assert_array_equal(
+            xb.stored_word(0), [1, 0, 0, 0, 0, 0, 0, 1]
+        )

@@ -1,0 +1,87 @@
+"""Tests for the multi-reference scouting gates (MAJ, XOR3, NAND, NOR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar import Crossbar, ScoutingLogic
+from repro.devices import DeviceParameters
+
+
+def crossbar_with(words):
+    xb = Crossbar(len(words), len(words[0]), params=DeviceParameters())
+    for row, word in enumerate(words):
+        xb.write_row(row, word)
+    return xb
+
+
+class TestInvertedGates:
+    A = [0, 0, 1, 1]
+    B = [0, 1, 0, 1]
+
+    def setup_method(self):
+        self.logic = ScoutingLogic(crossbar_with([self.A, self.B]))
+
+    def test_nor(self):
+        np.testing.assert_array_equal(self.logic.nor_rows([0, 1]),
+                                      [1, 0, 0, 0])
+
+    def test_nand(self):
+        np.testing.assert_array_equal(self.logic.nand_rows([0, 1]),
+                                      [1, 1, 1, 0])
+
+    def test_not_via_single_row_nor(self):
+        np.testing.assert_array_equal(self.logic.nor_rows([0]),
+                                      [1, 1, 0, 0])
+
+
+class TestMajority:
+    def test_three_row_truth_table(self):
+        a = [0, 0, 0, 0, 1, 1, 1, 1]
+        b = [0, 0, 1, 1, 0, 0, 1, 1]
+        c = [0, 1, 0, 1, 0, 1, 0, 1]
+        logic = ScoutingLogic(crossbar_with([a, b, c]))
+        expected = [(x + y + z >= 2) for x, y, z in zip(a, b, c)]
+        np.testing.assert_array_equal(logic.majority_rows([0, 1, 2]),
+                                      expected)
+
+    def test_even_row_count_rejected(self):
+        logic = ScoutingLogic(crossbar_with([[0, 1], [1, 0]]))
+        with pytest.raises(ValueError, match="odd"):
+            logic.majority_rows([0, 1])
+
+    def test_single_row_majority_is_identity(self):
+        logic = ScoutingLogic(crossbar_with([[0, 1, 1, 0]]))
+        np.testing.assert_array_equal(logic.majority_rows([0]),
+                                      [0, 1, 1, 0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 9).filter(lambda k: k % 2 == 1), st.data())
+    def test_k_row_majority_property(self, k, data):
+        cols = 12
+        words = [
+            data.draw(st.lists(st.integers(0, 1), min_size=cols,
+                               max_size=cols))
+            for _ in range(k)
+        ]
+        logic = ScoutingLogic(crossbar_with(words))
+        counts = np.array(words).sum(axis=0)
+        np.testing.assert_array_equal(
+            logic.majority_rows(list(range(k))),
+            (counts > k // 2).astype(int),
+        )
+
+
+class TestXor3:
+    def test_three_row_parity_truth_table(self):
+        a = [0, 0, 0, 0, 1, 1, 1, 1]
+        b = [0, 0, 1, 1, 0, 0, 1, 1]
+        c = [0, 1, 0, 1, 0, 1, 0, 1]
+        logic = ScoutingLogic(crossbar_with([a, b, c]))
+        expected = np.array(a) ^ np.array(b) ^ np.array(c)
+        np.testing.assert_array_equal(logic.xor3_rows([0, 1, 2]), expected)
+
+    def test_requires_exactly_three(self):
+        logic = ScoutingLogic(crossbar_with([[0], [1]]))
+        with pytest.raises(ValueError):
+            logic.xor3_rows([0, 1])

@@ -1,0 +1,64 @@
+"""Analytic cross-checks for the IR-drop network solver."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import Crossbar, WireParameters, ir_drop_column_currents
+from repro.devices import DeviceParameters
+
+PARAMS = DeviceParameters()
+
+
+class TestSingleCellAnalytic:
+    def test_one_by_one_crossbar_is_a_series_chain(self):
+        """1x1 crossbar: I = Vr / (r_row + R_cell + r_col) exactly."""
+        xb = Crossbar(1, 1, params=PARAMS)
+        xb.write(0, 0, 1)
+        wires = WireParameters(r_row_segment=50.0, r_col_segment=70.0)
+        current = ir_drop_column_currents(xb, [0], wires)[0]
+        expected = xb.read_voltage / (50.0 + PARAMS.r_on + 70.0)
+        assert current == pytest.approx(expected, rel=1e-9)
+
+    def test_single_row_two_columns(self):
+        """With one active row, each column is an independent ladder."""
+        xb = Crossbar(1, 2, params=PARAMS)
+        xb.write_row(0, [1, 1])
+        r_w = 10.0
+        wires = WireParameters(r_w, r_w)
+        currents = ir_drop_column_currents(xb, [0], wires)
+        # Column 0 sees one row segment; column 1 sees two; both couple
+        # through the shared row wire, so solve the 2-ladder network: the
+        # far column's current must be strictly smaller.
+        assert currents[1] < currents[0]
+        # Both currents are bounded by the zero-wire ideal.
+        ideal = xb.read_voltage / PARAMS.r_on
+        assert (currents < ideal).all()
+        assert (currents > 0.9 * ideal).all()  # 10 Ohm wires are mild
+
+
+class TestScalingBehaviour:
+    def test_loss_grows_with_array_width(self):
+        losses = []
+        for cols in (8, 32):
+            xb = Crossbar(4, cols, params=PARAMS)
+            xb.load_matrix(np.ones((4, cols), dtype=int))
+            from repro.crossbar import ir_drop_loss
+            loss = ir_drop_loss(xb, [0], WireParameters(5.0, 5.0))
+            losses.append(float(loss.max()))
+        assert losses[1] > losses[0]
+
+    def test_multi_row_activation_solves(self):
+        """Scouting-style 2-row activation through the wire network."""
+        xb = Crossbar(8, 8, params=PARAMS)
+        xb.write_row(0, [1, 0, 1, 0, 1, 0, 1, 0])
+        xb.write_row(5, [0, 1, 1, 0, 0, 1, 1, 0])
+        real = ir_drop_column_currents(xb, [0, 5],
+                                       WireParameters(1.0, 1.0))
+        ideal = xb.column_currents([0, 5])
+        np.testing.assert_allclose(real, ideal, rtol=0.03)
+        assert (real <= ideal + 1e-15).all()
+
+    def test_out_of_range_row_rejected(self):
+        xb = Crossbar(2, 2, params=PARAMS)
+        with pytest.raises(IndexError):
+            ir_drop_column_currents(xb, [5])

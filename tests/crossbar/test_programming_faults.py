@@ -1,0 +1,135 @@
+"""Tests for programming schemes, verify loops, parasitics and faults."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import (
+    Crossbar,
+    WireParameters,
+    WriteScheme,
+    check_half_select_safety,
+    drift_campaign,
+    inject_random_stuck_faults,
+    ir_drop_column_currents,
+    ir_drop_loss,
+    minimum_safe_program_voltage,
+    program_with_verify,
+)
+from repro.devices import DeviceParameters, VariabilityModel
+
+PARAMS = DeviceParameters()  # v_set 1.3, v_reset 0.5
+
+
+class TestHalfSelect:
+    def test_safe_scheme(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        # Half of 0.9 V = 0.45 V: below both thresholds.
+        assert check_half_select_safety(xb, WriteScheme(v_program=0.9))
+
+    def test_unsafe_scheme(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        # Half of 1.2 V = 0.6 V: above the 0.5 V RESET threshold.
+        assert not check_half_select_safety(xb, WriteScheme(v_program=1.2))
+
+    def test_minimum_safe_voltage(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        v = minimum_safe_program_voltage(xb)
+        assert v == pytest.approx(1.0)  # 2 * min(1.3, 0.5)
+
+
+class TestProgramVerify:
+    def test_ideal_array_verifies_first_pass(self):
+        xb = Crossbar(8, 8, params=PARAMS)
+        target = np.random.default_rng(1).integers(0, 2, (8, 8))
+        assert program_with_verify(xb, target) == 1
+        np.testing.assert_array_equal(xb.bits, target)
+
+    def test_rewrites_tighten_distribution(self):
+        rng = np.random.default_rng(3)
+        heavy_tail = VariabilityModel(sigma_on_c2c=0.8, sigma_off_c2c=0.8)
+        xb = Crossbar(16, 16, params=PARAMS, variability=heavy_tail, rng=rng)
+        target = rng.integers(0, 2, (16, 16))
+        iterations = program_with_verify(xb, target, margin_ratio=3.0)
+        assert iterations >= 1
+        # After verify, every ON cell is within the acceptance band.
+        on = target.astype(bool)
+        assert (xb.resistances[on] <= PARAMS.r_on * 3.0).all()
+
+    def test_shape_mismatch_rejected(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        with pytest.raises(ValueError):
+            program_with_verify(xb, np.zeros((2, 2)))
+
+    def test_margin_ratio_validated(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        with pytest.raises(ValueError):
+            program_with_verify(xb, np.zeros((4, 4)), margin_ratio=1.0)
+
+
+class TestIRDrop:
+    def test_wire_resistance_reduces_current(self):
+        xb = Crossbar(16, 16, params=PARAMS)
+        xb.load_matrix(np.ones((16, 16), dtype=int))
+        ideal = xb.column_currents([0])
+        real = ir_drop_column_currents(xb, [0], WireParameters(5.0, 5.0))
+        assert (real < ideal).all()
+
+    def test_far_column_suffers_more(self):
+        xb = Crossbar(8, 32, params=PARAMS)
+        xb.load_matrix(np.ones((8, 32), dtype=int))
+        loss = ir_drop_loss(xb, [0], WireParameters(5.0, 5.0))
+        assert loss[-1] > loss[0]  # far end of the row wire sees more drop
+
+    def test_negligible_wires_recover_ideal(self):
+        xb = Crossbar(8, 8, params=PARAMS)
+        xb.load_matrix(np.eye(8, dtype=int))
+        real = ir_drop_column_currents(
+            xb, [0, 1], WireParameters(1e-6, 1e-6)
+        )
+        np.testing.assert_allclose(real, xb.column_currents([0, 1]), rtol=1e-4)
+
+    def test_requires_active_rows(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        with pytest.raises(ValueError):
+            ir_drop_column_currents(xb, [])
+
+
+class TestFaultCampaigns:
+    def test_fault_count_matches_rate(self):
+        xb = Crossbar(32, 32, params=PARAMS)
+        campaign = inject_random_stuck_faults(
+            xb, 0.1, np.random.default_rng(5)
+        )
+        assert campaign.total == round(0.1 * 32 * 32)
+        assert campaign.total == len(campaign.locations)
+
+    def test_faulty_cells_resist_writes(self):
+        xb = Crossbar(8, 8, params=PARAMS)
+        campaign = inject_random_stuck_faults(
+            xb, 0.2, np.random.default_rng(9), stuck_at_one_fraction=1.0
+        )
+        xb.load_matrix(np.zeros((8, 8), dtype=int))
+        for row, col, stuck in campaign.locations:
+            assert xb.bits[row, col] == stuck == 1
+
+    def test_rate_validation(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        with pytest.raises(ValueError):
+            inject_random_stuck_faults(xb, 1.5, np.random.default_rng(0))
+
+    def test_drift_zero_sigma_is_noop(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        before = xb.resistances.copy()
+        drift_campaign(xb, 0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(xb.resistances, before)
+
+    def test_drift_perturbs_resistances(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        before = xb.resistances.copy()
+        drift_campaign(xb, 0.3, np.random.default_rng(0))
+        assert (xb.resistances != before).any()
+
+    def test_drift_sigma_validated(self):
+        xb = Crossbar(4, 4, params=PARAMS)
+        with pytest.raises(ValueError):
+            drift_campaign(xb, -0.1, np.random.default_rng(0))

@@ -1,0 +1,145 @@
+"""Tests for scouting logic: the Fig. 3 truth tables and margins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar import Crossbar, ReferenceLadder, ScoutingLogic
+from repro.devices import DeviceParameters, VariabilityModel
+
+PARAMS = DeviceParameters()  # 1 kOhm / 100 MOhm, the paper corner
+
+
+def crossbar_with(words):
+    xb = Crossbar(len(words), len(words[0]), params=PARAMS)
+    for row, word in enumerate(words):
+        xb.write_row(row, word)
+    return xb
+
+
+class TestTwoInputTruthTables:
+    """All four input combinations, vectorized across four columns."""
+
+    A = [0, 0, 1, 1]
+    B = [0, 1, 0, 1]
+
+    def setup_method(self):
+        self.logic = ScoutingLogic(crossbar_with([self.A, self.B]))
+
+    def test_or(self):
+        np.testing.assert_array_equal(self.logic.or_rows([0, 1]), [0, 1, 1, 1])
+
+    def test_and(self):
+        np.testing.assert_array_equal(self.logic.and_rows([0, 1]), [0, 0, 0, 1])
+
+    def test_xor(self):
+        np.testing.assert_array_equal(self.logic.xor_rows(0, 1), [0, 1, 1, 0])
+
+    def test_read_is_identity(self):
+        np.testing.assert_array_equal(self.logic.read(0), self.A)
+        np.testing.assert_array_equal(self.logic.read(1), self.B)
+
+
+class TestMultiInputGates:
+    def test_three_row_or(self):
+        words = [[0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]]
+        logic = ScoutingLogic(crossbar_with(words))
+        np.testing.assert_array_equal(logic.or_rows([0, 1, 2]), [0, 1, 1, 1])
+
+    def test_three_row_and(self):
+        words = [[1, 1, 0, 1], [1, 0, 1, 1], [1, 1, 1, 1]]
+        logic = ScoutingLogic(crossbar_with(words))
+        np.testing.assert_array_equal(logic.and_rows([0, 1, 2]), [1, 0, 0, 1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=16), st.data())
+    def test_k_row_gates_match_numpy(self, k, data):
+        """Property: scouting OR/AND equal numpy bitwise reductions."""
+        cols = 16
+        words = [
+            data.draw(st.lists(st.integers(0, 1), min_size=cols, max_size=cols))
+            for _ in range(k)
+        ]
+        logic = ScoutingLogic(crossbar_with(words))
+        arr = np.array(words)
+        rows = list(range(k))
+        np.testing.assert_array_equal(
+            logic.or_rows(rows), np.bitwise_or.reduce(arr, axis=0)
+        )
+        np.testing.assert_array_equal(
+            logic.and_rows(rows), np.bitwise_and.reduce(arr, axis=0)
+        )
+
+
+class TestReferenceLadder:
+    def test_levels_monotone(self):
+        ladder = ReferenceLadder.build(2, 0.2, PARAMS.r_on, PARAMS.r_off)
+        assert ladder.levels[0] < ladder.levels[1] < ladder.levels[2]
+
+    def test_or_reference_separates_zero_from_one(self):
+        ladder = ReferenceLadder.build(2, 0.2, PARAMS.r_on, PARAMS.r_off)
+        assert ladder.levels[0] < ladder.i_ref_or < ladder.levels[1]
+
+    def test_and_reference_separates_k_minus_1_from_k(self):
+        ladder = ReferenceLadder.build(3, 0.2, PARAMS.r_on, PARAMS.r_off)
+        assert ladder.levels[2] < ladder.i_ref_and < ladder.levels[3]
+
+    def test_margins_positive_at_paper_corner(self):
+        ladder = ReferenceLadder.build(2, 0.2, PARAMS.r_on, PARAMS.r_off)
+        assert ladder.margin_or() > 0
+        assert ladder.margin_and() > 0
+
+    def test_needs_at_least_one_row(self):
+        with pytest.raises(ValueError):
+            ReferenceLadder.build(0, 0.2, 1e3, 1e8)
+
+    def test_and_margin_shrinks_with_fan_in(self):
+        """I(k-1) and I(k) differ by one ON current out of k: relative
+        margin degrades as k grows -- the known scouting-logic limit."""
+        def rel_margin(k):
+            ladder = ReferenceLadder.build(k, 0.2, PARAMS.r_on, PARAMS.r_off)
+            return ladder.margin_and() / ladder.levels[k]
+
+        assert rel_margin(2) > rel_margin(4) > rel_margin(8)
+
+
+class TestMarginsUnderVariability:
+    def test_margins_survive_default_spread(self):
+        rng = np.random.default_rng(31)
+        xb = Crossbar(2, 128, params=PARAMS,
+                      variability=VariabilityModel(), rng=rng)
+        xb.write_row(0, rng.integers(0, 2, 128))
+        xb.write_row(1, rng.integers(0, 2, 128))
+        logic = ScoutingLogic(xb)
+        for gate in ("or", "and", "xor"):
+            rows = [0, 1]
+            assert logic.worst_case_margin(rows, gate) > 0
+
+    def test_degenerate_window_corrupts_outputs(self):
+        """With R_H/R_L = 1.5 the current levels overlap under spread and
+        gate outputs become wrong -- documents why the paper's 1e5 window
+        matters."""
+        bad = DeviceParameters(r_on=1e3, r_off=1.5e3)
+        rng = np.random.default_rng(7)
+        xb = Crossbar(2, 256, params=bad, read_voltage=0.2,
+                      variability=VariabilityModel(sigma_on_d2d=0.3,
+                                                   sigma_off_d2d=0.3),
+                      rng=rng)
+        a = rng.integers(0, 2, 256)
+        b = rng.integers(0, 2, 256)
+        xb.write_row(0, a)
+        xb.write_row(1, b)
+        logic = ScoutingLogic(xb)
+        errors = int((logic.or_rows([0, 1]) != (a | b)).sum())
+        errors += int((logic.and_rows([0, 1]) != (a & b)).sum())
+        assert errors > 0
+
+    def test_unknown_gate_rejected(self):
+        logic = ScoutingLogic(crossbar_with([[0, 1], [1, 0]]))
+        with pytest.raises(ValueError):
+            logic.worst_case_margin([0, 1], "nand")
+
+    def test_xor_margin_requires_two_rows(self):
+        logic = ScoutingLogic(crossbar_with([[0], [1], [1]]))
+        with pytest.raises(ValueError):
+            logic.worst_case_margin([0, 1, 2], "xor")

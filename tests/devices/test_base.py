@@ -1,0 +1,134 @@
+"""Tests for the device base abstractions."""
+
+import math
+
+import pytest
+
+from repro.devices import DeviceParameters
+from repro.devices.base import MemristiveDevice, _clip01
+
+
+class ConstantDriftDevice(MemristiveDevice):
+    """Minimal concrete device: fixed state derivative for testing."""
+
+    def __init__(self, params=None, drift=0.0, state=0.0):
+        super().__init__(params or DeviceParameters(), state=state)
+        self.drift = drift
+
+    def _state_derivative(self, voltage):
+        return self.drift
+
+
+class TestDeviceParameters:
+    def test_defaults_match_paper_corner(self):
+        p = DeviceParameters()
+        assert p.r_on == 1e3
+        assert p.r_off == 100e6
+        assert p.v_set == pytest.approx(1.3)
+        assert p.v_reset == pytest.approx(0.5)
+
+    def test_resistance_ratio(self):
+        p = DeviceParameters(r_on=1e3, r_off=1e6)
+        assert p.resistance_ratio == pytest.approx(1e3)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(r_on=1e6, r_off=1e3)
+
+    def test_rejects_equal_levels(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(r_on=1e4, r_off=1e4)
+
+    def test_rejects_non_positive_resistance(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(r_on=0.0)
+        with pytest.raises(ValueError):
+            DeviceParameters(r_off=-5.0)
+
+    def test_rejects_non_positive_thresholds(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(v_set=0.0)
+        with pytest.raises(ValueError):
+            DeviceParameters(v_reset=-1.0)
+
+    def test_frozen(self):
+        p = DeviceParameters()
+        with pytest.raises(Exception):
+            p.r_on = 5.0
+
+
+class TestMemristiveDevice:
+    def test_state_clipped_at_construction(self):
+        assert ConstantDriftDevice(state=2.0).state == 1.0
+        assert ConstantDriftDevice(state=-1.0).state == 0.0
+
+    def test_state_setter_clips(self):
+        d = ConstantDriftDevice()
+        d.state = 1.7
+        assert d.state == 1.0
+
+    def test_off_state_resistance_is_r_off(self):
+        d = ConstantDriftDevice(state=0.0)
+        assert d.resistance() == pytest.approx(d.params.r_off)
+
+    def test_on_state_resistance_is_r_on(self):
+        d = ConstantDriftDevice(state=1.0)
+        assert d.resistance() == pytest.approx(d.params.r_on)
+
+    def test_parallel_map_midpoint_conductance(self):
+        d = ConstantDriftDevice(state=0.5)
+        g_mid = 0.5 * (1 / d.params.r_on + 1 / d.params.r_off)
+        assert d.conductance() == pytest.approx(g_mid)
+
+    def test_current_is_ohmic(self):
+        d = ConstantDriftDevice(state=1.0)
+        assert d.current(0.5) == pytest.approx(0.5 / d.params.r_on)
+        assert d.current(-0.5) == pytest.approx(-0.5 / d.params.r_on)
+
+    def test_step_advances_state(self):
+        d = ConstantDriftDevice(drift=10.0, state=0.0)
+        d.step(0.1, dt=0.01)
+        assert d.state == pytest.approx(0.1)
+
+    def test_step_returns_pre_step_current(self):
+        d = ConstantDriftDevice(drift=1e6, state=1.0)
+        i = d.step(1.0, dt=1e-9)
+        assert i == pytest.approx(1.0 / d.params.r_on)
+
+    def test_step_rejects_negative_dt(self):
+        d = ConstantDriftDevice()
+        with pytest.raises(ValueError):
+            d.step(1.0, dt=-1e-9)
+
+    def test_state_saturates_at_bounds(self):
+        d = ConstantDriftDevice(drift=1e12, state=0.9)
+        d.step(1.0, dt=1.0)
+        assert d.state == 1.0
+        d.drift = -1e12
+        d.step(-1.0, dt=1.0)
+        assert d.state == 0.0
+
+    def test_as_bit_threshold(self):
+        assert ConstantDriftDevice(state=0.6).as_bit() == 1
+        assert ConstantDriftDevice(state=0.4).as_bit() == 0
+        assert ConstantDriftDevice(state=0.4).as_bit(threshold=0.3) == 1
+
+    def test_force_bit(self):
+        d = ConstantDriftDevice(state=0.3)
+        d.force_bit(1)
+        assert d.state == 1.0
+        d.force_bit(0)
+        assert d.state == 0.0
+
+
+class TestClip01:
+    def test_passthrough_inside(self):
+        assert _clip01(0.42) == 0.42
+
+    def test_clips_both_sides(self):
+        assert _clip01(-3.0) == 0.0
+        assert _clip01(3.0) == 1.0
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            _clip01(math.nan)

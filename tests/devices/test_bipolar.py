@@ -1,0 +1,79 @@
+"""Tests for the idealized two-state bipolar switch."""
+
+import pytest
+
+from repro.devices import BipolarSwitch, DeviceParameters
+
+PARAMS = DeviceParameters()  # the paper's corner: 1 kOhm / 100 MOhm, 1.3/0.5 V
+
+
+class TestAbruptSwitching:
+    def test_set_in_one_step(self):
+        d = BipolarSwitch(PARAMS, state=0.0)
+        d.step(1.3, dt=1e-9)
+        assert d.state == 1.0
+
+    def test_reset_in_one_step(self):
+        d = BipolarSwitch(PARAMS, state=1.0)
+        d.step(-0.5, dt=1e-9)
+        assert d.state == 0.0
+
+    def test_read_voltage_does_not_disturb(self):
+        d = BipolarSwitch(PARAMS, state=1.0)
+        d.step(0.4, dt=1e-3)  # paper's precharge voltage, long exposure
+        assert d.state == 1.0
+        d2 = BipolarSwitch(PARAMS, state=0.0)
+        d2.step(0.4, dt=1e-3)
+        assert d2.state == 0.0
+
+    def test_negative_read_does_not_disturb(self):
+        d = BipolarSwitch(PARAMS, state=1.0)
+        d.step(-0.49, dt=1e-3)
+        assert d.state == 1.0
+
+    def test_step_returns_current_at_previous_state(self):
+        d = BipolarSwitch(PARAMS, state=0.0)
+        i = d.step(1.3, dt=1e-9)  # current computed while still OFF
+        assert i == pytest.approx(1.3 / PARAMS.r_off)
+        assert d.state == 1.0
+
+
+class TestTimedSwitching:
+    def test_partial_switching_accumulates(self):
+        d = BipolarSwitch(PARAMS, switching_time=10e-9, state=0.0)
+        d.step(1.5, dt=4e-9)
+        assert d.state == pytest.approx(0.4)
+        d.step(1.5, dt=4e-9)
+        assert d.state == pytest.approx(0.8)
+        d.step(1.5, dt=4e-9)
+        assert d.state == 1.0  # clipped
+
+    def test_sub_threshold_does_not_accumulate(self):
+        d = BipolarSwitch(PARAMS, switching_time=10e-9, state=0.5)
+        d.step(1.0, dt=100e-9)
+        assert d.state == pytest.approx(0.5)
+
+    def test_reset_direction(self):
+        d = BipolarSwitch(PARAMS, switching_time=10e-9, state=1.0)
+        d.step(-0.6, dt=5e-9)
+        assert d.state == pytest.approx(0.5)
+
+
+class TestDisturbPredicate:
+    @pytest.mark.parametrize("v,expect", [
+        (0.0, False),
+        (0.4, False),
+        (1.29, False),
+        (1.3, True),
+        (-0.49, False),
+        (-0.5, True),
+        (-2.0, True),
+    ])
+    def test_is_disturbed_by(self, v, expect):
+        assert BipolarSwitch(PARAMS).is_disturbed_by(v) is expect
+
+
+class TestValidation:
+    def test_rejects_negative_switching_time(self):
+        with pytest.raises(ValueError):
+            BipolarSwitch(PARAMS, switching_time=-1.0)

@@ -1,0 +1,76 @@
+"""Tests for the endurance / wear-out model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices import EnduranceModel, EnduranceParameters
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        p = EnduranceParameters()
+        assert p.rated_cycles == 1e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnduranceParameters(rated_cycles=0)
+        with pytest.raises(ValueError):
+            EnduranceParameters(weibull_shape=-1)
+        with pytest.raises(ValueError):
+            EnduranceParameters(window_decay=1.0)
+
+
+class TestWear:
+    def test_fresh_device_has_full_window(self):
+        m = EnduranceModel()
+        assert m.window_ratio_factor() == pytest.approx(1.0)
+
+    def test_window_decays_with_cycles(self):
+        m = EnduranceModel()
+        m.record_cycle(10**6)
+        factor = m.window_ratio_factor()
+        assert 0.0 < factor < 1.0
+        # ~6 decades at 5%/decade.
+        assert factor == pytest.approx(0.95 ** math.log10(1 + 10**6), rel=1e-9)
+
+    def test_degraded_resistances_preserve_geometric_mean(self):
+        m = EnduranceModel()
+        m.record_cycle(10**8)
+        r_on, r_off = m.degraded_resistances(1e3, 100e6)
+        assert r_on * r_off == pytest.approx(1e3 * 100e6, rel=1e-9)
+        assert r_off / r_on < 1e5  # window closed
+
+    def test_record_cycle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnduranceModel().record_cycle(-1)
+
+
+class TestFailure:
+    def test_no_rng_means_infinite_life(self):
+        m = EnduranceModel()
+        m.record_cycle(10**12)
+        assert not m.failed
+
+    def test_sampled_failure_triggers(self):
+        rng = np.random.default_rng(7)
+        m = EnduranceModel(EnduranceParameters(rated_cycles=1000), rng=rng)
+        assert not m.failed
+        m.record_cycle(10**9)
+        assert m.failed
+
+    def test_failure_times_are_reproducible(self):
+        a = EnduranceModel(rng=np.random.default_rng(42))
+        b = EnduranceModel(rng=np.random.default_rng(42))
+        assert a.failure_cycle == b.failure_cycle
+
+    def test_failure_distribution_scale(self):
+        """Median Weibull life should be near scale * ln(2)^(1/shape)."""
+        rng = np.random.default_rng(3)
+        params = EnduranceParameters(rated_cycles=1e6, weibull_shape=2.0)
+        lives = [EnduranceModel(params, rng=rng).failure_cycle
+                 for _ in range(2000)]
+        median = float(np.median(lives))
+        expected = 1e6 * math.log(2) ** 0.5
+        assert median == pytest.approx(expected, rel=0.1)

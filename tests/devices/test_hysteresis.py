@@ -1,0 +1,110 @@
+"""Tests for the hysteresis sweep engine and the Fig. 1b fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    DeviceParameters,
+    LinearIonDriftDevice,
+    JoglekarWindow,
+    loop_area,
+    pinch_current,
+    sinusoidal_sweep,
+)
+
+# Mild ratio so the loop is numerically clean at modest sample counts.
+PARAMS = DeviceParameters(r_on=100.0, r_off=16e3)
+
+
+def fresh_device():
+    return LinearIonDriftDevice(
+        params=PARAMS, window=JoglekarWindow(p=2), state=0.5
+    )
+
+
+def sweep(frequency, periods=2):
+    return sinusoidal_sweep(
+        fresh_device(),
+        amplitude=1.0,
+        frequency=frequency,
+        periods=periods,
+        samples_per_period=4000,
+    )
+
+
+class TestSweepMechanics:
+    def test_shapes_consistent(self):
+        r = sweep(2.0)
+        assert r.time.shape == r.voltage.shape == r.current.shape == r.state.shape
+
+    def test_voltage_is_sinusoidal(self):
+        r = sweep(2.0)
+        assert float(np.max(r.voltage)) == pytest.approx(1.0, rel=1e-3)
+        assert float(np.min(r.voltage)) == pytest.approx(-1.0, rel=1e-3)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            sinusoidal_sweep(fresh_device(), 1.0, frequency=0.0)
+        with pytest.raises(ValueError):
+            sinusoidal_sweep(fresh_device(), 1.0, 1e3, periods=0)
+
+
+class TestMemristorFingerprints:
+    # The HP parameters (mu_v = 1e-14, D = 10 nm) give a natural frequency
+    # near 1 Hz; the fingerprints are probed just above it.
+
+    def test_loop_is_pinched(self):
+        """Fingerprint 1: zero crossing current at zero voltage."""
+        r = sweep(2.0)
+        i_pinch = pinch_current(r, voltage_tolerance=2e-3)
+        i_max = float(np.max(np.abs(r.current)))
+        assert i_pinch < 0.02 * i_max
+
+    def test_lobe_area_shrinks_with_frequency(self):
+        """Fingerprint 2 (Fig. 1b): higher f -> smaller hysteresis lobes."""
+        areas = [sweep(f).lobe_area for f in (2.0, 10.0, 50.0)]
+        assert areas[0] > areas[1] > areas[2]
+
+    def test_high_frequency_degenerates_to_resistor(self):
+        slow = sweep(2.0)
+        fast = sweep(500.0)
+        assert fast.lobe_area < 0.05 * slow.lobe_area
+
+    def test_state_excursion_shrinks_with_frequency(self):
+        slow = sweep(2.0)
+        fast = sweep(100.0)
+        assert np.ptp(fast.state) < np.ptp(slow.state)
+        assert np.ptp(slow.state) > 0.1  # a genuine loop, not noise
+
+
+class TestLoopArea:
+    def test_zero_for_straight_line(self):
+        v = np.linspace(-1, 1, 500)
+        i = 2.0 * v  # pure resistor: no enclosed area
+        assert loop_area(v, i) == pytest.approx(0.0, abs=1e-12)
+
+    def test_circle_area(self):
+        theta = np.linspace(0, 2 * np.pi, 20001)
+        v = np.cos(theta)
+        i = np.sin(theta)
+        assert loop_area(v, i) == pytest.approx(np.pi, rel=1e-3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            loop_area(np.zeros(5), np.zeros(6))
+
+
+class TestPinchCurrent:
+    def test_requires_samples_near_zero(self):
+        from repro.devices import SweepResult
+
+        never_zero = SweepResult(
+            time=np.arange(4.0),
+            voltage=np.ones(4),
+            current=np.ones(4),
+            state=np.zeros(4),
+            frequency=1.0,
+            amplitude=1.0,
+        )
+        with pytest.raises(ValueError):
+            pinch_current(never_zero, voltage_tolerance=1e-3)

@@ -1,0 +1,94 @@
+"""Tests for the HP linear ion-drift model, including an analytic check."""
+
+import math
+
+import pytest
+
+from repro.devices import (
+    DeviceParameters,
+    LinearIonDriftDevice,
+    RectangularWindow,
+)
+
+# A soft window keeps dynamics mild; a small ratio keeps the ODE non-stiff.
+PARAMS = DeviceParameters(r_on=100.0, r_off=16e3, v_set=1.0, v_reset=1.0)
+
+
+def make_device(state=0.5, window=None):
+    return LinearIonDriftDevice(
+        params=PARAMS,
+        window=window or RectangularWindow(),
+        mobility=1e-14,
+        thickness=10e-9,
+        state=state,
+    )
+
+
+class TestResistanceMap:
+    def test_series_map_endpoints(self):
+        assert make_device(state=0.0).resistance() == pytest.approx(PARAMS.r_off)
+        assert make_device(state=1.0).resistance() == pytest.approx(PARAMS.r_on)
+
+    def test_series_map_midpoint(self):
+        expected = 0.5 * (PARAMS.r_on + PARAMS.r_off)
+        assert make_device(state=0.5).resistance() == pytest.approx(expected)
+
+
+class TestDynamics:
+    def test_positive_voltage_increases_state(self):
+        d = make_device(state=0.5)
+        d.step(1.0, dt=1e-6)
+        assert d.state > 0.5
+
+    def test_negative_voltage_decreases_state(self):
+        d = make_device(state=0.5)
+        d.step(-1.0, dt=1e-6)
+        assert d.state < 0.5
+
+    def test_zero_voltage_freezes_state(self):
+        d = make_device(state=0.31)
+        for _ in range(100):
+            d.step(0.0, dt=1e-3)
+        assert d.state == pytest.approx(0.31)
+
+    def test_drift_gain_formula(self):
+        d = make_device()
+        assert d.drift_gain == pytest.approx(
+            d.mobility * PARAMS.r_on / d.thickness**2
+        )
+
+    def test_charge_state_relation(self):
+        """With f=1, dx = k * i dt exactly, so x tracks delivered charge."""
+        d = make_device(state=0.2)
+        dt = 1e-7
+        charge = 0.0
+        for _ in range(2000):
+            charge += d.step(0.8, dt) * dt
+        assert d.state - 0.2 == pytest.approx(d.drift_gain * charge, rel=1e-9)
+
+    def test_analytic_solution_rectangular_window(self):
+        """Compare against the closed-form implicit solution.
+
+        With f = 1 and the series map R(x) = R_off - dR * x:
+            (R_off - dR x) dx = k v dt
+        integrates to R_off (x - x0) - dR (x^2 - x0^2)/2 = k v t.
+        """
+        x0, v, t_end = 0.1, 1.0, 2e-3
+        d = make_device(state=x0)
+        k = d.drift_gain
+        n = 200_000
+        dt = t_end / n
+        for _ in range(n):
+            d.step(v, dt)
+        r_off, d_r = PARAMS.r_off, PARAMS.r_off - PARAMS.r_on
+        # Solve the quadratic for the analytic x(t_end).
+        a_, b_, c_ = -d_r / 2, r_off, -(r_off * x0 - d_r * x0**2 / 2 + k * v * t_end)
+        x_analytic = (-b_ + math.sqrt(b_**2 - 4 * a_ * c_)) / (2 * a_)
+        assert 0.0 < x_analytic < 1.0  # the check is meaningful
+        assert d.state == pytest.approx(x_analytic, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearIonDriftDevice(mobility=0.0)
+        with pytest.raises(ValueError):
+            LinearIonDriftDevice(thickness=-1e-9)

@@ -1,0 +1,90 @@
+"""Tests for the filament-gap (ASU/Stanford-style) RRAM compact model."""
+
+import pytest
+
+from repro.devices import DeviceParameters, StanfordRRAMDevice
+
+PARAMS = DeviceParameters(r_on=1e3, r_off=100e6, v_set=1.3, v_reset=0.5)
+
+
+class TestCalibration:
+    def test_on_state_matches_r_on(self):
+        d = StanfordRRAMDevice(PARAMS, state=1.0)
+        assert d.resistance() == pytest.approx(PARAMS.r_on, rel=1e-9)
+
+    def test_off_state_matches_r_off(self):
+        d = StanfordRRAMDevice(PARAMS, state=0.0)
+        assert d.resistance() == pytest.approx(PARAMS.r_off, rel=1e-9)
+
+    def test_resistance_monotone_in_state(self):
+        resistances = [
+            StanfordRRAMDevice(PARAMS, state=s).resistance()
+            for s in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a > b for a, b in zip(resistances, resistances[1:]))
+
+
+class TestGapMapping:
+    def test_state_one_is_min_gap(self):
+        d = StanfordRRAMDevice(PARAMS, state=1.0)
+        assert d.gap == pytest.approx(d.g_min)
+
+    def test_state_zero_is_max_gap(self):
+        d = StanfordRRAMDevice(PARAMS, state=0.0)
+        assert d.gap == pytest.approx(d.g_max)
+
+    def test_gap_setter_clamps(self):
+        d = StanfordRRAMDevice(PARAMS)
+        d.gap = 1e-6  # way beyond g_max
+        assert d.gap == pytest.approx(d.g_max)
+        assert d.state == 0.0
+
+
+class TestIV:
+    def test_current_is_odd_in_voltage(self):
+        d = StanfordRRAMDevice(PARAMS, state=0.7)
+        assert d.current(0.2) == pytest.approx(-d.current(-0.2))
+
+    def test_sinh_superlinearity(self):
+        d = StanfordRRAMDevice(PARAMS, state=1.0)
+        # Doubling the voltage should more than double the current.
+        assert d.current(0.8) > 2.0 * d.current(0.4)
+
+
+class TestDynamics:
+    def test_positive_voltage_grows_filament(self):
+        d = StanfordRRAMDevice(PARAMS, state=0.5)
+        gap_before = d.gap
+        d.step(1.5, dt=1e-9)
+        assert d.gap < gap_before
+
+    def test_negative_voltage_dissolves_filament(self):
+        d = StanfordRRAMDevice(PARAMS, state=0.5)
+        gap_before = d.gap
+        d.step(-1.5, dt=1e-9)
+        assert d.gap > gap_before
+
+    def test_boundary_clamp_at_full_set(self):
+        d = StanfordRRAMDevice(PARAMS, state=1.0)
+        d.step(2.0, dt=1e-6)
+        assert d.state == 1.0
+
+    def test_boundary_clamp_at_full_reset(self):
+        d = StanfordRRAMDevice(PARAMS, state=0.0)
+        d.step(-2.0, dt=1e-6)
+        assert d.state == 0.0
+
+    def test_higher_temperature_switches_faster(self):
+        cold = StanfordRRAMDevice(PARAMS, temperature_k=300.0, state=0.0)
+        hot = StanfordRRAMDevice(PARAMS, temperature_k=400.0, state=0.0)
+        assert hot._state_derivative(1.5) > cold._state_derivative(1.5)
+
+
+class TestValidation:
+    def test_rejects_bad_gap_window(self):
+        with pytest.raises(ValueError):
+            StanfordRRAMDevice(PARAMS, g_min=2e-9, g_max=1e-9)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            StanfordRRAMDevice(PARAMS, temperature_k=0.0)

@@ -1,0 +1,70 @@
+"""Tests for the VTEAM threshold device."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices import DeviceParameters, VTEAMDevice
+
+PARAMS = DeviceParameters(r_on=1e3, r_off=100e6, v_set=1.3, v_reset=0.5)
+
+
+class TestDeadZone:
+    def test_read_voltage_is_safe(self):
+        d = VTEAMDevice(PARAMS, state=1.0)
+        for _ in range(1000):
+            d.step(0.4, dt=1e-9)  # the paper's precharge level
+        assert d.state == 1.0
+
+    def test_dead_zone_boundaries(self):
+        d = VTEAMDevice(PARAMS)
+        assert d.in_dead_zone(0.0)
+        assert d.in_dead_zone(1.29)
+        assert d.in_dead_zone(-0.49)
+        assert not d.in_dead_zone(1.3)
+        assert not d.in_dead_zone(-0.5)
+
+    @given(st.floats(min_value=-0.49, max_value=1.29))
+    def test_no_drift_anywhere_in_dead_zone(self, v):
+        d = VTEAMDevice(PARAMS, state=0.5)
+        assert d._state_derivative(v) == 0.0
+
+
+class TestSwitching:
+    def test_set_pulse_turns_on(self):
+        d = VTEAMDevice(PARAMS, state=0.0)
+        for _ in range(1000):
+            d.step(2.0, dt=1e-9)
+        assert d.state > 0.9
+
+    def test_reset_pulse_turns_off(self):
+        d = VTEAMDevice(PARAMS, state=1.0)
+        for _ in range(1000):
+            d.step(-1.5, dt=1e-9)
+        assert d.state < 0.1
+
+    def test_higher_overdrive_switches_faster(self):
+        slow = VTEAMDevice(PARAMS, state=0.0)
+        fast = VTEAMDevice(PARAMS, state=0.0)
+        for _ in range(50):
+            slow.step(1.5, dt=1e-9)
+            fast.step(2.5, dt=1e-9)
+        assert fast.state > slow.state
+
+    def test_exactly_at_threshold_moves(self):
+        d = VTEAMDevice(PARAMS, state=0.5)
+        # At v = v_set the overdrive is zero, so the rate is zero: the
+        # VTEAM dead zone is closed on the threshold itself.
+        assert d._state_derivative(PARAMS.v_set) == pytest.approx(0.0)
+        assert d._state_derivative(PARAMS.v_set * 1.5) > 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            VTEAMDevice(PARAMS, k_set=0.0)
+        with pytest.raises(ValueError):
+            VTEAMDevice(PARAMS, k_reset=-1.0)
+
+    def test_rejects_bad_exponents(self):
+        with pytest.raises(ValueError):
+            VTEAMDevice(PARAMS, alpha_set=0.5)

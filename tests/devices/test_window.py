@@ -1,0 +1,124 @@
+"""Tests for drift-model window functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices import (
+    BiolekWindow,
+    JoglekarWindow,
+    ProdromakisWindow,
+    RectangularWindow,
+    window_by_name,
+)
+
+UNIT = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestRectangular:
+    def test_unity_inside(self):
+        w = RectangularWindow()
+        assert w(0.5) == 1.0
+
+    def test_blocks_outward_drift_at_boundaries(self):
+        w = RectangularWindow()
+        assert w(1.0, current=+1.0) == 0.0
+        assert w(0.0, current=-1.0) == 0.0
+
+    def test_allows_inward_drift_at_boundaries(self):
+        w = RectangularWindow()
+        assert w(1.0, current=-1.0) == 1.0
+        assert w(0.0, current=+1.0) == 1.0
+
+
+class TestJoglekar:
+    def test_zero_at_both_boundaries(self):
+        w = JoglekarWindow(p=2)
+        assert w(0.0) == pytest.approx(0.0)
+        assert w(1.0) == pytest.approx(0.0)
+
+    def test_unity_at_midpoint(self):
+        assert JoglekarWindow(p=2)(0.5) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        w = JoglekarWindow(p=3)
+        assert w(0.2) == pytest.approx(w(0.8))
+
+    def test_higher_p_flattens(self):
+        # Larger p should be closer to 1 away from the boundaries.
+        assert JoglekarWindow(p=8)(0.25) > JoglekarWindow(p=1)(0.25)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            JoglekarWindow(p=0)
+
+    @given(UNIT)
+    def test_bounded_in_unit_interval(self, x):
+        assert 0.0 <= JoglekarWindow(p=2)(x) <= 1.0
+
+
+class TestBiolek:
+    def test_no_lockup_when_leaving_boundary(self):
+        w = BiolekWindow(p=2)
+        # At x=1 with negative current (moving away from ON) the window is 1.
+        assert w(1.0, current=-1.0) == pytest.approx(1.0)
+        # At x=0 with positive current the window is 1.
+        assert w(0.0, current=+1.0) == pytest.approx(1.0)
+
+    def test_zero_when_pushing_into_boundary(self):
+        w = BiolekWindow(p=2)
+        assert w(1.0, current=+1.0) == pytest.approx(0.0)
+        assert w(0.0, current=-1.0) == pytest.approx(0.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            BiolekWindow(p=0)
+
+    @given(UNIT, st.sampled_from([-1.0, 1.0]))
+    def test_bounded(self, x, i):
+        assert 0.0 <= BiolekWindow(p=2)(x, i) <= 1.0
+
+
+class TestProdromakis:
+    def test_peak_scales_with_j(self):
+        assert ProdromakisWindow(p=1, j=2.0)(0.5) == pytest.approx(
+            2.0 * ProdromakisWindow(p=1, j=1.0)(0.5)
+        )
+
+    def test_zero_at_boundaries_for_p1(self):
+        w = ProdromakisWindow(p=1.0)
+        assert w(0.0) == pytest.approx(0.0)
+        assert w(1.0) == pytest.approx(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ProdromakisWindow(p=0)
+        with pytest.raises(ValueError):
+            ProdromakisWindow(j=0)
+
+    @given(UNIT)
+    def test_non_negative_inside(self, x):
+        assert ProdromakisWindow(p=1.0, j=1.0)(x) >= -1e-12
+
+
+class TestWindowByName:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("rectangular", RectangularWindow),
+            ("joglekar", JoglekarWindow),
+            ("biolek", BiolekWindow),
+            ("prodromakis", ProdromakisWindow),
+        ],
+    )
+    def test_constructs_each(self, name, cls):
+        assert isinstance(window_by_name(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(window_by_name("JogLekar"), JoglekarWindow)
+
+    def test_forwards_kwargs(self):
+        assert window_by_name("joglekar", p=5).p == 5
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="joglekar"):
+            window_by_name("does-not-exist")

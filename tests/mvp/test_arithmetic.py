@@ -1,0 +1,152 @@
+"""Tests for bit-sliced vector arithmetic (the CIM parallel adder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar import Crossbar
+from repro.mvp import (
+    BitSliceVector,
+    MVPProcessor,
+    add,
+    equals,
+    load_unsigned,
+    read_unsigned,
+    subtract,
+)
+
+COLS = 16
+
+
+def make_processor(rows=40):
+    return MVPProcessor(Crossbar(rows, COLS))
+
+
+class TestLayout:
+    def test_row_addressing(self):
+        v = BitSliceVector(base_row=4, bits=3)
+        assert v.row(0) == 4
+        assert v.row(2) == 6
+        with pytest.raises(IndexError):
+            v.row(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitSliceVector(base_row=-1, bits=2)
+        with pytest.raises(ValueError):
+            BitSliceVector(base_row=0, bits=0)
+
+
+class TestLoadRead:
+    def test_roundtrip(self):
+        p = make_processor()
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 256, COLS)
+        layout = load_unsigned(p, values, bits=8, base_row=0)
+        np.testing.assert_array_equal(read_unsigned(p, layout), values)
+
+    def test_width_checked(self):
+        p = make_processor()
+        with pytest.raises(ValueError, match="fit"):
+            load_unsigned(p, [300] * COLS, bits=8, base_row=0)
+        with pytest.raises(ValueError, match="unsigned"):
+            load_unsigned(p, [-1] * COLS, bits=8, base_row=0)
+
+    def test_column_count_checked(self):
+        p = make_processor()
+        with pytest.raises(ValueError, match="one per column"):
+            load_unsigned(p, [1, 2, 3], bits=4, base_row=0)
+
+
+class TestAdd:
+    def test_simple_addition(self):
+        p = make_processor()
+        a_vals = np.arange(COLS)
+        b_vals = np.arange(COLS)[::-1].copy()
+        a = load_unsigned(p, a_vals, bits=4, base_row=0)
+        b = load_unsigned(p, b_vals, bits=4, base_row=4)
+        total = add(p, a, b, dest_row=8, scratch_row=14)
+        np.testing.assert_array_equal(
+            read_unsigned(p, total), a_vals + b_vals
+        )
+
+    def test_carry_out_is_captured(self):
+        p = make_processor()
+        a = load_unsigned(p, [15] * COLS, bits=4, base_row=0)
+        b = load_unsigned(p, [1] * COLS, bits=4, base_row=4)
+        total = add(p, a, b, dest_row=8, scratch_row=14)
+        assert total.bits == 5
+        np.testing.assert_array_equal(
+            read_unsigned(p, total), [16] * COLS
+        )
+
+    def test_width_mismatch_rejected(self):
+        p = make_processor()
+        a = load_unsigned(p, [0] * COLS, bits=4, base_row=0)
+        b = load_unsigned(p, [0] * COLS, bits=3, base_row=4)
+        with pytest.raises(ValueError):
+            add(p, a, b, dest_row=8, scratch_row=14)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_vectors_property(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = int(rng.integers(2, 8))
+        a_vals = rng.integers(0, 2**bits, COLS)
+        b_vals = rng.integers(0, 2**bits, COLS)
+        p = make_processor(rows=4 * bits + 8)
+        a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+        b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+        total = add(p, a, b, dest_row=2 * bits, scratch_row=3 * bits + 2)
+        np.testing.assert_array_equal(
+            read_unsigned(p, total), a_vals + b_vals
+        )
+
+    def test_uses_only_in_memory_ops(self):
+        """The adder must not read values back mid-computation."""
+        p = make_processor()
+        a = load_unsigned(p, [5] * COLS, bits=4, base_row=0)
+        b = load_unsigned(p, [9] * COLS, bits=4, base_row=4)
+        reads_before = p.stats.activations
+        add(p, a, b, dest_row=8, scratch_row=14)
+        # 5 activations per bit + 1 final carry copy, no VREADs.
+        assert p.stats.activations - reads_before == 5 * 4 + 1
+
+
+class TestSubtract:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_modular_subtraction_property(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = 6
+        a_vals = rng.integers(0, 2**bits, COLS)
+        b_vals = rng.integers(0, 2**bits, COLS)
+        p = make_processor(rows=6 * bits + 8)
+        a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+        b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+        diff = subtract(p, a, b, dest_row=2 * bits,
+                        scratch_row=4 * bits + 2)
+        np.testing.assert_array_equal(
+            read_unsigned(p, diff), (a_vals - b_vals) % 2**bits
+        )
+
+
+class TestEquals:
+    def test_equality_mask(self):
+        p = make_processor()
+        a_vals = np.array([3, 7, 7, 0, 12, 5, 5, 1] * 2)
+        b_vals = np.array([3, 7, 6, 0, 11, 5, 4, 1] * 2)
+        a = load_unsigned(p, a_vals, bits=4, base_row=0)
+        b = load_unsigned(p, b_vals, bits=4, base_row=4)
+        mask = equals(p, a, b, scratch_row=8)
+        np.testing.assert_array_equal(mask, (a_vals == b_vals).astype(int))
+
+    def test_single_final_activation_for_reduction(self):
+        """The OR over difference slices is ONE multi-row activation."""
+        p = make_processor()
+        a = load_unsigned(p, [1] * COLS, bits=4, base_row=0)
+        b = load_unsigned(p, [2] * COLS, bits=4, base_row=4)
+        before = p.stats.activations
+        equals(p, a, b, scratch_row=8)
+        # 4 XORs + 1 reducing OR.
+        assert p.stats.activations - before == 5

@@ -1,0 +1,113 @@
+"""Tests for the multi-reference fast adder and new ISA opcodes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar import Crossbar
+from repro.mvp import (
+    Instruction,
+    MVPProcessor,
+    add,
+    add_fast,
+    load_unsigned,
+    read_unsigned,
+    validate_program,
+)
+
+COLS = 24
+
+
+def make_processor(rows=48):
+    return MVPProcessor(Crossbar(rows, COLS))
+
+
+class TestNewOpcodes:
+    def test_vmaj_executes(self):
+        p = make_processor()
+        p.execute([
+            Instruction.vload(0, [1] * COLS),
+            Instruction.vload(1, [0] * COLS),
+            Instruction.vload(2, [1] * COLS),
+            Instruction.vmaj(0, 1, 2),
+        ])
+        np.testing.assert_array_equal(p.result, [1] * COLS)
+
+    def test_vxor3_executes(self):
+        p = make_processor()
+        p.execute([
+            Instruction.vload(0, [1] * COLS),
+            Instruction.vload(1, [1] * COLS),
+            Instruction.vload(2, [1] * COLS),
+            Instruction.vxor3(0, 1, 2),
+        ])
+        np.testing.assert_array_equal(p.result, [1] * COLS)
+
+    def test_validation(self):
+        # Four operands: meets the minimum but is even -> "odd" error.
+        with pytest.raises(ValueError, match="odd"):
+            validate_program([Instruction(
+                Instruction.vmaj(0, 1, 2).opcode, rows=(0, 1, 2, 3))],
+                rows=8, cols=COLS)
+        with pytest.raises(ValueError, match="three"):
+            validate_program([Instruction(
+                Instruction.vxor3(0, 1, 2).opcode, rows=(0, 1, 2, 3))],
+                rows=8, cols=COLS)
+
+
+class TestFastAdder:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_numpy_property(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = int(rng.integers(2, 9))
+        a_vals = rng.integers(0, 2**bits, COLS)
+        b_vals = rng.integers(0, 2**bits, COLS)
+        p = make_processor(rows=3 * bits + 6)
+        a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+        b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+        total = add_fast(p, a, b, dest_row=2 * bits,
+                         scratch_row=3 * bits + 2)
+        np.testing.assert_array_equal(read_unsigned(p, total),
+                                      a_vals + b_vals)
+
+    def test_agrees_with_two_input_adder(self):
+        rng = np.random.default_rng(11)
+        a_vals = rng.integers(0, 64, COLS)
+        b_vals = rng.integers(0, 64, COLS)
+        p1 = make_processor()
+        a1 = load_unsigned(p1, a_vals, 6, 0)
+        b1 = load_unsigned(p1, b_vals, 6, 6)
+        slow = read_unsigned(p1, add(p1, a1, b1, 12, 20))
+        p2 = make_processor()
+        a2 = load_unsigned(p2, a_vals, 6, 0)
+        b2 = load_unsigned(p2, b_vals, 6, 6)
+        fast = read_unsigned(p2, add_fast(p2, a2, b2, 12, 20))
+        np.testing.assert_array_equal(slow, fast)
+
+    def test_fewer_activations_than_two_input(self):
+        bits = 8
+        rng = np.random.default_rng(13)
+        a_vals = rng.integers(0, 2**bits, COLS)
+        b_vals = rng.integers(0, 2**bits, COLS)
+
+        def count(adder):
+            p = make_processor()
+            a = load_unsigned(p, a_vals, bits, 0)
+            b = load_unsigned(p, b_vals, bits, bits)
+            before = p.stats.activations
+            adder(p, a, b, 2 * bits, 3 * bits + 2)
+            return p.stats.activations - before
+
+        slow = count(add)
+        fast = count(add_fast)
+        assert fast == 2 * bits + 1
+        assert slow == 5 * bits + 1
+        assert fast < slow / 2
+
+    def test_width_mismatch_rejected(self):
+        p = make_processor()
+        a = load_unsigned(p, [0] * COLS, 4, 0)
+        b = load_unsigned(p, [0] * COLS, 3, 4)
+        with pytest.raises(ValueError):
+            add_fast(p, a, b, 8, 14)

@@ -1,0 +1,61 @@
+"""Tests for the MVP macro-instruction set."""
+
+import pytest
+
+from repro.mvp import Instruction, Opcode, validate_program
+
+
+class TestConstructors:
+    def test_vload_carries_data(self):
+        instr = Instruction.vload(3, [1, 0, 1])
+        assert instr.opcode is Opcode.VLOAD
+        assert instr.rows == (3,)
+        assert instr.data == (1, 0, 1)
+
+    def test_logic_constructors(self):
+        assert Instruction.vor(1, 2, 3).rows == (1, 2, 3)
+        assert Instruction.vand(0, 1).opcode is Opcode.VAND
+        assert Instruction.vxor(0, 1).rows == (0, 1)
+        assert Instruction.vnot(5).rows == (5,)
+
+    def test_instructions_hashable(self):
+        assert Instruction.vor(1, 2) == Instruction.vor(1, 2)
+        assert len({Instruction.vor(1, 2), Instruction.vor(1, 2)}) == 1
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        program = [
+            Instruction.vload(0, [1, 0]),
+            Instruction.vload(1, [0, 1]),
+            Instruction.vor(0, 1),
+            Instruction.vstore(2),
+            Instruction.popcount(),
+        ]
+        validate_program(program, rows=4, cols=2)
+
+    def test_single_operand_or_is_legal(self):
+        validate_program([Instruction.vor(0)], rows=2, cols=2)
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_program([Instruction.vor(0, 9)], rows=4, cols=2)
+
+    def test_vxor_needs_exactly_two(self):
+        bad = Instruction(Opcode.VXOR, rows=(0, 1, 2))
+        with pytest.raises(ValueError, match="exactly two"):
+            validate_program([bad], rows=4, cols=2)
+
+    def test_duplicate_rows_rejected(self):
+        with pytest.raises(ValueError, match="activated twice"):
+            validate_program([Instruction.vor(1, 1)], rows=4, cols=2)
+
+    def test_vload_payload_width(self):
+        with pytest.raises(ValueError, match="bits"):
+            validate_program([Instruction.vload(0, [1, 0, 1])],
+                             rows=4, cols=2)
+
+    def test_data_only_on_vload(self):
+        bad = Instruction(Opcode.VOR, rows=(0, 1), data=(1, 0))
+        with pytest.raises(ValueError, match="vload"):
+            validate_program([bad], rows=4, cols=2)

@@ -1,0 +1,91 @@
+"""Tests for the vector dot-product operator (Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import DeviceParameters, VariabilityModel
+from repro.rram_ap import CrossbarDotProduct, NumpyDotProduct
+
+
+def golden(config, inputs):
+    return (np.asarray(inputs, bool)[:, None]
+            & np.asarray(config, bool)).any(axis=0)
+
+
+class TestNumpyDotProduct:
+    def test_basic_or_and_semantics(self):
+        config = np.array([[1, 0], [0, 1], [1, 1]], dtype=bool)
+        op = NumpyDotProduct(config)
+        np.testing.assert_array_equal(
+            op.evaluate(np.array([1, 0, 0], dtype=bool)), [True, False]
+        )
+        np.testing.assert_array_equal(
+            op.evaluate(np.array([0, 0, 1], dtype=bool)), [True, True]
+        )
+
+    def test_zero_input_gives_zero_output(self):
+        op = NumpyDotProduct(np.ones((4, 3), dtype=bool))
+        assert not op.evaluate(np.zeros(4, dtype=bool)).any()
+
+    def test_shape_validation(self):
+        op = NumpyDotProduct(np.ones((4, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            op.evaluate(np.ones(5, dtype=bool))
+        with pytest.raises(ValueError):
+            NumpyDotProduct(np.ones(4, dtype=bool))
+
+
+class TestCrossbarDotProduct:
+    def test_matches_golden_exhaustively_small(self):
+        rng = np.random.default_rng(5)
+        config = rng.integers(0, 2, (4, 6)).astype(bool)
+        op = CrossbarDotProduct(config)
+        for mask in range(16):
+            inputs = np.array(
+                [(mask >> k) & 1 for k in range(4)], dtype=bool
+            )
+            np.testing.assert_array_equal(
+                op.evaluate(inputs), golden(config, inputs)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_matches_golden_property(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        rows = data.draw(st.integers(2, 32))
+        cols = data.draw(st.integers(1, 16))
+        config = rng.integers(0, 2, (rows, cols)).astype(bool)
+        inputs = rng.integers(0, 2, rows).astype(bool)
+        op = CrossbarDotProduct(config)
+        np.testing.assert_array_equal(
+            op.evaluate(inputs), golden(config, inputs)
+        )
+
+    def test_survives_default_variability(self):
+        rng = np.random.default_rng(7)
+        config = rng.integers(0, 2, (64, 32)).astype(bool)
+        op = CrossbarDotProduct(config, variability=VariabilityModel(),
+                                rng=rng)
+        for _ in range(16):
+            inputs = rng.integers(0, 2, 64).astype(bool)
+            np.testing.assert_array_equal(
+                op.evaluate(inputs), golden(config, inputs)
+            )
+
+    def test_rejects_window_too_small_for_height(self):
+        """Aggregate OFF leakage must stay below one ON current."""
+        narrow = DeviceParameters(r_on=1e3, r_off=1e4, v_set=1.3,
+                                  v_reset=0.5)
+        config = np.ones((64, 4), dtype=bool)  # 64 rows, window only 10x
+        with pytest.raises(ValueError, match="window too small"):
+            CrossbarDotProduct(config, params=narrow)
+
+    def test_paper_window_supports_256_rows(self):
+        config = np.eye(256, 8, dtype=bool)
+        op = CrossbarDotProduct(config)  # default 1 kOhm / 100 MOhm
+        inputs = np.zeros(256, dtype=bool)
+        inputs[0] = True
+        np.testing.assert_array_equal(
+            op.evaluate(inputs), golden(config, inputs)
+        )

@@ -1,0 +1,134 @@
+"""Tests for routing fabrics and placement."""
+
+import numpy as np
+import pytest
+
+from repro.automata import Alphabet, compile_regex, homogenize
+from repro.rram_ap import (
+    FullCrossbarRouting,
+    TwoLevelRouting,
+    bfs_blocks,
+    place,
+    refine_blocks,
+)
+
+AB = Alphabet("ab")
+
+
+def example_automaton(pattern="(a|b)*abb"):
+    return homogenize(compile_regex(pattern, AB))
+
+
+class TestFullCrossbarRouting:
+    def test_follow_matches_matrix_or(self):
+        r = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=bool)
+        routing = FullCrossbarRouting(r)
+        a = np.array([1, 0, 1], dtype=bool)
+        expected = (a[:, None] & r).any(axis=0)
+        np.testing.assert_array_equal(routing.follow(a), expected)
+
+    def test_costs(self):
+        routing = FullCrossbarRouting(np.zeros((5, 5), dtype=bool))
+        assert routing.columns_per_step() == 5
+        assert routing.configurable_bits() == 25
+        assert routing.stages == 1
+
+    def test_square_validation(self):
+        with pytest.raises(ValueError):
+            FullCrossbarRouting(np.zeros((3, 4), dtype=bool))
+
+
+class TestTwoLevelRouting:
+    def make(self, pattern="(a|b)*abb", block_size=3, budget=8):
+        ha = example_automaton(pattern)
+        blocks = place(ha, block_size)
+        return ha, TwoLevelRouting(ha.routing_matrix(), blocks,
+                                   port_budget=budget)
+
+    def test_follow_equals_full_crossbar(self):
+        ha, two_level = self.make()
+        full = FullCrossbarRouting(ha.routing_matrix())
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = rng.integers(0, 2, ha.n_states).astype(bool)
+            np.testing.assert_array_equal(
+                two_level.follow(a), full.follow(a)
+            )
+
+    def test_edge_partition_accounting(self):
+        ha, two_level = self.make()
+        total = int(ha.routing_matrix().sum())
+        assert (two_level.intra_block_edges()
+                + two_level.inter_block_edges()) == total
+
+    def test_routable_with_generous_budget(self):
+        _, two_level = self.make(budget=64)
+        assert two_level.check_routable().routable
+
+    def test_unroutable_with_budget_one(self):
+        """A dense automaton cannot fit one global port per block."""
+        ha = example_automaton("(a|b)*a(a|b)(a|b)(a|b)")
+        blocks = bfs_blocks(ha, 2)
+        two_level = TwoLevelRouting(ha.routing_matrix(), blocks,
+                                    port_budget=1)
+        report = two_level.check_routable()
+        if not report.routable:
+            with pytest.raises(RuntimeError, match="not routable"):
+                two_level.follow(np.zeros(ha.n_states, dtype=bool))
+        else:
+            pytest.skip("placement made this routable; acceptable")
+
+    def test_partition_validation(self):
+        r = np.zeros((4, 4), dtype=bool)
+        with pytest.raises(ValueError):
+            TwoLevelRouting(r, [[0, 1], [2]])  # missing state 3
+        with pytest.raises(ValueError):
+            TwoLevelRouting(r, [[0, 1], [2, 3]], port_budget=0)
+
+    def test_fewer_configurable_bits_than_full(self):
+        ha = example_automaton("(a|b)*abb(a|b)*ab")
+        blocks = place(ha, 4)
+        two_level = TwoLevelRouting(ha.routing_matrix(), blocks)
+        full = FullCrossbarRouting(ha.routing_matrix())
+        if ha.n_states >= 16:
+            assert (two_level.configurable_bits()
+                    < full.configurable_bits())
+
+
+class TestPlacement:
+    def test_bfs_blocks_partition(self):
+        ha = example_automaton()
+        blocks = bfs_blocks(ha, 3)
+        flat = sorted(s for b in blocks for s in b)
+        assert flat == list(range(ha.n_states))
+        assert all(len(b) <= 3 for b in blocks)
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            bfs_blocks(example_automaton(), 0)
+
+    def test_refinement_never_increases_cut_pairs(self):
+        ha = example_automaton("(a|b)*abb(ab)*")
+        routing = ha.routing_matrix()
+
+        def pair_count(blocks):
+            block_of = {}
+            for b, members in enumerate(blocks):
+                for s in members:
+                    block_of[s] = b
+            src, dst = np.nonzero(routing)
+            return len({
+                (block_of[int(s)], block_of[int(d)])
+                for s, d in zip(src, dst)
+                if block_of[int(s)] != block_of[int(d)]
+            })
+
+        initial = bfs_blocks(ha, 3)
+        refined = refine_blocks(ha, initial)
+        assert pair_count(refined) <= pair_count(initial)
+
+    def test_refinement_preserves_partition(self):
+        ha = example_automaton("(a|b)*abb(ab)*")
+        refined = refine_blocks(ha, bfs_blocks(ha, 3))
+        flat = sorted(s for b in refined for s in b)
+        assert flat == list(range(ha.n_states))

@@ -1,0 +1,60 @@
+"""Tests for the STE array and symbol decoder."""
+
+import numpy as np
+import pytest
+
+from repro.automata import Alphabet, homogenize
+from repro.automata.paper_example import build_example_nfa
+from repro.rram_ap import STEArray, decode_symbol
+
+
+class TestDecoder:
+    def test_one_hot(self):
+        al = Alphabet("abcd")
+        vec = decode_symbol(al, "c")
+        np.testing.assert_array_equal(vec, [False, False, True, False])
+        assert vec.sum() == 1
+
+    def test_unknown_symbol(self):
+        with pytest.raises(KeyError):
+            decode_symbol(Alphabet("ab"), "z")
+
+
+class TestSTEArray:
+    def setup_method(self):
+        self.ha = homogenize(build_example_nfa())
+        self.array = STEArray(self.ha.alphabet, self.ha.ste_matrix())
+
+    def test_symbol_vector_matches_matrix_row(self):
+        for symbol in "abcd":
+            idx = self.ha.alphabet.index_of(symbol)
+            np.testing.assert_array_equal(
+                self.array.symbol_vector(symbol),
+                self.ha.ste_matrix()[idx],
+            )
+
+    def test_wordlines_are_power_of_two(self):
+        assert self.array.wordlines == 4  # W = 2 for a 4-symbol alphabet
+        al5 = Alphabet("abcde")
+        v = np.zeros((5, 2), dtype=bool)
+        assert STEArray(al5, v).wordlines == 8
+
+    def test_configurable_bits_use_decoder_height(self):
+        assert (self.array.configurable_bits()
+                == self.array.wordlines * self.array.n_states)
+
+    def test_crossbar_backend_agrees(self):
+        electrical = STEArray(self.ha.alphabet, self.ha.ste_matrix(),
+                              backend="crossbar")
+        for symbol in "abcd":
+            np.testing.assert_array_equal(
+                electrical.symbol_vector(symbol),
+                self.array.symbol_vector(symbol),
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STEArray(self.ha.alphabet, np.zeros((3, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            STEArray(self.ha.alphabet, self.ha.ste_matrix(),
+                     backend="quantum")

@@ -1,0 +1,42 @@
+"""Package-level sanity: every advertised export exists and imports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "devices", "circuits", "crossbar", "arch", "mvp", "automata",
+    "rram_ap", "workloads", "analysis",
+]
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_lists_subpackages(self):
+        assert set(repro.__all__) == set(SUBPACKAGES)
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_exports_resolve(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"repro.{name}.{symbol}"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_has_docstring(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module.__doc__ and len(module.__doc__) > 40
+
+    def test_public_classes_documented(self):
+        """Every public class/function in __all__ carries a docstring."""
+        undocumented = []
+        for name in SUBPACKAGES:
+            module = importlib.import_module(f"repro.{name}")
+            for symbol in module.__all__:
+                obj = getattr(module, symbol)
+                if callable(obj) and not getattr(obj, "__doc__", None):
+                    undocumented.append(f"repro.{name}.{symbol}")
+        assert not undocumented, undocumented

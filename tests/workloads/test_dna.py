@@ -1,0 +1,79 @@
+"""Tests for DNA workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.automata import DNA_ALPHABET, homogenize
+from repro.rram_ap import rram_ap
+from repro.workloads import (
+    make_motif_dataset,
+    motif_nfa,
+    motif_to_regex,
+    plant_motif,
+    random_sequence,
+)
+
+
+class TestSequenceGeneration:
+    def test_length_and_alphabet(self):
+        seq = random_sequence(np.random.default_rng(1), 500)
+        assert len(seq) == 500
+        assert set(seq) <= set("ACGT")
+
+    def test_gc_content_respected(self):
+        rng = np.random.default_rng(2)
+        seq = random_sequence(rng, 20000, gc_content=0.7)
+        gc = sum(1 for c in seq if c in "GC") / len(seq)
+        assert gc == pytest.approx(0.7, abs=0.02)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_sequence(rng, -1)
+        with pytest.raises(ValueError):
+            random_sequence(rng, 10, gc_content=1.5)
+
+
+class TestMotifConversion:
+    def test_plain_bases_pass_through(self):
+        assert motif_to_regex("ACGT") == "ACGT"
+
+    def test_degenerate_codes_expand(self):
+        assert motif_to_regex("TATAWR") == "TATA[AT][AG]"
+        assert motif_to_regex("N") == "[ACGT]"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            motif_to_regex("AXC")
+
+    def test_motif_nfa_matches_concretizations(self):
+        nfa = motif_nfa("ARY")  # A [AG] [CT]
+        for text in ["AAC", "AAT", "AGC", "AGT"]:
+            assert nfa.accepts(text)
+        assert not nfa.accepts("ACA")
+
+
+class TestPlanting:
+    def test_plant_overwrites(self):
+        seq = plant_motif("AAAAAAAA", "CGT", 2)
+        assert seq == "AACGTAAA"
+        assert len(seq) == 8
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            plant_motif("AAAA", "CGT", 3)
+
+    def test_dataset_has_planted_matches(self):
+        rng = np.random.default_rng(7)
+        ds = make_motif_dataset(rng, length=2000, motif="TATAWR",
+                                n_plants=5)
+        assert len(ds.planted_ends) == 5
+        proc = rram_ap(homogenize(motif_nfa(ds.motif)))
+        found = set(proc.find_matches(ds.sequence))
+        assert set(ds.planted_ends) <= found  # spontaneous extras allowed
+
+    def test_too_many_plants_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_motif_dataset(rng, length=20, motif="ACGTACGT",
+                               n_plants=10)

@@ -1,0 +1,88 @@
+"""Tests for IDS and sequential-pattern-mining workloads."""
+
+import numpy as np
+import pytest
+
+from repro.automata import homogenize
+from repro.rram_ap import rram_ap
+from repro.workloads import (
+    PAYLOAD_ALPHABET,
+    generate_payload,
+    generate_ruleset,
+    generate_transactions,
+    golden_support,
+    make_ids_workload,
+    pattern_nfa,
+    pattern_to_regex,
+)
+
+
+class TestRulesetGeneration:
+    def test_rule_count_and_ids(self):
+        rules = generate_ruleset(np.random.default_rng(1), 9)
+        assert len(rules) == 9
+        assert [r.rule_id for r in rules] == list(range(9))
+
+    def test_examples_match_their_patterns(self):
+        rules = generate_ruleset(np.random.default_rng(2), 12)
+        for rule in rules:
+            nfa = rule.compile()
+            assert nfa.accepts(rule.example), rule
+
+    def test_needs_at_least_one_rule(self):
+        with pytest.raises(ValueError):
+            generate_ruleset(np.random.default_rng(0), 0)
+
+
+class TestPayloads:
+    def test_payload_length_and_alphabet(self):
+        payload = generate_payload(np.random.default_rng(3), 256)
+        assert len(payload) == 256
+        assert all(c in PAYLOAD_ALPHABET for c in payload)
+
+    def test_planting_out_of_bounds_rejected(self):
+        rng = np.random.default_rng(4)
+        rules = generate_ruleset(rng, 1)
+        with pytest.raises(ValueError):
+            generate_payload(rng, 10, [(rules[0], 8)])
+
+    def test_ids_workload_detects_planted_attacks(self):
+        workload = make_ids_workload(np.random.default_rng(5), n_rules=9,
+                                     payload_length=512, n_attacks=3)
+        for rule, offset in workload.planted:
+            proc = rram_ap(homogenize(rule.compile()))
+            ends = proc.find_matches(workload.payload)
+            expected_end = offset + len(rule.example)
+            assert expected_end in ends, (rule.pattern, offset)
+
+
+class TestSequentialPatternMining:
+    def test_pattern_regex_shape(self):
+        assert pattern_to_regex("abc") == ".*a.*b.*c.*"
+        with pytest.raises(ValueError):
+            pattern_to_regex("")
+
+    def test_nfa_agrees_with_golden_subsequence_check(self):
+        rng = np.random.default_rng(6)
+        ds = generate_transactions(rng, n_sequences=30, length=20,
+                                   n_patterns=3, support_fraction=0.5)
+        for pattern in ds.patterns:
+            nfa = pattern_nfa(pattern)
+            ap_support = sum(
+                1 for seq in ds.sequences if nfa.accepts(seq)
+            )
+            assert ap_support == golden_support(pattern, ds.sequences)
+
+    def test_embedded_support_floor(self):
+        rng = np.random.default_rng(7)
+        ds = generate_transactions(rng, n_sequences=50, length=30,
+                                   n_patterns=2, support_fraction=0.6)
+        for pattern in ds.patterns:
+            support = golden_support(pattern, ds.sequences)
+            # Embedded in ~60% of sequences plus chance occurrences.
+            assert support >= 0.4 * len(ds.sequences)
+
+    def test_support_fraction_validated(self):
+        with pytest.raises(ValueError):
+            generate_transactions(np.random.default_rng(0), 5, 10,
+                                  support_fraction=1.5)

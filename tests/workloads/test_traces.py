@@ -1,0 +1,78 @@
+"""Tests for the address-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    pointer_chase,
+    random_uniform,
+    sequential_scan,
+    strided_access,
+    zipf_accesses,
+)
+
+
+class TestDeterministicTraces:
+    def test_sequential_addresses(self):
+        trace = sequential_scan(5, element_bytes=8, start=100)
+        np.testing.assert_array_equal(trace, [100, 108, 116, 124, 132])
+
+    def test_strided(self):
+        trace = strided_access(4, stride_bytes=256)
+        np.testing.assert_array_equal(trace, [0, 256, 512, 768])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_scan(0)
+        with pytest.raises(ValueError):
+            strided_access(5, stride_bytes=0)
+
+
+class TestRandomTraces:
+    def test_uniform_within_footprint(self):
+        rng = np.random.default_rng(3)
+        trace = random_uniform(rng, 1000, footprint_bytes=4096,
+                               element_bytes=8)
+        assert trace.min() >= 0
+        assert trace.max() < 4096
+        assert (trace % 8 == 0).all()
+
+    def test_uniform_footprint_validation(self):
+        with pytest.raises(ValueError):
+            random_uniform(np.random.default_rng(0), 10,
+                           footprint_bytes=4, element_bytes=8)
+
+    def test_zipf_is_skewed(self):
+        rng = np.random.default_rng(5)
+        trace = zipf_accesses(rng, 20000, footprint_bytes=1 << 20,
+                              alpha=1.5)
+        __, counts = np.unique(trace, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(trace)
+        assert top_share > 0.5  # ten hottest keys dominate
+
+    def test_zipf_alpha_validated(self):
+        with pytest.raises(ValueError):
+            zipf_accesses(np.random.default_rng(0), 10, 1024, alpha=1.0)
+
+    def test_pointer_chase_visits_whole_cycle(self):
+        rng = np.random.default_rng(7)
+        n_elements = 64
+        trace = pointer_chase(rng, n_elements, 64 * n_elements,
+                              element_bytes=64)
+        # One full cycle touches every element exactly once.
+        assert len(set(trace.tolist())) == n_elements
+
+    def test_pointer_chase_is_sequentially_dependent(self):
+        """Consecutive addresses are a permutation walk: no address
+        repeats until the cycle wraps."""
+        rng = np.random.default_rng(9)
+        trace = pointer_chase(rng, 128, footprint_bytes=64 * 64,
+                              element_bytes=64)
+        first_cycle = trace[:64]
+        second_cycle = trace[64:128]
+        np.testing.assert_array_equal(first_cycle, second_cycle)
+
+    def test_reproducible_with_seed(self):
+        a = pointer_chase(np.random.default_rng(11), 100, 4096)
+        b = pointer_chase(np.random.default_rng(11), 100, 4096)
+        np.testing.assert_array_equal(a, b)
