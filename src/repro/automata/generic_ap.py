@@ -27,7 +27,122 @@ import numpy as np
 from repro.automata.homogeneous import HomogeneousAutomaton
 from repro.automata.symbols import Alphabet
 
-__all__ = ["APTrace", "KernelCounts", "GenericAPModel"]
+__all__ = [
+    "APTrace",
+    "KernelCounts",
+    "GenericAPModel",
+    "encode_streams",
+    "batched_matrix_steps",
+    "assemble_traces",
+]
+
+
+def encode_streams(
+    alphabet, sequences
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack symbol streams into a padded index matrix for batch stepping.
+
+    Args:
+        alphabet: the symbol universe (provides ``index_of``).
+        sequences: iterables of alphabet symbols; lengths may differ.
+
+    Returns:
+        ``(indices, lengths)``: an (M, T_max) int array of symbol indices
+        (zero-padded past each stream's end) and the (M,) true lengths.
+    """
+    seqs = [list(s) for s in sequences]
+    lengths = np.array([len(s) for s in seqs], dtype=np.int64)
+    t_max = int(lengths.max()) if len(seqs) else 0
+    indices = np.zeros((len(seqs), t_max), dtype=np.int64)
+    for k, seq in enumerate(seqs):
+        for t, symbol in enumerate(seq):
+            indices[k, t] = alphabet.index_of(symbol)
+    return indices, lengths
+
+
+def batched_matrix_steps(
+    start: np.ndarray,
+    routing: np.ndarray,
+    ste: np.ndarray,
+    accept: np.ndarray,
+    indices: np.ndarray,
+    lengths: np.ndarray,
+    unanchored: bool = False,
+    counts: "KernelCounts | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run Eqs. (1)-(4) over M streams in lock step, vectorized.
+
+    The shared batch kernel behind both
+    :meth:`GenericAPModel.run_batch` and the hardware model's
+    ``AutomataProcessor.run_batch``: each step is one (M, N) x (N, N)
+    product plus (M, N) bitwise ops, servicing every live stream at once.
+    Streams shorter than T_max stop updating after their last symbol, so
+    per-stream results are identical to M independent single runs.
+
+    Args:
+        start: (N,) initial Active Vector.
+        routing: (N, N) boolean routing matrix R.
+        ste: (|Sigma|, N) boolean STE matrix V.
+        accept: (N,) boolean Accept Vector c.
+        indices: (M, T_max) padded symbol-index matrix.
+        lengths: (M,) true stream lengths.
+        unanchored: re-arm start states before every symbol.
+        counts: optional kernel counters; incremented by the number of
+            *live* streams per step, matching M single runs in total.
+
+    Returns:
+        ``(actives, accepts)``: (M, T_max + 1, N) Active Vector history
+        and (M, T_max) per-step Eq. 4 outputs.
+    """
+    m = int(indices.shape[0])
+    t_max = int(indices.shape[1])
+    n = start.shape[0]
+    active = np.tile(start, (m, 1))
+    actives = np.zeros((m, t_max + 1, n), dtype=bool)
+    actives[:, 0] = active
+    accepts = np.zeros((m, t_max), dtype=bool)
+    # A wide accumulator: uint8 would wrap to 0 when a state has a
+    # multiple of 256 active predecessors, silently dropping the edge.
+    routing_wide = routing.astype(np.int64)
+    for t in range(t_max):
+        live = t < lengths
+        source = active | start if unanchored else active
+        follow = (source.astype(np.int64) @ routing_wide) > 0
+        s = ste[indices[:, t]]
+        stepped = follow & s
+        active = np.where(live[:, None], stepped, active)
+        actives[:, t + 1] = active
+        accepts[:, t] = (active & accept).any(axis=1)
+        if counts is not None:
+            m_live = int(live.sum())
+            counts.routing_reads += m_live
+            counts.ste_reads += m_live
+            counts.and_ops += m_live
+            counts.accept_reads += m_live
+    return actives, accepts
+
+
+def assemble_traces(
+    actives: np.ndarray,
+    accepts: np.ndarray,
+    lengths: np.ndarray,
+    start_accepted: bool,
+) -> list[APTrace]:
+    """Slice :func:`batched_matrix_steps` output into per-stream traces.
+
+    Each stream's history is cut to its true length; a zero-length
+    stream answers Eq. 4 on the start vector (``start_accepted``),
+    exactly as the single-stream path does.
+    """
+    return [
+        APTrace(
+            active=actives[k, : lengths[k] + 1].copy(),
+            accept_per_step=accepts[k, : lengths[k]].copy(),
+            accepted=bool(accepts[k, lengths[k] - 1]) if lengths[k]
+            else start_accepted,
+        )
+        for k in range(len(lengths))
+    ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -178,14 +293,17 @@ class GenericAPModel:
     def run_batch(
         self, sequences: list, unanchored: bool = False
     ) -> list[APTrace]:
-        """Process equal-length streams in lock step (vectorized).
+        """Process M streams in lock step (vectorized multi-stream mode).
 
         Hardware APs process one symbol per cycle per stream; batching M
         streams turns the per-step math into (M, N) matrix ops, which is
-        how the throughput benches drive the model.
+        how the throughput benches drive the model.  Streams may have
+        different lengths: shorter streams simply stop participating, and
+        every per-stream trace and kernel count is identical to M
+        independent :meth:`run` calls.
 
         Args:
-            sequences: list of equal-length symbol sequences.
+            sequences: list of symbol sequences (lengths may differ).
             unanchored: as in :meth:`run`.
 
         Returns:
@@ -193,35 +311,14 @@ class GenericAPModel:
         """
         if not sequences:
             return []
-        lengths = {len(s) for s in sequences}
-        if len(lengths) != 1:
-            raise ValueError("batched streams must have equal length")
-        t_len = lengths.pop()
-        m = len(sequences)
-        indices = np.array(
-            [[self.alphabet.index_of(sym) for sym in seq] for seq in sequences]
+        indices, lengths = encode_streams(self.alphabet, sequences)
+        actives, accepts = batched_matrix_steps(
+            self.start, self.routing, self.ste, self.accept,
+            indices, lengths, unanchored=unanchored, counts=self.counts,
         )
-        active = np.tile(self.start, (m, 1))
-        traces = np.zeros((m, t_len + 1, self.n_states), dtype=bool)
-        traces[:, 0] = active
-        accepts = np.zeros((m, t_len), dtype=bool)
-        for t in range(t_len):
-            source = active | self.start if unanchored else active
-            follow = np.einsum("mi,in->mn", source, self.routing) > 0
-            self.counts.routing_reads += m
-            s = self.ste[indices[:, t]]
-            self.counts.ste_reads += m
-            active = follow & s
-            self.counts.and_ops += m
-            traces[:, t + 1] = active
-            accepts[:, t] = (active & self.accept).any(axis=1)
-            self.counts.accept_reads += m
-        return [
-            APTrace(
-                active=traces[k],
-                accept_per_step=accepts[k],
-                accepted=bool(accepts[k, -1]) if t_len else
-                bool((self.start & self.accept).any()),
-            )
-            for k in range(m)
-        ]
+        # A zero-length stream answers Eq. 4 on the start vector, one
+        # accept-read each -- exactly as the single-stream path does.
+        empty = int((lengths == 0).sum())
+        self.counts.accept_reads += empty
+        start_accepted = bool((self.start & self.accept).any())
+        return assemble_traces(actives, accepts, lengths, start_accepted)

@@ -1,0 +1,140 @@
+"""Throughput measurement harness for the batch execution engine.
+
+The paper's bottom line is ops/sec: computation-in-memory wins by
+amortizing each control action over many data elements, and the batch
+layer extends that over many concurrent workloads.  This module provides
+the small, dependency-free pieces the throughput benches share:
+
+* :func:`measure_throughput` -- wall-clock a workload callable and
+  normalize to operations per second (best-of-N to suppress scheduler
+  noise);
+* :func:`speedup` -- ratio of two measurements;
+* :func:`write_bench_json` -- persist a machine-readable ``BENCH_*.json``
+  record (the perf trajectory consumed by CI and future sessions);
+* :func:`smoke_mode` -- honour the ``REPRO_BENCH_SMOKE`` environment
+  variable so CI can run the benches on shrunken workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SMOKE_ENV",
+    "ThroughputResult",
+    "measure_throughput",
+    "smoke_mode",
+    "speedup",
+    "write_bench_json",
+]
+
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when benches should run shrunken workloads (CI smoke runs)."""
+    return os.environ.get(SMOKE_ENV, "").strip() not in ("", "0", "false")
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputResult:
+    """One timed workload, normalized to operations per second.
+
+    Attributes:
+        name: workload identifier (stable across sessions; used as the
+            JSON key of the perf trajectory).
+        ops: logical operations serviced by one workload call.
+        seconds: best wall-clock time of the repeats, seconds.
+        ops_per_second: ``ops / seconds``.
+        repeats: timed calls taken (the best is reported).
+    """
+
+    name: str
+    ops: int
+    seconds: float
+    ops_per_second: float
+    repeats: int
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def measure_throughput(
+    name: str,
+    fn: Callable[[], object],
+    ops: int,
+    repeats: int = 3,
+) -> ThroughputResult:
+    """Time ``fn`` and normalize to ops/sec (best of ``repeats`` calls).
+
+    Args:
+        name: workload identifier for reports.
+        fn: zero-argument callable executing the whole workload,
+            including any per-call setup the workload realistically pays.
+        ops: logical operations one call completes.
+        repeats: timed calls; the fastest is reported (the standard
+            micro-benchmark practice: minima estimate the noise floor).
+
+    Returns:
+        The measured :class:`ThroughputResult`.
+    """
+    if ops < 1:
+        raise ValueError("ops must be positive")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+    best = max(best, 1e-12)  # degenerate clock resolution guard
+    return ThroughputResult(
+        name=name,
+        ops=ops,
+        seconds=best,
+        ops_per_second=ops / best,
+        repeats=repeats,
+    )
+
+
+def speedup(batched: ThroughputResult, looped: ThroughputResult) -> float:
+    """Throughput ratio of the batched path over the looped baseline."""
+    return batched.ops_per_second / looped.ops_per_second
+
+
+def write_bench_json(
+    path: str | Path,
+    results: Sequence[ThroughputResult],
+    speedups: dict[str, float] | None = None,
+) -> Path:
+    """Persist bench results as a machine-readable JSON record.
+
+    Args:
+        path: output file (parents are created).
+        results: measured workloads.
+        speedups: named throughput ratios derived from ``results``.
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": "repro-bench-v1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": smoke_mode(),
+        "results": [r.as_dict() for r in results],
+        "speedups": dict(speedups or {}),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

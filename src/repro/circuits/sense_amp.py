@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 __all__ = [
     "CurrentCompareSA",
     "WindowComparatorSA",
@@ -47,6 +49,19 @@ class CurrentCompareSA:
         """Logic output: 1 when the input current exceeds the reference."""
         return 1 if i_in > self.i_ref else 0
 
+    def output_array(self, i_in: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`output` over an array of any shape.
+
+        One SA sits on every bit line, so a whole current array decides
+        in a single comparison -- the kernel the batch engines build on.
+        Decisions are bit-identical to element-wise :meth:`output` calls.
+        """
+        return (np.asarray(i_in) > self.i_ref).astype(np.int8)
+
+    def margin_array(self, i_in: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`margin` over an array of any shape."""
+        return np.abs(np.asarray(i_in) - self.i_ref) - self.offset
+
     def margin(self, i_in: float) -> float:
         """Distance from the reference after offset, in amperes.
 
@@ -76,6 +91,22 @@ class WindowComparatorSA:
     def output(self, i_in: float) -> int:
         """Logic output: 1 inside the (low, high) current window."""
         return 1 if self.i_ref_low < i_in < self.i_ref_high else 0
+
+    def output_array(self, i_in: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`output` over an array of any shape."""
+        i_in = np.asarray(i_in)
+        return (
+            (self.i_ref_low < i_in) & (i_in < self.i_ref_high)
+        ).astype(np.int8)
+
+    def margin_array(self, i_in: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`margin` over an array of any shape."""
+        i_in = np.asarray(i_in)
+        return (
+            np.minimum(np.abs(i_in - self.i_ref_low),
+                       np.abs(i_in - self.i_ref_high))
+            - self.offset
+        )
 
     def margin(self, i_in: float) -> float:
         """Distance to the nearest window edge after offset, in amperes."""

@@ -5,7 +5,7 @@ logic (in-memory OR/AND/XOR), the V/2 programming scheme with verify,
 IR-drop-aware reads, and fault-injection campaigns.
 """
 
-from repro.crossbar.array import Crossbar
+from repro.crossbar.array import Crossbar, CrossbarStack
 from repro.crossbar.faults import (
     FaultCampaign,
     drift_campaign,
@@ -30,6 +30,7 @@ from repro.crossbar.scouting import (
 
 __all__ = [
     "Crossbar",
+    "CrossbarStack",
     "FaultCampaign",
     "ReferenceLadder",
     "ScoutingEnergyModel",

@@ -20,7 +20,21 @@ import numpy as np
 from repro.devices.base import DeviceParameters
 from repro.devices.variability import VariabilityModel, sample_resistances
 
-__all__ = ["Crossbar"]
+__all__ = ["Crossbar", "CrossbarStack"]
+
+
+def _validated_activation_rows(active_rows: Sequence[int],
+                               n_rows: int) -> list[int]:
+    """Shared activation-set checks for Crossbar and CrossbarStack reads."""
+    rows = list(active_rows)
+    if not rows:
+        raise ValueError("at least one row must be activated")
+    if len(set(rows)) != len(rows):
+        raise ValueError("duplicate rows in activation set")
+    for row in rows:
+        if not 0 <= row < n_rows:
+            raise IndexError(f"row {row} out of range [0, {n_rows})")
+    return rows
 
 
 class Crossbar:
@@ -55,13 +69,16 @@ class Crossbar:
         if rows < 1 or cols < 1:
             raise ValueError("crossbar must have at least one row and column")
         self.params = params or DeviceParameters()
+        # Positivity is the more fundamental requirement, so it is checked
+        # first: a non-positive voltage that also falls outside the dead
+        # zone should not be reported as a disturb hazard.
+        if read_voltage <= 0:
+            raise ValueError("read voltage must be positive")
         if not -self.params.v_reset < read_voltage < self.params.v_set:
             raise ValueError(
                 f"read voltage {read_voltage} V would disturb stored data "
                 f"(dead zone is ({-self.params.v_reset}, {self.params.v_set}))"
             )
-        if read_voltage <= 0:
-            raise ValueError("read voltage must be positive")
         self.rows = rows
         self.cols = cols
         self.read_voltage = read_voltage
@@ -125,6 +142,48 @@ class Crossbar:
             )[0]
         )
 
+    def write_rows(
+        self, rows: Sequence[int], bits: np.ndarray
+    ) -> None:
+        """Program several word lines in one vectorized call.
+
+        Semantically equivalent to calling :meth:`write_row` once per row
+        (cycle counting, stuck-cell masking and resistance sampling all
+        included), but executed as whole-array numpy operations.  With a
+        ``variability`` model the *values* drawn differ from the looped
+        path because the generator is consumed in one (k, cols) draw.
+
+        Args:
+            rows: distinct word-line indices, one per row of ``bits``.
+            bits: (k, cols) 0/1 matrix; row ``i`` programs ``rows[i]``.
+        """
+        idx = np.asarray(rows, dtype=int)
+        if idx.ndim != 1:
+            raise ValueError("rows must be a 1-D index sequence")
+        if len(np.unique(idx)) != idx.size:
+            raise ValueError("duplicate rows in batched write")
+        for row in idx:
+            self._check_row(int(row))
+        new_bits = np.asarray(bits, dtype=np.int8)
+        if new_bits.shape != (idx.size, self.cols):
+            raise ValueError(
+                f"expected shape {(idx.size, self.cols)}, "
+                f"got {new_bits.shape}"
+            )
+        if not np.isin(new_bits, (0, 1)).all():
+            raise ValueError("bits must be 0 or 1")
+        writable = ~self._stuck_mask[idx]
+        changed = (self.bits[idx] != new_bits) & writable
+        stored = np.where(writable, new_bits, self.bits[idx])
+        self.bits[idx] = stored
+        self.program_cycles[idx] += changed
+        sampled = sample_resistances(
+            stored.astype(bool), self.params, self.variability, self.rng
+        )
+        self.resistances[idx] = np.where(
+            writable, sampled, self.resistances[idx]
+        )
+
     def load_matrix(self, bits: np.ndarray) -> None:
         """Program the whole array from a (rows, cols) 0/1 matrix."""
         bits = np.asarray(bits)
@@ -132,8 +191,13 @@ class Crossbar:
             raise ValueError(
                 f"expected shape {(self.rows, self.cols)}, got {bits.shape}"
             )
-        for row in range(self.rows):
-            self.write_row(row, bits[row])
+        if self.variability is None:
+            self.write_rows(range(self.rows), bits)
+        else:
+            # Preserve the historical per-row generator consumption so
+            # seeded variability experiments stay reproducible.
+            for row in range(self.rows):
+                self.write_row(row, bits[row])
 
     # -- fault injection ---------------------------------------------------
 
@@ -173,6 +237,59 @@ class Crossbar:
         conductance = 1.0 / self.resistances[rows, :]
         return self.read_voltage * conductance.sum(axis=0)
 
+    def batched_column_currents(self, row_sets) -> np.ndarray:
+        """Bit-line currents for B activation sets in one call.
+
+        The batched counterpart of :meth:`column_currents`: each row of
+        ``row_sets`` is an independent activation pattern, and the whole
+        batch is serviced by one fancy-indexed numpy reduction.  The
+        per-set currents are bit-identical to B separate
+        :meth:`column_currents` calls (same operands, same reduction
+        axis), which the batch engines rely on for exact equivalence.
+
+        Args:
+            row_sets: (B, k) integer array; row b lists the k word lines
+                activated in logical read b.
+
+        Returns:
+            (B, cols) currents: ``I[b, j] = sum_i Vr / R[row_sets[b, i], j]``.
+        """
+        sets = np.asarray(row_sets, dtype=int)
+        if sets.ndim != 2 or sets.shape[1] < 1:
+            raise ValueError("row_sets must be a (B, k) index array, k >= 1")
+        if ((sets < 0) | (sets >= self.rows)).any():
+            raise IndexError(f"row index out of range [0, {self.rows})")
+        sorted_sets = np.sort(sets, axis=1)
+        if (sorted_sets[:, 1:] == sorted_sets[:, :-1]).any():
+            raise ValueError("duplicate rows in an activation set")
+        conductance = 1.0 / self.resistances[sets, :]
+        return self.read_voltage * conductance.sum(axis=1)
+
+    def masked_column_currents(self, masks: np.ndarray) -> np.ndarray:
+        """Bit-line currents for B boolean activation masks (matmul form).
+
+        Masked-stack semantics for dot-product-style workloads where each
+        logical read may activate a different *number* of rows: the batch
+        collapses to one (B, rows) x (rows, cols) matrix product over the
+        conductance matrix.  Float rounding may differ from
+        :meth:`column_currents` at the last ulp (different reduction
+        order), which thresholded reads are insensitive to.
+
+        Args:
+            masks: (B, rows) boolean array; True activates the word line.
+
+        Returns:
+            (B, cols) currents.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        if masks.ndim != 2 or masks.shape[1] != self.rows:
+            raise ValueError(f"masks must be (B, {self.rows})")
+        if not masks.any(axis=1).all():
+            raise ValueError("every mask must activate at least one row")
+        return self.read_voltage * (
+            masks.astype(float) @ (1.0 / self.resistances)
+        )
+
     def read_row(self, row: int) -> np.ndarray:
         """Conventional single-row memory read, returning stored bits.
 
@@ -191,14 +308,7 @@ class Crossbar:
         return self.bits[row].copy()
 
     def _validated_rows(self, active_rows: Sequence[int]) -> list[int]:
-        rows = list(active_rows)
-        if not rows:
-            raise ValueError("at least one row must be activated")
-        if len(set(rows)) != len(rows):
-            raise ValueError("duplicate rows in activation set")
-        for row in rows:
-            self._check_row(row)
-        return rows
+        return _validated_activation_rows(active_rows, self.rows)
 
     # -- endurance summary ---------------------------------------------------
 
@@ -208,3 +318,146 @@ class Crossbar:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Crossbar({self.rows}x{self.cols}, Vr={self.read_voltage} V)"
+
+
+class CrossbarStack:
+    """B independent logical crossbars executed as one (B, rows, cols) stack.
+
+    The batch-execution substrate: every read or write services all B
+    logical arrays in a single vectorized numpy operation, which is how
+    the paper's accelerators amortize control overhead over many
+    concurrent workloads.  The electrical model, cycle counting and
+    decision thresholds are identical to B separate :class:`Crossbar`
+    instances with the same parameters -- per-item results are bit-exact
+    with the looped equivalent (the property tests in
+    ``tests/mvp/test_batch_equivalence.py`` enforce this).
+
+    Stacks model ideal two-point resistances only: variability and
+    stuck-fault injection remain features of the single :class:`Crossbar`.
+
+    Args:
+        batch: number of logical arrays B.
+        rows: word lines per logical array.
+        cols: bit lines per logical array.
+        params: shared device resistance window and thresholds.
+        read_voltage: shared word-line read voltage, volts.
+
+    Attributes:
+        bits: stored logic values, int8 (batch, rows, cols).
+        resistances: programmed resistances in ohms, same shape.
+        program_cycles: per-cell programming-event counts, same shape.
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        rows: int,
+        cols: int,
+        params: DeviceParameters | None = None,
+        read_voltage: float = 0.2,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("stack must hold at least one logical array")
+        if rows < 1 or cols < 1:
+            raise ValueError("crossbar must have at least one row and column")
+        self.params = params or DeviceParameters()
+        if read_voltage <= 0:
+            raise ValueError("read voltage must be positive")
+        if not -self.params.v_reset < read_voltage < self.params.v_set:
+            raise ValueError(
+                f"read voltage {read_voltage} V would disturb stored data "
+                f"(dead zone is ({-self.params.v_reset}, {self.params.v_set}))"
+            )
+        self.batch = batch
+        self.rows = rows
+        self.cols = cols
+        self.read_voltage = read_voltage
+        self.bits = np.zeros((batch, rows, cols), dtype=np.int8)
+        self.resistances = np.full(
+            (batch, rows, cols), float(self.params.r_off)
+        )
+        self.program_cycles = np.zeros((batch, rows, cols), dtype=np.int64)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.batch, self.rows, self.cols
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+    # -- programming -------------------------------------------------------
+
+    def write_row(self, row: int, bits: np.ndarray) -> None:
+        """Program one word line of every logical array at once.
+
+        Args:
+            row: word-line index, shared across the batch.
+            bits: (batch, cols) per-array words, or (cols,) broadcast to
+                the whole batch.
+        """
+        self._check_row(row)
+        new_bits = np.asarray(bits, dtype=np.int8)
+        if new_bits.shape == (self.cols,):
+            new_bits = np.broadcast_to(new_bits, (self.batch, self.cols))
+        if new_bits.shape != (self.batch, self.cols):
+            raise ValueError(
+                f"expected ({self.batch}, {self.cols}) or ({self.cols},) "
+                f"bits, got {np.asarray(bits).shape}"
+            )
+        if not np.isin(new_bits, (0, 1)).all():
+            raise ValueError("bits must be 0 or 1")
+        changed = self.bits[:, row, :] != new_bits
+        self.bits[:, row, :] = new_bits
+        self.program_cycles[:, row, :] += changed
+        self.resistances[:, row, :] = np.where(
+            new_bits.astype(bool), self.params.r_on, self.params.r_off
+        ).astype(float)
+
+    def load_tensor(self, bits: np.ndarray) -> None:
+        """Program the whole stack from a (batch, rows, cols) 0/1 tensor."""
+        bits = np.asarray(bits)
+        if bits.shape != self.shape:
+            raise ValueError(f"expected shape {self.shape}, got {bits.shape}")
+        for row in range(self.rows):
+            self.write_row(row, bits[:, row, :])
+
+    # -- reads -------------------------------------------------------------
+
+    def column_currents(self, active_rows: Sequence[int]) -> np.ndarray:
+        """Bit-line currents of every logical array for one activation set.
+
+        Same contract as :meth:`Crossbar.column_currents`, vectorized over
+        the batch axis: selecting the activated rows then reducing over
+        the row axis keeps each item's float arithmetic identical to a
+        single-array read.
+
+        Returns:
+            (batch, cols) currents.
+        """
+        rows = _validated_activation_rows(active_rows, self.rows)
+        conductance = 1.0 / self.resistances[:, rows, :]
+        return self.read_voltage * conductance.sum(axis=1)
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Single-row memory read of every logical array, returning bits."""
+        currents = self.column_currents([row])
+        i_low = self.read_voltage / self.params.r_off
+        i_high = self.read_voltage / self.params.r_on
+        i_ref = float(np.sqrt(i_low * i_high))
+        return (currents > i_ref).astype(np.int8)
+
+    def stored_word(self, row: int) -> np.ndarray:
+        """The programmed bits of a row across the batch (non-electrical)."""
+        self._check_row(row)
+        return self.bits[:, row, :].copy()
+
+    def max_program_cycles(self) -> int:
+        """Worst-case per-cell programming count over the whole stack."""
+        return int(self.program_cycles.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrossbarStack({self.batch}x{self.rows}x{self.cols}, "
+            f"Vr={self.read_voltage} V)"
+        )

@@ -30,7 +30,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.circuits.sense_amp import CurrentCompareSA, WindowComparatorSA
-from repro.crossbar.array import Crossbar
 
 __all__ = ["ReferenceLadder", "ScoutingLogic", "ScoutingEnergyModel"]
 
@@ -79,14 +78,20 @@ class ReferenceLadder:
 class ScoutingLogic:
     """Executes scouting-logic operations on a :class:`Crossbar`.
 
+    The gates are shape-polymorphic: the array may also be a
+    :class:`~repro.crossbar.array.CrossbarStack`, in which case every
+    gate evaluates all B logical arrays in one activation and returns a
+    (B, cols) result -- the sense-amp decisions are applied to whatever
+    current array the substrate produces.
+
     Args:
-        crossbar: the array holding operand rows.
+        crossbar: the array (or stack) holding operand rows.
         sa_offset: input-referred sense-amp offset in amperes, used for
             margin accounting (not decision flips; see
             :meth:`worst_case_margin`).
     """
 
-    def __init__(self, crossbar: Crossbar, sa_offset: float = 0.0) -> None:
+    def __init__(self, crossbar, sa_offset: float = 0.0) -> None:
         self.crossbar = crossbar
         self.sa_offset = sa_offset
 
@@ -105,23 +110,17 @@ class ScoutingLogic:
 
     def or_rows(self, rows: Sequence[int]) -> np.ndarray:
         """Bitwise OR of the stored words in ``rows`` (per-column, parallel)."""
+        rows = list(rows)
         currents = self.crossbar.column_currents(rows)
-        sa = CurrentCompareSA(self.ladder(len(list(rows))).i_ref_or,
-                              self.sa_offset)
-        return np.fromiter(
-            (sa.output(i) for i in currents), dtype=np.int8,
-            count=currents.size,
-        )
+        sa = CurrentCompareSA(self.ladder(len(rows)).i_ref_or, self.sa_offset)
+        return sa.output_array(currents)
 
     def and_rows(self, rows: Sequence[int]) -> np.ndarray:
         """Bitwise AND of the stored words in ``rows``."""
         rows = list(rows)
         currents = self.crossbar.column_currents(rows)
         sa = CurrentCompareSA(self.ladder(len(rows)).i_ref_and, self.sa_offset)
-        return np.fromiter(
-            (sa.output(i) for i in currents), dtype=np.int8,
-            count=currents.size,
-        )
+        return sa.output_array(currents)
 
     def xor_rows(self, row_a: int, row_b: int) -> np.ndarray:
         """Bitwise XOR of two rows via the two-reference window comparator."""
@@ -129,10 +128,7 @@ class ScoutingLogic:
         currents = self.crossbar.column_currents([row_a, row_b])
         sa = WindowComparatorSA(ladder.i_ref_or, ladder.i_ref_and,
                                 self.sa_offset)
-        return np.fromiter(
-            (sa.output(i) for i in currents), dtype=np.int8,
-            count=currents.size,
-        )
+        return sa.output_array(currents)
 
     def nor_rows(self, rows: Sequence[int]) -> np.ndarray:
         """Bitwise NOR: the OR read with the SA output inverted.
@@ -162,10 +158,7 @@ class ScoutingLogic:
         i_ref = math.sqrt(ladder.levels[half] * ladder.levels[half + 1])
         currents = self.crossbar.column_currents(rows)
         sa = CurrentCompareSA(i_ref, self.sa_offset)
-        return np.fromiter(
-            (sa.output(i) for i in currents), dtype=np.int8,
-            count=currents.size,
-        )
+        return sa.output_array(currents)
 
     def xor3_rows(self, rows: Sequence[int]) -> np.ndarray:
         """Three-input parity in ONE activation (two reference windows).
@@ -185,10 +178,8 @@ class ScoutingLogic:
         currents = self.crossbar.column_currents(rows)
         window_one = WindowComparatorSA(refs[0], refs[1], self.sa_offset)
         above_two = CurrentCompareSA(refs[2], self.sa_offset)
-        return np.fromiter(
-            ((window_one.output(i) | above_two.output(i))
-             for i in currents),
-            dtype=np.int8, count=currents.size,
+        return window_one.output_array(currents) | above_two.output_array(
+            currents
         )
 
     def read(self, row: int) -> np.ndarray:
@@ -219,7 +210,7 @@ class ScoutingLogic:
                                     self.sa_offset)
         else:
             raise ValueError(f"unknown gate {gate!r}")
-        return float(min(sa.margin(i) for i in currents))
+        return float(sa.margin_array(currents).min())
 
 
 @dataclasses.dataclass(frozen=True)

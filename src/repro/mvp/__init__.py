@@ -14,11 +14,13 @@ from repro.mvp.arithmetic import (
     read_unsigned,
     subtract,
 )
+from repro.mvp.batch import BatchedMVPProcessor
 from repro.mvp.host import HostReport, HostSystem
 from repro.mvp.isa import Instruction, Opcode, validate_program
 from repro.mvp.processor import MVPProcessor, MVPStats
 
 __all__ = [
+    "BatchedMVPProcessor",
     "BitSliceVector",
     "HostReport",
     "HostSystem",

@@ -20,6 +20,13 @@ over all N columns simultaneously -- the "parallel adder".
 Subtraction uses two's complement (NOT via the reserved ones row, then
 add with carry-in 1); equality reduces per-column XOR differences with a
 multi-row OR.
+
+All operations are *batch-polymorphic*: handed a
+:class:`~repro.mvp.batch.BatchedMVPProcessor` they issue the identical
+instruction stream, and every bit-serial stage (the per-bit XOR/AND/OR
+or parity/majority activations) applies across all B operand sets of the
+underlying :class:`~repro.crossbar.array.CrossbarStack` at once -- the
+whole batch rides each activation for free.
 """
 
 from __future__ import annotations
@@ -72,18 +79,25 @@ def load_unsigned(
     """Store ``values`` bit-sliced starting at ``base_row``.
 
     Args:
-        processor: target MVP.
-        values: unsigned integers, one per crossbar column.
+        processor: target MVP; either a single
+            :class:`~repro.mvp.processor.MVPProcessor` or a
+            :class:`~repro.mvp.batch.BatchedMVPProcessor`.
+        values: unsigned integers, one per crossbar column -- shape
+            (cols,) for a single processor, (batch, cols) for a batched
+            one (each logical array gets its own vector).
         bits: slice count; every value must fit.
         base_row: first row of the allocation.
 
     Returns:
         The created :class:`BitSliceVector` handle.
     """
+    batch = getattr(processor, "batch", None)
+    expected = ((processor.crossbar.cols,) if batch is None
+                else (batch, processor.crossbar.cols))
     values = np.asarray(values, dtype=np.int64)
-    if values.shape != (processor.crossbar.cols,):
+    if values.shape != expected:
         raise ValueError(
-            f"need exactly {processor.crossbar.cols} values "
+            f"need exactly values of shape {expected} "
             f"(one per column), got {values.shape}"
         )
     if (values < 0).any():
@@ -102,11 +116,16 @@ def load_unsigned(
 def read_unsigned(
     processor: MVPProcessor, layout: BitSliceVector
 ) -> np.ndarray:
-    """Read a bit-sliced vector back as integers (via row reads)."""
-    total = np.zeros(processor.crossbar.cols, dtype=np.int64)
+    """Read a bit-sliced vector back as integers (via row reads).
+
+    Returns a (cols,) array for a single processor and (batch, cols) for
+    a batched one.
+    """
+    total = None
     for k in range(layout.bits):
         word = processor.execute([Instruction.vread(layout.row(k))])[0]
-        total += word.astype(np.int64) << k
+        slice_value = word.astype(np.int64) << k
+        total = slice_value if total is None else total + slice_value
     return total
 
 
@@ -282,7 +301,7 @@ def equals(
         scratch_row: base row of a ``bits``-row scratch region.
 
     Returns:
-        Boolean-int array over columns.
+        Boolean-int array over columns ((batch, cols) when batched).
     """
     if a.bits != b.bits:
         raise ValueError("operands must have equal widths")

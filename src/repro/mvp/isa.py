@@ -16,6 +16,8 @@ import dataclasses
 import enum
 from typing import Sequence
 
+import numpy as np
+
 __all__ = ["Opcode", "Instruction", "validate_program"]
 
 
@@ -49,9 +51,19 @@ class Instruction:
     data: tuple[int, ...] | None = None
 
     @classmethod
-    def vload(cls, row: int, bits: Sequence[int]) -> "Instruction":
-        """Program ``row`` with ``bits``."""
-        return cls(Opcode.VLOAD, rows=(row,), data=tuple(int(b) for b in bits))
+    def vload(cls, row: int, bits) -> "Instruction":
+        """Program ``row`` with ``bits``.
+
+        ``bits`` is a flat (cols,) word, or -- for batched execution -- a
+        (B, cols) matrix giving each logical array its own word; the
+        payload is stored as nested tuples so instructions stay hashable.
+        """
+        arr = np.asarray(bits)
+        if arr.ndim == 2:
+            data = tuple(tuple(int(b) for b in word) for word in arr)
+        else:
+            data = tuple(int(b) for b in bits)
+        return cls(Opcode.VLOAD, rows=(row,), data=data)
 
     @classmethod
     def vread(cls, row: int) -> "Instruction":
@@ -107,9 +119,18 @@ _MIN_OPERANDS = {
 
 
 def validate_program(
-    program: Sequence[Instruction], rows: int, cols: int
+    program: Sequence[Instruction], rows: int, cols: int,
+    batch: int | None = None,
 ) -> None:
     """Static checks on a program before execution.
+
+    Args:
+        program: the instruction sequence.
+        rows: usable word lines of the target processor.
+        cols: bit lines of the target processor.
+        batch: batch size of the target processor; None for single-item
+            execution.  Batched targets accept both flat (cols,) VLOAD
+            payloads (broadcast) and per-item (batch, cols) payloads.
 
     Raises:
         ValueError: on operand-count violations, out-of-range rows, VLOAD
@@ -142,9 +163,15 @@ def validate_program(
             if not 0 <= row < rows:
                 raise ValueError(f"pc={pc}: row {row} out of range")
         if instr.opcode is Opcode.VLOAD:
-            if instr.data is None or len(instr.data) != cols:
+            shape = (np.asarray(instr.data).shape
+                     if instr.data is not None else None)
+            allowed = [(cols,)]
+            if batch is not None:
+                allowed.append((batch, cols))
+            if shape not in allowed:
                 raise ValueError(
-                    f"pc={pc}: vload payload must have {cols} bits"
+                    f"pc={pc}: vload payload bits must have shape "
+                    f"{' or '.join(map(str, allowed))}, got {shape}"
                 )
         elif instr.data is not None:
             raise ValueError(f"pc={pc}: only vload carries data")

@@ -20,7 +20,12 @@ import dataclasses
 
 import numpy as np
 
-from repro.automata.generic_ap import APTrace
+from repro.automata.generic_ap import (
+    APTrace,
+    assemble_traces,
+    batched_matrix_steps,
+    encode_streams,
+)
 from repro.automata.homogeneous import HomogeneousAutomaton
 from repro.devices.base import DeviceParameters
 from repro.rram_ap.cost import APChipCost, DotProductKernelCost, RRAM_KERNEL
@@ -153,15 +158,59 @@ class AutomataProcessor:
             accepted=bool(accepts[-1]) if symbols else
             bool((self.start & self.accept).any()),
         )
+        return ap_trace, self._stream_cost(len(symbols))
+
+    def _stream_cost(self, n_symbols: int) -> RunCost:
         chip = self.chip_cost()
-        n = len(symbols)
-        cost = RunCost(
-            symbols=n,
-            latency=n * chip.symbol_latency(),
-            pipelined_time=n * self.kernel.delay,
-            energy=n * chip.symbol_energy(),
+        return RunCost(
+            symbols=n_symbols,
+            latency=n_symbols * chip.symbol_latency(),
+            pipelined_time=n_symbols * self.kernel.delay,
+            energy=n_symbols * chip.symbol_energy(),
         )
-        return ap_trace, cost
+
+    def run_batch(
+        self, sequences, unanchored: bool = False
+    ) -> tuple[list[APTrace], list[RunCost]]:
+        """Process M input streams; the hardware multi-stream mode.
+
+        The same ``run_batch`` contract as
+        :meth:`repro.automata.generic_ap.GenericAPModel.run_batch`: every
+        per-stream trace is identical to a separate :meth:`run` call, and
+        stream lengths may differ.  The "matrix" backend steps all live
+        streams through one (M, N) x (N, N) kernel per symbol -- the
+        throughput mode hardware APs are built for; the electrical
+        "crossbar" backend evaluates streams sequentially (its per-read
+        circuit model is single-vector) behind the identical API.
+
+        Args:
+            sequences: list of symbol sequences (lengths may differ).
+            unanchored: re-arm start states every cycle (pattern search).
+
+        Returns:
+            ``(traces, costs)``: one :class:`APTrace` and one
+            :class:`RunCost` per stream.
+        """
+        sequences = [list(s) for s in sequences]
+        if not sequences:
+            return [], []
+        if self.backend == "crossbar":
+            results = [self.run(seq, unanchored=unanchored)
+                       for seq in sequences]
+            return [t for t, _ in results], [c for _, c in results]
+        # Two-level routing checks routability per follow() call; batch
+        # execution performs the identical check once up front.
+        if isinstance(self.routing, TwoLevelRouting):
+            self.routing.ensure_routable()
+        indices, lengths = encode_streams(self.alphabet, sequences)
+        actives, accepts = batched_matrix_steps(
+            self.start, self.routing.routing, self.ste_matrix,
+            self.accept, indices, lengths, unanchored=unanchored,
+        )
+        start_accepted = bool((self.start & self.accept).any())
+        traces = assemble_traces(actives, accepts, lengths, start_accepted)
+        costs = [self._stream_cost(int(n)) for n in lengths]
+        return traces, costs
 
     def find_matches(self, sequence) -> tuple[int, ...]:
         """1-based end positions of unanchored matches in ``sequence``."""

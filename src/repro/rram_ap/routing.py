@@ -170,6 +170,15 @@ class TwoLevelRouting:
 
     # -- execution ------------------------------------------------------------
 
+    def ensure_routable(self) -> None:
+        """Raise unless the mapped automaton satisfies the port budgets."""
+        report = self.check_routable()
+        if not report.routable:
+            raise RuntimeError(
+                "automaton is not routable on this fabric: "
+                + "; ".join(report.violations)
+            )
+
     def follow(self, active: np.ndarray) -> np.ndarray:
         """Eq. 2 through the hierarchy.
 
@@ -177,12 +186,7 @@ class TwoLevelRouting:
         method refuses to run an unroutable configuration rather than
         silently compute something the fabric could not.
         """
-        report = self.check_routable()
-        if not report.routable:
-            raise RuntimeError(
-                "automaton is not routable on this fabric: "
-                + "; ".join(report.violations)
-            )
+        self.ensure_routable()
         return self._operator.evaluate(np.asarray(active, dtype=bool))
 
     def columns_per_step(self) -> int:

@@ -1,0 +1,94 @@
+"""Golden-result regression tests for the figure drivers.
+
+Re-runs every deterministic figure regenerator and compares its rows
+against the checked-in ``results/*.csv``.  The checked-in files are the
+paper numbers this reproduction stands on; any refactor (the batch
+engine included) that silently drifts them fails here rather than in a
+reviewer's diff.
+
+Numeric cells are compared with a relative tolerance just above the
+``%.6g`` precision the CSVs are written with; non-numeric cells must
+match exactly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.figures import (
+    fig1_hysteresis,
+    fig3_scouting,
+    fig4_sweep,
+    fig5_homogeneous,
+    fig6_worked_example,
+    fig9_dot_product,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent.parent / "results"
+
+# Matches the %.6g formatting of repro.analysis.tables.write_csv.
+REL_TOL = 2e-5
+
+
+def _fig4_rows():
+    sweep = fig4_sweep()
+    return [
+        (p.misses.l1, p.misses.l2, p.multicore.eta_pe, p.mvp.eta_pe,
+         p.multicore.eta_e, p.mvp.eta_e, p.multicore.eta_pa, p.mvp.eta_pa)
+        for p in sweep.points
+    ]
+
+
+GOLDEN_DRIVERS = {
+    "fig1_hysteresis": lambda: fig1_hysteresis().csv_rows(),
+    "fig3_scouting": lambda: fig3_scouting().csv_rows(),
+    "fig4_mvp_vs_multicore": _fig4_rows,
+    "fig5_homogeneous": lambda: fig5_homogeneous().csv_rows(),
+    "fig6_worked_example": lambda: fig6_worked_example().csv_rows(),
+    "fig9_dot_product": lambda: fig9_dot_product().csv_rows(),
+}
+
+
+def _parse_csv(path: Path) -> list[list[str]]:
+    lines = path.read_text().strip().splitlines()
+    return [line.split(",") for line in lines[1:]]  # drop the header
+
+
+def _format_cell(cell) -> str:
+    # write_csv renders floats with %.6g and everything else with str().
+    return f"{cell:.6g}" if isinstance(cell, float) else str(cell)
+
+
+def _cells_match(fresh, golden: str) -> bool:
+    try:
+        fresh_value = float(_format_cell(fresh))
+        golden_value = float(golden)
+    except ValueError:
+        return _format_cell(fresh) == golden
+    if golden_value == 0.0:
+        return abs(fresh_value) < 1e-30
+    return abs(fresh_value - golden_value) <= REL_TOL * abs(golden_value)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_DRIVERS))
+def test_figure_driver_matches_checked_in_results(name):
+    golden_path = RESULTS_DIR / f"{name}.csv"
+    assert golden_path.exists(), (
+        f"golden file {golden_path} is missing; run the benches to "
+        f"regenerate it"
+    )
+    golden_rows = _parse_csv(golden_path)
+    fresh_rows = GOLDEN_DRIVERS[name]()
+    assert len(fresh_rows) == len(golden_rows), (
+        f"{name}: regenerated {len(fresh_rows)} rows, "
+        f"golden file has {len(golden_rows)}"
+    )
+    for row_idx, (fresh, golden) in enumerate(zip(fresh_rows, golden_rows)):
+        assert len(fresh) == len(golden), (
+            f"{name} row {row_idx}: width {len(fresh)} != {len(golden)}"
+        )
+        for col_idx, (f_cell, g_cell) in enumerate(zip(fresh, golden)):
+            assert _cells_match(f_cell, g_cell), (
+                f"{name} row {row_idx} col {col_idx}: regenerated "
+                f"{f_cell!r} drifted from golden {g_cell!r}"
+            )

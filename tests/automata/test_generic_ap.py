@@ -102,10 +102,16 @@ class TestBatchExecution:
             assert trace.accepted == single.accepted
             np.testing.assert_array_equal(trace.active, single.active)
 
-    def test_batch_rejects_ragged_streams(self):
+    def test_batch_supports_ragged_streams(self):
         ap = build_example_ap()
-        with pytest.raises(ValueError):
-            ap.run_batch(["ab", "a"])
+        traces = ap.run_batch(["ab", "a"])
+        for text, trace in zip(["ab", "a"], traces):
+            single = build_example_ap().run(text)
+            assert trace.accepted == single.accepted
+            np.testing.assert_array_equal(trace.active, single.active)
+            np.testing.assert_array_equal(
+                trace.accept_per_step, single.accept_per_step
+            )
 
     def test_empty_batch(self):
         assert build_example_ap().run_batch([]) == []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.crossbar import Crossbar
+from repro.crossbar import Crossbar, CrossbarStack
 from repro.devices import DeviceParameters, VariabilityModel
 
 PARAMS = DeviceParameters()
@@ -34,6 +34,45 @@ class TestConstruction:
     def test_variability_requires_rng(self):
         with pytest.raises(ValueError):
             Crossbar(4, 4, variability=VariabilityModel())
+
+
+class TestReadVoltageValidationOrder:
+    """Positivity is diagnosed before the dead-zone check.
+
+    A non-positive voltage that also falls outside the dead zone must
+    raise the "must be positive" message, not a misleading disturb
+    warning; voltages inside (0, v_set) but at or past a boundary get
+    the dead-zone message.
+    """
+
+    def test_large_negative_voltage_reports_positivity(self):
+        # -v_reset - 1 is outside the dead zone AND non-positive.
+        bad = -PARAMS.v_reset - 1.0
+        with pytest.raises(ValueError, match="must be positive"):
+            Crossbar(4, 4, params=PARAMS, read_voltage=bad)
+
+    def test_zero_voltage_reports_positivity(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            Crossbar(4, 4, params=PARAMS, read_voltage=0.0)
+
+    def test_small_negative_voltage_reports_positivity(self):
+        # Inside the dead zone but non-positive: still the positivity
+        # message (the dead-zone check alone would have let it pass).
+        with pytest.raises(ValueError, match="must be positive"):
+            Crossbar(4, 4, params=PARAMS, read_voltage=-PARAMS.v_reset / 2)
+
+    def test_voltage_at_set_threshold_reports_dead_zone(self):
+        with pytest.raises(ValueError, match="dead zone"):
+            Crossbar(4, 4, params=PARAMS, read_voltage=PARAMS.v_set)
+
+    def test_voltage_above_set_threshold_reports_dead_zone(self):
+        with pytest.raises(ValueError, match="dead zone"):
+            Crossbar(4, 4, params=PARAMS, read_voltage=PARAMS.v_set + 0.1)
+
+    def test_voltage_just_inside_dead_zone_accepted(self):
+        xb = Crossbar(4, 4, params=PARAMS,
+                      read_voltage=PARAMS.v_set * 0.999)
+        assert xb.read_voltage == pytest.approx(PARAMS.v_set * 0.999)
 
 
 class TestProgramming:
@@ -152,3 +191,129 @@ class TestFaults:
         np.testing.assert_array_equal(
             xb.stored_word(0), [1, 0, 0, 0, 0, 0, 0, 1]
         )
+
+
+class TestBatchedReadsAndWrites:
+    """The batched Crossbar primitives match their looped equivalents."""
+
+    def _programmed(self, seed=5):
+        rng = np.random.default_rng(seed)
+        xb = make(rows=6, cols=8)
+        xb.load_matrix(rng.integers(0, 2, (6, 8)))
+        return xb
+
+    def test_write_rows_equals_looped_write_row(self):
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, (3, 8))
+        batched = make(rows=6, cols=8)
+        looped = make(rows=6, cols=8)
+        batched.write_rows([1, 3, 4], bits)
+        for i, row in enumerate([1, 3, 4]):
+            looped.write_row(row, bits[i])
+        np.testing.assert_array_equal(batched.bits, looped.bits)
+        np.testing.assert_array_equal(batched.resistances,
+                                      looped.resistances)
+        np.testing.assert_array_equal(batched.program_cycles,
+                                      looped.program_cycles)
+
+    def test_write_rows_respects_stuck_cells(self):
+        xb = make(rows=6, cols=8)
+        xb.inject_stuck_fault(1, 0, 1)
+        xb.write_rows([1], np.zeros((1, 8), dtype=int))
+        assert xb.bits[1, 0] == 1
+        assert xb.program_cycles[1, 0] == 0
+
+    def test_write_rows_rejects_duplicates_and_bad_shapes(self):
+        xb = make(rows=6, cols=8)
+        with pytest.raises(ValueError, match="duplicate"):
+            xb.write_rows([1, 1], np.zeros((2, 8), dtype=int))
+        with pytest.raises(ValueError, match="shape"):
+            xb.write_rows([1, 2], np.zeros((2, 5), dtype=int))
+
+    def test_batched_column_currents_equal_looped(self):
+        xb = self._programmed()
+        row_sets = np.array([[0, 2], [1, 3], [4, 5]])
+        batched = xb.batched_column_currents(row_sets)
+        for b, rows in enumerate(row_sets):
+            np.testing.assert_array_equal(
+                batched[b], xb.column_currents(list(rows))
+            )
+
+    def test_batched_column_currents_validation(self):
+        xb = self._programmed()
+        with pytest.raises(ValueError, match="duplicate"):
+            xb.batched_column_currents([[0, 0]])
+        with pytest.raises(IndexError):
+            xb.batched_column_currents([[0, 99]])
+
+    def test_masked_column_currents_close_to_looped(self):
+        xb = self._programmed()
+        masks = np.zeros((2, 6), dtype=bool)
+        masks[0, [0, 2, 5]] = True
+        masks[1, [1]] = True
+        currents = xb.masked_column_currents(masks)
+        np.testing.assert_allclose(
+            currents[0], xb.column_currents([0, 2, 5]), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            currents[1], xb.column_currents([1]), rtol=1e-12
+        )
+
+    def test_masked_column_currents_needs_active_rows(self):
+        xb = self._programmed()
+        with pytest.raises(ValueError, match="at least one"):
+            xb.masked_column_currents(np.zeros((1, 6), dtype=bool))
+
+
+class TestCrossbarStack:
+    def test_matches_a_loop_of_single_crossbars(self):
+        rng = np.random.default_rng(3)
+        batch, rows, cols = 4, 5, 8
+        words = rng.integers(0, 2, (batch, rows, cols))
+        stack = CrossbarStack(batch, rows, cols, params=PARAMS)
+        stack.load_tensor(words)
+        for b in range(batch):
+            single = make(rows=rows, cols=cols)
+            single.load_matrix(words[b])
+            np.testing.assert_array_equal(stack.bits[b], single.bits)
+            np.testing.assert_array_equal(
+                stack.resistances[b], single.resistances
+            )
+            np.testing.assert_array_equal(
+                stack.column_currents([0, 2])[b],
+                single.column_currents([0, 2]),
+            )
+            np.testing.assert_array_equal(
+                stack.read_row(1)[b], single.read_row(1)
+            )
+
+    def test_broadcast_write_row(self):
+        stack = CrossbarStack(3, 2, 4, params=PARAMS)
+        stack.write_row(0, [1, 0, 1, 0])
+        np.testing.assert_array_equal(
+            stack.stored_word(0), [[1, 0, 1, 0]] * 3
+        )
+
+    def test_program_cycles_count_changes_only(self):
+        stack = CrossbarStack(2, 2, 4, params=PARAMS)
+        stack.write_row(0, np.array([[1, 1, 0, 0], [0, 0, 0, 0]]))
+        stack.write_row(0, np.array([[1, 0, 0, 0], [0, 1, 0, 0]]))
+        np.testing.assert_array_equal(
+            stack.program_cycles[:, 0, :],
+            [[1, 2, 0, 0], [0, 1, 0, 0]],
+        )
+        assert stack.max_program_cycles() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one logical"):
+            CrossbarStack(0, 2, 2)
+        with pytest.raises(ValueError, match="must be positive"):
+            CrossbarStack(1, 2, 2, read_voltage=-1.0)
+        with pytest.raises(ValueError, match="dead zone"):
+            CrossbarStack(1, 2, 2, params=PARAMS,
+                          read_voltage=PARAMS.v_set + 1.0)
+        stack = CrossbarStack(1, 2, 2)
+        with pytest.raises(ValueError, match="0 or 1"):
+            stack.write_row(0, [2, 0])
+        with pytest.raises(IndexError):
+            stack.column_currents([5])

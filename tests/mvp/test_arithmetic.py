@@ -9,6 +9,7 @@ from repro.mvp import (
     BitSliceVector,
     MVPProcessor,
     add,
+    add_fast,
     equals,
     load_unsigned,
     read_unsigned,
@@ -20,6 +21,12 @@ COLS = 16
 
 def make_processor(rows=40):
     return MVPProcessor(Crossbar(rows, COLS))
+
+
+def word_vectors(bits, size=COLS):
+    """Unsigned integer vectors that fit in ``bits`` bits."""
+    return st.lists(st.integers(0, 2**bits - 1),
+                    min_size=size, max_size=size)
 
 
 class TestLayout:
@@ -129,6 +136,121 @@ class TestSubtract:
         np.testing.assert_array_equal(
             read_unsigned(p, diff), (a_vals - b_vals) % 2**bits
         )
+
+
+class TestPythonIntSemantics:
+    """Hypothesis checks against plain Python integer arithmetic.
+
+    The in-memory adders/comparator must agree with the host language on
+    every operand draw -- including the carry-chain and minimum-width
+    edge cases that bit-serial hardware gets wrong first.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data(), st.integers(1, 7))
+    def test_add_matches_python(self, data, bits):
+        a_vals = data.draw(word_vectors(bits))
+        b_vals = data.draw(word_vectors(bits))
+        p = make_processor(rows=4 * bits + 8)
+        a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+        b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+        total = add(p, a, b, dest_row=2 * bits, scratch_row=3 * bits + 2)
+        expected = [x + y for x, y in zip(a_vals, b_vals)]
+        np.testing.assert_array_equal(read_unsigned(p, total), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data(), st.integers(1, 7))
+    def test_add_fast_matches_python(self, data, bits):
+        a_vals = data.draw(word_vectors(bits))
+        b_vals = data.draw(word_vectors(bits))
+        p = make_processor(rows=4 * bits + 8)
+        a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+        b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+        total = add_fast(p, a, b, dest_row=2 * bits,
+                         scratch_row=3 * bits + 2)
+        expected = [x + y for x, y in zip(a_vals, b_vals)]
+        np.testing.assert_array_equal(read_unsigned(p, total), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data(), st.integers(1, 6))
+    def test_subtract_matches_python(self, data, bits):
+        a_vals = data.draw(word_vectors(bits))
+        b_vals = data.draw(word_vectors(bits))
+        p = make_processor(rows=6 * bits + 8)
+        a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+        b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+        diff = subtract(p, a, b, dest_row=2 * bits,
+                        scratch_row=4 * bits + 2)
+        expected = [(x - y) % 2**bits for x, y in zip(a_vals, b_vals)]
+        np.testing.assert_array_equal(read_unsigned(p, diff), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data(), st.integers(1, 6))
+    def test_equals_matches_python(self, data, bits):
+        a_vals = data.draw(word_vectors(bits))
+        # Bias towards collisions so the 1-branch is actually exercised.
+        b_vals = data.draw(st.lists(
+            st.one_of(st.sampled_from(a_vals),
+                      st.integers(0, 2**bits - 1)),
+            min_size=COLS, max_size=COLS,
+        ))
+        p = make_processor(rows=3 * bits + 8)
+        a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+        b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+        mask = equals(p, a, b, scratch_row=2 * bits)
+        expected = [int(x == y) for x, y in zip(a_vals, b_vals)]
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_full_carry_chain_propagates(self):
+        """All-ones + 1: the carry ripples through every bit position."""
+        for bits in (1, 2, 5, 8):
+            p = make_processor(rows=4 * bits + 8)
+            a = load_unsigned(p, [2**bits - 1] * COLS, bits=bits,
+                              base_row=0)
+            b = load_unsigned(p, [1] * COLS, bits=bits, base_row=bits)
+            total = add(p, a, b, dest_row=2 * bits,
+                        scratch_row=3 * bits + 2)
+            np.testing.assert_array_equal(
+                read_unsigned(p, total), [2**bits] * COLS
+            )
+
+    def test_one_bit_operands(self):
+        """The minimum slice width is a half-adder truth table."""
+        patterns_a = [0, 0, 1, 1] * 4
+        patterns_b = [0, 1, 0, 1] * 4
+        for adder in (add, add_fast):
+            p = make_processor(rows=16)
+            a = load_unsigned(p, patterns_a, bits=1, base_row=0)
+            b = load_unsigned(p, patterns_b, bits=1, base_row=1)
+            total = adder(p, a, b, dest_row=2, scratch_row=6)
+            np.testing.assert_array_equal(
+                read_unsigned(p, total),
+                [x + y for x, y in zip(patterns_a, patterns_b)],
+            )
+
+    def test_zero_width_operands_rejected(self):
+        with pytest.raises(ValueError):
+            BitSliceVector(base_row=0, bits=0)
+        p = make_processor()
+        with pytest.raises(ValueError):
+            load_unsigned(p, [0] * COLS, bits=0, base_row=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_adders_agree_with_each_other(self, data):
+        """Slow (5-activation) and fast (2-activation) adders coincide."""
+        bits = data.draw(st.integers(1, 6))
+        a_vals = data.draw(word_vectors(bits))
+        b_vals = data.draw(word_vectors(bits))
+        results = []
+        for adder in (add, add_fast):
+            p = make_processor(rows=4 * bits + 8)
+            a = load_unsigned(p, a_vals, bits=bits, base_row=0)
+            b = load_unsigned(p, b_vals, bits=bits, base_row=bits)
+            total = adder(p, a, b, dest_row=2 * bits,
+                          scratch_row=3 * bits + 2)
+            results.append(read_unsigned(p, total))
+        np.testing.assert_array_equal(results[0], results[1])
 
 
 class TestEquals:
