@@ -1,0 +1,126 @@
+"""Facade overhead bench: the api layer must cost < 5% vs direct calls.
+
+The unified ``Engine.from_spec(spec).run()`` path adds registry
+dispatch, spec validation, adapter construction and RunResult packaging
+on top of the PR-1 batch engine.  This bench runs the identical batched
+database workload both ways -- through the facade and by driving
+``BatchedMVPProcessor`` directly on the same adapter-generated programs
+-- and asserts the facade's throughput is within 5% of the direct
+path's.  The measurements land in ``BENCH_api.json`` at the repo root
+(the perf trajectory CI and future sessions consume).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import time
+
+from repro.api import Engine, ScenarioSpec, adapter_for
+from repro.bench import (
+    ThroughputResult,
+    smoke_mode,
+    speedup,
+    write_bench_json,
+)
+from repro.crossbar import CrossbarStack
+from repro.mvp.batch import BatchedMVPProcessor
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BATCH = 16 if smoke_mode() else 64
+SIZE = 512 if smoke_mode() else 4096   # table rows (= crossbar columns)
+ITEMS = 4                              # CNF queries per run
+REPEATS = 5
+# The product bar is <5%, asserted on the full-size workload.  Smoke
+# runs (CI on shared runners) use a shrunken workload where a single
+# scheduler stall is a larger fraction of the runtime, so they get a
+# noise allowance on top of the same measurement.
+MAX_OVERHEAD = 0.10 if smoke_mode() else 0.05
+
+SPEC = ScenarioSpec(engine="mvp_batched", workload="database",
+                    size=SIZE, items=ITEMS, batch=BATCH, seed=0)
+
+
+def _facade_run() -> None:
+    Engine.from_spec(SPEC).run()
+
+
+def _direct_run() -> None:
+    # The same work with no facade: workload lowering, program execution
+    # on BatchedMVPProcessor, golden verification and per-item stats --
+    # everything Engine.run produces, minus the api layer itself
+    # (registry dispatch, spec validation, RunResult packaging).
+    adapter = adapter_for(SPEC, "mvp_batched")
+    rows, cols = adapter.mvp_geometry()
+    processor = BatchedMVPProcessor(
+        CrossbarStack(SPEC.batch, rows, cols))
+    outputs = adapter.run_mvp_batched(processor)
+    assert outputs["checks_passed"]
+    for item in range(processor.batch):
+        processor.stats_for(item)
+    processor.total_stats()
+
+
+def _ops_per_run() -> int:
+    result = Engine.from_spec(SPEC).run()
+    return int(result.cost.counters["bit_operations"])
+
+
+def _interleaved_best(ops: int) -> tuple[ThroughputResult,
+                                         ThroughputResult]:
+    """Best-of-N for both paths, alternating runs.
+
+    Interleaving cancels slow machine-state drift (thermal, cache,
+    background load) that sequential best-of-N blocks would attribute
+    to whichever path ran second.
+    """
+    best = {"direct": float("inf"), "facade": float("inf")}
+    for _ in range(REPEATS):
+        for name, fn in (("direct", _direct_run), ("facade", _facade_run)):
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return tuple(
+        ThroughputResult(
+            name=f"{label}_batched_mvp", ops=ops, seconds=best[key],
+            ops_per_second=ops / best[key], repeats=REPEATS,
+        )
+        for key, label in (("direct", "direct"), ("facade", "facade"))
+    )
+
+
+class TestFacadeOverhead:
+    def test_facade_overhead_under_five_percent(self, save_report,
+                                                benchmark):
+        ops = _ops_per_run()       # also warms both code paths
+        _direct_run()
+        direct, facade = _interleaved_best(ops)
+        ratio = speedup(facade, direct)   # > 1 means the facade was faster
+        overhead = max(0.0, 1.0 - ratio)
+
+        benchmark(_facade_run)
+
+        write_bench_json(
+            REPO_ROOT / "BENCH_api.json",
+            [direct, facade],
+            speedups={"facade_vs_direct": ratio},
+        )
+        text = (
+            f"facade overhead bench (B={BATCH}, rows={SIZE}, "
+            f"queries={ITEMS})\n"
+            f"direct BatchedMVPProcessor: {direct.ops_per_second:.3e} "
+            f"bit-ops/s\n"
+            f"facade Engine.run:          {facade.ops_per_second:.3e} "
+            f"bit-ops/s\n"
+            f"facade/direct throughput:   {ratio:.4f} "
+            f"(overhead {overhead:.2%}, bar {MAX_OVERHEAD:.0%})"
+        )
+        save_report("api_overhead", text)
+
+        assert overhead < MAX_OVERHEAD, (
+            f"facade adds {overhead:.2%} overhead vs direct batched "
+            f"execution (bar: {MAX_OVERHEAD:.0%}); direct="
+            f"{direct.ops_per_second:.3e} facade="
+            f"{facade.ops_per_second:.3e} bit-ops/s"
+        )

@@ -8,8 +8,8 @@ automaton has classes {a,b,c} / {c} / {b} (per the printed V matrix), and
 import numpy as np
 
 from repro.analysis.figures import fig5_homogeneous
-from repro.automata import compile_regex, homogenize
-from repro.workloads import PAYLOAD_ALPHABET, generate_ruleset
+from repro.automata import homogenize
+from repro.workloads import generate_ruleset
 
 
 def test_fig5_paper_example(benchmark, save_report):

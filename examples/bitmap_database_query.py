@@ -1,69 +1,57 @@
-"""Bitmap-index database queries on the Memristive Vector Processor.
+"""Bitmap-index database queries through the unified API.
 
 Database management via bitmap indices (FastBit, paper ref [17]) is one
 of the MVP's named applications: analytical predicates become bulk
 bitwise AND/OR over row masks, which scouting logic computes inside the
-array.  This example builds a 10k-row table, runs CNF queries on the MVP,
-verifies the counts against numpy, and reports the host/MVP offload
-split of Fig. 2.
+array.  One ``ScenarioSpec`` runs seeded CNF queries on the MVP engine
+with counts verified against numpy inside the facade; flipping
+``engine="mvp_batched"`` serves eight independent tables through the
+same call, with per-table cost counters in ``result.item_costs``.
 
 Run:  python examples/bitmap_database_query.py
 """
 
-import numpy as np
-
 from repro.analysis.tables import format_table
-from repro.crossbar import Crossbar
-from repro.mvp import HostSystem, MVPProcessor
-from repro.workloads import BitmapIndex, Query, random_table
+from repro.api import ScenarioSpec, run
 
 N_ROWS = 10_000
-CARDINALITIES = [8, 5, 4]  # e.g. region, product, tier
+N_QUERIES = 3
+BATCH = 8
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
-    table = random_table(rng, N_ROWS, CARDINALITIES)
-    index = BitmapIndex(table)
-    print(f"table: {N_ROWS} rows x {len(CARDINALITIES)} categorical "
-          f"columns; {len(index.bitmaps)} bitmaps in the index\n")
+    spec = ScenarioSpec(engine="mvp", workload="database",
+                        size=N_ROWS, items=N_QUERIES, seed=7)
+    result = run(spec)
+    assert result.ok, "an MVP count diverged from the numpy golden"
 
-    queries = {
-        "region IN {1,3} AND product = 2":
-            Query(terms=(((0, 1), (0, 3)), ((1, 2),))),
-        "product IN {0,1} AND tier = 3":
-            Query(terms=(((1, 0), (1, 1)), ((2, 3),))),
-        "region = 5 AND product = 4 AND tier IN {0,1}":
-            Query(terms=(((0, 5),), ((1, 4),), ((2, 0), (2, 1)))),
-    }
-
-    rows = []
-    for label, query in queries.items():
-        program, rows_needed = index.to_mvp_program(query)
-        mvp = MVPProcessor(Crossbar(rows_needed + 1, N_ROWS))
-        host = HostSystem(mvp)
-        host.run_cpu_ops(200)  # parsing/planning on the host
-        count = host.offload(program)[-1]
-        golden = index.count(query)
-        assert count == golden, (label, count, golden)
-        report = host.report()
-        rows.append((
-            label,
-            count,
-            mvp.stats.activations,
-            report.offloaded_fraction,
-            report.mvp_energy * 1e12,
-            report.cpu_energy * 1e12,
-        ))
-
+    rows = [
+        (f"query {k}", count, golden)
+        for k, (count, golden) in enumerate(zip(
+            result.outputs["counts"], result.outputs["golden_counts"]))
+    ]
     print(format_table(
-        ["query", "hits", "MVP activations", "%ops in-memory",
-         "MVP energy (pJ)", "host energy (pJ)"],
+        ["query", "MVP hits", "numpy hits"],
         rows,
-        title="CNF queries executed in-memory (counts verified vs numpy)",
+        title=f"{N_QUERIES} CNF queries over a {N_ROWS}-row table "
+              "(counts verified in-facade)",
     ))
-    print("\nEach OR/AND term costs ONE crossbar activation regardless of"
-          f" the {N_ROWS}-bit vector width -- the MVP's parallelism.")
+    c = result.cost
+    print(f"\nMVP cost: {c.counters['activations']} activations, "
+          f"{c.energy_joules * 1e12:.1f} pJ, "
+          f"{c.latency_seconds * 1e6:.2f} us")
+    print("Each OR/AND term costs ONE crossbar activation regardless of"
+          f" the {N_ROWS}-bit vector width -- the MVP's parallelism.\n")
+
+    batched = run(spec.replaced(engine="mvp_batched", batch=BATCH))
+    assert batched.ok
+    print(f"batched engine: the same {N_QUERIES} query plans served "
+          f"{BATCH} independent tables in one call")
+    print(f"  total energy {batched.cost.energy_joules * 1e12:.1f} pJ "
+          f"across {len(batched.item_costs)} per-table cost records; "
+          "per-table activations are shared "
+          f"({batched.item_costs[0].counters['activations']} each) -- "
+          "the whole batch rides every activation.")
 
 
 if __name__ == "__main__":

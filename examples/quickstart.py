@@ -1,18 +1,21 @@
-"""Quickstart: a ten-minute tour of the library.
+"""Quickstart: a ten-minute tour, ending at the unified API.
 
-Walks the paper's stack bottom-up: switch a memristive device, compute
-with scouting logic inside a crossbar, then run a regex on the RRAM
-automata processor and compare its kernel cost against the SRAM baseline.
+Walks the paper's stack bottom-up -- switch a memristive device, compute
+with scouting logic inside a crossbar -- then shows how every engine in
+the reproduction (MVP, batched MVP, RRAM automata processor, analytical
+architecture model) is reachable through one declarative facade:
+``Engine.from_spec(ScenarioSpec(...)).run()`` returns the same
+``RunResult`` schema for all of them.  ``python -m repro`` exposes the
+same surface from the shell.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.automata import Alphabet, compile_regex, homogenize
+from repro.api import ScenarioSpec, run
 from repro.crossbar import Crossbar, ScoutingLogic
 from repro.devices import BipolarSwitch, DeviceParameters
-from repro.rram_ap import rram_ap, sram_ap
 
 
 def demo_device() -> None:
@@ -49,30 +52,38 @@ def demo_scouting_logic() -> None:
     print(f"a XOR b:  {logic.xor_rows(0, 1)}\n")
 
 
-def demo_automata_processor() -> None:
-    """Regex -> homogeneous automaton -> RRAM-AP, with kernel costs."""
-    print("== 3. The RRAM automata processor ==")
-    alphabet = Alphabet("abcd")
-    nfa = compile_regex("a(b|c)+d", alphabet)
-    automaton = homogenize(nfa)
-    print(f"pattern 'a(b|c)+d': {nfa.n_states} NFA states -> "
-          f"{automaton.n_states} STEs")
-    processor = rram_ap(automaton)
-    baseline = sram_ap(automaton)
-    for text in ["abd", "abcbcd", "ad", "abda"]:
-        trace, _ = processor.run(text)
-        print(f"  {text!r:10} -> {'accept' if trace.accepted else 'reject'}")
-    chip_r = processor.chip_cost()
-    chip_s = baseline.chip_cost()
-    print(f"per-symbol energy:  RRAM-AP {chip_r.symbol_energy() * 1e15:.1f} fJ"
-          f"  vs SRAM-AP {chip_s.symbol_energy() * 1e15:.1f} fJ")
-    print(f"per-symbol latency: RRAM-AP {chip_r.symbol_latency() * 1e12:.0f} ps"
-          f" vs SRAM-AP {chip_s.symbol_latency() * 1e12:.0f} ps")
-    print(f"array area:         RRAM-AP {chip_r.area_mm2() * 1e6:.1f} um^2"
-          f"  vs SRAM-AP {chip_s.area_mm2() * 1e6:.1f} um^2")
+def demo_unified_api() -> None:
+    """One facade, four engines, one RunResult schema."""
+    print("== 3. The unified API: every engine behind one call ==")
+    specs = [
+        ScenarioSpec(engine="mvp", workload="database", size=512, items=3),
+        ScenarioSpec(engine="mvp_batched", workload="database", size=512,
+                     items=3, batch=8),
+        ScenarioSpec(engine="rram_ap", workload="dna", size=2000, items=8,
+                     batch=4),
+        ScenarioSpec(engine="arch_model", workload="database"),
+    ]
+    for spec in specs:
+        result = run(spec)   # == Engine.from_spec(spec).run()
+        print(f"engine={spec.engine:12s} workload={spec.workload:9s} "
+              f"checks={'OK ' if result.ok else 'BAD'} "
+              f"energy={result.cost.energy_joules:9.3e} J "
+              f"latency={result.cost.latency_seconds:9.3e} s "
+              f"items={len(result.item_costs)}")
+        assert result.ok
+
+    print("\nspecs are plain data -- round-trip them through JSON/config:")
+    spec = specs[2]
+    print(f"  {spec.to_dict()}")
+    rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    print("\nthe same surface from the shell:")
+    print("  python -m repro run dna")
+    print("  python -m repro list engines")
+    print("  python -m repro figures --only fig3")
 
 
 if __name__ == "__main__":
     demo_device()
     demo_scouting_logic()
-    demo_automata_processor()
+    demo_unified_api()

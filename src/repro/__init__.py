@@ -16,7 +16,11 @@ The package is layered bottom-up:
   baselines (Section IV);
 * :mod:`repro.workloads` -- DNA, IDS, database, graph, string and mining
   workload generators;
-* :mod:`repro.analysis` -- figure regenerators and paper-claim checks.
+* :mod:`repro.analysis` -- figure regenerators and paper-claim checks;
+* :mod:`repro.api`      -- the unified facade: registries, declarative
+  :class:`~repro.api.spec.ScenarioSpec` scenarios, one
+  :class:`~repro.api.result.RunResult` schema across all engines, and
+  the ``python -m repro`` CLI.
 """
 
 __version__ = "1.0.0"
@@ -31,4 +35,5 @@ __all__ = [
     "rram_ap",
     "workloads",
     "analysis",
+    "api",
 ]

@@ -1,64 +1,28 @@
-"""Reproduction driver: ``python -m repro`` regenerates every figure.
+"""``python -m repro``: the unified CLI.
 
-Runs each figure regenerator in order, prints the rendered results, and
-checks the paper's claims, giving a one-command overview of the entire
-reproduction.  (The benches under ``benchmarks/`` do the same with
-timing and CSV persistence.)
+Subcommands (see ``python -m repro --help``):
+
+* ``run <scenario>`` -- execute a scenario through the engine facade;
+* ``figures``        -- regenerate paper figures and check claims;
+* ``list``           -- show registered engines/devices/workloads/...;
+* ``bench``          -- quick facade throughput measurement.
+
+Invoked bare (no subcommand) it keeps its historical behaviour:
+regenerate every figure and exit non-zero if any paper claim falls
+outside tolerance.
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Sequence
 
-from repro.analysis.compare import claims_table_rows
-from repro.analysis.figures import (
-    fig1_hysteresis,
-    fig3_scouting,
-    fig4_sweep,
-    fig5_homogeneous,
-    fig6_worked_example,
-    fig9_dot_product,
-    render_fig4,
-)
-from repro.analysis.tables import format_table
+from repro.api.cli import main as _cli_main
 
 
-def main() -> int:
-    print("Reproduction of 'Memristive Devices for Computation-In-Memory'")
-    print("(Yu et al., DATE 2018)\n")
-
-    print("-" * 72)
-    print(fig1_hysteresis().render())
-
-    print("-" * 72)
-    print(fig3_scouting().render())
-
-    print("-" * 72)
-    print(render_fig4(fig4_sweep()))
-
-    print("-" * 72)
-    print(fig5_homogeneous().render())
-
-    print("-" * 72)
-    print(fig6_worked_example().render())
-
-    print("-" * 72)
-    print("Fig. 9: running the transient dot-product experiment "
-          "(a few seconds)...")
-    fig9 = fig9_dot_product(dt=2e-12)
-    print(fig9.render())
-    print(format_table(
-        ["source", "claim", "paper", "measured", "error", "verdict"],
-        claims_table_rows(fig9.claims),
-    ))
-
-    failures = [c for c in fig9.claims if not c.within_tolerance]
-    print("-" * 72)
-    if failures:
-        print(f"{len(failures)} claim(s) OUT OF BAND")
-        return 1
-    print("all checked claims within tolerance")
-    return 0
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; delegates to :func:`repro.api.cli.main`."""
+    return _cli_main(argv)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,6 @@ from repro.analysis.ascii_plot import bar_chart, line_plot
 from repro.analysis.compare import PaperClaim
 from repro.analysis.tables import format_table
 from repro.arch.sweep import Fig4Sweep, run_fig4_sweep
-from repro.automata.generic_ap import GenericAPModel
 from repro.automata.homogeneous import homogenize
 from repro.automata.paper_example import (
     build_example_ap,

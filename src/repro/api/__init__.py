@@ -1,0 +1,83 @@
+"""Unified public API: one facade over every engine in the reproduction.
+
+The paper presents three computation-in-memory architectures (the
+scouting-logic MVP, the RRAM automata processor, the analytical CPU+MVP
+system model); this package serves all of them -- plus the batched
+execution layer -- through a single declarative surface:
+
+* **Registries** (:data:`ENGINES`, :data:`DEVICES`, :data:`WORKLOADS`,
+  :data:`SCENARIOS`, :data:`FIGURES`) name every pluggable piece;
+* **ScenarioSpec** declares a run (engine + device + workload + sizes +
+  batch + seed) and round-trips through dicts/JSON;
+* **Engine.from_spec(spec).run()** executes any scenario and returns a
+  **RunResult** -- one schema for outputs, SI cost totals (joules /
+  seconds / mm^2), per-item batched costs and provenance;
+* the ``python -m repro`` CLI exposes the same facade from the shell.
+
+Quickstart::
+
+    from repro.api import ScenarioSpec, run
+
+    result = run(ScenarioSpec(engine="rram_ap", workload="dna",
+                              size=2000, items=8, batch=4))
+    print(result.ok, result.cost.energy_joules)
+
+The legacy entrypoints (``MVPProcessor``, ``GenericAPModel.run``,
+``run_fig4_sweep``, the figure drivers) remain public and are what the
+engines delegate to; ``tests/api/test_shims.py`` pins facade and legacy
+results to be identical.
+"""
+
+from repro.api.devices import DeviceEntry, device_entry
+from repro.api.engines import Engine, run
+from repro.api.figures import FigureEntry, run_figures
+from repro.api.registry import (
+    DEVICES,
+    ENGINES,
+    FIGURES,
+    SCENARIOS,
+    WORKLOADS,
+    DuplicateNameError,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+)
+from repro.api.result import (
+    CostSummary,
+    RunResult,
+    cost_from_mvp_stats,
+    cost_from_run_cost,
+    cost_from_system_point,
+)
+from repro.api.scenarios import scenario
+from repro.api.spec import ScenarioSpec, SpecError
+from repro.api.workloads import ScenarioError, WorkloadAdapter, adapter_for
+
+__all__ = [
+    "CostSummary",
+    "DEVICES",
+    "DeviceEntry",
+    "DuplicateNameError",
+    "ENGINES",
+    "Engine",
+    "FIGURES",
+    "FigureEntry",
+    "Registry",
+    "RegistryError",
+    "RunResult",
+    "SCENARIOS",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SpecError",
+    "UnknownNameError",
+    "WORKLOADS",
+    "WorkloadAdapter",
+    "adapter_for",
+    "cost_from_mvp_stats",
+    "cost_from_run_cost",
+    "cost_from_system_point",
+    "device_entry",
+    "run",
+    "run_figures",
+    "scenario",
+]

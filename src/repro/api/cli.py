@@ -1,0 +1,289 @@
+"""The ``python -m repro`` command-line interface.
+
+Subcommands:
+
+* ``run <scenario>``    -- execute a named preset (or a fully custom
+  spec via flags / ``--spec file.json``) through the engine facade and
+  print the unified result; ``--json`` emits the RunResult as JSON.
+* ``figures``           -- regenerate paper figures (all, or
+  ``--only fig3 --only fig4``); exit status reflects the claim checks.
+* ``list [what]``       -- show registered engines, devices, workloads,
+  scenarios and figures.
+* ``bench``             -- engine execution throughput, batched vs
+  single-item MVP (generation excluded), optionally persisted as JSON.
+
+The CLI is a thin shell over :mod:`repro.api`: everything it can do is
+equally reachable programmatically via ``Engine.from_spec(...).run()``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.api.engines import Engine
+from repro.api.figures import run_figures
+from repro.api.registry import (
+    DEVICES,
+    ENGINES,
+    FIGURES,
+    SCENARIOS,
+    WORKLOADS,
+)
+from repro.api.scenarios import scenario
+from repro.api.spec import ScenarioSpec, SpecError
+from repro.bench import measure_throughput, speedup, write_bench_json
+
+__all__ = ["build_parser", "main"]
+
+_LISTABLE = {
+    "engines": ENGINES,
+    "devices": DEVICES,
+    "workloads": WORKLOADS,
+    "scenarios": SCENARIOS,
+    "figures": FIGURES,
+}
+
+
+def _coerce_param(raw: str) -> Any:
+    """CLI param values: int if possible, then float, bool, else str."""
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            pass
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SpecError(f"--param expects key=value, got {pair!r}")
+        params[key] = _coerce_param(value)
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified front-end for the 'Memristive devices for "
+                    "computation-in-memory' reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser(
+        "run", help="run a scenario through the engine facade")
+    run_p.add_argument(
+        "scenario", nargs="?", default=None,
+        help=f"named preset ({', '.join(SCENARIOS.names())}); "
+             "omit to build a spec purely from flags")
+    run_p.add_argument("--spec", type=Path, default=None,
+                       help="JSON file holding a ScenarioSpec dict")
+    for field, kind in [("engine", str), ("workload", str),
+                        ("device", str), ("size", int), ("items", int),
+                        ("batch", int), ("seed", int)]:
+        run_p.add_argument(f"--{field}", type=kind, default=None,
+                           help=f"override spec.{field}")
+    run_p.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="extra spec.params entry (repeatable)")
+    run_p.add_argument("--json", action="store_true",
+                       help="print the RunResult as JSON")
+
+    fig_p = sub.add_parser("figures", help="regenerate paper figures")
+    fig_p.add_argument("--only", action="append", default=None,
+                       metavar="NAME", choices=list(FIGURES.names()),
+                       help="run only the named figure (repeatable)")
+
+    list_p = sub.add_parser("list", help="show registered components")
+    list_p.add_argument("what", nargs="?", default=None,
+                        choices=sorted(_LISTABLE),
+                        help="one registry (default: all)")
+
+    bench_p = sub.add_parser(
+        "bench", help="engine execution throughput: batched vs "
+                      "single-item MVP")
+    bench_p.add_argument("--batch", type=int, default=16)
+    bench_p.add_argument("--size", type=int, default=1024,
+                         help="table rows per item")
+    bench_p.add_argument("--repeats", type=int, default=3)
+    bench_p.add_argument("--json", type=Path, default=None,
+                         help="persist the measurements as bench JSON")
+    return parser
+
+
+def _build_spec(args: argparse.Namespace) -> ScenarioSpec:
+    if args.spec is not None and args.scenario is not None:
+        raise SpecError(
+            "give either a named scenario or --spec FILE, not both"
+        )
+    if args.spec is not None:
+        try:
+            spec = ScenarioSpec.from_dict(json.loads(args.spec.read_text()))
+        except OSError as exc:
+            raise SpecError(f"cannot read spec file: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SpecError(
+                f"spec file {args.spec} is not valid JSON: {exc}"
+            ) from None
+    elif args.scenario is not None:
+        spec = scenario(args.scenario)
+    else:
+        spec = ScenarioSpec()
+    overrides: dict[str, Any] = {}
+    for field in ("engine", "workload", "device", "size", "items",
+                  "batch", "seed"):
+        value = getattr(args, field)
+        if value is not None:
+            overrides[field] = value
+    if args.param:
+        overrides["params"] = {**spec.params, **_parse_params(args.param)}
+    return spec.replaced(**overrides) if overrides else spec
+
+
+def _render_result(result) -> str:
+    lines = [
+        f"engine={result.provenance['engine']}  "
+        f"workload={result.provenance['workload']}  "
+        f"device={result.provenance['device']}  "
+        f"seed={result.provenance['seed']}",
+        f"checks passed: {result.ok}",
+        f"energy:  {result.cost.energy_joules:.4g} J",
+        f"latency: {result.cost.latency_seconds:.4g} s",
+    ]
+    if result.cost.area_mm2:
+        lines.append(f"area:    {result.cost.area_mm2:.4g} mm^2")
+    counters = "  ".join(
+        f"{k}={v}" for k, v in sorted(result.cost.counters.items())
+    )
+    if counters:
+        lines.append(f"counters: {counters}")
+    if result.item_costs and len(result.item_costs) > 1:
+        lines.append(f"items:    {len(result.item_costs)} "
+                     "per-item cost records")
+    for key, value in result.outputs.items():
+        if key == "checks_passed":
+            continue
+        rendered = repr(value)
+        if len(rendered) > 68:
+            rendered = rendered[:65] + "..."
+        lines.append(f"  {key}: {rendered}")
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _build_spec(args)
+    result = Engine.from_spec(spec).run()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_result(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    selected = [args.what] if args.what else sorted(_LISTABLE)
+    for what in selected:
+        registry = _LISTABLE[what]
+        print(f"{what}:")
+        for name, value in registry.items():
+            detail = ""
+            if what == "devices":
+                detail = f" -- {value.description}"
+            elif what == "figures":
+                detail = f" -- {value.title}"
+            elif what == "scenarios":
+                detail = (f" -- engine={value.engine} "
+                          f"workload={value.workload} size={value.size} "
+                          f"batch={value.batch}")
+            elif what == "workloads":
+                detail = f" -- engines: {', '.join(sorted(value.engines))}"
+            print(f"  {name}{detail}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Workload generation and golden verification happen once, outside
+    # the timed region (as benchmarks/test_batch_throughput.py does):
+    # the measurement is engine execution throughput, where batching
+    # pays off -- not numpy table generation, where it cannot.
+    from repro.api.workloads import adapter_for
+    from repro.crossbar import Crossbar, CrossbarStack
+    from repro.mvp.batch import BatchedMVPProcessor
+    from repro.mvp.processor import MVPProcessor
+
+    base = ScenarioSpec(engine="mvp", workload="database",
+                        size=args.size, items=4)
+    batched_spec = base.replaced(engine="mvp_batched", batch=args.batch)
+    single_adapter = adapter_for(base, "mvp")
+    rows_s, cols_s = single_adapter.mvp_geometry()
+    programs_s = single_adapter.mvp_programs()
+    batched_adapter = adapter_for(batched_spec, "mvp_batched")
+    rows_b, cols_b = batched_adapter.mvp_geometry()
+    programs_b = batched_adapter.mvp_programs()
+
+    def run_single() -> MVPProcessor:
+        processor = MVPProcessor(Crossbar(rows_s, cols_s))
+        for program in programs_s:
+            processor.execute(program)
+        return processor
+
+    def run_batched() -> BatchedMVPProcessor:
+        processor = BatchedMVPProcessor(
+            CrossbarStack(args.batch, rows_b, cols_b))
+        for program in programs_b:
+            processor.execute(program)
+        return processor
+
+    ops_single = run_single().stats.bit_operations
+    ops_batched = run_batched().total_stats().bit_operations
+    looped = measure_throughput(
+        "engine_mvp_single", run_single,
+        ops=ops_single, repeats=args.repeats,
+    )
+    stacked = measure_throughput(
+        f"engine_mvp_batched_b{args.batch}", run_batched,
+        ops=ops_batched, repeats=args.repeats,
+    )
+    ratio = speedup(stacked, looped)
+    print(f"{looped.name}: {looped.ops_per_second:.3e} bit-ops/s")
+    print(f"{stacked.name}: {stacked.ops_per_second:.3e} bit-ops/s")
+    print(f"batched engine throughput: {ratio:.1f}x the single-item "
+          "path (execution only; workload generation excluded)")
+    if args.json is not None:
+        write_bench_json(args.json, [looped, stacked],
+                         speedups={"engine_batched_vs_single": ratio})
+        print(f"[saved to {args.json}]")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entrypoint; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "figures":
+            return run_figures(args.only)
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+    except ValueError as exc:
+        # Covers RegistryError/SpecError/ScenarioError plus the model
+        # layers' own ValueErrors (bad workload parameters, sizes a
+        # generator cannot satisfy, ...) -- all user-input failures.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # No subcommand: keep the historical `python -m repro` behaviour of
+    # regenerating every figure.
+    return run_figures()

@@ -1,0 +1,118 @@
+"""Device-model registry entries (the Section II substrate).
+
+Each entry names one published memristive device model and supplies the
+pieces the crossbar-backed engines consume: its dynamical device
+factory, the published LRS/HRS window as
+:class:`~repro.devices.base.DeviceParameters` (so crossbar reads see
+each model's actual resistance levels), and a scouting-read energy
+model scaled by the device's LRS conductance -- a lower R_on draws more
+bit-line current per activated read, so swapping ``spec.device`` moves
+the MVP engines' measured read energy, not just a provenance label.
+
+The automata-processor engine prices its dot-product kernel from the
+published Fig. 9 kernel records (``params["kernel"]``) rather than from
+the device entry: re-deriving kernels from the transient circuit model
+is the (slow) job of :func:`repro.rram_ap.cost.kernel_cost_from_circuit`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.api.registry import DEVICES, RegistryError
+from repro.crossbar import ScoutingEnergyModel
+from repro.devices import (
+    BipolarSwitch,
+    DeviceParameters,
+    LinearIonDriftDevice,
+    MemristiveDevice,
+    StanfordRRAMDevice,
+    VTEAMDevice,
+)
+
+__all__ = ["DeviceEntry", "device_entry"]
+
+#: Reference scouting-read cost: calibrated at the paper's working
+#: device (R_on = 1 kOhm); other devices scale by LRS conductance.
+_REFERENCE_ENERGY_MODEL = ScoutingEnergyModel()
+_REFERENCE_R_ON = DeviceParameters().r_on
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceEntry:
+    """One registered device model.
+
+    Attributes:
+        name: registry name.
+        description: one-line summary for ``repro list devices``.
+        factory: builds a fresh dynamical device instance.
+        parameters: the model's published two-state window; crossbar
+            arrays read/program against these levels.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[], MemristiveDevice]
+    parameters: DeviceParameters = DeviceParameters()
+
+    def make_device(self) -> MemristiveDevice:
+        """A fresh device instance (state 0, HRS)."""
+        return self.factory()
+
+    def energy_model(self) -> ScoutingEnergyModel:
+        """Per-activation read cost for this device's LRS conductance.
+
+        First-order: bit-line read energy scales with the current an
+        activated LRS cell draws, i.e. with 1/R_on relative to the
+        calibrated reference device.  The reference entry (``bipolar``,
+        the paper's working device) reproduces the legacy default model
+        exactly, keeping facade and pre-facade MVP costs identical.
+        """
+        scale = _REFERENCE_R_ON / self.parameters.r_on
+        return ScoutingEnergyModel(
+            energy_per_column=(
+                _REFERENCE_ENERGY_MODEL.energy_per_column * scale
+            ),
+            latency=_REFERENCE_ENERGY_MODEL.latency,
+        )
+
+
+def device_entry(name: str) -> DeviceEntry:
+    """Resolve a registered device entry by name."""
+    entry = DEVICES.get(name)
+    if not isinstance(entry, DeviceEntry):
+        raise RegistryError(
+            f"device {name!r} is registered as "
+            f"{type(entry).__name__}, not a DeviceEntry"
+        )
+    return entry
+
+
+DEVICES.register("bipolar", DeviceEntry(
+    name="bipolar",
+    description="idealized two-state bipolar switch, the paper's "
+                "1 kOhm / 100 MOhm working device",
+    factory=BipolarSwitch,
+    parameters=DeviceParameters(),
+))
+DEVICES.register("linear_drift", DeviceEntry(
+    name="linear_drift",
+    description="HP linear ion-drift dynamical model (Fig. 1 window)",
+    factory=LinearIonDriftDevice,
+    # The Fig. 1 hysteresis experiments use the published HP window.
+    parameters=DeviceParameters(r_on=100.0, r_off=16e3),
+))
+DEVICES.register("vteam", DeviceEntry(
+    name="vteam",
+    description="VTEAM threshold-voltage dynamical model",
+    factory=VTEAMDevice,
+    parameters=DeviceParameters(r_on=1e3, r_off=300e3),
+))
+DEVICES.register("stanford", DeviceEntry(
+    name="stanford",
+    description="ASU/Stanford filament-gap RRAM model",
+    factory=StanfordRRAMDevice,
+    # LRS/HRS from the model's default g_max = 1.7 nS / g_min = 0.1 nS.
+    parameters=DeviceParameters(r_on=1.0 / 1.7e-9, r_off=1.0 / 0.1e-9),
+))

@@ -1,0 +1,323 @@
+"""The engine facade: ``Engine.from_spec(spec).run() -> RunResult``.
+
+Four registered engines cover the paper's three CIM architectures plus
+the batched execution layer:
+
+* ``mvp``          -- single-item Memristive Vector Processor;
+* ``mvp_batched``  -- the PR-1 batch engine: one program over B logical
+  crossbars of a :class:`~repro.crossbar.array.CrossbarStack`;
+* ``rram_ap``      -- the hardware automata processor (RRAM kernel by
+  default; ``params["kernel"] in {"rram", "sram", "sdram"}`` swaps the
+  priced dot-product kernel);
+* ``arch_model``   -- the analytical CPU+MVP vs multicore comparison of
+  Fig. 4.
+
+Every engine consumes the same :class:`~repro.api.spec.ScenarioSpec`,
+resolves its device and workload through the registries, and returns
+the same :class:`~repro.api.result.RunResult` schema -- outputs, SI
+cost totals, per-item costs for batched runs, and provenance.  The
+engines delegate to the existing simulators (``MVPProcessor``,
+``BatchedMVPProcessor``, ``AutomataProcessor``, ``run_fig4_sweep``),
+which remain public: the facade is a front-end, not a fork, and the
+shim tests assert both surfaces produce identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Mapping
+
+import repro
+from repro.api.devices import device_entry
+from repro.api.registry import ENGINES, RegistryError
+from repro.api.result import (
+    CostSummary,
+    RunResult,
+    cost_from_mvp_stats,
+    cost_from_run_cost,
+    cost_from_system_point,
+)
+from repro.api.spec import ScenarioSpec
+from repro.api.workloads import ScenarioError, WorkloadAdapter, adapter_for
+from repro.arch.cache import MissRates
+from repro.arch.mvp_model import MVPSystemModel
+from repro.arch.sweep import run_fig4_sweep
+from repro.crossbar import Crossbar, CrossbarStack
+from repro.mvp.batch import BatchedMVPProcessor
+from repro.mvp.processor import MVPProcessor
+from repro.rram_ap.cost import RRAM_KERNEL, SDRAM_KERNEL, SRAM_KERNEL
+from repro.rram_ap.processor import AutomataProcessor
+
+__all__ = ["Engine", "run"]
+
+_KERNELS = {
+    "rram": RRAM_KERNEL,
+    "sram": SRAM_KERNEL,
+    "sdram": SDRAM_KERNEL,
+}
+
+#: The reference device non-device-sensitive engines require.
+_DEFAULT_DEVICE = "bipolar"
+
+
+class Engine:
+    """One execution engine bound to a scenario.
+
+    Subclasses implement :meth:`_execute`; this base class owns spec
+    resolution, registry dispatch, provenance and timing, so
+    ``Engine.from_spec(spec).run()`` behaves identically across all
+    engines.
+
+    Args:
+        spec: the scenario to run.  ``spec.engine`` must name this
+            engine.
+    """
+
+    #: Registry name (set by subclasses).
+    name = ""
+    #: Whether the engine services batch > 1 specs.
+    supports_batch = False
+    #: Whether the engine's results depend on ``spec.device``.  Engines
+    #: that ignore the device axis reject non-default devices rather
+    #: than stamping misleading provenance.
+    uses_device = False
+    #: ``spec.params`` keys the engine itself reads (the workload
+    #: adapter declares its own via ``surface_params``).
+    engine_params: frozenset[str] = frozenset()
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        if spec.engine != self.name:
+            raise ScenarioError(
+                f"spec names engine {spec.engine!r} but was handed to "
+                f"{self.name!r}"
+            )
+        if not self.supports_batch and spec.batch != 1:
+            raise ScenarioError(
+                f"engine {self.name!r} is single-item; use batch=1 "
+                f"(got {spec.batch})"
+            )
+        # Validate registry names first: an unknown device should get
+        # the discovery-oriented UnknownNameError, not the ignored-axis
+        # message below.
+        spec.validate_names()
+        if not self.uses_device and spec.device != _DEFAULT_DEVICE:
+            raise ScenarioError(
+                f"engine {self.name!r} does not model the device axis; "
+                f"device {spec.device!r} would not change its results "
+                f"(use the default {_DEFAULT_DEVICE!r}"
+                + (", or params['kernel'] for AP kernel pricing)"
+                   if self.name == "rram_ap" else ")")
+            )
+        self.spec = spec
+
+    @classmethod
+    def from_spec(
+        cls, spec: ScenarioSpec | Mapping[str, Any]
+    ) -> "Engine":
+        """Resolve ``spec.engine`` in the registry and bind the spec.
+
+        Accepts a :class:`ScenarioSpec` or a plain config dict.
+        """
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec.from_dict(spec)
+        engine_cls = ENGINES.get(spec.engine)
+        if not (isinstance(engine_cls, type)
+                and issubclass(engine_cls, Engine)):
+            raise RegistryError(
+                f"engine {spec.engine!r} is registered as "
+                f"{type(engine_cls).__name__}, not an Engine subclass"
+            )
+        return engine_cls(spec)
+
+    def run(self, spec: ScenarioSpec | None = None) -> RunResult:
+        """Execute the scenario and return the unified result.
+
+        Args:
+            spec: optional override; any spec other than the bound one
+                is re-dispatched through the registry (results are pure
+                functions of the spec, so re-dispatch is always safe).
+        """
+        if spec is not None and spec is not self.spec:
+            return Engine.from_spec(spec).run()
+        adapter = adapter_for(self.spec, self.name)
+        allowed = adapter.surface_params(self.name) | self.engine_params
+        unknown = set(self.spec.params) - allowed
+        if unknown:
+            raise ScenarioError(
+                f"unknown params {sorted(unknown)} for engine "
+                f"{self.name!r} + workload {self.spec.workload!r}; "
+                f"recognized: {sorted(allowed) or '<none>'}"
+            )
+        started = time.perf_counter()
+        outputs, cost, item_costs = self._execute(adapter)
+        elapsed = time.perf_counter() - started
+        provenance = {
+            "engine": self.name,
+            "workload": self.spec.workload,
+            "device": self.spec.device,
+            "seed": self.spec.seed,
+            "repro_version": repro.__version__,
+            "wall_seconds": elapsed,
+        }
+        return RunResult(
+            spec=self.spec,
+            outputs=outputs,
+            cost=cost,
+            item_costs=tuple(item_costs),
+            provenance=provenance,
+        )
+
+    def _execute(
+        self, adapter: WorkloadAdapter
+    ) -> tuple[dict[str, Any], CostSummary, list[CostSummary]]:
+        raise NotImplementedError
+
+
+@ENGINES.register("mvp")
+class MVPEngine(Engine):
+    """Single-item MVP: lower the workload and execute it on a crossbar."""
+
+    name = "mvp"
+    uses_device = True
+
+    def _execute(self, adapter):
+        rows, cols = adapter.mvp_geometry()
+        device = device_entry(self.spec.device)
+        crossbar = Crossbar(rows, cols, params=device.parameters)
+        processor = MVPProcessor(crossbar,
+                                 energy_model=device.energy_model())
+        outputs = adapter.run_mvp(processor)
+        cost = cost_from_mvp_stats(processor.stats)
+        return outputs, cost, [cost]
+
+
+@ENGINES.register("mvp_batched")
+class BatchedMVPEngine(Engine):
+    """Batched MVP: one program over every array of a crossbar stack."""
+
+    name = "mvp_batched"
+    supports_batch = True
+    uses_device = True
+
+    def _execute(self, adapter):
+        rows, cols = adapter.mvp_geometry()
+        device = device_entry(self.spec.device)
+        stack = CrossbarStack(self.spec.batch, rows, cols,
+                              params=device.parameters)
+        processor = BatchedMVPProcessor(
+            stack, energy_model=device.energy_model())
+        outputs = adapter.run_mvp_batched(processor)
+        item_costs = [
+            cost_from_mvp_stats(processor.stats_for(i))
+            for i in range(processor.batch)
+        ]
+        # Energy and event counters sum across items, but the timeline
+        # is shared (one control stream drives all B arrays), so the
+        # run's latency is the per-item latency, not B times it.
+        total = cost_from_mvp_stats(processor.total_stats())
+        cost = dataclasses.replace(
+            total,
+            latency_seconds=processor.stats_for(0).latency_seconds,
+        )
+        return outputs, cost, item_costs
+
+
+@ENGINES.register("rram_ap")
+class RRAMAPEngine(Engine):
+    """Hardware automata processor over the workload's automaton."""
+
+    name = "rram_ap"
+    supports_batch = True
+    engine_params = frozenset({"kernel"})
+
+    def _execute(self, adapter):
+        kernel_name = str(self.spec.params.get("kernel", "rram"))
+        try:
+            kernel = _KERNELS[kernel_name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown AP kernel {kernel_name!r}; "
+                f"choose from {sorted(_KERNELS)}"
+            ) from None
+        automaton = adapter.build_automaton()
+        processor = AutomataProcessor(automaton, kernel=kernel)
+        traces, stream_costs = processor.run_batch(
+            adapter.streams(), unanchored=adapter.unanchored
+        )
+        outputs = adapter.check_ap(traces)
+        outputs.setdefault("accepted", [t.accepted for t in traces])
+        area = processor.chip_cost().area_mm2()
+        item_costs = [cost_from_run_cost(c, area_mm2=area)
+                      for c in stream_costs]
+        cost = CostSummary(area_mm2=area, counters={"states": automaton.n_states})
+        for item in item_costs:
+            cost = cost.merged_with(item)
+        # Energy and symbol counts sum across streams, but multi-stream
+        # mode steps every live stream through each kernel cycle in
+        # parallel: the run's wall latency is the longest stream's, not
+        # the sum (mirroring the batched MVP's shared timeline).
+        if item_costs:
+            cost = dataclasses.replace(
+                cost,
+                latency_seconds=max(
+                    c.latency_seconds for c in item_costs),
+            )
+        return outputs, cost, item_costs
+
+
+@ENGINES.register("arch_model")
+class ArchModelEngine(Engine):
+    """Analytical Fig. 4 comparison under the workload's offload mix."""
+
+    name = "arch_model"
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        super().__init__(spec)
+        # The analytical model is deterministic and closed-form: it has
+        # no problem-size or randomness axes.  Reject non-default values
+        # rather than record provenance implying they were used.
+        defaults = ScenarioSpec()
+        ignored = [axis for axis in ("size", "items", "seed")
+                   if getattr(spec, axis) != getattr(defaults, axis)]
+        if ignored:
+            raise ScenarioError(
+                "engine 'arch_model' is a closed-form analytical model; "
+                f"{ignored} would not change its results (leave them at "
+                "their defaults; tune params['accelerated_fraction'] "
+                "instead)"
+            )
+
+    def _execute(self, adapter):
+        workload = adapter.arch_workload()
+        sweep = run_fig4_sweep(workload=workload)
+        ratios = {
+            metric: sweep.geometric_mean_ratio(metric)
+            for metric in ("eta_pe", "eta_e", "eta_pa")
+        }
+        ranges = {
+            metric: sweep.ratio_range(metric)
+            for metric in ("eta_pe", "eta_e", "eta_pa")
+        }
+        outputs = {
+            "accelerated_fraction": workload.accelerated_fraction,
+            "improvement_geomean": ratios,
+            "improvement_range": ranges,
+            "checks_passed": all(r > 1.0 for r in ratios.values()),
+        }
+        # Cost the MVP system's per-op figures at the paper's mid-grid
+        # operating point (L1 = L2 = 30% miss).
+        point = MVPSystemModel().evaluate(MissRates(0.3, 0.3), workload)
+        per_op = cost_from_system_point(point)
+        cost = CostSummary(
+            energy_joules=per_op.energy_joules,
+            latency_seconds=per_op.latency_seconds,
+            area_mm2=per_op.area_mm2,
+            counters={"grid_points": len(sweep.points)},
+        )
+        return outputs, cost, [cost]
+
+
+def run(spec: ScenarioSpec | Mapping[str, Any]) -> RunResult:
+    """One-call facade: dispatch ``spec`` to its engine and run it."""
+    return Engine.from_spec(spec).run()

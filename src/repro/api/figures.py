@@ -1,0 +1,125 @@
+"""Figure regenerators behind the FIGURES registry.
+
+Wraps the per-figure drivers of :mod:`repro.analysis.figures` in one
+uniform record so the CLI's ``figures`` subcommand (and the legacy
+``python -m repro`` entrypoint, which delegates here) can run any
+subset by name, render the text figures, and evaluate the paper-claim
+checks that gate the exit status.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.analysis.compare import PaperClaim, claims_table_rows
+from repro.analysis.figures import (
+    fig1_hysteresis,
+    fig3_scouting,
+    fig4_sweep,
+    fig5_homogeneous,
+    fig6_worked_example,
+    fig9_dot_product,
+    render_fig4,
+)
+from repro.analysis.tables import format_table
+from repro.api.registry import FIGURES
+
+__all__ = ["FigureEntry", "run_figures"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureEntry:
+    """One registered figure regenerator.
+
+    Attributes:
+        name: registry name (``fig1`` ... ``fig9``).
+        title: one-line description for ``repro list figures``.
+        regenerate: recomputes the figure; returns ``(rendered text,
+            paper claims)`` -- the claims list is empty for figures the
+            paper states no checkable numbers for.
+        slow: True when regeneration takes more than ~a second (the
+            transient circuit experiments).
+    """
+
+    name: str
+    title: str
+    regenerate: Callable[[], tuple[str, list[PaperClaim]]]
+    slow: bool = False
+
+
+def _fig1() -> tuple[str, list[PaperClaim]]:
+    return fig1_hysteresis().render(), []
+
+
+def _fig3() -> tuple[str, list[PaperClaim]]:
+    return fig3_scouting().render(), []
+
+
+def _fig4() -> tuple[str, list[PaperClaim]]:
+    return render_fig4(fig4_sweep()), []
+
+
+def _fig5() -> tuple[str, list[PaperClaim]]:
+    return fig5_homogeneous().render(), []
+
+
+def _fig6() -> tuple[str, list[PaperClaim]]:
+    return fig6_worked_example().render(), []
+
+
+def _fig9() -> tuple[str, list[PaperClaim]]:
+    result = fig9_dot_product(dt=2e-12)
+    table = format_table(
+        ["source", "claim", "paper", "measured", "error", "verdict"],
+        claims_table_rows(result.claims),
+    )
+    return result.render() + "\n" + table, result.claims
+
+
+FIGURES.register("fig1", FigureEntry(
+    "fig1", "pinched hysteresis loops vs frequency", _fig1))
+FIGURES.register("fig3", FigureEntry(
+    "fig3", "scouting logic truth tables and references", _fig3))
+FIGURES.register("fig4", FigureEntry(
+    "fig4", "MVP vs multicore efficiency sweep", _fig4))
+FIGURES.register("fig5", FigureEntry(
+    "fig5", "NFA -> homogeneous automaton conversion", _fig5))
+FIGURES.register("fig6", FigureEntry(
+    "fig6", "generic AP worked example (Eqs. 1-4)", _fig6))
+FIGURES.register("fig9", FigureEntry(
+    "fig9", "dot-product column transient, RRAM vs SRAM", _fig9,
+    slow=True))
+
+
+def run_figures(names: list[str] | None = None) -> int:
+    """Regenerate figures (all by default), printing each rendering.
+
+    Preserves the historical ``python -m repro`` contract: every
+    claim-carrying figure is checked and the return code is non-zero
+    iff any claim falls outside its tolerance band.
+
+    Args:
+        names: subset of figure names to run (order preserved).
+
+    Returns:
+        Process exit code (0 = all claims within tolerance).
+    """
+    if names is None:
+        names = list(FIGURES.names())
+    failures = 0
+    for name in names:
+        entry = FIGURES.get(name)
+        print("-" * 72)
+        if entry.slow:
+            print(f"{name}: running the transient experiment "
+                  "(a few seconds)...")
+        text, claims = entry.regenerate()
+        print(text)
+        failures += sum(1 for c in claims if not c.within_tolerance)
+    print("-" * 72)
+    if failures:
+        print(f"{failures} claim(s) OUT OF BAND")
+        return 1
+    print("all checked claims within tolerance")
+    return 0

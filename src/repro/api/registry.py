@@ -1,0 +1,144 @@
+"""String-keyed registries: the extension points of the unified API.
+
+Every pluggable axis of a scenario -- device model, execution engine,
+workload generator, named scenario preset, figure regenerator -- lives in
+a :class:`Registry`.  Registries make the facade *programmable*: a new
+engine or workload is one ``@REGISTRY.register("name")`` away from being
+reachable through :class:`~repro.api.spec.ScenarioSpec`, the CLI and the
+``list`` subcommand, with no facade code changes.
+
+Names are validated on registration (non-empty, lowercase slug) and
+duplicates rejected, so a scenario name is a stable public identifier.
+Lookups fail with :class:`UnknownNameError` carrying the sorted list of
+registered names -- the error message doubles as discovery.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterator, TypeVar
+
+__all__ = [
+    "RegistryError",
+    "DuplicateNameError",
+    "UnknownNameError",
+    "Registry",
+    "DEVICES",
+    "ENGINES",
+    "WORKLOADS",
+    "SCENARIOS",
+    "FIGURES",
+]
+
+_T = TypeVar("_T")
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_\-]*$")
+
+
+class RegistryError(ValueError):
+    """Base class for registry failures."""
+
+
+class DuplicateNameError(RegistryError):
+    """A name was registered twice in the same registry."""
+
+
+class UnknownNameError(RegistryError):
+    """A lookup used a name the registry does not hold."""
+
+
+class Registry:
+    """An ordered, write-once mapping from public names to factories.
+
+    Args:
+        kind: what the registry holds ("engine", "device", ...); used in
+            error messages so failures identify the axis that went wrong.
+    """
+
+    def __init__(self, kind: str) -> None:
+        if not kind:
+            raise ValueError("registry kind must be non-empty")
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+
+    def register(
+        self, name: str, value: _T | None = None
+    ) -> _T | Callable[[_T], _T]:
+        """Register ``value`` under ``name``; usable as a decorator.
+
+        Args:
+            name: public lowercase-slug identifier.
+            value: the object to register.  When omitted, returns a
+                decorator that registers its target and hands it back.
+
+        Raises:
+            RegistryError: on a malformed name.
+            DuplicateNameError: if ``name`` is already taken.
+        """
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid {self.kind} name {name!r}: use a lowercase slug "
+                "(letters, digits, '-', '_')"
+            )
+        if name in self._entries:
+            raise DuplicateNameError(
+                f"{self.kind} {name!r} is already registered"
+            )
+        if value is None:
+            def decorator(obj: _T) -> _T:
+                self.register(name, obj)
+                return obj
+            return decorator
+        self._entries[name] = value
+        return value
+
+    def get(self, name: str) -> object:
+        """Look up a registered value.
+
+        Raises:
+            UnknownNameError: listing every registered name, so callers
+                (and CLI users) see what is available.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            available = ", ".join(self.names()) or "<none registered>"
+            raise UnknownNameError(
+                f"unknown {self.kind} {name!r}; available: {available}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, sorted for stable display."""
+        return tuple(sorted(self._entries))
+
+    def items(self) -> tuple[tuple[str, object], ...]:
+        """(name, value) pairs, sorted by name."""
+        return tuple((n, self._entries[n]) for n in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self.names())})"
+
+
+#: Device models (Section II): name -> DeviceEntry.
+DEVICES = Registry("device")
+
+#: Execution engines: name -> Engine subclass.
+ENGINES = Registry("engine")
+
+#: Workload adapters: name -> WorkloadAdapter subclass.
+WORKLOADS = Registry("workload")
+
+#: Named scenario presets: name -> ScenarioSpec.
+SCENARIOS = Registry("scenario")
+
+#: Figure regenerators: name -> FigureEntry.
+FIGURES = Registry("figure")

@@ -1,0 +1,185 @@
+"""The one result schema every engine returns.
+
+Before the facade, each simulator reported costs through its own record:
+:class:`~repro.mvp.processor.MVPStats` (``energy``/``time``),
+:class:`~repro.rram_ap.processor.RunCost` (``energy``/``latency``/
+``pipelined_time``) and the arch layer's
+:class:`~repro.arch.metrics.SystemPoint` (powers and throughput).
+:class:`RunResult` unifies them: one :class:`CostSummary` of SI totals
+(energy in joules, latency in seconds, area in mm^2) plus named integer
+counters, per-item cost breakdowns for batched runs, the engine's
+workload outputs, and provenance (spec, versions, wall-clock).
+
+The legacy records stay -- the facade converts them via
+:func:`cost_from_mvp_stats` / :func:`cost_from_run_cost` /
+:func:`cost_from_system_point`, and their new ``energy_joules`` /
+``latency_seconds`` accessors pin the units the conversion relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.api.spec import ScenarioSpec
+from repro.arch.metrics import SystemPoint
+from repro.mvp.processor import MVPStats
+from repro.rram_ap.processor import RunCost
+
+__all__ = [
+    "CostSummary",
+    "RunResult",
+    "cost_from_mvp_stats",
+    "cost_from_run_cost",
+    "cost_from_system_point",
+    "jsonify",
+]
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays into JSON-safe builtins."""
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonify(dataclasses.asdict(value))
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class CostSummary:
+    """Engine-independent cost totals in SI units.
+
+    Attributes:
+        energy_joules: total (or per-op, for analytical engines) energy.
+        latency_seconds: total (or per-op) latency.
+        area_mm2: silicon area attributable to the run's hardware; zero
+            when the engine does not model area.
+        counters: named integer event counts (activations, program
+            cycles, symbols, grid points, ...) -- the engine-specific
+            detail that does not fit the three SI axes.
+    """
+
+    energy_joules: float = 0.0
+    latency_seconds: float = 0.0
+    area_mm2: float = 0.0
+    counters: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("energy_joules", "latency_seconds", "area_mm2"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def merged_with(self, other: "CostSummary") -> "CostSummary":
+        """Element-wise sum; area takes the maximum (shared hardware)."""
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        return CostSummary(
+            energy_joules=self.energy_joules + other.energy_joules,
+            latency_seconds=self.latency_seconds + other.latency_seconds,
+            area_mm2=max(self.area_mm2, other.area_mm2),
+            counters=counters,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "energy_joules": self.energy_joules,
+            "latency_seconds": self.latency_seconds,
+            "area_mm2": self.area_mm2,
+            "counters": jsonify(self.counters),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """What every ``Engine.run`` call returns.
+
+    Attributes:
+        spec: the scenario that produced this result.
+        outputs: engine/workload outputs (counts, match positions,
+            efficiency ratios, ...).  By convention ``checks_passed``
+            reports the workload's internal golden-reference check.
+        cost: whole-run cost totals.
+        item_costs: per-item cost breakdowns, one per logical crossbar /
+            input stream; always at least one entry (single-item engines
+            report their whole-run cost as the only item).
+        provenance: how the result was produced -- engine/device/
+            workload names, seed, package version, wall-clock seconds.
+    """
+
+    spec: ScenarioSpec
+    outputs: dict[str, Any]
+    cost: CostSummary
+    item_costs: tuple[CostSummary, ...] = ()
+    provenance: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The workload's golden check (True when none applies)."""
+        return bool(self.outputs.get("checks_passed", True))
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable rendering of the full result."""
+        return {
+            "spec": self.spec.to_dict(),
+            "outputs": jsonify(self.outputs),
+            "cost": self.cost.to_dict(),
+            "item_costs": [c.to_dict() for c in self.item_costs],
+            "provenance": jsonify(self.provenance),
+        }
+
+
+# -- converters from the legacy cost records ---------------------------------
+
+
+def cost_from_mvp_stats(stats: MVPStats) -> CostSummary:
+    """Map MVP cost counters onto the unified schema (J / s)."""
+    return CostSummary(
+        energy_joules=stats.energy_joules,
+        latency_seconds=stats.latency_seconds,
+        counters={
+            "instructions": stats.instructions,
+            "activations": stats.activations,
+            "program_cycles": stats.program_cycles,
+            "bit_operations": stats.bit_operations,
+        },
+    )
+
+
+def cost_from_run_cost(cost: RunCost, area_mm2: float = 0.0) -> CostSummary:
+    """Map an automata-processor stream cost onto the unified schema."""
+    return CostSummary(
+        energy_joules=cost.energy_joules,
+        latency_seconds=cost.latency_seconds,
+        area_mm2=area_mm2,
+        counters={"symbols": cost.symbols},
+    )
+
+
+def cost_from_system_point(point: SystemPoint, ops: int = 1) -> CostSummary:
+    """Map an analytical operating point onto the unified schema.
+
+    Args:
+        point: the architecture operating point.
+        ops: operations to account (1 gives per-op energy/latency).
+    """
+    if ops < 1:
+        raise ValueError("ops must be positive")
+    return CostSummary(
+        energy_joules=point.energy_per_op_joules * ops,
+        latency_seconds=point.latency_per_op_seconds * ops,
+        area_mm2=point.area_mm2,
+        counters={"ops": ops},
+    )

@@ -1,0 +1,52 @@
+"""Named scenario presets: curated ScenarioSpecs behind stable names.
+
+``python -m repro run dna`` resolves here.  Each preset is a complete
+:class:`~repro.api.spec.ScenarioSpec` sized to finish in well under a
+second, demonstrating one engine x workload pairing; CLI flags (and
+``ScenarioSpec.replaced``) override any field.  The presets double as
+the facade's acceptance matrix: every engine appears at least once.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import SCENARIOS, RegistryError
+from repro.api.spec import ScenarioSpec
+
+__all__ = ["scenario"]
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Resolve a named preset to its spec."""
+    spec = SCENARIOS.get(name)
+    if not isinstance(spec, ScenarioSpec):
+        raise RegistryError(
+            f"scenario {name!r} is registered as "
+            f"{type(spec).__name__}, not a ScenarioSpec"
+        )
+    return spec
+
+
+SCENARIOS.register("database", ScenarioSpec(
+    engine="mvp", workload="database", size=512, items=4,
+))
+SCENARIOS.register("database-batch", ScenarioSpec(
+    engine="mvp_batched", workload="database", size=512, items=4, batch=8,
+))
+SCENARIOS.register("graph", ScenarioSpec(
+    engine="mvp", workload="graph", size=48, items=1,
+))
+SCENARIOS.register("dna", ScenarioSpec(
+    engine="rram_ap", workload="dna", size=2000, items=8, batch=4,
+))
+SCENARIOS.register("networking", ScenarioSpec(
+    engine="rram_ap", workload="networking", size=512, items=6, batch=4,
+))
+SCENARIOS.register("strings", ScenarioSpec(
+    engine="rram_ap", workload="strings", size=256, items=4, batch=4,
+))
+SCENARIOS.register("datamining", ScenarioSpec(
+    engine="rram_ap", workload="datamining", size=48, items=4, batch=16,
+))
+SCENARIOS.register("arch", ScenarioSpec(
+    engine="arch_model", workload="database",
+))

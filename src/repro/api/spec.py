@@ -1,0 +1,159 @@
+"""Declarative scenario descriptions: what to run, on what, how big.
+
+A :class:`ScenarioSpec` names one engine, one device model and one
+workload from the registries, plus the scenario's sizes (problem size,
+item count, batch width) and the RNG seed.  Specs are plain data: they
+round-trip losslessly through :meth:`~ScenarioSpec.to_dict` /
+:meth:`~ScenarioSpec.from_dict` (and therefore through JSON config
+files and the CLI), and two specs are equal iff they describe the same
+run.  Everything an engine does is a pure function of its spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.api.registry import DEVICES, ENGINES, WORKLOADS
+
+__all__ = ["SpecError", "ScenarioSpec"]
+
+#: Types allowed inside ``ScenarioSpec.params`` (JSON-representable scalars).
+_PARAM_TYPES = (str, int, float, bool)
+
+
+class SpecError(ValueError):
+    """A scenario description is malformed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described run of the reproduction.
+
+    Attributes:
+        engine: execution engine name (``repro.api.ENGINES``).
+        workload: workload generator name (``repro.api.WORKLOADS``).
+        device: device model name (``repro.api.DEVICES``).
+        size: primary problem size -- table rows, sequence/payload/text
+            length, graph vertices, depending on the workload.
+        items: secondary count -- queries, patterns, rules, motif plants.
+        batch: batch width: logical crossbars (``mvp_batched``) or input
+            streams (``rram_ap``); single-item engines require 1.
+        seed: RNG seed; two runs of an equal spec are bit-identical.
+        params: extra scalar knobs forwarded to the engine/workload
+            (e.g. ``{"kernel": "sram", "motif": "TATAWR"}``).  Stored
+            as a read-only mapping so a spec's equality/hash cannot
+            change after construction.
+    """
+
+    engine: str = "mvp"
+    workload: str = "database"
+    device: str = "bipolar"
+    size: int = 64
+    items: int = 4
+    batch: int = 1
+    seed: int = 0
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("engine", "workload", "device"):
+            value = getattr(self, name)
+            if not isinstance(value, str) or not value:
+                raise SpecError(f"{name} must be a non-empty string")
+        for name in ("size", "items", "batch"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise SpecError(f"{name} must be a positive integer")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise SpecError("seed must be a non-negative integer")
+        if not isinstance(self.params, Mapping):
+            raise SpecError("params must be a mapping")
+        for key, value in self.params.items():
+            if not isinstance(key, str) or not key:
+                raise SpecError("params keys must be non-empty strings")
+            if not isinstance(value, _PARAM_TYPES):
+                raise SpecError(
+                    f"params[{key!r}] must be a str/int/float/bool scalar, "
+                    f"got {type(value).__name__}"
+                )
+        # Detach from the caller's dict and freeze: neither mutating the
+        # source mapping nor spec.params itself can change a spec after
+        # construction (its hash/equality must be stable).
+        object.__setattr__(self, "params",
+                           MappingProxyType(dict(self.params)))
+
+    def __hash__(self) -> int:
+        # The auto-generated frozen-dataclass hash chokes on the params
+        # dict; hash its sorted items instead so specs can key caches.
+        return hash((
+            self.engine, self.workload, self.device, self.size,
+            self.items, self.batch, self.seed,
+            tuple(sorted(self.params.items())),
+        ))
+
+    # -- registry validation ---------------------------------------------------
+
+    def validate_names(self) -> "ScenarioSpec":
+        """Check engine/device/workload against the registries.
+
+        Performed separately from construction so specs can be built (and
+        serialized) before -- or without -- the registries being populated.
+
+        Returns:
+            self, for chaining.
+
+        Raises:
+            UnknownNameError: naming the axis and the available choices.
+        """
+        ENGINES.get(self.engine)
+        DEVICES.get(self.device)
+        WORKLOADS.get(self.workload)
+        return self
+
+    # -- round-trips -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-scalar dict that :meth:`from_dict` inverts exactly."""
+        return {
+            "engine": self.engine,
+            "workload": self.workload,
+            "device": self.device,
+            "size": self.size,
+            "items": self.items,
+            "batch": self.batch,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build a spec from a config dict (strict: unknown keys fail).
+
+        Raises:
+            SpecError: on unknown keys or invalid field values.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError("spec data must be a mapping")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown spec keys {unknown}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if "params" in kwargs:
+            params = kwargs["params"]
+            if not isinstance(params, Mapping):
+                raise SpecError("params must be a mapping")
+            kwargs["params"] = dict(params)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:  # e.g. non-keywordable values
+            raise SpecError(str(exc)) from None
+
+    def replaced(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,604 @@
+"""Workload adapters: one contract between workload domains and engines.
+
+Each adapter wraps one of the paper's application domains (DNA motif
+search, bitmap databases, network intrusion detection, graph BFS,
+bit-parallel string matching, sequential pattern mining) and presents it
+through the surfaces the engines consume:
+
+* **MVP surface** -- ``mvp_geometry()`` + ``run_mvp`` /
+  ``run_mvp_batched`` lower the workload to macro-instruction programs
+  (or drive the processor directly, as BFS does);
+* **AP surface** -- ``build_automaton()`` + ``streams()`` +
+  ``check_ap()`` compile the workload to a homogeneous automaton and
+  score the traces against an exact software golden reference;
+* **arch surface** -- ``arch_workload()`` summarizes the domain as the
+  Fig. 4 offload mix.
+
+``engines`` declares which execution engines a domain supports; asking
+an unsupported combination raises :class:`ScenarioError` naming both
+sides.  Every adapter is a pure function of its
+:class:`~repro.api.spec.ScenarioSpec` (all randomness flows from
+``spec.seed``), so facade results are reproducible and the golden
+checks (``outputs["checks_passed"]``) are deterministic.
+"""
+
+from __future__ import annotations
+
+import string
+from functools import cached_property
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.api.registry import WORKLOADS
+from repro.api.spec import ScenarioSpec
+from repro.arch.params import WorkloadParameters
+from repro.automata.homogeneous import (
+    HomogeneousAutomaton,
+    homogenize,
+    merge_automata,
+)
+from repro.automata.regex import compile_regex
+from repro.automata.symbols import Alphabet
+from repro.mvp.isa import Instruction
+from repro.workloads.database import lower_query
+from repro.workloads.datamining import contains_in_order
+from repro.workloads import (
+    BitmapIndex,
+    MultiPatternMatcher,
+    bfs_levels_golden,
+    adjacency_bits,
+    generate_payload,
+    generate_ruleset,
+    generate_transactions,
+    make_motif_dataset,
+    motif_nfa,
+    mvp_bfs,
+    pattern_nfa,
+    random_graph,
+    random_query,
+    random_table,
+)
+from repro.workloads.networking import PAYLOAD_ALPHABET
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.automata.generic_ap import APTrace
+    from repro.mvp.batch import BatchedMVPProcessor
+    from repro.mvp.processor import MVPProcessor
+
+__all__ = ["ScenarioError", "WorkloadAdapter", "adapter_for"]
+
+#: Alphabet for the string-matching domain (literal lowercase patterns).
+_TEXT_ALPHABET = Alphabet(string.ascii_lowercase)
+
+
+class ScenarioError(ValueError):
+    """A spec combines registered pieces in an unsupported way."""
+
+
+class WorkloadAdapter:
+    """Base adapter: shared plumbing plus the unsupported-surface errors.
+
+    Args:
+        spec: the scenario being run; all sizes and randomness derive
+            from it.
+    """
+
+    #: Registry name (set by subclasses).
+    name = ""
+    #: Engine names this workload can serve.
+    engines: frozenset[str] = frozenset()
+    #: Whether AP runs re-arm start states each symbol (pattern search).
+    unanchored = True
+    #: Share of this domain's operations the MVP system can offload.
+    arch_accelerated_fraction = 0.7
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+
+    def require_engine(self, engine: str) -> None:
+        """Fail fast when ``engine`` cannot serve this workload."""
+        if engine not in self.engines:
+            supported = ", ".join(sorted(self.engines))
+            raise ScenarioError(
+                f"workload {self.name!r} does not support engine "
+                f"{engine!r} (supported: {supported})"
+            )
+
+    def surface_params(self, engine: str) -> frozenset[str]:
+        """``spec.params`` keys the ``engine`` surface of this workload
+        actually reads.
+
+        Engines reject params neither this nor their own
+        ``engine_params`` recognize, so a typoed knob -- or a knob that
+        only another surface would honour -- fails loudly instead of
+        silently running with defaults.
+        """
+        if engine == "arch_model":
+            return frozenset({"accelerated_fraction"})
+        return frozenset()
+
+    # -- MVP surface -------------------------------------------------------------
+
+    def mvp_geometry(self) -> tuple[int, int]:
+        """(rows, cols) of the crossbar an MVP engine must build.
+
+        ``rows`` already includes the processor's reserved all-ones
+        constant row, so ``Crossbar(*adapter.mvp_geometry())`` is the
+        correct construction -- no headroom arithmetic at call sites.
+        """
+        raise ScenarioError(
+            f"workload {self.name!r} has no MVP lowering"
+        )
+
+    def run_mvp(self, processor: "MVPProcessor") -> dict[str, Any]:
+        """Execute on a single-item MVP; returns the outputs dict."""
+        raise ScenarioError(
+            f"workload {self.name!r} has no MVP lowering"
+        )
+
+    def run_mvp_batched(
+        self, processor: "BatchedMVPProcessor"
+    ) -> dict[str, Any]:
+        """Execute on a batched MVP; returns the outputs dict."""
+        raise ScenarioError(
+            f"workload {self.name!r} has no batched MVP lowering"
+        )
+
+    # -- AP surface --------------------------------------------------------------
+
+    def build_automaton(self) -> HomogeneousAutomaton:
+        """The homogeneous automaton the AP engine configures."""
+        raise ScenarioError(
+            f"workload {self.name!r} has no automaton form"
+        )
+
+    def streams(self) -> list[str]:
+        """Input symbol streams (one per batch item)."""
+        raise ScenarioError(
+            f"workload {self.name!r} has no automaton form"
+        )
+
+    def check_ap(self, traces: list["APTrace"]) -> dict[str, Any]:
+        """Score AP traces against the golden reference; outputs dict."""
+        raise ScenarioError(
+            f"workload {self.name!r} has no automaton form"
+        )
+
+    # -- arch surface ------------------------------------------------------------
+
+    def arch_workload(self) -> WorkloadParameters:
+        """The Fig. 4 offload mix this domain presents."""
+        fraction = float(self.spec.params.get(
+            "accelerated_fraction", self.arch_accelerated_fraction
+        ))
+        return WorkloadParameters(accelerated_fraction=fraction)
+
+
+def adapter_for(spec: ScenarioSpec, engine: str) -> WorkloadAdapter:
+    """Instantiate the adapter for ``spec`` and check engine support."""
+    adapter_cls = WORKLOADS.get(spec.workload)
+    adapter = adapter_cls(spec)
+    adapter.require_engine(engine)
+    return adapter
+
+
+# ---------------------------------------------------------------------------
+# database: bitmap-index CNF queries -> bulk AND/OR (MVP)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("database")
+class DatabaseAdapter(WorkloadAdapter):
+    """Bitmap-index analytics: CNF queries as in-memory AND/OR/POPCOUNT.
+
+    ``size`` is the table row count (= crossbar columns), ``items`` the
+    number of queries, ``batch`` the number of independent tables served
+    by one batched run (same query plan, per-item bitmap data).
+    """
+
+    name = "database"
+    engines = frozenset({"mvp", "mvp_batched", "arch_model"})
+    arch_accelerated_fraction = 0.9
+
+    _CARDINALITIES = [8, 5, 4]
+
+    @cached_property
+    def _rngs(self) -> dict[str, np.random.Generator]:
+        """Independent child streams per generated artifact.
+
+        Queries and tables draw from separate spawned generators, so
+        the dataset is a pure function of the spec regardless of which
+        cached property a caller happens to touch first.
+        """
+        queries_rng, tables_rng = self.rng.spawn(2)
+        return {"queries": queries_rng, "tables": tables_rng}
+
+    @cached_property
+    def _queries(self) -> list:
+        return [
+            random_query(self._rngs["queries"], self._CARDINALITIES,
+                         n_terms=2)
+            for _ in range(self.spec.items)
+        ]
+
+    @cached_property
+    def _indexes(self) -> list[BitmapIndex]:
+        return [
+            BitmapIndex(random_table(
+                self._rngs["tables"], self.spec.size, self._CARDINALITIES
+            ))
+            for _ in range(self.spec.batch)
+        ]
+
+    def _lower(self, query) -> tuple[list[Instruction], int]:
+        """Lower one query via the shared legacy row-allocation scheme.
+
+        Both paths run :func:`repro.workloads.database.lower_query` --
+        the function behind ``BitmapIndex.to_mvp_program`` -- so facade
+        programs are instruction-identical to the legacy lowering; with
+        batch > 1 the VLOAD payloads stack per-item bitmaps.
+        """
+        indexes = self._indexes
+        if len(indexes) == 1:
+            return indexes[0].to_mvp_program(query)
+
+        def stacked_fetch(column: int, value: int) -> np.ndarray:
+            return np.stack([
+                idx.bitmap(column, value).astype(int) for idx in indexes
+            ])
+
+        return lower_query(query, stacked_fetch)
+
+    @cached_property
+    def _programs(self) -> list[tuple[list[Instruction], int]]:
+        return [self._lower(q) for q in self._queries]
+
+    def mvp_programs(self) -> list[list[Instruction]]:
+        """The lowered macro-instruction programs, one per query.
+
+        Public so benches and equivalence tests can execute exactly the
+        facade's programs on the processors directly.
+        """
+        return [program for program, _ in self._programs]
+
+    def mvp_geometry(self) -> tuple[int, int]:
+        rows = max(rows_used for _, rows_used in self._programs)
+        return rows + 1, self.spec.size  # + the reserved ones row
+
+    def run_mvp(self, processor: "MVPProcessor") -> dict[str, Any]:
+        counts = []
+        for program in self.mvp_programs():
+            counts.append(int(processor.execute(program)[-1]))
+        golden = [self._indexes[0].count(q) for q in self._queries]
+        return {
+            "counts": counts,
+            "golden_counts": golden,
+            "checks_passed": counts == golden,
+        }
+
+    def run_mvp_batched(
+        self, processor: "BatchedMVPProcessor"
+    ) -> dict[str, Any]:
+        counts = []
+        for program in self.mvp_programs():
+            per_item = processor.execute(program)[-1]
+            counts.append([int(c) for c in per_item])
+        golden = [
+            [idx.count(q) for idx in self._indexes] for q in self._queries
+        ]
+        return {
+            "counts": counts,
+            "golden_counts": golden,
+            "checks_passed": counts == golden,
+        }
+
+
+# ---------------------------------------------------------------------------
+# graph: frontier BFS, one scouting OR per level (MVP)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("graph")
+class GraphAdapter(WorkloadAdapter):
+    """Frontier BFS on the MVP: each level is one multi-row scouting OR.
+
+    ``size`` is the vertex count; the expected out-degree comes from
+    ``params["avg_degree"]`` (default 3.0).  BFS drives the processor
+    interactively (data-dependent frontiers), so there is no batched
+    lowering.
+    """
+
+    name = "graph"
+    engines = frozenset({"mvp", "arch_model"})
+    arch_accelerated_fraction = 0.8
+
+    def surface_params(self, engine: str) -> frozenset[str]:
+        if engine == "mvp":
+            return frozenset({"avg_degree"})
+        return super().surface_params(engine)
+
+    @cached_property
+    def _graph(self):
+        degree = float(self.spec.params.get("avg_degree", 3.0))
+        return random_graph(self.rng, self.spec.size, degree)
+
+    def mvp_geometry(self) -> tuple[int, int]:
+        return self.spec.size + 1, self.spec.size  # + the reserved ones row
+
+    def run_mvp(self, processor: "MVPProcessor") -> dict[str, Any]:
+        adjacency = adjacency_bits(self._graph)
+        result = mvp_bfs(processor, adjacency, source=0)
+        golden = bfs_levels_golden(self._graph, 0)
+        return {
+            "levels": {int(v): int(l) for v, l in result.levels.items()},
+            "frontier_sizes": list(result.frontier_sizes),
+            "reached": len(result.levels),
+            "checks_passed": result.levels == golden,
+        }
+
+
+# ---------------------------------------------------------------------------
+# dna: IUPAC motif search (AP)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("dna")
+class DnaAdapter(WorkloadAdapter):
+    """Degenerate-motif search over synthetic references (AP pipeline).
+
+    ``size`` is the reference length, ``items`` the planted copies per
+    reference, ``batch`` the number of independent references (input
+    streams).  The motif defaults to the TATA-box consensus and can be
+    overridden via ``params["motif"]``.
+    """
+
+    name = "dna"
+    engines = frozenset({"rram_ap", "arch_model"})
+    unanchored = True
+    arch_accelerated_fraction = 0.85
+
+    def surface_params(self, engine: str) -> frozenset[str]:
+        if engine == "rram_ap":
+            return frozenset({"motif"})
+        return super().surface_params(engine)
+
+    @property
+    def motif(self) -> str:
+        return str(self.spec.params.get("motif", "TATAWR"))
+
+    @cached_property
+    def _datasets(self):
+        return [
+            make_motif_dataset(
+                self.rng, self.spec.size, self.motif, self.spec.items
+            )
+            for _ in range(self.spec.batch)
+        ]
+
+    def build_automaton(self) -> HomogeneousAutomaton:
+        return homogenize(motif_nfa(self.motif))
+
+    def streams(self) -> list[str]:
+        return [d.sequence for d in self._datasets]
+
+    def check_ap(self, traces: list["APTrace"]) -> dict[str, Any]:
+        match_counts = [len(t.match_ends) for t in traces]
+        missed = [
+            sorted(set(d.planted_ends) - set(t.match_ends))
+            for d, t in zip(self._datasets, traces)
+        ]
+        return {
+            "motif": self.motif,
+            "match_counts": match_counts,
+            "planted_per_stream": self.spec.items,
+            "checks_passed": all(not m for m in missed),
+        }
+
+
+# ---------------------------------------------------------------------------
+# networking: IDS signature scanning (AP)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("networking")
+class NetworkingAdapter(WorkloadAdapter):
+    """Deep packet inspection: a merged signature set scans payloads.
+
+    ``size`` is the payload length, ``items`` the rule-set size,
+    ``batch`` the number of packet streams; stream ``k`` carries one
+    planted attack from rule ``k mod items``.
+    """
+
+    name = "networking"
+    engines = frozenset({"rram_ap", "arch_model"})
+    unanchored = True
+    arch_accelerated_fraction = 0.75
+
+    @cached_property
+    def _rules(self):
+        return generate_ruleset(self.rng, self.spec.items)
+
+    @cached_property
+    def _payloads(self) -> list[tuple[str, int]]:
+        """(payload, planted match end) per stream."""
+        payloads = []
+        for k in range(self.spec.batch):
+            rule = self._rules[k % len(self._rules)]
+            room = self.spec.size - len(rule.example)
+            if room < 0:
+                raise ScenarioError(
+                    f"networking payload size {self.spec.size} cannot hold "
+                    f"rule example of length {len(rule.example)}"
+                )
+            # Offsets 0..room inclusive are all valid placements (room
+            # itself plants the attack flush against the stream end).
+            offset = int(self.rng.integers(0, room + 1))
+            payload = generate_payload(
+                self.rng, self.spec.size, [(rule, offset)]
+            )
+            payloads.append((payload, offset + len(rule.example)))
+        return payloads
+
+    def build_automaton(self) -> HomogeneousAutomaton:
+        automata = [
+            homogenize(rule.compile(PAYLOAD_ALPHABET))
+            for rule in self._rules
+        ]
+        merged, _ = merge_automata(automata)
+        return merged
+
+    def streams(self) -> list[str]:
+        return [payload for payload, _ in self._payloads]
+
+    def check_ap(self, traces: list["APTrace"]) -> dict[str, Any]:
+        detected = [
+            end in t.match_ends
+            for (_, end), t in zip(self._payloads, traces)
+        ]
+        return {
+            "rules": len(self._rules),
+            "alerts_per_stream": [len(t.match_ends) for t in traces],
+            "planted_detected": detected,
+            "checks_passed": all(detected),
+        }
+
+
+# ---------------------------------------------------------------------------
+# strings: multi-pattern literal matching (AP vs Shift-And golden)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("strings")
+class StringsAdapter(WorkloadAdapter):
+    """Multi-pattern exact matching, scored against Shift-And.
+
+    ``size`` is the text length, ``items`` the number of literal
+    patterns, ``batch`` the number of texts.  Every pattern is planted
+    once per text; the AP's unanchored match ends must equal the union
+    of the Shift-And matchers' end positions exactly.
+    """
+
+    name = "strings"
+    engines = frozenset({"rram_ap", "arch_model"})
+    unanchored = True
+    arch_accelerated_fraction = 0.8
+
+    @cached_property
+    def _patterns(self) -> list[str]:
+        letters = list(string.ascii_lowercase)
+        patterns = set()
+        while len(patterns) < self.spec.items:
+            length = int(self.rng.integers(3, 7))
+            patterns.add("".join(self.rng.choice(letters, size=length)))
+        return sorted(patterns)
+
+    @cached_property
+    def _texts(self) -> list[str]:
+        longest = max(len(p) for p in self._patterns)
+        if self.spec.size < longest + 1:
+            raise ScenarioError(
+                f"strings text size {self.spec.size} is shorter than the "
+                f"longest pattern ({longest})"
+            )
+        letters = list(string.ascii_lowercase)
+        texts = []
+        for _ in range(self.spec.batch):
+            text = list(self.rng.choice(letters, size=self.spec.size))
+            for pattern in self._patterns:
+                start = int(self.rng.integers(
+                    0, self.spec.size - len(pattern) + 1
+                ))
+                text[start:start + len(pattern)] = list(pattern)
+            texts.append("".join(text))
+        return texts
+
+    def build_automaton(self) -> HomogeneousAutomaton:
+        automata = [
+            homogenize(compile_regex(p, _TEXT_ALPHABET))
+            for p in self._patterns
+        ]
+        merged, _ = merge_automata(automata)
+        return merged
+
+    def streams(self) -> list[str]:
+        return self._texts
+
+    def check_ap(self, traces: list["APTrace"]) -> dict[str, Any]:
+        matcher = MultiPatternMatcher(self._patterns)
+        ok = True
+        match_counts = []
+        for text, trace in zip(self._texts, traces):
+            golden_ends = set()
+            for result in matcher.find_all(text):
+                golden_ends.update(result.end_positions)
+            ok = ok and set(trace.match_ends) == golden_ends
+            match_counts.append(len(trace.match_ends))
+        return {
+            "patterns": self._patterns,
+            "match_counts": match_counts,
+            "checks_passed": ok,
+        }
+
+
+# ---------------------------------------------------------------------------
+# datamining: sequential pattern mining (AP, anchored containment)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("datamining")
+class DataminingAdapter(WorkloadAdapter):
+    """Sequential pattern mining: ordered containment per transaction.
+
+    ``size`` is the transaction length, ``items`` the candidate-pattern
+    count, ``batch`` the number of transactions (input streams).  The
+    merged containment automaton accepts (anchored) iff *any* candidate
+    is a subsequence; per-pattern golden supports are also reported.
+    """
+
+    name = "datamining"
+    engines = frozenset({"rram_ap", "arch_model"})
+    unanchored = False
+    arch_accelerated_fraction = 0.7
+
+    @cached_property
+    def _dataset(self):
+        return generate_transactions(
+            self.rng,
+            n_sequences=self.spec.batch,
+            length=self.spec.size,
+            n_patterns=self.spec.items,
+            pattern_length=3,
+        )
+
+    def build_automaton(self) -> HomogeneousAutomaton:
+        automata = [
+            homogenize(pattern_nfa(p)) for p in self._dataset.patterns
+        ]
+        merged, _ = merge_automata(automata)
+        return merged
+
+    def streams(self) -> list[str]:
+        return list(self._dataset.sequences)
+
+    def check_ap(self, traces: list["APTrace"]) -> dict[str, Any]:
+        # One containment pass feeds both the per-sequence golden (any
+        # pattern contained) and the per-pattern support counts.
+        contained = {
+            p: [contains_in_order(p, seq)
+                for seq in self._dataset.sequences]
+            for p in self._dataset.patterns
+        }
+        golden = [
+            any(contained[p][k] for p in self._dataset.patterns)
+            for k in range(len(self._dataset.sequences))
+        ]
+        accepted = [t.accepted for t in traces]
+        supports = {p: sum(flags) for p, flags in contained.items()}
+        return {
+            "patterns": list(self._dataset.patterns),
+            "matched_sequences": int(sum(accepted)),
+            "golden_supports": supports,
+            "checks_passed": accepted == golden,
+        }

@@ -45,6 +45,21 @@ class SystemPoint:
         """Dynamic plus static power, watts."""
         return self.dynamic_power + self.static_power
 
+    @property
+    def energy_per_op_joules(self) -> float:
+        """Canonical unit accessor: total energy per operation, joules.
+
+        The same quantity :class:`EfficiencyMetrics` reports as
+        ``eta_e`` in the paper's pJ/op -- this accessor is the SI form
+        the unified :class:`repro.api.result.CostSummary` consumes.
+        """
+        return self.total_power / self.ops_per_second
+
+    @property
+    def latency_per_op_seconds(self) -> float:
+        """Canonical unit accessor: sustained seconds per operation."""
+        return 1.0 / self.ops_per_second
+
 
 @dataclasses.dataclass(frozen=True)
 class EfficiencyMetrics:

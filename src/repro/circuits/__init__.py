@@ -42,6 +42,7 @@ __all__ = [
     "CellGeometry",
     "Circuit",
     "CurrentCompareSA",
+    "WindowComparatorSA",
     "CurrentSource",
     "DCSolution",
     "DischargeMeasurement",

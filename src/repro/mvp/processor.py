@@ -48,6 +48,23 @@ class MVPStats:
     energy: float = 0.0
     time: float = 0.0
 
+    @property
+    def energy_joules(self) -> float:
+        """Canonical unit accessor: accumulated energy, joules.
+
+        ``MVPStats.energy``, ``RunCost.energy`` and the arch layer's
+        power figures historically carried their units only in
+        docstrings; the ``*_joules`` / ``*_seconds`` accessors give the
+        unified :class:`repro.api.result.CostSummary` one spelled-out
+        contract across all three (see tests/api/test_units.py).
+        """
+        return self.energy
+
+    @property
+    def latency_seconds(self) -> float:
+        """Canonical unit accessor: accumulated latency, seconds."""
+        return self.time
+
     def merged_with(self, other: "MVPStats") -> "MVPStats":
         """Element-wise sum of two counter sets."""
         return MVPStats(

@@ -53,6 +53,20 @@ class RunCost:
     pipelined_time: float
     energy: float
 
+    @property
+    def energy_joules(self) -> float:
+        """Canonical unit accessor: total array energy, joules."""
+        return self.energy
+
+    @property
+    def latency_seconds(self) -> float:
+        """Canonical unit accessor: un-pipelined latency, seconds.
+
+        The conservative serial figure; steady-state pipelining is the
+        separate ``pipelined_time`` (also seconds).
+        """
+        return self.latency
+
 
 class AutomataProcessor:
     """A configured hardware automata processor.

@@ -15,6 +15,7 @@ from repro.workloads.database import (
 from repro.workloads.datamining import (
     ITEM_ALPHABET,
     SPMDataset,
+    contains_in_order,
     generate_transactions,
     golden_support,
     pattern_nfa,
@@ -73,6 +74,7 @@ __all__ = [
     "SignatureRule",
     "adjacency_bits",
     "bfs_levels_golden",
+    "contains_in_order",
     "generate_payload",
     "generate_ruleset",
     "generate_transactions",
@@ -90,6 +92,7 @@ __all__ = [
     "random_query",
     "random_sequence",
     "random_table",
+    "random_uniform",
     "sequential_scan",
     "strided_access",
     "zipf_accesses",

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.mvp.isa import Instruction
 
-__all__ = ["BitmapIndex", "Query", "random_table", "random_query"]
+__all__ = ["BitmapIndex", "Query", "lower_query", "random_table",
+           "random_query"]
 
 
 def random_table(
@@ -104,30 +105,52 @@ class BitmapIndex:
             (program, rows_used).  The program ends with a POPCOUNT whose
             result equals :meth:`count`.
         """
-        program: list[Instruction] = []
-        row = 0
-        bitmap_rows: dict[tuple[int, int], int] = {}
-        for term in query.terms:
-            for key in term:
-                if key not in bitmap_rows:
-                    bitmap_rows[key] = row
-                    program.append(Instruction.vload(
-                        row, self.bitmap(*key).astype(int)
-                    ))
-                    row += 1
-        term_rows: list[int] = []
-        for term in query.terms:
-            source_rows = [bitmap_rows[key] for key in term]
-            if len(source_rows) == 1:
-                term_rows.append(source_rows[0])
-                continue
-            program.append(Instruction.vor(*source_rows))
-            program.append(Instruction.vstore(row))
-            term_rows.append(row)
-            row += 1
-        program.append(Instruction.vand(*term_rows))
-        program.append(Instruction.popcount())
-        return program, row
+        return lower_query(
+            query, lambda col, value: self.bitmap(col, value).astype(int)
+        )
+
+
+def lower_query(
+    query: Query,
+    bitmap_fetch,
+) -> tuple[list[Instruction], int]:
+    """Lower a CNF query to MVP macro-instructions.
+
+    The row-allocation scheme behind :meth:`BitmapIndex.to_mvp_program`,
+    parameterized over the bitmap source so batched executions can VLOAD
+    stacked (B, n_rows) payloads through the identical program structure.
+
+    Args:
+        query: the CNF query.
+        bitmap_fetch: ``(column, value) -> array`` returning the VLOAD
+            payload for one equality predicate -- a flat (n_rows,) word
+            or a (B, n_rows) per-item matrix.
+
+    Returns:
+        (program, rows_used); the program ends with a POPCOUNT.
+    """
+    program: list[Instruction] = []
+    row = 0
+    bitmap_rows: dict[tuple[int, int], int] = {}
+    for term in query.terms:
+        for key in term:
+            if key not in bitmap_rows:
+                bitmap_rows[key] = row
+                program.append(Instruction.vload(row, bitmap_fetch(*key)))
+                row += 1
+    term_rows: list[int] = []
+    for term in query.terms:
+        source_rows = [bitmap_rows[key] for key in term]
+        if len(source_rows) == 1:
+            term_rows.append(source_rows[0])
+            continue
+        program.append(Instruction.vor(*source_rows))
+        program.append(Instruction.vstore(row))
+        term_rows.append(row)
+        row += 1
+    program.append(Instruction.vand(*term_rows))
+    program.append(Instruction.popcount())
+    return program, row
 
 
 def random_query(

@@ -22,6 +22,7 @@ from repro.automata.symbols import Alphabet
 __all__ = [
     "ITEM_ALPHABET",
     "SPMDataset",
+    "contains_in_order",
     "generate_transactions",
     "pattern_to_regex",
     "pattern_nfa",
@@ -90,10 +91,12 @@ def pattern_nfa(pattern: str, alphabet: Alphabet = ITEM_ALPHABET) -> NFA:
     return compile_regex(pattern_to_regex(pattern), alphabet)
 
 
+def contains_in_order(pattern: str, sequence: str) -> bool:
+    """Whether ``pattern``'s items occur in ``sequence`` in order."""
+    iterator = iter(sequence)
+    return all(item in iterator for item in pattern)
+
+
 def golden_support(pattern: str, sequences: tuple[str, ...]) -> int:
     """Reference support count by direct subsequence check."""
-    def contains(seq: str) -> bool:
-        it = iter(seq)
-        return all(item in it for item in pattern)
-
-    return sum(1 for seq in sequences if contains(seq))
+    return sum(1 for seq in sequences if contains_in_order(pattern, seq))

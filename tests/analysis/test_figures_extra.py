@@ -1,6 +1,5 @@
 """Tests for the remaining figure regenerators and result objects."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import (

@@ -1,0 +1,135 @@
+"""CLI smoke tests: every subcommand parses, runs and exits 0."""
+
+import json
+
+import pytest
+
+from repro.api.cli import build_parser, main
+
+
+class TestRun:
+    def test_named_scenario(self, capsys):
+        assert main(["run", "strings"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed: True" in out
+        assert "energy:" in out and "latency:" in out
+
+    def test_flag_overrides(self, capsys):
+        assert main(["run", "strings", "--batch", "2", "--seed", "9"]) == 0
+        assert "seed=9" in capsys.readouterr().out
+
+    def test_custom_spec_from_flags_only(self, capsys):
+        assert main(["run", "--engine", "arch_model",
+                     "--workload", "graph"]) == 0
+        assert "improvement_geomean" in capsys.readouterr().out
+
+    def test_json_output_round_trips(self, capsys):
+        assert main(["run", "database", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["engine"] == "mvp"
+        assert payload["outputs"]["checks_passed"] is True
+        assert payload["cost"]["energy_joules"] > 0
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "engine": "mvp", "workload": "database", "size": 64,
+        }))
+        assert main(["run", "--spec", str(spec_file)]) == 0
+
+    def test_param_flag(self, capsys):
+        assert main(["run", "dna", "--size", "300", "--items", "2",
+                     "--param", "kernel=sram"]) == 0
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unsupported_pair_exits_2(self, capsys):
+        assert main(["run", "--engine", "mvp",
+                     "--workload", "dna"]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_bad_param_exits_2(self, capsys):
+        assert main(["run", "strings", "--param", "oops"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_scenario_plus_spec_file_conflict_exits_2(self, tmp_path,
+                                                      capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text('{"engine": "mvp"}')
+        assert main(["run", "dna", "--spec", str(spec_file)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_malformed_spec_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["run", "--spec", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestList:
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("engines:", "devices:", "workloads:",
+                        "scenarios:", "figures:"):
+            assert heading in out
+
+    @pytest.mark.parametrize("what,expect", [
+        ("engines", "mvp_batched"),
+        ("devices", "linear_drift"),
+        ("workloads", "datamining"),
+        ("scenarios", "database-batch"),
+        ("figures", "fig9"),
+    ])
+    def test_list_one_registry(self, what, expect, capsys):
+        assert main(["list", what]) == 0
+        assert expect in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_single_fast_figure(self, capsys):
+        assert main(["figures", "--only", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "all checked claims within tolerance" in out
+
+    def test_two_figures_in_order(self, capsys):
+        assert main(["figures", "--only", "fig5", "--only", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("Fig. 5") < out.index("Fig. 6")
+
+    def test_rejects_unknown_figure_name(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figures", "--only", "fig42"])
+
+
+class TestBench:
+    def test_bench_prints_throughput(self, capsys, tmp_path):
+        out_json = tmp_path / "bench.json"
+        assert main(["bench", "--size", "128", "--batch", "2",
+                     "--repeats", "1", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "bit-ops/s" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == "repro-bench-v1"
+        assert "engine_batched_vs_single" in payload["speedups"]
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "dna", "--batch", "3"])
+        assert args.command == "run"
+        assert args.scenario == "dna"
+        assert args.batch == 3
+
+    def test_no_subcommand_defaults_to_figures(self):
+        parser = build_parser()
+        args = parser.parse_args([])
+        assert args.command is None

@@ -1,0 +1,108 @@
+"""Registry behaviour: registration, lookup, and the error paths."""
+
+import pytest
+
+from repro.api import (
+    DEVICES,
+    ENGINES,
+    SCENARIOS,
+    WORKLOADS,
+    DuplicateNameError,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        assert reg.get("alpha") == 1
+        assert "alpha" in reg
+        assert len(reg) == 1
+
+    def test_decorator_form(self):
+        reg = Registry("thing")
+
+        @reg.register("fn")
+        def fn():
+            return 42
+
+        assert reg.get("fn") is fn
+        assert fn() == 42
+
+    def test_names_sorted(self):
+        reg = Registry("thing")
+        for name in ("zeta", "alpha", "mid"):
+            reg.register(name, name)
+        assert reg.names() == ("alpha", "mid", "zeta")
+        assert list(iter(reg)) == ["alpha", "mid", "zeta"]
+
+    def test_items_pairs(self):
+        reg = Registry("thing")
+        reg.register("b", 2)
+        reg.register("a", 1)
+        assert reg.items() == (("a", 1), ("b", 2))
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        with pytest.raises(DuplicateNameError, match="alpha"):
+            reg.register("alpha", 2)
+        # The original registration is untouched.
+        assert reg.get("alpha") == 1
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("gadget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(UnknownNameError) as exc:
+            reg.get("gamma")
+        message = str(exc.value)
+        assert "gadget" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_unknown_name_on_empty_registry(self):
+        reg = Registry("gadget")
+        with pytest.raises(UnknownNameError, match="none registered"):
+            reg.get("anything")
+
+    @pytest.mark.parametrize("bad", ["", "UPPER", "has space", "-lead", 7])
+    def test_invalid_names_rejected(self, bad):
+        reg = Registry("thing")
+        with pytest.raises(RegistryError):
+            reg.register(bad, 1)
+
+    def test_duplicate_is_registry_error(self):
+        # The exception hierarchy lets callers catch one base class.
+        assert issubclass(DuplicateNameError, RegistryError)
+        assert issubclass(UnknownNameError, RegistryError)
+        assert issubclass(RegistryError, ValueError)
+
+
+class TestGlobalRegistries:
+    def test_engines_registered(self):
+        assert set(ENGINES.names()) == {
+            "mvp", "mvp_batched", "rram_ap", "arch_model",
+        }
+
+    def test_devices_registered(self):
+        assert {"linear_drift", "vteam", "stanford", "bipolar"} <= set(
+            DEVICES.names()
+        )
+
+    def test_workloads_registered(self):
+        assert set(WORKLOADS.names()) == {
+            "dna", "database", "networking", "graph", "strings",
+            "datamining",
+        }
+
+    def test_every_scenario_names_registered_pieces(self):
+        for name in SCENARIOS.names():
+            spec = SCENARIOS.get(name)
+            spec.validate_names()  # raises UnknownNameError on drift
+
+    def test_every_engine_appears_in_a_scenario(self):
+        used = {SCENARIOS.get(n).engine for n in SCENARIOS.names()}
+        assert used == set(ENGINES.names())

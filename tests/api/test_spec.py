@@ -1,0 +1,134 @@
+"""ScenarioSpec: hypothesis round-trips and validation errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.api import ScenarioSpec, SpecError, UnknownNameError
+
+_names = st.sampled_from(
+    ["mvp", "mvp_batched", "rram_ap", "arch_model", "anything-goes"]
+)
+_params = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+    ),
+    st.one_of(
+        st.integers(min_value=-1000, max_value=1000),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.booleans(),
+        st.text(max_size=12),
+    ),
+    max_size=4,
+)
+
+_specs = st.builds(
+    ScenarioSpec,
+    engine=_names,
+    workload=_names,
+    device=_names,
+    size=st.integers(min_value=1, max_value=10**6),
+    items=st.integers(min_value=1, max_value=10**4),
+    batch=st.integers(min_value=1, max_value=4096),
+    seed=st.integers(min_value=0, max_value=2**32),
+    params=_params,
+)
+
+
+class TestRoundTrip:
+    @given(spec=_specs)
+    def test_dict_round_trip_is_identity(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=_specs)
+    def test_to_dict_is_plain_data(self, spec):
+        data = spec.to_dict()
+        assert set(data) == {
+            "engine", "workload", "device", "size", "items", "batch",
+            "seed", "params",
+        }
+        # The exported params dict is a copy, not the internal one.
+        data["params"]["injected"] = 1
+        assert "injected" not in spec.params
+
+    @given(spec=_specs)
+    def test_replaced_round_trips_too(self, spec):
+        bumped = spec.replaced(seed=spec.seed + 1)
+        assert bumped.seed == spec.seed + 1
+        assert ScenarioSpec.from_dict(bumped.to_dict()) == bumped
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec()
+        assert spec.engine == "mvp"
+        assert spec.batch == 1
+
+    @pytest.mark.parametrize("field", ["engine", "workload", "device"])
+    def test_empty_names_rejected(self, field):
+        with pytest.raises(SpecError, match=field):
+            ScenarioSpec(**{field: ""})
+
+    @pytest.mark.parametrize("field", ["size", "items", "batch"])
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "4", True])
+    def test_bad_sizes_rejected(self, field, value):
+        with pytest.raises(SpecError, match=field):
+            ScenarioSpec(**{field: value})
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(SpecError, match="seed"):
+            ScenarioSpec(seed=-1)
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(SpecError, match="params"):
+            ScenarioSpec(params={"bad": [1, 2]})
+
+    def test_empty_param_key_rejected(self):
+        with pytest.raises(SpecError, match="params keys"):
+            ScenarioSpec(params={"": 1})
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown spec keys"):
+            ScenarioSpec.from_dict({"engine": "mvp", "rows": 4})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(SpecError, match="mapping"):
+            ScenarioSpec.from_dict([("engine", "mvp")])
+
+    def test_validate_names_flags_unknown_engine(self):
+        spec = ScenarioSpec(engine="warp-drive")
+        with pytest.raises(UnknownNameError, match="warp-drive"):
+            spec.validate_names()
+
+    def test_validate_names_flags_unknown_workload(self):
+        spec = ScenarioSpec(workload="weather")
+        with pytest.raises(UnknownNameError, match="weather"):
+            spec.validate_names()
+
+    def test_validate_names_flags_unknown_device(self):
+        spec = ScenarioSpec(device="flux-capacitor")
+        with pytest.raises(UnknownNameError, match="flux-capacitor"):
+            spec.validate_names()
+
+    def test_validate_names_passes_for_registered(self):
+        spec = ScenarioSpec()
+        assert spec.validate_names() is spec
+
+    def test_params_detached_from_caller_dict(self):
+        source = {"kernel": "rram"}
+        spec = ScenarioSpec(params=source)
+        source["kernel"] = "mutated"
+        source["extra"] = 1
+        assert spec.params == {"kernel": "rram"}
+
+    def test_params_mapping_is_read_only(self):
+        spec = ScenarioSpec(params={"kernel": "rram"})
+        with pytest.raises(TypeError):
+            spec.params["kernel"] = "sram"
+
+    def test_specs_are_hashable(self):
+        a = ScenarioSpec(params={"kernel": "rram", "motif": "TATAWR"})
+        b = ScenarioSpec(params={"motif": "TATAWR", "kernel": "rram"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert hash(a) != hash(a.replaced(seed=1))

@@ -1,6 +1,5 @@
 """Tests for subset construction and four-way engine agreement."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

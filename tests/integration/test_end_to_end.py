@@ -15,7 +15,7 @@ from repro.automata import (
     compile_regex,
     homogenize,
 )
-from repro.automata.symbols import Alphabet, DNA_ALPHABET
+from repro.automata.symbols import Alphabet
 from repro.crossbar import Crossbar, ScoutingLogic
 from repro.devices import BipolarSwitch, DeviceParameters
 from repro.mvp import HostSystem, Instruction, MVPProcessor

@@ -8,7 +8,7 @@ import repro
 
 SUBPACKAGES = [
     "devices", "circuits", "crossbar", "arch", "mvp", "automata",
-    "rram_ap", "workloads", "analysis",
+    "rram_ap", "workloads", "analysis", "api",
 ]
 
 

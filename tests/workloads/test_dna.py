@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.automata import DNA_ALPHABET, homogenize
+from repro.automata import homogenize
 from repro.rram_ap import rram_ap
 from repro.workloads import (
     make_motif_dataset,
