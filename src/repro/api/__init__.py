@@ -12,7 +12,11 @@ execution layer -- through a single declarative surface:
 * **Engine.from_spec(spec).run()** executes any scenario and returns a
   **RunResult** -- one schema for outputs, SI cost totals (joules /
   seconds / mm^2), per-item batched costs and provenance;
-* the ``python -m repro`` CLI exposes the same facade from the shell.
+* the ``python -m repro`` CLI exposes the same facade from the shell;
+* :mod:`repro.parallel` scales it out: ``ParallelRunner`` shards a
+  batched spec across worker processes (bit-identical to ``workers=1``),
+  ``SweepRunner`` fans spec grids, and ``ResultCache`` replays results
+  by canonical spec hash.
 
 Quickstart::
 

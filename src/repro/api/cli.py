@@ -4,16 +4,24 @@ Subcommands:
 
 * ``run <scenario>``    -- execute a named preset (or a fully custom
   spec via flags / ``--spec file.json``) through the engine facade and
-  print the unified result; ``--json`` emits the RunResult as JSON.
+  print the unified result; ``--json`` emits the RunResult as JSON;
+  ``--workers N`` shards the batch across N processes and ``--cache
+  DIR`` replays content-addressed cached results.
+* ``sweep``             -- expand ``--vary FIELD=V1,V2,...`` axes over a
+  base spec into a grid, fan the grid across workers, print one row per
+  cell.
 * ``figures``           -- regenerate paper figures (all, or
   ``--only fig3 --only fig4``); exit status reflects the claim checks.
 * ``list [what]``       -- show registered engines, devices, workloads,
   scenarios and figures.
 * ``bench``             -- engine execution throughput, batched vs
-  single-item MVP (generation excluded), optionally persisted as JSON.
+  single-item MVP (generation excluded), optionally persisted as JSON;
+  ``--workers N`` additionally measures sharded vs single-process
+  execution of the same batched scenario.
 
-The CLI is a thin shell over :mod:`repro.api`: everything it can do is
-equally reachable programmatically via ``Engine.from_spec(...).run()``.
+The CLI is a thin shell over :mod:`repro.api` and :mod:`repro.parallel`:
+everything it can do is equally reachable programmatically via
+``Engine.from_spec(...).run()`` / ``ParallelRunner`` / ``SweepRunner``.
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ from repro.api.registry import (
 from repro.api.scenarios import scenario
 from repro.api.spec import ScenarioSpec, SpecError
 from repro.bench import measure_throughput, speedup, write_bench_json
+from repro.parallel import ParallelRunner, SweepRunner, expand_grid
+from repro.parallel.sweep import SPEC_FIELDS
 
 __all__ = ["build_parser", "main"]
 
@@ -79,24 +89,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
 
-    run_p = sub.add_parser(
-        "run", help="run a scenario through the engine facade")
-    run_p.add_argument(
-        "scenario", nargs="?", default=None,
-        help=f"named preset ({', '.join(SCENARIOS.names())}); "
-             "omit to build a spec purely from flags")
-    run_p.add_argument("--spec", type=Path, default=None,
+    def add_spec_source(p: argparse.ArgumentParser) -> None:
+        """The spec-building flags ``run`` and ``sweep`` share."""
+        p.add_argument(
+            "scenario", nargs="?", default=None,
+            help=f"named preset ({', '.join(SCENARIOS.names())}); "
+                 "omit to build a spec purely from flags")
+        p.add_argument("--spec", type=Path, default=None,
                        help="JSON file holding a ScenarioSpec dict")
-    for field, kind in [("engine", str), ("workload", str),
-                        ("device", str), ("size", int), ("items", int),
-                        ("batch", int), ("seed", int)]:
-        run_p.add_argument(f"--{field}", type=kind, default=None,
+        for field, kind in [("engine", str), ("workload", str),
+                            ("device", str), ("size", int),
+                            ("items", int), ("batch", int),
+                            ("seed", int)]:
+            p.add_argument(f"--{field}", type=kind, default=None,
                            help=f"override spec.{field}")
-    run_p.add_argument("--param", action="append", default=[],
+        p.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="extra spec.params entry (repeatable)")
+
+    def add_parallel(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1: in-process)")
+        p.add_argument("--cache", type=Path, default=None, metavar="DIR",
+                       help="content-addressed result cache directory")
+
+    run_p = sub.add_parser(
+        "run", help="run a scenario through the engine facade")
+    add_spec_source(run_p)
+    add_parallel(run_p)
     run_p.add_argument("--json", action="store_true",
                        help="print the RunResult as JSON")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a grid of scenarios (base spec x --vary axes) "
+                      "across workers")
+    add_spec_source(sweep_p)
+    add_parallel(sweep_p)
+    sweep_p.add_argument(
+        "--vary", action="append", default=[],
+        metavar="FIELD=V1,V2,...",
+        help=f"sweep axis: a spec field ({', '.join(SPEC_FIELDS)}) or a "
+             "params key, with comma-separated values (repeatable; axes "
+             "expand combinatorially)")
+    sweep_p.add_argument("--json", type=Path, default=None, metavar="PATH",
+                         help="persist every RunResult as a JSON list")
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument("--only", action="append", default=None,
@@ -115,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--size", type=int, default=1024,
                          help="table rows per item")
     bench_p.add_argument("--repeats", type=int, default=3)
+    bench_p.add_argument("--workers", type=int, default=1,
+                         help="additionally bench the sharded executor "
+                              "at this worker count vs workers=1")
     bench_p.add_argument("--json", type=Path, default=None,
                          help="persist the measurements as bench JSON")
     return parser
@@ -155,6 +194,16 @@ def _render_result(result) -> str:
         f"workload={result.provenance['workload']}  "
         f"device={result.provenance['device']}  "
         f"seed={result.provenance['seed']}",
+    ]
+    if result.provenance.get("cache", {}).get("hit"):
+        lines.append("[cache hit: result replayed from "
+                     f"{result.provenance['cache']['key'][:12]}...]")
+    parallel = result.provenance.get("parallel")
+    if parallel:
+        lines.append(f"[sharded: {len(parallel['shards'])} shards over "
+                     f"{parallel['workers']} workers "
+                     f"({parallel['pool']} pool)]")
+    lines += [
         f"checks passed: {result.ok}",
         f"energy:  {result.cost.energy_joules:.4g} J",
         f"latency: {result.cost.latency_seconds:.4g} s",
@@ -180,13 +229,87 @@ def _render_result(result) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise SpecError("--workers must be a positive integer")
     spec = _build_spec(args)
-    result = Engine.from_spec(spec).run()
+    if args.workers > 1 or args.cache is not None:
+        result = ParallelRunner(workers=args.workers,
+                                cache=args.cache).run(spec)
+    else:
+        result = Engine.from_spec(spec).run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(_render_result(result))
     return 0 if result.ok else 1
+
+
+def _parse_vary(pairs: Sequence[str]) -> dict[str, list[Any]]:
+    """``--vary`` axes, in flag order, values coerced per field type."""
+    int_fields = {"size", "items", "batch", "seed"}
+    axes: dict[str, list[Any]] = {}
+    for pair in pairs:
+        field, sep, raw = pair.partition("=")
+        if not sep or not field or not raw:
+            raise SpecError(
+                f"--vary expects FIELD=V1,V2,..., got {pair!r}")
+        if field in axes:
+            raise SpecError(f"--vary axis {field!r} given twice")
+        values: list[Any] = []
+        for token in raw.split(","):
+            if field in int_fields:
+                try:
+                    values.append(int(token))
+                except ValueError:
+                    raise SpecError(
+                        f"--vary {field} expects integers, got {token!r}"
+                    ) from None
+            elif field in SPEC_FIELDS:
+                values.append(token)
+            else:
+                values.append(_coerce_param(token))
+        axes[field] = values
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if not args.vary:
+        raise SpecError("sweep needs at least one --vary FIELD=V1,V2,...")
+    base = _build_spec(args)
+    axes = _parse_vary(args.vary)
+    runner = SweepRunner(workers=args.workers, cache=args.cache)
+    specs = expand_grid(base, axes)
+    results = runner.run(specs)
+
+    varied = list(axes)
+    header = [*varied, "ok", "energy_J", "latency_s", "source"]
+    rows = []
+    for spec, result in zip(specs, results):
+        cell = {name: spec.params[name] if name not in SPEC_FIELDS
+                else getattr(spec, name) for name in varied}
+        hit = result.provenance.get("cache", {}).get("hit", False)
+        rows.append([
+            *(str(cell[name]) for name in varied),
+            "yes" if result.ok else "NO",
+            f"{result.cost.energy_joules:.4g}",
+            f"{result.cost.latency_seconds:.4g}",
+            "cache" if hit else "run",
+        ])
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    print(f"[{len(results)} runs, "
+          f"{sum(1 for r in rows if r[-1] == 'cache')} cache hits, "
+          f"workers={args.workers}]")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(
+            [r.to_dict() for r in results], indent=2, sort_keys=True
+        ) + "\n")
+        print(f"[saved to {args.json}]")
+    return 0 if all(r.ok for r in results) else 1
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -253,14 +376,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"engine_mvp_batched_b{args.batch}", run_batched,
         ops=ops_batched, repeats=args.repeats,
     )
+    results = [looped, stacked]
     ratio = speedup(stacked, looped)
+    speedups = {"engine_batched_vs_single": ratio}
     print(f"{looped.name}: {looped.ops_per_second:.3e} bit-ops/s")
     print(f"{stacked.name}: {stacked.ops_per_second:.3e} bit-ops/s")
     print(f"batched engine throughput: {ratio:.1f}x the single-item "
           "path (execution only; workload generation excluded)")
+
+    if args.workers > 1:
+        # Whole facade runs (generation + execution + merge): the unit
+        # of work the sharded executor actually distributes.
+        serial = measure_throughput(
+            "parallel_workers1",
+            lambda: ParallelRunner(workers=1).run(batched_spec),
+            ops=ops_batched, repeats=args.repeats,
+        )
+        runner = ParallelRunner(workers=args.workers)
+        sharded = measure_throughput(
+            f"parallel_workers{args.workers}",
+            lambda: runner.run(batched_spec),
+            ops=ops_batched, repeats=args.repeats,
+        )
+        results += [serial, sharded]
+        parallel_ratio = speedup(sharded, serial)
+        speedups[f"parallel_{args.workers}workers_vs_1"] = parallel_ratio
+        print(f"sharded executor ({args.workers} workers): "
+              f"{parallel_ratio:.2f}x the workers=1 facade run")
+
     if args.json is not None:
-        write_bench_json(args.json, [looped, stacked],
-                         speedups={"engine_batched_vs_single": ratio})
+        write_bench_json(args.json, results, speedups=speedups)
         print(f"[saved to {args.json}]")
     return 0
 
@@ -272,6 +417,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "figures":
             return run_figures(args.only)
         if args.command == "list":

@@ -78,6 +78,11 @@ class Engine:
     name = ""
     #: Whether the engine services batch > 1 specs.
     supports_batch = False
+    #: Whether the engine can execute a batch *window* in isolation
+    #: (``execute_window`` + ``aggregate_cost``), which is what lets
+    #: :class:`repro.parallel.ParallelRunner` split a run into
+    #: per-worker shards and merge them bit-identically.
+    shardable = False
     #: Whether the engine's results depend on ``spec.device``.  Engines
     #: that ignore the device axis reject non-default devices rather
     #: than stamping misleading provenance.
@@ -141,14 +146,7 @@ class Engine:
         if spec is not None and spec is not self.spec:
             return Engine.from_spec(spec).run()
         adapter = adapter_for(self.spec, self.name)
-        allowed = adapter.surface_params(self.name) | self.engine_params
-        unknown = set(self.spec.params) - allowed
-        if unknown:
-            raise ScenarioError(
-                f"unknown params {sorted(unknown)} for engine "
-                f"{self.name!r} + workload {self.spec.workload!r}; "
-                f"recognized: {sorted(allowed) or '<none>'}"
-            )
+        self.check_params(adapter)
         started = time.perf_counter()
         outputs, cost, item_costs = self._execute(adapter)
         elapsed = time.perf_counter() - started
@@ -168,9 +166,62 @@ class Engine:
             provenance=provenance,
         )
 
+    def check_params(self, adapter: WorkloadAdapter) -> None:
+        """Reject ``spec.params`` keys no surface of this run reads."""
+        allowed = adapter.surface_params(self.name) | self.engine_params
+        unknown = set(self.spec.params) - allowed
+        if unknown:
+            raise ScenarioError(
+                f"unknown params {sorted(unknown)} for engine "
+                f"{self.name!r} + workload {self.spec.workload!r}; "
+                f"recognized: {sorted(allowed) or '<none>'}"
+            )
+
     def _execute(
         self, adapter: WorkloadAdapter
     ) -> tuple[dict[str, Any], CostSummary, list[CostSummary]]:
+        """Run the adapter's window and summarize the whole-run cost.
+
+        Shardable engines implement :meth:`execute_window` +
+        :meth:`aggregate_cost` and inherit this; single-item engines
+        override ``_execute`` directly.
+        """
+        if not self.shardable:
+            raise NotImplementedError
+        outputs, base, item_costs = self.execute_window(adapter)
+        return outputs, self.aggregate_cost(base, item_costs), item_costs
+
+    # -- shard hooks -------------------------------------------------------------
+
+    def execute_window(
+        self, adapter: WorkloadAdapter
+    ) -> tuple[dict[str, Any], CostSummary, list[CostSummary]]:
+        """Execute the adapter's batch window on fresh hardware.
+
+        Returns:
+            ``(outputs, base_cost, item_costs)``: the window's workload
+            outputs, the window-independent base cost (shared hardware:
+            chip area, configuration counters -- identical for every
+            window of a spec), and one cost record per window item.
+            Item records depend only on that item's data, never on
+            which other items share the window, so shards concatenate
+            bit-identically (the determinism suite pins this).
+        """
+        raise ScenarioError(
+            f"engine {self.name!r} does not support sharded execution"
+        )
+
+    @staticmethod
+    def aggregate_cost(
+        base: CostSummary, item_costs: list[CostSummary]
+    ) -> CostSummary:
+        """Fold ``base`` + per-item costs into the whole-run summary.
+
+        Used identically by :meth:`run` and by the parallel merge path
+        (over the concatenation of all shards' item costs, in original
+        item order), so ``workers=1`` and ``workers=N`` produce the same
+        floating-point sums.
+        """
         raise NotImplementedError
 
 
@@ -199,11 +250,12 @@ class BatchedMVPEngine(Engine):
     name = "mvp_batched"
     supports_batch = True
     uses_device = True
+    shardable = True
 
-    def _execute(self, adapter):
+    def execute_window(self, adapter):
         rows, cols = adapter.mvp_geometry()
         device = device_entry(self.spec.device)
-        stack = CrossbarStack(self.spec.batch, rows, cols,
+        stack = CrossbarStack(adapter.window_batch, rows, cols,
                               params=device.parameters)
         processor = BatchedMVPProcessor(
             stack, energy_model=device.energy_model())
@@ -212,15 +264,20 @@ class BatchedMVPEngine(Engine):
             cost_from_mvp_stats(processor.stats_for(i))
             for i in range(processor.batch)
         ]
+        return outputs, CostSummary(), item_costs
+
+    @staticmethod
+    def aggregate_cost(base, item_costs):
+        total = base
+        for item in item_costs:
+            total = total.merged_with(item)
         # Energy and event counters sum across items, but the timeline
         # is shared (one control stream drives all B arrays), so the
         # run's latency is the per-item latency, not B times it.
-        total = cost_from_mvp_stats(processor.total_stats())
-        cost = dataclasses.replace(
+        return dataclasses.replace(
             total,
-            latency_seconds=processor.stats_for(0).latency_seconds,
+            latency_seconds=item_costs[0].latency_seconds,
         )
-        return outputs, cost, item_costs
 
 
 @ENGINES.register("rram_ap")
@@ -230,8 +287,9 @@ class RRAMAPEngine(Engine):
     name = "rram_ap"
     supports_batch = True
     engine_params = frozenset({"kernel"})
+    shardable = True
 
-    def _execute(self, adapter):
+    def execute_window(self, adapter):
         kernel_name = str(self.spec.params.get("kernel", "rram"))
         try:
             kernel = _KERNELS[kernel_name]
@@ -250,7 +308,15 @@ class RRAMAPEngine(Engine):
         area = processor.chip_cost().area_mm2()
         item_costs = [cost_from_run_cost(c, area_mm2=area)
                       for c in stream_costs]
-        cost = CostSummary(area_mm2=area, counters={"states": automaton.n_states})
+        # The chip is configured once and shared by every stream: its
+        # area and state count are window-independent base cost.
+        base = CostSummary(area_mm2=area,
+                           counters={"states": automaton.n_states})
+        return outputs, base, item_costs
+
+    @staticmethod
+    def aggregate_cost(base, item_costs):
+        cost = base
         for item in item_costs:
             cost = cost.merged_with(item)
         # Energy and symbol counts sum across streams, but multi-stream
@@ -263,7 +329,7 @@ class RRAMAPEngine(Engine):
                 latency_seconds=max(
                     c.latency_seconds for c in item_costs),
             )
-        return outputs, cost, item_costs
+        return cost
 
 
 @ENGINES.register("arch_model")

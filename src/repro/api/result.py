@@ -101,6 +101,21 @@ class CostSummary:
             "counters": jsonify(self.counters),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostSummary":
+        """Invert :meth:`to_dict` exactly (JSON floats round-trip)."""
+        if not isinstance(data, Mapping):
+            raise ValueError("cost data must be a mapping")
+        counters = data.get("counters", {})
+        if not isinstance(counters, Mapping):
+            raise ValueError("cost counters must be a mapping")
+        return cls(
+            energy_joules=float(data["energy_joules"]),
+            latency_seconds=float(data["latency_seconds"]),
+            area_mm2=float(data["area_mm2"]),
+            counters={str(k): int(v) for k, v in counters.items()},
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class RunResult:
@@ -139,6 +154,35 @@ class RunResult:
             "item_costs": [c.to_dict() for c in self.item_costs],
             "provenance": jsonify(self.provenance),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        Costs and the spec reconstruct exactly (IEEE doubles survive a
+        JSON round-trip bit-for-bit); outputs come back in their
+        ``jsonify``-normalized form (tuples as lists, numpy scalars as
+        builtins), which is the equality contract the result cache
+        promises.  Raises ``ValueError``/``KeyError``/``TypeError`` on
+        malformed payloads -- the cache treats any of those as a
+        corrupted entry.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError("result data must be a mapping")
+        outputs = data["outputs"]
+        provenance = data["provenance"]
+        if not isinstance(outputs, Mapping) \
+                or not isinstance(provenance, Mapping):
+            raise ValueError("outputs and provenance must be mappings")
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            outputs=dict(outputs),
+            cost=CostSummary.from_dict(data["cost"]),
+            item_costs=tuple(
+                CostSummary.from_dict(c) for c in data["item_costs"]
+            ),
+            provenance=dict(provenance),
+        )
 
 
 # -- converters from the legacy cost records ---------------------------------

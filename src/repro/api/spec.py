@@ -12,12 +12,19 @@ run.  Everything an engine does is a pure function of its spec.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from types import MappingProxyType
 from typing import Any, Mapping
 
 from repro.api.registry import DEVICES, ENGINES, WORKLOADS
 
 __all__ = ["SpecError", "ScenarioSpec"]
+
+
+def _spec_from_dict(data: dict[str, Any]) -> "ScenarioSpec":
+    """Module-level pickle constructor (see ScenarioSpec.__reduce__)."""
+    return ScenarioSpec.from_dict(data)
 
 #: Types allowed inside ``ScenarioSpec.params`` (JSON-representable scalars).
 _PARAM_TYPES = (str, int, float, bool)
@@ -93,6 +100,29 @@ class ScenarioSpec:
             self.items, self.batch, self.seed,
             tuple(sorted(self.params.items())),
         ))
+
+    def __reduce__(self):
+        # MappingProxyType makes the frozen dataclass unpicklable as-is;
+        # round-tripping through the dict form restores an equal spec,
+        # which is what lets specs (and RunResults carrying them) cross
+        # multiprocessing boundaries in repro.parallel.
+        return (_spec_from_dict, (self.to_dict(),))
+
+    # -- content addressing ------------------------------------------------------
+
+    def canonical_json(self) -> str:
+        """The canonical serialized form: sorted keys, no whitespace.
+
+        Two equal specs render identically regardless of params
+        insertion order or a dict/JSON round-trip, so this string (and
+        therefore :meth:`canonical_hash`) is a stable content address.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def canonical_hash(self) -> str:
+        """SHA-256 over :meth:`canonical_json` -- the result-cache key."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     # -- registry validation ---------------------------------------------------
 

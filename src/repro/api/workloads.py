@@ -20,6 +20,25 @@ sides.  Every adapter is a pure function of its
 :class:`~repro.api.spec.ScenarioSpec` (all randomness flows from
 ``spec.seed``), so facade results are reproducible and the golden
 checks (``outputs["checks_passed"]``) are deterministic.
+
+**Entropy derivation and batch windows.**  ``spec.seed`` is the single
+entropy root.  Adapters never share one sequentially-drawn generator
+across artifacts; instead every artifact draws from its own child
+stream derived via :class:`numpy.random.SeedSequence` spawn keys:
+
+* batch-wide artifacts (query sets, rule sets, pattern sets) use
+  ``shared_rng(stream)``;
+* per-item artifacts (tables, references, payloads, texts,
+  transactions) use ``item_rng(index)``, keyed by the item's *absolute*
+  batch index.
+
+Because item ``i``'s data depends only on ``(spec.seed, i)``, an
+adapter constructed over a batch *window* -- ``adapter_for(spec,
+engine, window=(offset, count))`` -- generates exactly the slice
+``[offset, offset + count)`` of the full batch's data.  That is the
+contract the sharded executor (:mod:`repro.parallel`) is built on:
+``workers=N`` runs N windowed adapters whose concatenated results are
+bit-identical to the ``workers=1`` run.
 """
 
 from __future__ import annotations
@@ -42,7 +61,11 @@ from repro.automata.regex import compile_regex
 from repro.automata.symbols import Alphabet
 from repro.mvp.isa import Instruction
 from repro.workloads.database import lower_query
-from repro.workloads.datamining import contains_in_order
+from repro.workloads.datamining import (
+    contains_in_order,
+    generate_patterns,
+    generate_transaction,
+)
 from repro.workloads import (
     BitmapIndex,
     MultiPatternMatcher,
@@ -50,7 +73,6 @@ from repro.workloads import (
     adjacency_bits,
     generate_payload,
     generate_ruleset,
-    generate_transactions,
     make_motif_dataset,
     motif_nfa,
     mvp_bfs,
@@ -66,14 +88,110 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mvp.batch import BatchedMVPProcessor
     from repro.mvp.processor import MVPProcessor
 
-__all__ = ["ScenarioError", "WorkloadAdapter", "adapter_for"]
+__all__ = [
+    "ScenarioError",
+    "WorkloadAdapter",
+    "adapter_for",
+    "merge_outputs",
+]
 
 #: Alphabet for the string-matching domain (literal lowercase patterns).
 _TEXT_ALPHABET = Alphabet(string.ascii_lowercase)
 
+#: Spawn-key axes under ``spec.seed`` (see the module docstring): axis 0
+#: holds the batch-wide shared streams, axis 1 the per-item streams.
+_SHARED_AXIS = 0
+_ITEM_AXIS = 1
+
 
 class ScenarioError(ValueError):
     """A spec combines registered pieces in an unsupported way."""
+
+
+def merge_outputs(
+    shard_outputs: list[dict[str, Any]],
+    item_keys: frozenset[str] = frozenset(),
+    sum_keys: frozenset[str] = frozenset(),
+) -> dict[str, Any]:
+    """Merge per-shard output dicts into the whole-batch outputs.
+
+    The item axis cannot be inferred from values -- a one-item shard's
+    ``accepted == [False]`` looks exactly like a batch-wide constant --
+    so each adapter *declares* how its keys merge and this function
+    applies the declaration per key (all shards must share one key set):
+
+    * ``checks_passed`` -- logical AND (every shard's golden check);
+    * ``item_keys`` -- per-item lists, concatenated in shard order;
+    * ``sum_keys`` -- roll-up tallies: numbers (or dicts of numbers,
+      recursively) summed across shards;
+    * everything else must be a batch-wide artifact -- equal in every
+      shard (pattern lists, rule counts, the motif string) -- and is
+      kept as-is.
+
+    A key that fits none of these raises :class:`ScenarioError` naming
+    it, so a new output shape fails loudly instead of merging wrongly;
+    adapters with bespoke shapes override ``merge_shard_outputs`` (as
+    the database adapter does for its query-major nesting).
+    """
+    if not shard_outputs:
+        raise ValueError("need at least one shard output")
+    first_keys = list(shard_outputs[0])
+    for outputs in shard_outputs[1:]:
+        if set(outputs) != set(first_keys):
+            raise ScenarioError(
+                "shard outputs disagree on keys: "
+                f"{sorted(set(outputs) ^ set(first_keys))}"
+            )
+    if len(shard_outputs) == 1:
+        return dict(shard_outputs[0])
+    merged = {}
+    for key in first_keys:
+        values = [s[key] for s in shard_outputs]
+        if key == "checks_passed":
+            merged[key] = all(bool(v) for v in values)
+        elif key in item_keys:
+            if not all(isinstance(v, (list, tuple)) for v in values):
+                raise ScenarioError(
+                    f"shard output {key!r} is declared per-item but is "
+                    "not a list in every shard"
+                )
+            merged[key] = [item for v in values for item in v]
+        elif key in sum_keys:
+            merged[key] = _sum_values(key, values)
+        else:
+            merged[key] = _require_equal(key, values)
+    return merged
+
+
+def _sum_values(key: str, values: list[Any]) -> Any:
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in values):
+        return sum(values)
+    if all(isinstance(v, dict) for v in values):
+        keys = list(values[0])
+        if any(set(v) != set(keys) for v in values[1:]):
+            raise ScenarioError(
+                f"cannot sum shard output {key!r}: nested dicts "
+                "disagree on keys"
+            )
+        return {k: _sum_values(k, [v[k] for v in values]) for k in keys}
+    raise ScenarioError(
+        f"cannot sum shard output {key!r}: values are neither numbers "
+        "nor dicts of numbers"
+    )
+
+
+def _require_equal(key: str, values: list[Any]) -> Any:
+    from repro.api.result import jsonify
+
+    canon = [jsonify(v) for v in values]
+    if all(c == canon[0] for c in canon[1:]):
+        return values[0]
+    raise ScenarioError(
+        f"cannot merge shard output {key!r}: expected a batch-wide "
+        "value equal in every shard (declare it in item_output_keys "
+        "or sum_output_keys if it carries the item axis)"
+    )
 
 
 class WorkloadAdapter:
@@ -82,6 +200,11 @@ class WorkloadAdapter:
     Args:
         spec: the scenario being run; all sizes and randomness derive
             from it.
+        window: optional ``(offset, count)`` batch window.  The adapter
+            then generates (and checks) only items ``offset`` through
+            ``offset + count - 1`` of the full batch -- the same data
+            those items carry in a whole-batch adapter.  Default: the
+            full batch.
     """
 
     #: Registry name (set by subclasses).
@@ -92,10 +215,83 @@ class WorkloadAdapter:
     unanchored = True
     #: Share of this domain's operations the MVP system can offload.
     arch_accelerated_fraction = 0.7
+    #: Output keys carrying the item axis (one entry per batch item);
+    #: shard merges concatenate these in batch order.
+    item_output_keys: frozenset[str] = frozenset()
+    #: Output keys that are roll-up tallies; shard merges sum these.
+    sum_output_keys: frozenset[str] = frozenset()
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        window: tuple[int, int] | None = None,
+    ) -> None:
         self.spec = spec
-        self.rng = np.random.default_rng(spec.seed)
+        if window is None:
+            window = (0, spec.batch)
+        offset, count = window
+        if not (isinstance(offset, int) and isinstance(count, int)) \
+                or offset < 0 or count < 1 \
+                or offset + count > spec.batch:
+            raise ScenarioError(
+                f"window {window!r} does not fit batch {spec.batch} "
+                "(need 0 <= offset, 1 <= count, offset + count <= batch)"
+            )
+        self.window = (offset, count)
+        #: Absolute batch indices this adapter instantiates.
+        self.batch_indices = tuple(range(offset, offset + count))
+
+    @property
+    def window_batch(self) -> int:
+        """Items in this adapter's window (== ``spec.batch`` unwindowed)."""
+        return len(self.batch_indices)
+
+    # -- entropy derivation ------------------------------------------------------
+
+    def seed_sequence(self, *key: int) -> np.random.SeedSequence:
+        """A child entropy stream of ``spec.seed`` at spawn key ``key``.
+
+        ``SeedSequence(seed, spawn_key=(k,))`` is exactly the k-th child
+        ``SeedSequence(seed).spawn()`` would produce, so derived streams
+        are stable regardless of how many siblings exist or in which
+        order they are instantiated.
+        """
+        return np.random.SeedSequence(self.spec.seed, spawn_key=key)
+
+    def shared_rng(self, stream: int = 0) -> np.random.Generator:
+        """Generator for a batch-wide artifact (same in every window)."""
+        return np.random.default_rng(
+            self.seed_sequence(_SHARED_AXIS, stream))
+
+    def item_rng(self, index: int) -> np.random.Generator:
+        """Generator for batch item ``index`` (absolute, window-free).
+
+        Every per-item artifact draws from its own child stream, so an
+        item's data is a pure function of ``(spec.seed, index)`` --
+        never of the batch size, the window, or sibling items.
+        """
+        if not 0 <= index < self.spec.batch:
+            raise ScenarioError(
+                f"item index {index} out of range [0, {self.spec.batch})"
+            )
+        return np.random.default_rng(
+            self.seed_sequence(_ITEM_AXIS, index))
+
+    # -- shard merging -----------------------------------------------------------
+
+    def merge_shard_outputs(
+        self, shard_outputs: list[dict[str, Any]]
+    ) -> dict[str, Any]:
+        """Merge windowed-run outputs (shard order) into batch outputs.
+
+        The default applies :func:`merge_outputs` under this adapter's
+        ``item_output_keys`` / ``sum_output_keys`` declarations;
+        adapters whose outputs nest the item axis differently override
+        this.
+        """
+        return merge_outputs(shard_outputs,
+                             item_keys=self.item_output_keys,
+                             sum_keys=self.sum_output_keys)
 
     def require_engine(self, engine: str) -> None:
         """Fail fast when ``engine`` cannot serve this workload."""
@@ -176,10 +372,21 @@ class WorkloadAdapter:
         return WorkloadParameters(accelerated_fraction=fraction)
 
 
-def adapter_for(spec: ScenarioSpec, engine: str) -> WorkloadAdapter:
-    """Instantiate the adapter for ``spec`` and check engine support."""
+def adapter_for(
+    spec: ScenarioSpec,
+    engine: str,
+    window: tuple[int, int] | None = None,
+) -> WorkloadAdapter:
+    """Instantiate the adapter for ``spec`` and check engine support.
+
+    Args:
+        spec: the scenario.
+        engine: the engine surface that will drive the adapter.
+        window: optional ``(offset, count)`` batch window for sharded
+            execution (see :class:`WorkloadAdapter`).
+    """
     adapter_cls = WORKLOADS.get(spec.workload)
-    adapter = adapter_cls(spec)
+    adapter = adapter_cls(spec, window=window)
     adapter.require_engine(engine)
     return adapter
 
@@ -205,31 +412,22 @@ class DatabaseAdapter(WorkloadAdapter):
     _CARDINALITIES = [8, 5, 4]
 
     @cached_property
-    def _rngs(self) -> dict[str, np.random.Generator]:
-        """Independent child streams per generated artifact.
-
-        Queries and tables draw from separate spawned generators, so
-        the dataset is a pure function of the spec regardless of which
-        cached property a caller happens to touch first.
-        """
-        queries_rng, tables_rng = self.rng.spawn(2)
-        return {"queries": queries_rng, "tables": tables_rng}
-
-    @cached_property
     def _queries(self) -> list:
+        """Batch-wide query set: one shared child stream, window-free."""
+        rng = self.shared_rng(0)
         return [
-            random_query(self._rngs["queries"], self._CARDINALITIES,
-                         n_terms=2)
+            random_query(rng, self._CARDINALITIES, n_terms=2)
             for _ in range(self.spec.items)
         ]
 
     @cached_property
     def _indexes(self) -> list[BitmapIndex]:
+        """One table per windowed item, each from its own item stream."""
         return [
             BitmapIndex(random_table(
-                self._rngs["tables"], self.spec.size, self._CARDINALITIES
+                self.item_rng(i), self.spec.size, self._CARDINALITIES
             ))
-            for _ in range(self.spec.batch)
+            for i in self.batch_indices
         ]
 
     def _lower(self, query) -> tuple[list[Instruction], int]:
@@ -294,6 +492,28 @@ class DatabaseAdapter(WorkloadAdapter):
             "checks_passed": counts == golden,
         }
 
+    def merge_shard_outputs(
+        self, shard_outputs: list[dict[str, Any]]
+    ) -> dict[str, Any]:
+        """Batched outputs are query-major (``counts[query][item]``), so
+        the generic list-concat policy would splice along the wrong
+        axis; concatenate the per-item inner lists query by query."""
+        merged: dict[str, Any] = {}
+        for key in ("counts", "golden_counts"):
+            if key in shard_outputs[0]:
+                merged[key] = [
+                    [c for chunk in per_query for c in chunk]
+                    for per_query in zip(*(s[key] for s in shard_outputs))
+                ]
+        rest = [
+            {k: v for k, v in s.items() if k not in merged}
+            for s in shard_outputs
+        ]
+        merged.update(merge_outputs(rest,
+                                    item_keys=self.item_output_keys,
+                                    sum_keys=self.sum_output_keys))
+        return merged
+
 
 # ---------------------------------------------------------------------------
 # graph: frontier BFS, one scouting OR per level (MVP)
@@ -322,7 +542,7 @@ class GraphAdapter(WorkloadAdapter):
     @cached_property
     def _graph(self):
         degree = float(self.spec.params.get("avg_degree", 3.0))
-        return random_graph(self.rng, self.spec.size, degree)
+        return random_graph(self.shared_rng(0), self.spec.size, degree)
 
     def mvp_geometry(self) -> tuple[int, int]:
         return self.spec.size + 1, self.spec.size  # + the reserved ones row
@@ -358,6 +578,7 @@ class DnaAdapter(WorkloadAdapter):
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = True
     arch_accelerated_fraction = 0.85
+    item_output_keys = frozenset({"match_counts", "accepted"})
 
     def surface_params(self, engine: str) -> frozenset[str]:
         if engine == "rram_ap":
@@ -372,9 +593,10 @@ class DnaAdapter(WorkloadAdapter):
     def _datasets(self):
         return [
             make_motif_dataset(
-                self.rng, self.spec.size, self.motif, self.spec.items
+                self.item_rng(i), self.spec.size, self.motif,
+                self.spec.items
             )
-            for _ in range(self.spec.batch)
+            for i in self.batch_indices
         ]
 
     def build_automaton(self) -> HomogeneousAutomaton:
@@ -415,16 +637,19 @@ class NetworkingAdapter(WorkloadAdapter):
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = True
     arch_accelerated_fraction = 0.75
+    item_output_keys = frozenset({
+        "alerts_per_stream", "planted_detected", "accepted",
+    })
 
     @cached_property
     def _rules(self):
-        return generate_ruleset(self.rng, self.spec.items)
+        return generate_ruleset(self.shared_rng(0), self.spec.items)
 
     @cached_property
     def _payloads(self) -> list[tuple[str, int]]:
-        """(payload, planted match end) per stream."""
+        """(payload, planted match end) per windowed stream."""
         payloads = []
-        for k in range(self.spec.batch):
+        for k in self.batch_indices:
             rule = self._rules[k % len(self._rules)]
             room = self.spec.size - len(rule.example)
             if room < 0:
@@ -432,11 +657,14 @@ class NetworkingAdapter(WorkloadAdapter):
                     f"networking payload size {self.spec.size} cannot hold "
                     f"rule example of length {len(rule.example)}"
                 )
+            # One child stream per stream index: placement and filler
+            # depend only on (seed, k), never on sibling streams.
+            rng = self.item_rng(k)
             # Offsets 0..room inclusive are all valid placements (room
             # itself plants the attack flush against the stream end).
-            offset = int(self.rng.integers(0, room + 1))
+            offset = int(rng.integers(0, room + 1))
             payload = generate_payload(
-                self.rng, self.spec.size, [(rule, offset)]
+                rng, self.spec.size, [(rule, offset)]
             )
             payloads.append((payload, offset + len(rule.example)))
         return payloads
@@ -484,14 +712,16 @@ class StringsAdapter(WorkloadAdapter):
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = True
     arch_accelerated_fraction = 0.8
+    item_output_keys = frozenset({"match_counts", "accepted"})
 
     @cached_property
     def _patterns(self) -> list[str]:
+        rng = self.shared_rng(0)
         letters = list(string.ascii_lowercase)
         patterns = set()
         while len(patterns) < self.spec.items:
-            length = int(self.rng.integers(3, 7))
-            patterns.add("".join(self.rng.choice(letters, size=length)))
+            length = int(rng.integers(3, 7))
+            patterns.add("".join(rng.choice(letters, size=length)))
         return sorted(patterns)
 
     @cached_property
@@ -504,10 +734,11 @@ class StringsAdapter(WorkloadAdapter):
             )
         letters = list(string.ascii_lowercase)
         texts = []
-        for _ in range(self.spec.batch):
-            text = list(self.rng.choice(letters, size=self.spec.size))
+        for i in self.batch_indices:
+            rng = self.item_rng(i)
+            text = list(rng.choice(letters, size=self.spec.size))
             for pattern in self._patterns:
-                start = int(self.rng.integers(
+                start = int(rng.integers(
                     0, self.spec.size - len(pattern) + 1
                 ))
                 text[start:start + len(pattern)] = list(pattern)
@@ -561,43 +792,47 @@ class DataminingAdapter(WorkloadAdapter):
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = False
     arch_accelerated_fraction = 0.7
+    item_output_keys = frozenset({"accepted"})
+    sum_output_keys = frozenset({"matched_sequences", "golden_supports"})
 
     @cached_property
-    def _dataset(self):
-        return generate_transactions(
-            self.rng,
-            n_sequences=self.spec.batch,
-            length=self.spec.size,
-            n_patterns=self.spec.items,
-            pattern_length=3,
-        )
+    def _patterns(self) -> tuple[str, ...]:
+        return generate_patterns(self.shared_rng(0), self.spec.items,
+                                 pattern_length=3)
+
+    @cached_property
+    def _sequences(self) -> list[str]:
+        return [
+            generate_transaction(self.item_rng(i), self._patterns,
+                                 self.spec.size)
+            for i in self.batch_indices
+        ]
 
     def build_automaton(self) -> HomogeneousAutomaton:
         automata = [
-            homogenize(pattern_nfa(p)) for p in self._dataset.patterns
+            homogenize(pattern_nfa(p)) for p in self._patterns
         ]
         merged, _ = merge_automata(automata)
         return merged
 
     def streams(self) -> list[str]:
-        return list(self._dataset.sequences)
+        return list(self._sequences)
 
     def check_ap(self, traces: list["APTrace"]) -> dict[str, Any]:
         # One containment pass feeds both the per-sequence golden (any
         # pattern contained) and the per-pattern support counts.
         contained = {
-            p: [contains_in_order(p, seq)
-                for seq in self._dataset.sequences]
-            for p in self._dataset.patterns
+            p: [contains_in_order(p, seq) for seq in self._sequences]
+            for p in self._patterns
         }
         golden = [
-            any(contained[p][k] for p in self._dataset.patterns)
-            for k in range(len(self._dataset.sequences))
+            any(contained[p][k] for p in self._patterns)
+            for k in range(len(self._sequences))
         ]
         accepted = [t.accepted for t in traces]
         supports = {p: sum(flags) for p, flags in contained.items()}
         return {
-            "patterns": list(self._dataset.patterns),
+            "patterns": list(self._patterns),
             "matched_sequences": int(sum(accepted)),
             "golden_supports": supports,
             "checks_passed": accepted == golden,

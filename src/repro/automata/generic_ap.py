@@ -77,7 +77,12 @@ def batched_matrix_steps(
     ``AutomataProcessor.run_batch``: each step is one (M, N) x (N, N)
     product plus (M, N) bitwise ops, servicing every live stream at once.
     Streams shorter than T_max stop updating after their last symbol, so
-    per-stream results are identical to M independent single runs.
+    per-stream results are identical to M independent single runs --
+    equivalently, a stream's trace is invariant to which other streams
+    share the batch.  That co-scheduling invariance is what lets the
+    sharded executor (:mod:`repro.parallel`) split a multi-stream run
+    across worker processes and still merge traces bit-identically to
+    the single-process run.
 
     Args:
         start: (N,) initial Active Vector.

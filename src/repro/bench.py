@@ -30,6 +30,7 @@ import numpy as np
 __all__ = [
     "SMOKE_ENV",
     "ThroughputResult",
+    "available_cpus",
     "measure_throughput",
     "smoke_mode",
     "speedup",
@@ -111,10 +112,25 @@ def speedup(batched: ThroughputResult, looped: ThroughputResult) -> float:
     return batched.ops_per_second / looped.ops_per_second
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    The honest denominator for parallel-scaling claims: a 4-worker pool
+    on a 1-CPU container cannot speed anything up, and the parallel
+    bench records this number so its JSON is interpretable on any
+    machine.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def write_bench_json(
     path: str | Path,
     results: Sequence[ThroughputResult],
     speedups: dict[str, float] | None = None,
+    extra: dict[str, object] | None = None,
 ) -> Path:
     """Persist bench results as a machine-readable JSON record.
 
@@ -122,6 +138,8 @@ def write_bench_json(
         path: output file (parents are created).
         results: measured workloads.
         speedups: named throughput ratios derived from ``results``.
+        extra: additional scalar context recorded alongside the
+            measurements (worker counts, CPU budget, workload sizes).
 
     Returns:
         The written path.
@@ -132,9 +150,12 @@ def write_bench_json(
         "schema": "repro-bench-v1",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpus": available_cpus(),
         "smoke": smoke_mode(),
         "results": [r.as_dict() for r in results],
         "speedups": dict(speedups or {}),
     }
+    if extra:
+        payload["extra"] = dict(extra)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -17,6 +17,14 @@ accounting is shared: activation counts and timing are common to the
 whole batch, while programming-cycle and energy counters (which depend on
 each item's data) are tracked per item.
 
+A corollary the sharded executor (:mod:`repro.parallel`) builds on:
+because every per-item counter depends only on that item's stored bits
+and the (shared) instruction stream, an item's :meth:`stats_for` record
+is invariant to *batch composition* -- running items ``[k, k+1)`` on a
+B=1 stack yields the identical record the full-batch run reports for
+item ``k``.  ``tests/parallel/test_determinism.py`` pins this across
+shard plans.
+
 The bit-sliced arithmetic helpers in :mod:`repro.mvp.arithmetic` are
 batch-polymorphic: ``add``/``add_fast``/``subtract``/``equals`` issue the
 same programs against a batched processor and operate on all B operand

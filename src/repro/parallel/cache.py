@@ -1,0 +1,142 @@
+"""Content-addressed on-disk result cache keyed by the spec hash.
+
+Every cache entry is one JSON file at
+``<root>/<hh>/<hash>.json`` where ``hash`` is
+:meth:`ScenarioSpec.canonical_hash` (SHA-256 over the canonical spec
+JSON) and ``hh`` its first two hex digits (a fan-out directory, so huge
+sweeps do not pile thousands of files into one directory).  The entry
+stores the spec alongside the result: on load the stored spec must
+equal the requested one, so a (vanishingly unlikely) hash collision or
+a stale file degrades to a miss, never to a wrong result.
+
+Robustness contract:
+
+* **writes are atomic** -- serialized to a temp file in the same
+  directory, then ``os.replace``d into place, so a crashed or
+  concurrent writer can never leave a half-written entry under the
+  final name;
+* **corrupted entries recover** -- any unreadable, unparsable or
+  schema-mismatched entry is treated as a miss and deleted, and the
+  next ``store`` rewrites it.
+
+Cache hits are marked in ``provenance["cache"]``; everything else in
+the returned :class:`~repro.api.result.RunResult` round-trips through
+the ``to_dict``/``from_dict`` forms (costs and spec exactly; outputs in
+their JSON-normalized form).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import repro
+from repro.api.result import RunResult
+from repro.api.spec import ScenarioSpec
+
+__all__ = ["ResultCache"]
+
+#: Entry schema identifier; bump to invalidate every older entry.
+CACHE_SCHEMA = "repro-result-cache-v1"
+
+
+class ResultCache:
+    """A spec-hash-addressed store of :class:`RunResult` payloads.
+
+    Args:
+        root: cache directory (created lazily on first store).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        """The entry path ``spec`` addresses (existing or not)."""
+        key = spec.canonical_hash()
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, spec: ScenarioSpec) -> RunResult | None:
+        """The cached result for ``spec``, or None on a miss.
+
+        A hit's provenance gains ``{"cache": {"hit": True, ...}}`` so
+        callers (and the CLI) can tell replayed results from fresh
+        ones; the producing run's scheduling provenance (wall time,
+        shard plan) is moved under ``cache["producer"]`` rather than
+        presented as if it described the replay.  Entries produced by a
+        different ``repro`` version are misses -- a code change may
+        have changed what the spec computes, and a silently replayed
+        pre-change result would be wrong with no warning.  Corrupted
+        entries are deleted and reported as misses.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        try:
+            if payload["schema"] != CACHE_SCHEMA:
+                raise ValueError("schema mismatch")
+            stored_spec = payload["spec"]
+            result = RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            self._discard(path)
+            return None
+        if stored_spec != spec.to_dict():
+            # Hash collision or stale key derivation: a valid entry that
+            # answers a different question.  Not corruption -- leave it.
+            return None
+        if result.provenance.get("repro_version") != repro.__version__:
+            # Valid entry from another code version: stale, not
+            # corrupt.  Report a miss; the rerun's store overwrites it.
+            return None
+        producer = {
+            key: result.provenance[key]
+            for key in ("wall_seconds", "parallel")
+            if key in result.provenance
+        }
+        provenance = {
+            key: value for key, value in result.provenance.items()
+            if key not in producer
+        }
+        provenance["cache"] = {
+            "hit": True,
+            "key": spec.canonical_hash(),
+            "producer": producer,
+        }
+        return RunResult(
+            spec=result.spec,
+            outputs=result.outputs,
+            cost=result.cost,
+            item_costs=result.item_costs,
+            provenance=provenance,
+        )
+
+    def store(self, result: RunResult) -> Path:
+        """Persist ``result`` under its spec hash (atomically).
+
+        Returns:
+            The entry path written.
+        """
+        path = self.path_for(result.spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": result.spec.canonical_hash(),
+            "spec": result.spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

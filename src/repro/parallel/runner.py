@@ -1,0 +1,243 @@
+"""The sharded multi-process executor over the unified API.
+
+:class:`ParallelRunner` horizontally scales one batched scenario: the
+spec's batch is split into per-worker windows
+(:func:`~repro.parallel.sharding.plan_shards`), each window executes in
+its own process via the engine's ``execute_window`` shard hook, and the
+shard results merge deterministically --
+
+* per-item costs concatenate in original batch order;
+* the whole-run :class:`~repro.api.result.CostSummary` is re-aggregated
+  by the engine's own ``aggregate_cost`` fold over that concatenation
+  (same float-addition order as ``workers=1``, so totals are
+  bit-identical, not merely close);
+* outputs merge through the workload adapter's ``merge_shard_outputs``;
+* provenance records the shard plan and per-shard wall times.
+
+Determinism holds because every adapter derives item ``i``'s data from
+``(spec.seed, i)`` alone (see :mod:`repro.api.workloads`): a window
+generates exactly the slice of the batch it covers.  The suite in
+``tests/parallel/test_determinism.py`` pins ``workers=1 == workers=N``
+exactly, for every shardable engine.
+
+A :class:`~repro.parallel.cache.ResultCache` can be attached; cache
+lookups happen before any process is forked, so a warm cache serves
+repeated runs (figure regenerations, sweep re-runs) without compute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from typing import Any, Mapping, Sequence
+
+import repro
+from repro.api.engines import Engine
+from repro.api.result import CostSummary, RunResult
+from repro.api.spec import ScenarioSpec
+from repro.api.workloads import adapter_for
+from repro.parallel.cache import ResultCache
+from repro.parallel.sharding import plan_shards
+
+__all__ = ["ShardResult", "ParallelRunner"]
+
+#: Pool start methods, best first: ``fork`` shares the parent's loaded
+#: modules (cheap startup); ``spawn`` is the portable fallback;
+#: ``inline`` executes shards serially in-process -- same shard plan,
+#: same merge, no processes (useful for tests and debugging).
+_POOL_MODES = ("auto", "fork", "forkserver", "spawn", "inline")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardResult:
+    """What one worker returns for one batch window.
+
+    Attributes:
+        offset: first absolute batch index of the window.
+        count: window length.
+        outputs: the windowed adapter's outputs dict.
+        base_cost: window-independent base cost (identical across
+            shards of one spec; the merge uses shard 0's).
+        item_costs: one cost record per window item, in window order.
+        wall_seconds: the worker's execution wall time.
+    """
+
+    offset: int
+    count: int
+    outputs: dict[str, Any]
+    base_cost: CostSummary
+    item_costs: tuple[CostSummary, ...]
+    wall_seconds: float
+
+
+def _run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
+    """Pool worker: execute one batch window of ``spec``."""
+    spec, offset, count = task
+    started = time.perf_counter()
+    engine = Engine.from_spec(spec)
+    adapter = adapter_for(spec, engine.name, window=(offset, count))
+    engine.check_params(adapter)
+    outputs, base, item_costs = engine.execute_window(adapter)
+    return ShardResult(
+        offset=offset,
+        count=count,
+        outputs=outputs,
+        base_cost=base,
+        item_costs=tuple(item_costs),
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_spec(spec: ScenarioSpec) -> RunResult:
+    """Pool worker: execute one whole spec (spec-level fan-out)."""
+    return Engine.from_spec(spec).run()
+
+
+class ParallelRunner:
+    """Run scenarios across worker processes, with optional caching.
+
+    Args:
+        workers: worker process count (1 = plain in-process execution).
+        cache: a :class:`ResultCache`, a cache directory path, or None.
+        pool: start method -- "auto" (fork where available, else
+            spawn), "fork", "forkserver", "spawn", or "inline" (serial
+            in-process execution of the identical shard plan).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | str | None = None,
+        pool: str = "auto",
+    ) -> None:
+        if not isinstance(workers, int) or isinstance(workers, bool) \
+                or workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if pool not in _POOL_MODES:
+            raise ValueError(
+                f"pool must be one of {_POOL_MODES}, got {pool!r}")
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.workers = workers
+        self.cache = cache
+        self.pool = pool
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, spec: ScenarioSpec | Mapping[str, Any]) -> RunResult:
+        """Execute one scenario, sharded across the workers.
+
+        Cache hits return immediately; misses run (sharded when the
+        engine supports it and ``workers > 1``) and are stored.
+        """
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec.from_dict(spec)
+        if self.cache is not None:
+            cached = self.cache.load(spec)
+            if cached is not None:
+                return cached
+        engine = Engine.from_spec(spec)
+        shards = plan_shards(spec.batch, self.workers)
+        if engine.shardable and len(shards) > 1:
+            result = self._run_sharded(spec, engine, shards)
+        else:
+            result = engine.run()
+        if self.cache is not None:
+            self.cache.store(result)
+        return result
+
+    def run_many(
+        self, specs: Sequence[ScenarioSpec | Mapping[str, Any]]
+    ) -> list[RunResult]:
+        """Execute many specs, fanning whole specs across the workers.
+
+        The coarse-grained counterpart of :meth:`run`: each spec is one
+        pool task (no per-spec sharding), which is the right split for
+        sweeps of many small scenarios.  Results come back in input
+        order; cached specs are served without occupying a worker.
+        """
+        resolved = [
+            s if isinstance(s, ScenarioSpec) else ScenarioSpec.from_dict(s)
+            for s in specs
+        ]
+        results: list[RunResult | None] = [None] * len(resolved)
+        misses: list[int] = []
+        for i, spec in enumerate(resolved):
+            cached = self.cache.load(spec) if self.cache is not None \
+                else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                misses.append(i)
+        fresh = self._map(_run_spec, [resolved[i] for i in misses])
+        for i, result in zip(misses, fresh):
+            if self.cache is not None:
+                self.cache.store(result)
+            results[i] = result
+        return results  # type: ignore[return-value]
+
+    # -- internals ------------------------------------------------------------
+
+    def _run_sharded(
+        self,
+        spec: ScenarioSpec,
+        engine: Engine,
+        shards: list[tuple[int, int]],
+    ) -> RunResult:
+        # Validate params before forking so a typoed knob fails in the
+        # parent with the usual error, not wrapped in a pool traceback.
+        engine.check_params(adapter_for(spec, engine.name))
+        started = time.perf_counter()
+        shard_results = self._map(
+            _run_shard, [(spec, off, cnt) for off, cnt in shards])
+        elapsed = time.perf_counter() - started
+
+        merge_adapter = adapter_for(spec, engine.name)
+        outputs = merge_adapter.merge_shard_outputs(
+            [s.outputs for s in shard_results])
+        item_costs = tuple(
+            c for s in shard_results for c in s.item_costs)
+        cost = type(engine).aggregate_cost(
+            shard_results[0].base_cost, list(item_costs))
+        provenance = {
+            "engine": engine.name,
+            "workload": spec.workload,
+            "device": spec.device,
+            "seed": spec.seed,
+            "repro_version": repro.__version__,
+            "wall_seconds": elapsed,
+            "parallel": {
+                "workers": self.workers,
+                "pool": self._method(),
+                "shards": [
+                    {"offset": s.offset, "count": s.count,
+                     "wall_seconds": s.wall_seconds}
+                    for s in shard_results
+                ],
+            },
+        }
+        return RunResult(
+            spec=spec,
+            outputs=outputs,
+            cost=cost,
+            item_costs=item_costs,
+            provenance=provenance,
+        )
+
+    def _method(self) -> str:
+        if self.pool == "inline":
+            return "inline"
+        if self.pool != "auto":
+            return self.pool
+        available = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in available else "spawn"
+
+    def _map(self, fn, tasks: list) -> list:
+        """Order-preserving map over the worker pool (or inline)."""
+        n = min(self.workers, len(tasks))
+        if n <= 1 or self._method() == "inline":
+            return [fn(task) for task in tasks]
+        ctx = multiprocessing.get_context(self._method())
+        with ctx.Pool(processes=n) as pool:
+            return pool.map(fn, tasks)

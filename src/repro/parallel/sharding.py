@@ -1,0 +1,45 @@
+"""Deterministic batch-shard planning for the parallel executor.
+
+A batched :class:`~repro.api.spec.ScenarioSpec` is split into contiguous
+``(offset, count)`` windows, one per worker.  The plan is a pure
+function of ``(batch, workers)``: same inputs, same shards, in the same
+order -- a precondition for the ``workers=1 == workers=N`` determinism
+contract, because the merge step reassembles per-item results in plan
+order.
+"""
+
+from __future__ import annotations
+
+__all__ = ["plan_shards"]
+
+
+def plan_shards(batch: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``batch`` items into at most ``workers`` contiguous shards.
+
+    Shards are balanced to within one item (ragged batches supported),
+    never empty, and returned in ascending offset order covering
+    ``[0, batch)`` exactly.  With ``workers >= batch`` every item gets
+    its own shard; with ``workers == 1`` the single shard is the whole
+    batch.
+
+    Args:
+        batch: total batch items (>= 1).
+        workers: requested worker count (>= 1).
+
+    Returns:
+        ``[(offset, count), ...]`` with ``len == min(workers, batch)``.
+    """
+    if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+        raise ValueError("batch must be a positive integer")
+    if not isinstance(workers, int) or isinstance(workers, bool) \
+            or workers < 1:
+        raise ValueError("workers must be a positive integer")
+    n_shards = min(workers, batch)
+    base, extra = divmod(batch, n_shards)
+    shards = []
+    offset = 0
+    for k in range(n_shards):
+        count = base + (1 if k < extra else 0)
+        shards.append((offset, count))
+        offset += count
+    return shards

@@ -23,6 +23,8 @@ __all__ = [
     "ITEM_ALPHABET",
     "SPMDataset",
     "contains_in_order",
+    "generate_patterns",
+    "generate_transaction",
     "generate_transactions",
     "pattern_to_regex",
     "pattern_nfa",
@@ -45,6 +47,46 @@ class SPMDataset:
     patterns: tuple[str, ...]
 
 
+def generate_patterns(
+    rng: np.random.Generator,
+    n_patterns: int,
+    pattern_length: int = 3,
+) -> tuple[str, ...]:
+    """Candidate ordered patterns (distinct items each, drawn from rng)."""
+    items = list(ITEM_ALPHABET.symbols)
+    patterns = []
+    for _ in range(n_patterns):
+        chosen = rng.choice(len(items), size=pattern_length, replace=False)
+        patterns.append("".join(items[int(c)] for c in chosen))
+    return tuple(patterns)
+
+
+def generate_transaction(
+    rng: np.random.Generator,
+    patterns: tuple[str, ...],
+    length: int,
+    support_fraction: float = 0.4,
+) -> str:
+    """One transaction with each pattern embedded at the given odds.
+
+    Split out of :func:`generate_transactions` so callers that need one
+    independent entropy stream per transaction (the windowed workload
+    adapters behind the sharded executor) can draw each sequence from
+    its own generator while sharing the pattern set.
+    """
+    if not 0.0 <= support_fraction <= 1.0:
+        raise ValueError("support_fraction must be in [0, 1]")
+    items = list(ITEM_ALPHABET.symbols)
+    seq = list(rng.choice(items, size=length))
+    for pattern in patterns:
+        if rng.random() < support_fraction:
+            positions = np.sort(rng.choice(length, size=len(pattern),
+                                           replace=False))
+            for pos, item in zip(positions, pattern):
+                seq[int(pos)] = item
+    return "".join(seq)
+
+
 def generate_transactions(
     rng: np.random.Generator,
     n_sequences: int,
@@ -57,26 +99,18 @@ def generate_transactions(
 
     Each pattern is embedded (in order, with random gaps) into a
     ``support_fraction`` share of the sequences, so mined supports have a
-    known floor.
+    known floor.  All draws come from the one ``rng`` in sequence
+    (patterns first, then each transaction), preserving the historical
+    stream layout.
     """
     if not 0.0 <= support_fraction <= 1.0:
         raise ValueError("support_fraction must be in [0, 1]")
-    items = list(ITEM_ALPHABET.symbols)
-    patterns = []
-    for _ in range(n_patterns):
-        chosen = rng.choice(len(items), size=pattern_length, replace=False)
-        patterns.append("".join(items[int(c)] for c in chosen))
-    sequences = []
-    for k in range(n_sequences):
-        seq = list(rng.choice(items, size=length))
-        for pattern in patterns:
-            if rng.random() < support_fraction:
-                positions = np.sort(rng.choice(length, size=len(pattern),
-                                               replace=False))
-                for pos, item in zip(positions, pattern):
-                    seq[int(pos)] = item
-        sequences.append("".join(seq))
-    return SPMDataset(sequences=tuple(sequences), patterns=tuple(patterns))
+    patterns = generate_patterns(rng, n_patterns, pattern_length)
+    sequences = tuple(
+        generate_transaction(rng, patterns, length, support_fraction)
+        for _ in range(n_sequences)
+    )
+    return SPMDataset(sequences=sequences, patterns=patterns)
 
 
 def pattern_to_regex(pattern: str) -> str:

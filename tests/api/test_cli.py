@@ -72,6 +72,58 @@ class TestRun:
         assert "not valid JSON" in capsys.readouterr().err
 
 
+class TestRunParallel:
+    def test_workers_flag_shards_the_run(self, capsys):
+        assert main(["run", "database-batch", "--size", "128",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded: 2 shards over 2 workers" in out
+        assert "checks passed: True" in out
+
+    def test_cache_flag_replays_second_run(self, tmp_path, capsys):
+        args = ["run", "database-batch", "--size", "128",
+                "--cache", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache hit" not in first
+        assert main(args) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_zero_workers_exits_2(self, capsys):
+        assert main(["run", "dna", "--workers", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_grid_prints_one_row_per_cell(self, capsys):
+        assert main(["sweep", "database-batch", "--size", "128",
+                     "--vary", "seed=0,1", "--vary", "batch=2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "[4 runs" in out
+        assert out.count("yes") == 4
+
+    def test_param_axis_and_json_output(self, tmp_path, capsys):
+        out_json = tmp_path / "sweep.json"
+        assert main(["sweep", "strings", "--vary", "kernel=rram,sram",
+                     "--json", str(out_json)]) == 0
+        payload = json.loads(out_json.read_text())
+        assert [p["spec"]["params"].get("kernel") for p in payload] \
+            == ["rram", "sram"]
+
+    def test_sweep_without_vary_exits_2(self, capsys):
+        assert main(["sweep", "dna"]) == 2
+        assert "--vary" in capsys.readouterr().err
+
+    def test_non_integer_int_axis_exits_2(self, capsys):
+        assert main(["sweep", "dna", "--vary", "seed=a,b"]) == 2
+        assert "integers" in capsys.readouterr().err
+
+    def test_duplicate_axis_exits_2(self, capsys):
+        assert main(["sweep", "dna", "--vary", "seed=1,2",
+                     "--vary", "seed=3"]) == 2
+        assert "twice" in capsys.readouterr().err
+
+
 class TestList:
     def test_list_all(self, capsys):
         assert main(["list"]) == 0

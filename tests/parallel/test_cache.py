@@ -1,0 +1,184 @@
+"""Result-cache correctness: hashing, round-trips, corruption recovery.
+
+The cache key is :meth:`ScenarioSpec.canonical_hash`; these tests pin
+its stability (dict/JSON round-trips, params insertion order) and its
+sensitivity (any field change is a guaranteed different key), then the
+store/load round-trip and the recovery path for corrupted entries.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Engine, ScenarioSpec
+from repro.parallel import ParallelRunner, ResultCache
+
+#: Hash-stability subject: carries params to exercise key ordering.
+#: Never executed (the engine reads no such knobs).
+SPEC = ScenarioSpec(engine="mvp_batched", workload="database", size=64,
+                    items=2, batch=3, seed=7,
+                    params={"a": 1, "b": "x"})
+
+#: Runnable subject for store/load round-trips.
+RUN_SPEC = ScenarioSpec(engine="mvp_batched", workload="database",
+                        size=64, items=2, batch=3, seed=7)
+
+
+class TestSpecHashStability:
+    def test_equal_specs_hash_equal(self):
+        clone = ScenarioSpec(engine="mvp_batched", workload="database",
+                             size=64, items=2, batch=3, seed=7,
+                             params={"a": 1, "b": "x"})
+        assert clone.canonical_hash() == SPEC.canonical_hash()
+
+    def test_dict_round_trip_preserves_hash(self):
+        rebuilt = ScenarioSpec.from_dict(SPEC.to_dict())
+        assert rebuilt.canonical_hash() == SPEC.canonical_hash()
+
+    def test_json_round_trip_preserves_hash(self):
+        rebuilt = ScenarioSpec.from_dict(
+            json.loads(json.dumps(SPEC.to_dict())))
+        assert rebuilt.canonical_hash() == SPEC.canonical_hash()
+
+    def test_params_insertion_order_is_irrelevant(self):
+        reordered = SPEC.replaced(params={"b": "x", "a": 1})
+        assert reordered.canonical_hash() == SPEC.canonical_hash()
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = SPEC.canonical_json()
+        assert ": " not in text and ", " not in text
+        assert json.loads(text) == SPEC.to_dict()
+
+    @pytest.mark.parametrize("change", [
+        {"engine": "mvp", "batch": 1},
+        {"workload": "graph", "items": 1, "batch": 1},
+        {"device": "linear_drift"},
+        {"size": 65},
+        {"items": 3},
+        {"batch": 4},
+        {"seed": 8},
+        {"params": {"a": 2, "b": "x"}},
+        {"params": {"a": 1, "b": "x", "c": True}},
+        {"params": {"a": 1}},
+    ], ids=lambda c: "+".join(c))
+    def test_any_field_change_changes_the_hash(self, change):
+        assert SPEC.replaced(**change).canonical_hash() \
+            != SPEC.canonical_hash()
+
+    def test_param_type_distinguishes_entries(self):
+        """1 and 1.0 compare equal in python but are different JSON
+        scalars -- and different scenario descriptions."""
+        as_int = SPEC.replaced(params={"a": 1, "b": "x"})
+        as_float = SPEC.replaced(params={"a": 1.0, "b": "x"})
+        assert as_int.canonical_hash() != as_float.canonical_hash()
+
+
+class TestCacheRoundTrip:
+    def _result(self, spec=RUN_SPEC):
+        return Engine.from_spec(spec).run()
+
+    def test_store_then_load_replays_the_result(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = self._result()
+        path = cache.store(result)
+        assert path.is_file()
+        loaded = cache.load(RUN_SPEC)
+        assert loaded is not None
+        assert loaded.provenance["cache"]["hit"] is True
+        assert loaded.spec == result.spec
+        assert loaded.cost == result.cost
+        assert loaded.item_costs == result.item_costs
+        got = loaded.to_dict()
+        want = result.to_dict()
+        cache_info = got["provenance"].pop("cache")
+        # The producer's scheduling provenance is relocated, not lost.
+        assert cache_info["producer"]["wall_seconds"] \
+            == want["provenance"].pop("wall_seconds")
+        assert got == want
+
+    def test_hit_does_not_impersonate_producer_scheduling(self, tmp_path):
+        """A replay must not present the producing run's shard plan /
+        wall time as its own; they move under cache['producer']."""
+        cache = ResultCache(tmp_path / "cache")
+        sharded = ParallelRunner(workers=2, pool="inline",
+                                 cache=cache).run(RUN_SPEC)
+        assert "parallel" in sharded.provenance
+        replay = cache.load(RUN_SPEC)
+        assert "parallel" not in replay.provenance
+        assert "wall_seconds" not in replay.provenance
+        producer = replay.provenance["cache"]["producer"]
+        assert producer["parallel"]["workers"] == 2
+        assert producer["wall_seconds"] >= 0
+
+    def test_entry_from_another_repro_version_is_a_miss(self, tmp_path):
+        """A code change may change what a spec computes; results
+        recorded by a different version must not be replayed."""
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.store(self._result())
+        payload = json.loads(path.read_text())
+        payload["result"]["provenance"]["repro_version"] = "0.0.0-stale"
+        path.write_text(json.dumps(payload))
+        assert cache.load(RUN_SPEC) is None
+        assert path.is_file()  # stale, not corrupt: left for overwrite
+        cache.store(self._result())
+        assert cache.load(RUN_SPEC) is not None
+
+    def test_load_on_empty_cache_is_a_miss(self, tmp_path):
+        assert ResultCache(tmp_path / "cache").load(RUN_SPEC) is None
+
+    def test_changed_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(self._result())
+        assert cache.load(RUN_SPEC.replaced(seed=8)) is None
+
+    def test_entry_layout_uses_hash_fanout(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = RUN_SPEC.canonical_hash()
+        path = cache.path_for(RUN_SPEC)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+    def test_stale_entry_under_the_key_degrades_to_miss(self, tmp_path):
+        """A valid entry whose stored spec answers a different question
+        (hash collision / stale key derivation) must not be served."""
+        cache = ResultCache(tmp_path / "cache")
+        other = RUN_SPEC.replaced(seed=9)
+        entry = cache.store(self._result(other))
+        hijacked = cache.path_for(RUN_SPEC)
+        hijacked.parent.mkdir(parents=True, exist_ok=True)
+        hijacked.write_text(entry.read_text())
+        assert cache.load(RUN_SPEC) is None
+        assert hijacked.is_file()  # intact entries are not deleted
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize("garbage", [
+        "",                                   # truncated to nothing
+        "{not json at all",                   # unparsable
+        '{"schema": "wrong-schema"}',         # schema mismatch
+        '{"schema": "repro-result-cache-v1"}',  # missing fields
+        json.dumps({"schema": "repro-result-cache-v1",
+                    "spec": RUN_SPEC.to_dict(),
+                    "result": {"spec": RUN_SPEC.to_dict(),
+                               "outputs": []}}),  # malformed result
+    ], ids=["empty", "unparsable", "schema", "fields", "payload"])
+    def test_corrupted_entry_is_discarded_and_rewritten(self, tmp_path,
+                                                        garbage):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.path_for(RUN_SPEC)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(garbage)
+        assert cache.load(RUN_SPEC) is None
+        assert not path.exists()  # recovery: bad entry removed
+        runner = ParallelRunner(workers=1, cache=cache)
+        rerun = runner.run(RUN_SPEC)
+        assert "cache" not in rerun.provenance  # recomputed, not served
+        replay = runner.run(RUN_SPEC)
+        assert replay.provenance["cache"]["hit"] is True
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(Engine.from_spec(RUN_SPEC).run())
+        leftovers = [p for p in (tmp_path / "cache").rglob("*")
+                     if p.is_file() and p.suffix != ".json"]
+        assert leftovers == []

@@ -1,0 +1,219 @@
+"""Property tests for shard planning and shard-result merging.
+
+Hypothesis drives arbitrary (ragged) batch sizes and worker counts
+through :func:`plan_shards` and the merge helpers, asserting the
+round-trip invariants the determinism contract rests on: plans cover
+the batch exactly in order, per-item series survive split+merge
+unchanged, cost folds over shard concatenations equal the unsharded
+fold bit for bit, and the edge cases (single item, workers > items)
+hold.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.api import CostSummary, ScenarioSpec
+from repro.api.engines import BatchedMVPEngine, RRAMAPEngine
+from repro.api.workloads import ScenarioError, adapter_for, merge_outputs
+from repro.parallel import plan_shards
+
+batches = st.integers(min_value=1, max_value=500)
+workers = st.integers(min_value=1, max_value=64)
+
+
+def split_by_plan(items, plan):
+    return [items[offset:offset + count] for offset, count in plan]
+
+
+class TestPlanShards:
+    @given(batch=batches, workers=workers)
+    def test_plan_covers_batch_exactly_in_order(self, batch, workers):
+        plan = plan_shards(batch, workers)
+        assert len(plan) == min(workers, batch)
+        # Contiguous ascending coverage of [0, batch), no empty shards.
+        expected_offset = 0
+        for offset, count in plan:
+            assert offset == expected_offset
+            assert count >= 1
+            expected_offset += count
+        assert expected_offset == batch
+
+    @given(batch=batches, workers=workers)
+    def test_plan_is_balanced_within_one_item(self, batch, workers):
+        counts = [count for _, count in plan_shards(batch, workers)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_workers_exceeding_batch_get_one_item_each(self):
+        assert plan_shards(3, 8) == [(0, 1), (1, 1), (2, 1)]
+
+    def test_single_worker_gets_whole_batch(self):
+        assert plan_shards(7, 1) == [(0, 7)]
+
+    def test_single_item_batch(self):
+        assert plan_shards(1, 64) == [(0, 1)]
+
+    @pytest.mark.parametrize("batch,workers", [
+        (0, 2), (-1, 2), (2, 0), (2, -3), (True, 2), (2, True),
+    ])
+    def test_invalid_arguments_rejected(self, batch, workers):
+        with pytest.raises(ValueError):
+            plan_shards(batch, workers)
+
+
+class TestMergeOutputs:
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=60),
+        workers=workers,
+    )
+    def test_item_series_round_trip_split_and_merge(self, items, workers):
+        plan = plan_shards(len(items), workers)
+        shard_outputs = [
+            {"series": chunk, "shared": "artifact", "checks_passed": True}
+            for chunk in split_by_plan(items, plan)
+        ]
+        merged = merge_outputs(shard_outputs,
+                               item_keys=frozenset({"series"}))
+        assert merged["series"] == items
+        assert merged["shared"] == "artifact"
+        assert merged["checks_passed"] is True
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=100),
+                        min_size=1, max_size=20),
+        workers=workers,
+    )
+    def test_sum_keys_total_across_shards(self, counts, workers):
+        plan = plan_shards(len(counts), workers)
+        shard_outputs = [
+            {"tally": sum(chunk),
+             "per_pattern": {"p": sum(chunk), "q": 2 * sum(chunk)}}
+            for chunk in split_by_plan(counts, plan)
+        ]
+        merged = merge_outputs(
+            shard_outputs,
+            sum_keys=frozenset({"tally", "per_pattern"}))
+        assert merged["tally"] == sum(counts)
+        assert merged["per_pattern"] == {"p": sum(counts),
+                                         "q": 2 * sum(counts)}
+
+    def test_failed_check_in_any_shard_fails_the_batch(self):
+        shard_outputs = [{"checks_passed": True},
+                         {"checks_passed": False},
+                         {"checks_passed": True}]
+        assert merge_outputs(shard_outputs)["checks_passed"] is False
+
+    def test_single_shard_passes_through(self):
+        outputs = {"anything": object(), "checks_passed": True}
+        assert merge_outputs([outputs]) == outputs
+
+    def test_identical_one_item_lists_still_concatenate(self):
+        """The regression the declarations exist for: per-item values
+        that coincide across one-item shards must not collapse."""
+        shard_outputs = [{"accepted": [False]}, {"accepted": [False]}]
+        merged = merge_outputs(shard_outputs,
+                               item_keys=frozenset({"accepted"}))
+        assert merged["accepted"] == [False, False]
+
+    def test_undeclared_differing_value_raises(self):
+        with pytest.raises(ScenarioError, match="batch-wide"):
+            merge_outputs([{"mystery": 1}, {"mystery": 2}])
+
+    def test_mismatched_key_sets_raise(self):
+        with pytest.raises(ScenarioError, match="disagree on keys"):
+            merge_outputs([{"a": 1}, {"b": 1}])
+
+    def test_non_list_item_key_raises(self):
+        with pytest.raises(ScenarioError, match="per-item"):
+            merge_outputs([{"x": 1}, {"x": 2}],
+                          item_keys=frozenset({"x"}))
+
+    def test_unsummable_sum_key_raises(self):
+        with pytest.raises(ScenarioError, match="cannot sum"):
+            merge_outputs([{"x": "a"}, {"x": "b"}],
+                          sum_keys=frozenset({"x"}))
+
+    def test_empty_shard_list_raises(self):
+        with pytest.raises(ValueError):
+            merge_outputs([])
+
+
+class TestDatabaseQueryMajorMerge:
+    @given(
+        batch=st.integers(min_value=1, max_value=24),
+        queries=st.integers(min_value=1, max_value=5),
+        workers=workers,
+        data=st.data(),
+    )
+    def test_counts_concatenate_along_the_item_axis(self, batch, queries,
+                                                    workers, data):
+        table = [
+            [data.draw(st.integers(0, 999)) for _ in range(batch)]
+            for _ in range(queries)
+        ]
+        plan = plan_shards(batch, workers)
+        shard_outputs = [
+            {
+                "counts": [row[off:off + cnt] for row in table],
+                "golden_counts": [row[off:off + cnt] for row in table],
+                "checks_passed": True,
+            }
+            for off, cnt in plan
+        ]
+        spec = ScenarioSpec(engine="mvp_batched", workload="database",
+                            size=8, items=queries, batch=batch)
+        adapter = adapter_for(spec, "mvp_batched")
+        merged = adapter.merge_shard_outputs(shard_outputs)
+        assert merged["counts"] == table
+        assert merged["golden_counts"] == table
+        assert merged["checks_passed"] is True
+
+
+def _cost(i: float) -> CostSummary:
+    return CostSummary(
+        energy_joules=0.1 + i * 0.37,
+        latency_seconds=0.01 + (i * 0.11) % 0.7,
+        area_mm2=1.5,
+        counters={"symbols": int(i) + 1},
+    )
+
+
+class TestCostFoldEquivalence:
+    @given(
+        n_items=st.integers(min_value=1, max_value=40),
+        workers=workers,
+    )
+    def test_fold_over_shard_concatenation_is_bit_identical(self, n_items,
+                                                            workers):
+        """aggregate_cost(base, concat(shards)) == aggregate_cost(base,
+        all items) exactly -- same float-addition order, so the
+        determinism contract survives non-associative float math."""
+        items = [_cost(i) for i in range(n_items)]
+        plan = plan_shards(n_items, workers)
+        concatenated = [
+            c for chunk in split_by_plan(items, plan) for c in chunk
+        ]
+        assert concatenated == items  # order round-trips...
+        base = CostSummary(area_mm2=1.5, counters={"states": 9})
+        for engine in (BatchedMVPEngine, RRAMAPEngine):
+            whole = engine.aggregate_cost(base, items)
+            merged = engine.aggregate_cost(base, concatenated)
+            assert merged == whole  # ... and the folds are bit-equal
+
+    def test_batched_mvp_latency_is_per_item_not_summed(self):
+        items = [dataclasses.replace(_cost(i), latency_seconds=0.25)
+                 for i in range(4)]
+        cost = BatchedMVPEngine.aggregate_cost(CostSummary(), items)
+        assert cost.latency_seconds == 0.25
+        assert cost.energy_joules == sum(c.energy_joules for c in items)
+
+    def test_rram_ap_latency_is_longest_stream(self):
+        items = [_cost(i) for i in range(5)]
+        base = CostSummary(area_mm2=2.0, counters={"states": 3})
+        cost = RRAMAPEngine.aggregate_cost(base, items)
+        assert cost.latency_seconds == max(c.latency_seconds
+                                           for c in items)
+        assert cost.counters["states"] == 3  # not multiplied by shards
+        assert cost.counters["symbols"] == sum(c.counters["symbols"]
+                                               for c in items)
