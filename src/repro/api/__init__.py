@@ -8,10 +8,18 @@ execution layer -- through a single declarative surface:
 * **Registries** (:data:`ENGINES`, :data:`DEVICES`, :data:`WORKLOADS`,
   :data:`SCENARIOS`, :data:`FIGURES`) name every pluggable piece;
 * **ScenarioSpec** declares a run (engine + device + workload + sizes +
-  batch + seed) and round-trips through dicts/JSON;
+  batch + seed) and round-trips through dicts/JSON.  Spec v2 nests two
+  structured sub-specs -- :class:`DeviceSpec` (registry device plus
+  parameter overrides) and
+  :class:`~repro.crossbar.nonideal.NonidealitySpec` (stuck-at faults,
+  conductance variability, wire IR drop, write-verify) -- while v1 flat
+  specs still parse and all-default v2 specs keep their v1 canonical
+  hash;
 * **Engine.from_spec(spec).run()** executes any scenario and returns a
   **RunResult** -- one schema for outputs, SI cost totals (joules /
-  seconds / mm^2), per-item batched costs and provenance;
+  seconds / mm^2), per-item batched costs, provenance, and a
+  **FidelitySummary** (bit-error rate, worst-case sense margin, verify
+  retries) whenever nonidealities are active;
 * the ``python -m repro`` CLI exposes the same facade from the shell;
 * :mod:`repro.parallel` scales it out: ``ParallelRunner`` shards a
   batched spec across worker processes (bit-identical to ``workers=1``),
@@ -32,7 +40,7 @@ engines delegate to; ``tests/api/test_shims.py`` pins facade and legacy
 results to be identical.
 """
 
-from repro.api.devices import DeviceEntry, device_entry
+from repro.api.devices import DeviceEntry, device_entry, energy_model_for
 from repro.api.engines import Engine, run
 from repro.api.figures import FigureEntry, run_figures
 from repro.api.registry import (
@@ -48,24 +56,33 @@ from repro.api.registry import (
 )
 from repro.api.result import (
     CostSummary,
+    FidelitySummary,
     RunResult,
     cost_from_mvp_stats,
     cost_from_run_cost,
     cost_from_system_point,
 )
 from repro.api.scenarios import scenario
-from repro.api.spec import ScenarioSpec, SpecError
+from repro.api.spec import (
+    DeviceSpec,
+    NonidealitySpec,
+    ScenarioSpec,
+    SpecError,
+)
 from repro.api.workloads import ScenarioError, WorkloadAdapter, adapter_for
 
 __all__ = [
     "CostSummary",
     "DEVICES",
     "DeviceEntry",
+    "DeviceSpec",
     "DuplicateNameError",
     "ENGINES",
     "Engine",
     "FIGURES",
+    "FidelitySummary",
     "FigureEntry",
+    "NonidealitySpec",
     "Registry",
     "RegistryError",
     "RunResult",
@@ -81,6 +98,7 @@ __all__ = [
     "cost_from_run_cost",
     "cost_from_system_point",
     "device_entry",
+    "energy_model_for",
     "run",
     "run_figures",
     "scenario",

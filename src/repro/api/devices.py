@@ -31,7 +31,7 @@ from repro.devices import (
     VTEAMDevice,
 )
 
-__all__ = ["DeviceEntry", "device_entry"]
+__all__ = ["DeviceEntry", "device_entry", "energy_model_for"]
 
 #: Reference scouting-read cost: calibrated at the paper's working
 #: device (R_on = 1 kOhm); other devices scale by LRS conductance.
@@ -69,13 +69,37 @@ class DeviceEntry:
         the paper's working device) reproduces the legacy default model
         exactly, keeping facade and pre-facade MVP costs identical.
         """
-        scale = _REFERENCE_R_ON / self.parameters.r_on
-        return ScoutingEnergyModel(
-            energy_per_column=(
-                _REFERENCE_ENERGY_MODEL.energy_per_column * scale
-            ),
-            latency=_REFERENCE_ENERGY_MODEL.latency,
-        )
+        return energy_model_for(self.parameters)
+
+    def window_summary(self) -> str:
+        """One-line LRS/HRS window + read-cost summary for listings.
+
+        ``repro list devices`` appends this to each entry so the device
+        axis shows the physics it moves: the published resistance
+        window and the R_on-scaled per-column read energy.
+        """
+        p = self.parameters
+        read_pj = self.energy_model().energy_per_column * 1e12
+        return (f"LRS/HRS {p.r_on:.3g}/{p.r_off:.3g} Ohm "
+                f"(window {p.resistance_ratio:.3g}x); "
+                f"read {read_pj:.3g} pJ/column")
+
+
+def energy_model_for(parameters: DeviceParameters) -> ScoutingEnergyModel:
+    """Scouting-read cost for an arbitrary device window.
+
+    The module-level form of :meth:`DeviceEntry.energy_model`, used
+    when spec v2 ``device.overrides`` move ``r_on`` away from the
+    registry entry's published value: the read cost must follow the
+    *effective* window, not the catalogue one.
+    """
+    scale = _REFERENCE_R_ON / parameters.r_on
+    return ScoutingEnergyModel(
+        energy_per_column=(
+            _REFERENCE_ENERGY_MODEL.energy_per_column * scale
+        ),
+        latency=_REFERENCE_ENERGY_MODEL.latency,
+    )
 
 
 def device_entry(name: str) -> DeviceEntry:

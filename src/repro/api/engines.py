@@ -28,11 +28,14 @@ import dataclasses
 import time
 from typing import Any, Mapping
 
+import numpy as np
+
 import repro
-from repro.api.devices import device_entry
+from repro.api.devices import energy_model_for
 from repro.api.registry import ENGINES, RegistryError
 from repro.api.result import (
     CostSummary,
+    FidelitySummary,
     RunResult,
     cost_from_mvp_stats,
     cost_from_run_cost,
@@ -44,10 +47,20 @@ from repro.arch.cache import MissRates
 from repro.arch.mvp_model import MVPSystemModel
 from repro.arch.sweep import run_fig4_sweep
 from repro.crossbar import Crossbar, CrossbarStack
+from repro.crossbar.nonideal import (
+    AXIS_FAULTS,
+    AXIS_IR_DROP,
+    AXIS_VARIABILITY,
+    AXIS_WRITE_VERIFY,
+    NonidealCrossbar,
+    NonidealCrossbarStack,
+    probe_read_fidelity,
+)
 from repro.mvp.batch import BatchedMVPProcessor
 from repro.mvp.processor import MVPProcessor
 from repro.rram_ap.cost import RRAM_KERNEL, SDRAM_KERNEL, SRAM_KERNEL
 from repro.rram_ap.processor import AutomataProcessor
+from repro.rram_ap.ste_array import STEArray, inject_ste_faults
 
 __all__ = ["Engine", "run"]
 
@@ -59,6 +72,15 @@ _KERNELS = {
 
 #: The reference device non-device-sensitive engines require.
 _DEFAULT_DEVICE = "bipolar"
+
+#: Spawn-key axes of ``spec.seed`` reserved for fabric entropy (the
+#: workload adapters own axes 0 and 1; see repro.api.workloads): axis 2
+#: feeds per-item fabric streams (faults/variability of batch item i),
+#: axis 3 the batch-wide shared fabric stream (the AP's one-time chip
+#: configuration).  Keying per-item streams by *absolute* batch index
+#: is what keeps sharded nonideal runs bit-identical to workers=1.
+_FABRIC_ITEM_AXIS = 2
+_FABRIC_SHARED_AXIS = 3
 
 
 class Engine:
@@ -87,6 +109,10 @@ class Engine:
     #: that ignore the device axis reject non-default devices rather
     #: than stamping misleading provenance.
     uses_device = False
+    #: Nonideality axes this engine's fabric can realize; specs
+    #: activating any other axis are rejected rather than silently run
+    #: on ideal hardware.
+    nonideality_axes: frozenset[str] = frozenset()
     #: ``spec.params`` keys the engine itself reads (the workload
     #: adapter declares its own via ``surface_params``).
     engine_params: frozenset[str] = frozenset()
@@ -106,15 +132,30 @@ class Engine:
         # the discovery-oriented UnknownNameError, not the ignored-axis
         # message below.
         spec.validate_names()
-        if not self.uses_device and spec.device != _DEFAULT_DEVICE:
+        if not self.uses_device and (
+                spec.device.name != _DEFAULT_DEVICE
+                or not spec.device.is_plain):
             raise ScenarioError(
                 f"engine {self.name!r} does not model the device axis; "
-                f"device {spec.device!r} would not change its results "
+                f"device {spec.device.name!r} "
+                f"{'with overrides ' if not spec.device.is_plain else ''}"
+                f"would not change its results "
                 f"(use the default {_DEFAULT_DEVICE!r}"
                 + (", or params['kernel'] for AP kernel pricing)"
                    if self.name == "rram_ap" else ")")
             )
+        unsupported = sorted(
+            spec.nonideality.active_axes() - self.nonideality_axes)
+        if unsupported:
+            supported = sorted(self.nonideality_axes) or "<none>"
+            raise ScenarioError(
+                f"engine {self.name!r} cannot realize nonideality "
+                f"axes {unsupported} (supported: {supported})"
+            )
         self.spec = spec
+        #: Fidelity measured by the most recent window execution; None
+        #: until a nonideal window ran (see :meth:`window_fidelity`).
+        self._fidelity: FidelitySummary | None = None
 
     @classmethod
     def from_spec(
@@ -153,17 +194,21 @@ class Engine:
         provenance = {
             "engine": self.name,
             "workload": self.spec.workload,
-            "device": self.spec.device,
+            "device": self.spec.device.name,
             "seed": self.spec.seed,
             "repro_version": repro.__version__,
             "wall_seconds": elapsed,
         }
+        if not self.spec.device.is_plain:
+            provenance["device_overrides"] = dict(
+                self.spec.device.overrides)
         return RunResult(
             spec=self.spec,
             outputs=outputs,
             cost=cost,
             item_costs=tuple(item_costs),
             provenance=provenance,
+            fidelity=self.window_fidelity(),
         )
 
     def check_params(self, adapter: WorkloadAdapter) -> None:
@@ -190,6 +235,103 @@ class Engine:
             raise NotImplementedError
         outputs, base, item_costs = self.execute_window(adapter)
         return outputs, self.aggregate_cost(base, item_costs), item_costs
+
+    # -- fabric construction (spec v2) -------------------------------------------
+
+    def build_fabric(self, adapter: WorkloadAdapter):
+        """Construct the compute fabric for this spec's window.
+
+        The single spec-v2 hook every engine routes hardware
+        construction through: the resolved
+        :class:`~repro.api.spec.DeviceSpec` parameters pick the
+        resistance window, and an active
+        :class:`~repro.crossbar.nonideal.NonidealitySpec` swaps the
+        ideal :class:`~repro.crossbar.Crossbar` /
+        :class:`~repro.crossbar.CrossbarStack` for their nonideal
+        counterparts, seeded per absolute batch item so sharded
+        execution stays bit-identical.  Engines without a crossbar
+        fabric (the analytical model; the AP, whose nonidealities act
+        on the STE configuration instead) return None.
+        """
+        return None
+
+    def _crossbar_fabric(self, adapter: WorkloadAdapter):
+        """Shared :meth:`build_fabric` body for the MVP engines."""
+        rows, cols = adapter.mvp_geometry()
+        params = self.spec.device.resolve_parameters()
+        nonideality = self.spec.nonideality
+        if nonideality.is_default():
+            if self.supports_batch:
+                return CrossbarStack(adapter.window_batch, rows, cols,
+                                     params=params)
+            return Crossbar(rows, cols, params=params)
+        rngs = [self._fabric_item_rng(index)
+                for index in adapter.batch_indices]
+        if self.supports_batch:
+            return NonidealCrossbarStack(rows, cols, params=params,
+                                         nonideality=nonideality,
+                                         rngs=rngs)
+        return NonidealCrossbar(rows, cols, params=params,
+                                nonideality=nonideality, rng=rngs[0])
+
+    def _fabric_item_rng(self, index: int) -> np.random.Generator:
+        """Entropy stream of batch item ``index``'s fabric."""
+        return np.random.default_rng(np.random.SeedSequence(
+            self.spec.seed, spawn_key=(_FABRIC_ITEM_AXIS, index)))
+
+    def _fabric_shared_rng(self) -> np.random.Generator:
+        """Entropy stream of batch-wide (configured-once) fabric."""
+        return np.random.default_rng(np.random.SeedSequence(
+            self.spec.seed, spawn_key=(_FABRIC_SHARED_AXIS, 0)))
+
+    # -- fidelity ----------------------------------------------------------------
+
+    def window_fidelity(self) -> FidelitySummary | None:
+        """Fidelity measured by the last executed window (None = ideal).
+
+        Populated by ``_execute`` / ``execute_window`` when the spec's
+        nonideality is active; the sharded executor collects it per
+        shard and folds shards with :meth:`merge_window_fidelity`.
+        """
+        return self._fidelity
+
+    def _probe_fabric(self, fabric) -> None:
+        """Measure and store the fabric's post-run fidelity.
+
+        No-op for ideal fabrics; for nonideal ones, reads the whole
+        array back through its own (spread/fault/IR-drop-aware) read
+        chain and records the declared fidelity metrics in window item
+        order, so shard concatenation reproduces the workers=1 fold.
+        """
+        if self.spec.nonideality.is_default():
+            self._fidelity = None
+            return
+        items = fabric.items if isinstance(fabric, NonidealCrossbarStack) \
+            else [fabric]
+        summaries = []
+        for item in items:
+            errors, cells, margin = probe_read_fidelity(item)
+            summaries.append(FidelitySummary(
+                bit_errors=errors,
+                cells=cells,
+                worst_sense_margin=margin,
+                verify_retries=item.verify_retries,
+                stuck_faults=item.fault_campaign.total,
+            ))
+        self._fidelity = FidelitySummary.merge_all(summaries)
+
+    @classmethod
+    def merge_window_fidelity(
+        cls, summaries: list[FidelitySummary | None]
+    ) -> FidelitySummary | None:
+        """Fold per-shard fidelity summaries (shard order).
+
+        The default sums the per-item axes and takes the margin
+        minimum, matching :attr:`FidelitySummary.MERGE_POLICIES`;
+        engines whose fidelity is window-independent (the AP's one-time
+        configuration) override this.
+        """
+        return FidelitySummary.merge_all(summaries)
 
     # -- shard hooks -------------------------------------------------------------
 
@@ -231,15 +373,20 @@ class MVPEngine(Engine):
 
     name = "mvp"
     uses_device = True
+    nonideality_axes = frozenset({
+        AXIS_FAULTS, AXIS_VARIABILITY, AXIS_IR_DROP, AXIS_WRITE_VERIFY,
+    })
+
+    def build_fabric(self, adapter):
+        return self._crossbar_fabric(adapter)
 
     def _execute(self, adapter):
-        rows, cols = adapter.mvp_geometry()
-        device = device_entry(self.spec.device)
-        crossbar = Crossbar(rows, cols, params=device.parameters)
-        processor = MVPProcessor(crossbar,
-                                 energy_model=device.energy_model())
+        crossbar = self.build_fabric(adapter)
+        energy_model = energy_model_for(crossbar.params)
+        processor = MVPProcessor(crossbar, energy_model=energy_model)
         outputs = adapter.run_mvp(processor)
         cost = cost_from_mvp_stats(processor.stats)
+        self._probe_fabric(crossbar)
         return outputs, cost, [cost]
 
 
@@ -251,19 +398,23 @@ class BatchedMVPEngine(Engine):
     supports_batch = True
     uses_device = True
     shardable = True
+    nonideality_axes = frozenset({
+        AXIS_FAULTS, AXIS_VARIABILITY, AXIS_IR_DROP, AXIS_WRITE_VERIFY,
+    })
+
+    def build_fabric(self, adapter):
+        return self._crossbar_fabric(adapter)
 
     def execute_window(self, adapter):
-        rows, cols = adapter.mvp_geometry()
-        device = device_entry(self.spec.device)
-        stack = CrossbarStack(adapter.window_batch, rows, cols,
-                              params=device.parameters)
+        stack = self.build_fabric(adapter)
         processor = BatchedMVPProcessor(
-            stack, energy_model=device.energy_model())
+            stack, energy_model=energy_model_for(stack.params))
         outputs = adapter.run_mvp_batched(processor)
         item_costs = [
             cost_from_mvp_stats(processor.stats_for(i))
             for i in range(processor.batch)
         ]
+        self._probe_fabric(stack)
         return outputs, CostSummary(), item_costs
 
     @staticmethod
@@ -288,8 +439,19 @@ class RRAMAPEngine(Engine):
     supports_batch = True
     engine_params = frozenset({"kernel"})
     shardable = True
+    #: The AP realizes stuck-at faults in its STE configuration memory;
+    #: analog axes (spread, IR drop, verify) belong to the crossbar
+    #: engines -- the AP's dot-product kernel is priced from published
+    #: records, not simulated electrically per read.
+    nonideality_axes = frozenset({AXIS_FAULTS})
 
-    def execute_window(self, adapter):
+    def build_fabric(self, adapter):
+        """The configured (and possibly fault-corrupted) AP processor.
+
+        The chip is configured once and shared by every stream, so the
+        fault campaign draws from the batch-wide fabric stream: every
+        window of a sharded run corrupts the identical STE cells.
+        """
         kernel_name = str(self.spec.params.get("kernel", "rram"))
         try:
             kernel = _KERNELS[kernel_name]
@@ -300,6 +462,49 @@ class RRAMAPEngine(Engine):
             ) from None
         automaton = adapter.build_automaton()
         processor = AutomataProcessor(automaton, kernel=kernel)
+        nonideality = self.spec.nonideality
+        if nonideality.is_default():
+            self._fidelity = None
+            return processor
+        matrix = processor.ste_matrix
+        n_faults = nonideality.faults_for(*matrix.shape)
+        flipped, total = inject_ste_faults(
+            matrix, n_faults, self._fabric_shared_rng(),
+            nonideality.stuck_at_one_fraction,
+        )
+        # Rebuild the STE array from the corrupted matrix rather than
+        # relying on numpy aliasing to carry the mutation into the
+        # configured operator (the electrical "crossbar" backend, for
+        # one, programs its resistances at construction).
+        processor.ste_array = STEArray(
+            processor.alphabet, matrix, backend=processor.backend)
+        self._fidelity = FidelitySummary(
+            bit_errors=flipped,
+            cells=int(matrix.size),
+            worst_sense_margin=None,
+            verify_retries=0,
+            stuck_faults=total,
+        )
+        return processor
+
+    @classmethod
+    def merge_window_fidelity(cls, summaries):
+        """The AP's fidelity is its one-time chip configuration --
+        identical in every shard -- so shards agree and the merge keeps
+        one copy instead of summing the same campaign N times."""
+        present = [s for s in summaries if s is not None]
+        if not present:
+            return None
+        if any(s != present[0] for s in present[1:]):
+            raise ScenarioError(
+                "AP shards report different configuration fidelity; "
+                "the shared fabric stream should make them identical"
+            )
+        return present[0]
+
+    def execute_window(self, adapter):
+        processor = self.build_fabric(adapter)
+        automaton = processor.automaton
         traces, stream_costs = processor.run_batch(
             adapter.streams(), unanchored=adapter.unanchored
         )

@@ -30,6 +30,7 @@ from repro.rram_ap.processor import RunCost
 
 __all__ = [
     "CostSummary",
+    "FidelitySummary",
     "RunResult",
     "cost_from_mvp_stats",
     "cost_from_run_cost",
@@ -118,6 +119,121 @@ class CostSummary:
 
 
 @dataclasses.dataclass(frozen=True)
+class FidelitySummary:
+    """Device-physics fidelity of a run's fabric (spec v2 nonideality).
+
+    Reported alongside :class:`CostSummary` whenever a spec's
+    :class:`~repro.crossbar.nonideal.NonidealitySpec` is active; ideal
+    runs carry ``fidelity=None``.  The metrics are fabric-level --
+    measured on the stored arrays themselves, independent of workload
+    shape -- so they compare across engines and merge exactly across
+    shards.
+
+    Attributes:
+        bit_errors: cells whose electrical read-back disagrees with
+            the programmed intent (stuck-at, spread or IR-drop flips;
+            for the automata processor, corrupted STE configuration
+            bits).
+        cells: cells checked (the denominator of
+            :attr:`bit_error_rate`).
+        worst_sense_margin: worst-case single-read sense margin in
+            amperes (negative = a read crossed its reference); None
+            when the fabric has no analog read chain to probe.
+        verify_retries: write-verify rewrite iterations spent.
+        stuck_faults: stuck cells injected by the fault campaign.
+    """
+
+    #: How each field folds across shards -- the declared merge
+    #: policies the parallel executor applies, so ``workers=N`` fidelity
+    #: is bit-identical to ``workers=1`` (integer sums and a float min
+    #: are associative exactly).
+    MERGE_POLICIES = {
+        "bit_errors": "sum",
+        "cells": "sum",
+        "worst_sense_margin": "min",
+        "verify_retries": "sum",
+        "stuck_faults": "sum",
+    }
+
+    bit_errors: int = 0
+    cells: int = 0
+    worst_sense_margin: float | None = None
+    verify_retries: int = 0
+    stuck_faults: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("bit_errors", "cells", "verify_retries",
+                     "stuck_faults"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError(
+                    f"{name} must be a non-negative integer"
+                )
+        if self.bit_errors > self.cells:
+            raise ValueError("bit_errors cannot exceed cells")
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Read-back errors per checked cell (0.0 for an empty probe)."""
+        return self.bit_errors / self.cells if self.cells else 0.0
+
+    def merged_with(self, other: "FidelitySummary") -> "FidelitySummary":
+        """Fold two summaries under :data:`MERGE_POLICIES`."""
+        margins = [m for m in (self.worst_sense_margin,
+                               other.worst_sense_margin)
+                   if m is not None]
+        return FidelitySummary(
+            bit_errors=self.bit_errors + other.bit_errors,
+            cells=self.cells + other.cells,
+            worst_sense_margin=min(margins) if margins else None,
+            verify_retries=self.verify_retries + other.verify_retries,
+            stuck_faults=self.stuck_faults + other.stuck_faults,
+        )
+
+    @classmethod
+    def merge_all(
+        cls, summaries: list["FidelitySummary | None"]
+    ) -> "FidelitySummary | None":
+        """Fold a shard-ordered list; None entries (ideal shards) skip.
+
+        Returns None when nothing was measured, matching the ideal
+        run's ``fidelity=None``.
+        """
+        present = [s for s in summaries if s is not None]
+        if not present:
+            return None
+        merged = present[0]
+        for summary in present[1:]:
+            merged = merged.merged_with(summary)
+        return merged
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bit_errors": self.bit_errors,
+            "cells": self.cells,
+            "bit_error_rate": self.bit_error_rate,
+            "worst_sense_margin": self.worst_sense_margin,
+            "verify_retries": self.verify_retries,
+            "stuck_faults": self.stuck_faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FidelitySummary":
+        """Invert :meth:`to_dict` (the derived rate is recomputed)."""
+        if not isinstance(data, Mapping):
+            raise ValueError("fidelity data must be a mapping")
+        margin = data.get("worst_sense_margin")
+        return cls(
+            bit_errors=int(data["bit_errors"]),
+            cells=int(data["cells"]),
+            worst_sense_margin=None if margin is None else float(margin),
+            verify_retries=int(data["verify_retries"]),
+            stuck_faults=int(data["stuck_faults"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class RunResult:
     """What every ``Engine.run`` call returns.
 
@@ -132,6 +248,8 @@ class RunResult:
             report their whole-run cost as the only item).
         provenance: how the result was produced -- engine/device/
             workload names, seed, package version, wall-clock seconds.
+        fidelity: device-physics fidelity of the run's fabric; None for
+            ideal runs (default nonideality).
     """
 
     spec: ScenarioSpec
@@ -139,6 +257,7 @@ class RunResult:
     cost: CostSummary
     item_costs: tuple[CostSummary, ...] = ()
     provenance: dict[str, Any] = dataclasses.field(default_factory=dict)
+    fidelity: FidelitySummary | None = None
 
     @property
     def ok(self) -> bool:
@@ -146,14 +265,21 @@ class RunResult:
         return bool(self.outputs.get("checks_passed", True))
 
     def to_dict(self) -> dict[str, Any]:
-        """A JSON-serializable rendering of the full result."""
-        return {
+        """A JSON-serializable rendering of the full result.
+
+        The ``fidelity`` key appears only when fidelity was measured,
+        keeping ideal results' payloads identical to the pre-v2 shape.
+        """
+        data = {
             "spec": self.spec.to_dict(),
             "outputs": jsonify(self.outputs),
             "cost": self.cost.to_dict(),
             "item_costs": [c.to_dict() for c in self.item_costs],
             "provenance": jsonify(self.provenance),
         }
+        if self.fidelity is not None:
+            data["fidelity"] = self.fidelity.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -174,6 +300,7 @@ class RunResult:
         if not isinstance(outputs, Mapping) \
                 or not isinstance(provenance, Mapping):
             raise ValueError("outputs and provenance must be mappings")
+        fidelity = data.get("fidelity")
         return cls(
             spec=ScenarioSpec.from_dict(data["spec"]),
             outputs=dict(outputs),
@@ -182,6 +309,8 @@ class RunResult:
                 CostSummary.from_dict(c) for c in data["item_costs"]
             ),
             provenance=dict(provenance),
+            fidelity=None if fidelity is None
+            else FidelitySummary.from_dict(fidelity),
         )
 
 

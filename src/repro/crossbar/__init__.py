@@ -10,6 +10,14 @@ from repro.crossbar.faults import (
     FaultCampaign,
     drift_campaign,
     inject_random_stuck_faults,
+    inject_stuck_faults,
+)
+from repro.crossbar.nonideal import (
+    NonidealCrossbar,
+    NonidealCrossbarStack,
+    NonidealitySpec,
+    read_back_errors,
+    worst_read_margin,
 )
 from repro.crossbar.parasitics import (
     WireParameters,
@@ -32,6 +40,9 @@ __all__ = [
     "Crossbar",
     "CrossbarStack",
     "FaultCampaign",
+    "NonidealCrossbar",
+    "NonidealCrossbarStack",
+    "NonidealitySpec",
     "ReferenceLadder",
     "ScoutingEnergyModel",
     "ScoutingLogic",
@@ -40,8 +51,11 @@ __all__ = [
     "check_half_select_safety",
     "drift_campaign",
     "inject_random_stuck_faults",
+    "inject_stuck_faults",
     "ir_drop_column_currents",
     "ir_drop_loss",
     "minimum_safe_program_voltage",
     "program_with_verify",
+    "read_back_errors",
+    "worst_read_margin",
 ]

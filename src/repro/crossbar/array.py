@@ -20,7 +20,23 @@ import numpy as np
 from repro.devices.base import DeviceParameters
 from repro.devices.variability import VariabilityModel, sample_resistances
 
-__all__ = ["Crossbar", "CrossbarStack"]
+__all__ = ["Crossbar", "CrossbarStack", "sense_reference_current"]
+
+
+def sense_reference_current(params: DeviceParameters,
+                            read_voltage: float) -> float:
+    """The single-row read reference: geometric mean of the two levels.
+
+    Sitting at the geometric mean of the single-cell ON and OFF
+    currents maximizes margin in the log domain (the natural domain of
+    lognormal resistance spread).  One definition shared by the memory
+    reads of :class:`Crossbar` / :class:`CrossbarStack` and the
+    fidelity probes of :mod:`repro.crossbar.nonideal`, so reported
+    margins always describe the decision the read path actually makes.
+    """
+    i_low = read_voltage / params.r_off
+    i_high = read_voltage / params.r_on
+    return float(np.sqrt(i_low * i_high))
 
 
 def _validated_activation_rows(active_rows: Sequence[int],
@@ -297,9 +313,7 @@ class Crossbar:
         current levels, maximizing margin in the log domain.
         """
         currents = self.column_currents([row])
-        i_low = self.read_voltage / self.params.r_off
-        i_high = self.read_voltage / self.params.r_on
-        i_ref = float(np.sqrt(i_low * i_high))
+        i_ref = sense_reference_current(self.params, self.read_voltage)
         return (currents > i_ref).astype(np.int8)
 
     def stored_word(self, row: int) -> np.ndarray:
@@ -442,9 +456,7 @@ class CrossbarStack:
     def read_row(self, row: int) -> np.ndarray:
         """Single-row memory read of every logical array, returning bits."""
         currents = self.column_currents([row])
-        i_low = self.read_voltage / self.params.r_off
-        i_high = self.read_voltage / self.params.r_on
-        i_ref = float(np.sqrt(i_low * i_high))
+        i_ref = sense_reference_current(self.params, self.read_voltage)
         return (currents > i_ref).astype(np.int8)
 
     def stored_word(self, row: int) -> np.ndarray:

@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.crossbar.array import Crossbar
 
-__all__ = ["FaultCampaign", "inject_random_stuck_faults", "drift_campaign"]
+__all__ = [
+    "FaultCampaign",
+    "inject_stuck_faults",
+    "inject_random_stuck_faults",
+    "drift_campaign",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,11 +61,41 @@ def inject_random_stuck_faults(
     """
     if not 0.0 <= fault_rate <= 1.0:
         raise ValueError("fault_rate must be in [0, 1]")
+    rows, cols = crossbar.shape
+    n_faults = int(round(fault_rate * rows * cols))
+    return inject_stuck_faults(crossbar, n_faults, rng,
+                               stuck_at_one_fraction)
+
+
+def inject_stuck_faults(
+    crossbar: Crossbar,
+    n_faults: int,
+    rng: np.random.Generator,
+    stuck_at_one_fraction: float = 0.5,
+) -> FaultCampaign:
+    """Freeze exactly ``n_faults`` random cells.
+
+    The count-based core :func:`inject_random_stuck_faults` delegates
+    to; spec-driven campaigns (``NonidealitySpec.fault_count``) call it
+    directly so a campaign's size is independent of the array geometry.
+
+    Args:
+        crossbar: the array to damage (mutated in place).
+        n_faults: exact number of cells to freeze.
+        rng: random generator (explicit for reproducibility).
+        stuck_at_one_fraction: share of faults frozen at logic 1.
+
+    Returns:
+        The injected :class:`FaultCampaign`.
+    """
     if not 0.0 <= stuck_at_one_fraction <= 1.0:
         raise ValueError("stuck_at_one_fraction must be in [0, 1]")
     rows, cols = crossbar.shape
     n_cells = rows * cols
-    n_faults = int(round(fault_rate * n_cells))
+    if not 0 <= n_faults <= n_cells:
+        raise ValueError(
+            f"n_faults must be in [0, {n_cells}], got {n_faults}"
+        )
     flat = rng.choice(n_cells, size=n_faults, replace=False)
     locations = []
     n_one = 0

@@ -235,8 +235,11 @@ class BatchedMVPProcessor:
 
     def _vstore(self, instr: Instruction):
         row = instr.rows[0]
+        # stored_word keeps this cheap on composite stacks (the
+        # nonideal fabric materializes `bits` views per item): only the
+        # (batch, cols) row slice is needed for the changed-cell count.
         changed = (
-            self.crossbar.bits[:, row, :] != self.result
+            self.crossbar.stored_word(row) != self.result
         ).sum(axis=1).astype(np.int64)
         self.crossbar.write_row(row, self.result)
         self._charge_write(changed)

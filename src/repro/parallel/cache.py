@@ -113,6 +113,7 @@ class ResultCache:
             cost=result.cost,
             item_costs=result.item_costs,
             provenance=provenance,
+            fidelity=result.fidelity,
         )
 
     def store(self, result: RunResult) -> Path:

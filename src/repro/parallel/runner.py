@@ -34,7 +34,7 @@ from typing import Any, Mapping, Sequence
 
 import repro
 from repro.api.engines import Engine
-from repro.api.result import CostSummary, RunResult
+from repro.api.result import CostSummary, FidelitySummary, RunResult
 from repro.api.spec import ScenarioSpec
 from repro.api.workloads import adapter_for
 from repro.parallel.cache import ResultCache
@@ -60,6 +60,9 @@ class ShardResult:
         base_cost: window-independent base cost (identical across
             shards of one spec; the merge uses shard 0's).
         item_costs: one cost record per window item, in window order.
+        fidelity: the window's fabric-fidelity summary (None for ideal
+            specs); folded across shards by the engine's declared
+            ``merge_window_fidelity`` policy.
         wall_seconds: the worker's execution wall time.
     """
 
@@ -69,6 +72,7 @@ class ShardResult:
     base_cost: CostSummary
     item_costs: tuple[CostSummary, ...]
     wall_seconds: float
+    fidelity: FidelitySummary | None = None
 
 
 def _run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
@@ -86,6 +90,7 @@ def _run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
         base_cost=base,
         item_costs=tuple(item_costs),
         wall_seconds=time.perf_counter() - started,
+        fidelity=engine.window_fidelity(),
     )
 
 
@@ -200,10 +205,12 @@ class ParallelRunner:
             c for s in shard_results for c in s.item_costs)
         cost = type(engine).aggregate_cost(
             shard_results[0].base_cost, list(item_costs))
+        fidelity = type(engine).merge_window_fidelity(
+            [s.fidelity for s in shard_results])
         provenance = {
             "engine": engine.name,
             "workload": spec.workload,
-            "device": spec.device,
+            "device": spec.device.name,
             "seed": spec.seed,
             "repro_version": repro.__version__,
             "wall_seconds": elapsed,
@@ -217,12 +224,15 @@ class ParallelRunner:
                 ],
             },
         }
+        if not spec.device.is_plain:
+            provenance["device_overrides"] = dict(spec.device.overrides)
         return RunResult(
             spec=spec,
             outputs=outputs,
             cost=cost,
             item_costs=item_costs,
             provenance=provenance,
+            fidelity=fidelity,
         )
 
     def _method(self) -> str:

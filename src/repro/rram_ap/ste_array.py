@@ -15,7 +15,51 @@ from repro.automata.symbols import Alphabet
 from repro.devices.base import DeviceParameters
 from repro.rram_ap.dot_product import CrossbarDotProduct, NumpyDotProduct
 
-__all__ = ["decode_symbol", "STEArray"]
+__all__ = ["decode_symbol", "inject_ste_faults", "STEArray"]
+
+
+def inject_ste_faults(
+    ste_matrix: np.ndarray,
+    n_faults: int,
+    rng: np.random.Generator,
+    stuck_at_one_fraction: float = 0.5,
+) -> tuple[int, int]:
+    """Freeze random cells of the STE configuration memory, in place.
+
+    The STE matrix V is stored in a memristive array like any other
+    crossbar payload, so it suffers the same stuck-at endurance
+    failures: a cell stuck at 1 makes its state recognize a spurious
+    symbol, a cell stuck at 0 deafens the state to one symbol.  The
+    draw order (cell choice, then one stuck-bit draw per cell) mirrors
+    :func:`repro.crossbar.faults.inject_stuck_faults` so campaigns are
+    comparable across fabrics.
+
+    Args:
+        ste_matrix: boolean (|Sigma|, N) configuration, mutated in place.
+        n_faults: number of cells to freeze.
+        rng: random generator (explicit for reproducibility).
+        stuck_at_one_fraction: share of faults frozen at logic 1.
+
+    Returns:
+        ``(flipped, n_faults)``: cells whose configured value actually
+        changed, and the campaign size.  A cell stuck at the value it
+        already held is a latent fault, not a configuration error.
+    """
+    if not 0.0 <= stuck_at_one_fraction <= 1.0:
+        raise ValueError("stuck_at_one_fraction must be in [0, 1]")
+    n_cells = ste_matrix.size
+    if not 0 <= n_faults <= n_cells:
+        raise ValueError(
+            f"n_faults must be in [0, {n_cells}], got {n_faults}"
+        )
+    flat = rng.choice(n_cells, size=n_faults, replace=False)
+    flipped = 0
+    for cell in flat:
+        stuck = bool(rng.random() < stuck_at_one_fraction)
+        index = np.unravel_index(int(cell), ste_matrix.shape)
+        flipped += int(bool(ste_matrix[index]) != stuck)
+        ste_matrix[index] = stuck
+    return flipped, n_faults
 
 
 def decode_symbol(alphabet: Alphabet, symbol) -> np.ndarray:

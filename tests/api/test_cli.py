@@ -59,7 +59,7 @@ class TestRun:
         spec_file = tmp_path / "spec.json"
         spec_file.write_text('{"engine": "mvp"}')
         assert main(["run", "dna", "--spec", str(spec_file)]) == 2
-        assert "not both" in capsys.readouterr().err
+        assert "one spec source" in capsys.readouterr().err
 
     def test_missing_spec_file_exits_2(self, tmp_path, capsys):
         assert main(["run", "--spec", str(tmp_path / "nope.json")]) == 2

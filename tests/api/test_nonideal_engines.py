@@ -1,0 +1,268 @@
+"""Spec v2 through the engines and the CLI: fabrics, fidelity, flags."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    DeviceSpec,
+    FidelitySummary,
+    RunResult,
+    ScenarioError,
+    ScenarioSpec,
+    run,
+)
+from repro.api.cli import main
+
+
+class TestEngineCapabilities:
+    def test_arch_model_rejects_nonideality(self):
+        spec = ScenarioSpec(engine="arch_model",
+                            nonideality={"fault_rate": 0.1})
+        with pytest.raises(ScenarioError, match="nonideality"):
+            run(spec)
+
+    def test_rram_ap_rejects_analog_axes(self):
+        spec = ScenarioSpec(engine="rram_ap", workload="dna",
+                            size=200, items=2, batch=2,
+                            nonideality={"variability_sigma": 0.3})
+        with pytest.raises(ScenarioError, match="variability"):
+            run(spec)
+
+    def test_rram_ap_accepts_fault_axis(self):
+        result = run(ScenarioSpec(
+            engine="rram_ap", workload="dna", size=300, items=2,
+            batch=2, nonideality={"fault_rate": 0.05}))
+        assert isinstance(result.fidelity, FidelitySummary)
+        assert result.fidelity.stuck_faults > 0
+        assert result.fidelity.worst_sense_margin is None
+
+    def test_device_blind_engine_rejects_overrides(self):
+        spec = ScenarioSpec(
+            engine="rram_ap", workload="dna", size=200, items=2,
+            batch=1, device={"name": "bipolar",
+                             "overrides": {"r_on": 2e3}})
+        with pytest.raises(ScenarioError, match="overrides"):
+            run(spec)
+
+    def test_mvp_supports_all_axes(self):
+        result = run(ScenarioSpec(
+            size=64, items=2,
+            nonideality={"fault_rate": 0.02, "variability_sigma": 0.2,
+                         "wire_resistance": 1.0,
+                         "write_scheme": "verify"}))
+        assert isinstance(result.fidelity, FidelitySummary)
+        assert result.fidelity.cells > 0
+
+
+class TestDeviceOverrides:
+    def test_r_on_override_scales_read_energy(self):
+        """The energy model follows the *effective* window: halving
+        R_on doubles the per-activation read energy."""
+        base = ScenarioSpec(size=64, items=2)
+        halved = base.replaced(device=DeviceSpec(
+            "bipolar", {"r_on": 500.0}))
+        e_base = run(base).cost.energy_joules
+        e_halved = run(halved).cost.energy_joules
+        assert e_halved > e_base
+
+    def test_override_provenance_recorded(self):
+        result = run(ScenarioSpec(
+            size=64, items=2,
+            device={"name": "bipolar", "overrides": {"r_on": 500.0}}))
+        assert result.provenance["device"] == "bipolar"
+        assert result.provenance["device_overrides"] == {"r_on": 500.0}
+
+    def test_plain_device_provenance_unchanged(self):
+        result = run(ScenarioSpec(size=64, items=2))
+        assert result.provenance["device"] == "bipolar"
+        assert "device_overrides" not in result.provenance
+
+
+class TestEngineEquivalence:
+    def test_nonideal_mvp_equals_batched_item(self):
+        """batch=1 nonideal runs are engine-invariant: the single-item
+        and batched fabrics derive the same per-item entropy."""
+        noni = {"fault_rate": 0.05, "variability_sigma": 0.3,
+                "write_scheme": "verify"}
+        single = run(ScenarioSpec(engine="mvp", size=64, items=2,
+                                  nonideality=noni))
+        batched = run(ScenarioSpec(engine="mvp_batched", size=64,
+                                   items=2, batch=1, nonideality=noni))
+        assert single.outputs["counts"] == [
+            c[0] for c in batched.outputs["counts"]]
+        assert single.fidelity == batched.fidelity
+        assert single.cost.energy_joules == \
+            pytest.approx(batched.cost.energy_joules)
+
+    def test_fidelity_round_trips_through_result_dict(self):
+        result = run(ScenarioSpec(size=64, items=2,
+                                  nonideality={"fault_rate": 0.05}))
+        rebuilt = RunResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.fidelity == result.fidelity
+
+    def test_ideal_result_dict_has_no_fidelity_key(self):
+        result = run(ScenarioSpec(size=64, items=2))
+        assert "fidelity" not in result.to_dict()
+
+
+class TestFidelityMerging:
+    def test_merge_policies_declared(self):
+        assert FidelitySummary.MERGE_POLICIES == {
+            "bit_errors": "sum", "cells": "sum",
+            "worst_sense_margin": "min", "verify_retries": "sum",
+            "stuck_faults": "sum",
+        }
+
+    def test_merged_with_applies_policies(self):
+        a = FidelitySummary(bit_errors=1, cells=10,
+                            worst_sense_margin=0.5, verify_retries=2,
+                            stuck_faults=3)
+        b = FidelitySummary(bit_errors=2, cells=10,
+                            worst_sense_margin=-0.1, verify_retries=1,
+                            stuck_faults=0)
+        merged = a.merged_with(b)
+        assert merged == FidelitySummary(
+            bit_errors=3, cells=20, worst_sense_margin=-0.1,
+            verify_retries=3, stuck_faults=3)
+
+    def test_merge_all_skips_missing(self):
+        a = FidelitySummary(cells=4)
+        assert FidelitySummary.merge_all([None, a, None]) == a
+        assert FidelitySummary.merge_all([None, None]) is None
+
+    def test_margin_none_propagates(self):
+        a = FidelitySummary(cells=4)
+        b = FidelitySummary(cells=4, worst_sense_margin=1.0)
+        assert a.merged_with(b).worst_sense_margin == 1.0
+        assert a.merged_with(a).worst_sense_margin is None
+
+
+class TestSTEFaultInjection:
+    def test_validation_and_flip_accounting(self):
+        import numpy as np
+
+        from repro.rram_ap.ste_array import inject_ste_faults
+
+        matrix = np.zeros((4, 4), dtype=bool)
+        with pytest.raises(ValueError, match="n_faults"):
+            inject_ste_faults(matrix, -1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="n_faults"):
+            inject_ste_faults(matrix, 17, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="stuck_at_one_fraction"):
+            inject_ste_faults(matrix, 2, np.random.default_rng(0),
+                              stuck_at_one_fraction=2.0)
+        flipped, total = inject_ste_faults(
+            matrix, 4, np.random.default_rng(0),
+            stuck_at_one_fraction=1.0)
+        # All cells started at 0, so every stuck-at-1 is a real flip.
+        assert (flipped, total) == (4, 4)
+        assert int(matrix.sum()) == 4
+
+    def test_latent_faults_do_not_count_as_errors(self):
+        import numpy as np
+
+        from repro.rram_ap.ste_array import inject_ste_faults
+
+        matrix = np.ones((4, 4), dtype=bool)
+        flipped, total = inject_ste_faults(
+            matrix, 4, np.random.default_rng(0),
+            stuck_at_one_fraction=1.0)
+        assert (flipped, total) == (0, 4)
+
+
+class TestCLI:
+    def test_ap_fault_run_renders_na_margin(self, capsys):
+        code = main(["run", "dna", "--size", "300", "--items", "2",
+                     "--batch", "2", "--fault-rate", "0.02"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worst margin n/a" in out
+
+    def test_fault_rate_flag_runs_and_reports_fidelity(self, capsys):
+        code = main(["run", "--size", "64", "--items", "2",
+                     "--fault-rate", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0  # device-induced mismatches are the datum
+        assert "fidelity: BER" in out
+        assert "stuck faults" in out
+
+    def test_device_param_flag(self, capsys):
+        assert main(["run", "--size", "64", "--items", "2",
+                     "--device-param", "r_on=500"]) == 0
+        assert "energy" in capsys.readouterr().out
+
+    def test_bad_device_param_exits_2(self, capsys):
+        assert main(["run", "--device-param", "r_onn=500"]) == 2
+        assert "unknown device override" in capsys.readouterr().err
+
+    def test_same_device_name_keeps_spec_overrides(self, capsys):
+        """--device repeating the spec's current name is a no-op and
+        must not drop the nested overrides (regression)."""
+        spec = {"engine": "mvp", "workload": "database", "size": 64,
+                "items": 2, "version": 2,
+                "device": {"name": "bipolar",
+                           "overrides": {"r_on": 500.0}}}
+        code = main(["run", "--spec-json", json.dumps(spec),
+                     "--device", "bipolar", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["spec"]["device"]["overrides"] == {"r_on": 500.0}
+
+    def test_new_device_name_drops_stale_overrides(self, capsys):
+        spec = {"engine": "mvp", "workload": "database", "size": 64,
+                "items": 2, "version": 2,
+                "device": {"name": "bipolar",
+                           "overrides": {"r_on": 500.0}}}
+        code = main(["run", "--spec-json", json.dumps(spec),
+                     "--device", "vteam", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["spec"]["device"] == "vteam"
+
+    def test_spec_json_inline(self, capsys):
+        spec = {"engine": "mvp", "workload": "database", "size": 64,
+                "items": 2, "version": 2,
+                "nonideality": {"fault_rate": 0.02}}
+        code = main(["run", "--spec-json", json.dumps(spec), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["fidelity"]["stuck_faults"] >= 0
+        assert payload["spec"]["nonideality"]["fault_rate"] == 0.02
+
+    def test_spec_json_conflicts_with_scenario(self, capsys):
+        assert main(["run", "dna", "--spec-json", "{}"]) == 2
+        assert "one spec source" in capsys.readouterr().err
+
+    def test_malformed_spec_json_exits_2(self, capsys):
+        assert main(["run", "--spec-json", "{nope"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_list_devices_shows_window_and_read_energy(self, capsys):
+        assert main(["list", "devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bipolar", "linear_drift", "vteam", "stanford"):
+            assert name in out
+        assert "LRS/HRS" in out
+        assert "pJ/column" in out
+        # The reference device's published window and scaled read cost.
+        assert "LRS/HRS 1e+03/1e+08 Ohm" in out
+        assert "read 0.1 pJ/column" in out
+
+    def test_sweep_nonideality_axis_prints_fidelity_columns(
+            self, capsys):
+        code = main(["sweep", "--size", "64", "--items", "2",
+                     "--engine", "mvp_batched", "--batch", "2",
+                     "--vary", "fault_rate=0.0,0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ber" in out
+        assert "margin_A" in out
+        assert "fault_rate" in out
+
+    def test_sweep_device_override_axis(self, capsys):
+        code = main(["sweep", "--size", "64", "--items", "2",
+                     "--vary", "device.r_on=1000,2000"])
+        assert code == 0
+        assert "device.r_on" in capsys.readouterr().out

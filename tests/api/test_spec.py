@@ -82,6 +82,30 @@ class TestValidation:
         with pytest.raises(SpecError, match="params"):
             ScenarioSpec(params={"bad": [1, 2]})
 
+    def test_non_scalar_param_error_names_key_and_type(self):
+        """The rejection names the offending key, type and value."""
+        with pytest.raises(
+            SpecError,
+            match=r"params\['bad'\] must be .* got list \[1, 2\]",
+        ):
+            ScenarioSpec(params={"bad": [1, 2]})
+
+    def test_nested_mapping_param_rejected_with_v2_hint(self):
+        """v1-style nesting inside params points at the v2 sub-specs."""
+        with pytest.raises(SpecError, match="nonideality -- spec v2"):
+            ScenarioSpec(params={"nonideality": {"fault_rate": 0.1}})
+
+    def test_nested_param_rejected_in_v1_from_dict(self):
+        """A v1 flat dict carrying a nested params value still fails
+        with the key/type-naming message."""
+        with pytest.raises(SpecError, match=r"params\['window'\].*dict"):
+            ScenarioSpec.from_dict({
+                "engine": "mvp", "workload": "database",
+                "device": "bipolar", "size": 64, "items": 4,
+                "batch": 1, "seed": 0,
+                "params": {"window": {"r_on": 1e3}},
+            })
+
     def test_empty_param_key_rejected(self):
         with pytest.raises(SpecError, match="params keys"):
             ScenarioSpec(params={"": 1})

@@ -1,0 +1,300 @@
+"""Spec v2: nested sub-specs, back-compat parsing, hash stability.
+
+The redesign's contract has three legs, each pinned here:
+
+* **structured sub-specs validate strictly** -- DeviceSpec overrides
+  and NonidealitySpec knobs reject unknown keys and bad values with
+  messages naming the offender;
+* **v1 stays parseable** -- flat dicts (and CLI spellings) build the
+  same specs they always did;
+* **all-default v2 specs are bit-identical to seed** -- same canonical
+  hash (``tests/golden/seed_spec_costs.json`` was generated at the
+  seed commit) and same RunResult costs for every engine, so the PR-3
+  result cache stays warm across the redesign.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.api import (
+    DeviceSpec,
+    NonidealitySpec,
+    ScenarioSpec,
+    SpecError,
+    run,
+    scenario,
+)
+from repro.api.registry import SCENARIOS
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "golden" / "seed_spec_costs.json")
+    .read_text()
+)
+
+@st.composite
+def _nonidealities(draw):
+    """Valid knob combinations: dependent knobs only with their axis."""
+    fault_rate = draw(st.floats(min_value=0.0, max_value=1.0))
+    write_scheme = draw(st.sampled_from(["direct", "verify"]))
+    return NonidealitySpec(
+        fault_rate=fault_rate,
+        stuck_at_one_fraction=draw(
+            st.floats(min_value=0.0, max_value=1.0))
+        if fault_rate > 0 else 0.5,
+        variability_sigma=draw(st.floats(min_value=0.0, max_value=3.0)),
+        wire_resistance=draw(st.floats(min_value=0.0, max_value=100.0)),
+        write_scheme=write_scheme,
+        verify_iterations=draw(st.integers(min_value=1, max_value=20))
+        if write_scheme == "verify" else 10,
+    )
+
+_devices = st.builds(
+    DeviceSpec,
+    name=st.sampled_from(["bipolar", "vteam", "stanford", "custom"]),
+    overrides=st.dictionaries(
+        st.sampled_from(["r_on", "v_set", "v_reset"]),
+        st.floats(min_value=1e-3, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        max_size=3,
+    ),
+)
+
+_v2_specs = st.builds(
+    ScenarioSpec,
+    device=_devices,
+    size=st.integers(min_value=1, max_value=10**6),
+    seed=st.integers(min_value=0, max_value=2**32),
+    nonideality=_nonidealities(),
+)
+
+
+class TestSeedBitIdentity:
+    def test_default_spec_hash_unchanged(self):
+        """The all-default v2 spec keeps its seed content address."""
+        assert ScenarioSpec().canonical_hash() == \
+            GOLDEN["hashes"]["default"]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN["hashes"]))
+    def test_preset_hashes_unchanged(self, name):
+        if name == "default":
+            spec = ScenarioSpec()
+        else:
+            spec = scenario(name)
+        assert spec.canonical_hash() == GOLDEN["hashes"][name], (
+            f"canonical hash of {name!r} moved across the v2 redesign; "
+            "cached results would all miss"
+        )
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN["costs"]))
+    def test_preset_costs_unchanged(self, name):
+        """Every engine's all-default costs are bit-identical to seed."""
+        result = run(scenario(name))
+        seed = GOLDEN["costs"][name]
+        assert result.cost.to_dict() == seed["cost"]
+        assert len(result.item_costs) == seed["n_item_costs"]
+        assert result.ok == seed["ok"]
+        assert result.fidelity is None
+
+    def test_all_presets_still_covered(self):
+        """The golden file covers the full preset registry."""
+        assert set(GOLDEN["costs"]) == set(SCENARIOS.names())
+
+    def test_default_spec_serializes_in_v1_form(self):
+        data = ScenarioSpec().to_dict()
+        assert set(data) == {"engine", "workload", "device", "size",
+                             "items", "batch", "seed", "params"}
+        assert data["device"] == "bipolar"
+
+    def test_explicit_default_nonideality_is_still_v1(self):
+        """Spelling out the defaults must not move the hash."""
+        spec = ScenarioSpec(nonideality=NonidealitySpec().to_dict())
+        assert spec.spec_version == 1
+        assert spec.canonical_hash() == GOLDEN["hashes"]["default"]
+
+
+class TestBackCompat:
+    def test_v1_flat_dict_parses(self):
+        spec = ScenarioSpec.from_dict({
+            "engine": "mvp", "workload": "database",
+            "device": "vteam", "size": 128, "items": 4,
+            "batch": 1, "seed": 7, "params": {"kernel": "rram"},
+        })
+        assert spec.device == DeviceSpec(name="vteam")
+        assert spec.device.name == "vteam"
+        assert spec.nonideality.is_default()
+        assert spec.spec_version == 1
+
+    def test_v1_and_v2_spellings_build_equal_specs(self):
+        v1 = ScenarioSpec.from_dict({"device": "stanford"})
+        v2 = ScenarioSpec.from_dict(
+            {"device": {"name": "stanford", "overrides": {}}})
+        assert v1 == v2
+        assert v1.canonical_hash() == v2.canonical_hash()
+
+    def test_string_device_kwarg_coerces(self):
+        spec = ScenarioSpec(device="linear_drift")
+        assert isinstance(spec.device, DeviceSpec)
+        assert str(spec.device) == "linear_drift"
+
+    def test_version_key_round_trips(self):
+        spec = ScenarioSpec(nonideality={"fault_rate": 0.1})
+        data = spec.to_dict()
+        assert data["version"] == 2
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_declared_v1_with_v2_content_rejected(self):
+        with pytest.raises(SpecError, match="version 1"):
+            ScenarioSpec.from_dict({
+                "version": 1, "nonideality": {"fault_rate": 0.1},
+            })
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(SpecError, match="version"):
+            ScenarioSpec.from_dict({"version": 3})
+
+
+class TestRoundTripV2:
+    @given(spec=_v2_specs)
+    def test_dict_round_trip_is_identity(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=_v2_specs)
+    def test_canonical_json_is_json_stable(self, spec):
+        """Serializing through real JSON changes nothing."""
+        rebuilt = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.canonical_hash() == spec.canonical_hash()
+
+    @given(spec=_v2_specs)
+    def test_hash_equality_consistency(self, spec):
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert hash(clone) == hash(spec)
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        spec = ScenarioSpec(
+            device=DeviceSpec("vteam", {"r_on": 2e3}),
+            nonideality={"fault_rate": 0.05, "write_scheme": "verify"},
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestDeviceSpec:
+    def test_unknown_override_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown device override"):
+            DeviceSpec(overrides={"r_onn": 1e3})
+
+    @pytest.mark.parametrize("value", [0, -1.0, True, "1000"])
+    def test_bad_override_values_rejected(self, value):
+        with pytest.raises(SpecError, match="r_on"):
+            DeviceSpec(overrides={"r_on": value})
+
+    def test_overrides_are_read_only(self):
+        spec = DeviceSpec(overrides={"r_on": 2e3})
+        with pytest.raises(TypeError):
+            spec.overrides["r_on"] = 1.0
+
+    def test_resolve_applies_overrides(self):
+        params = DeviceSpec("bipolar", {"r_on": 2e3}).resolve_parameters()
+        assert params.r_on == 2e3
+        assert params.r_off == \
+            DeviceSpec("bipolar").resolve_parameters().r_off
+
+    def test_resolve_rejects_inverted_window(self):
+        bad = DeviceSpec("bipolar", {"r_on": 1e12})
+        with pytest.raises(SpecError, match="invalid window"):
+            bad.resolve_parameters()
+
+    def test_from_value_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown device keys"):
+            DeviceSpec.from_value({"name": "bipolar", "window": {}})
+
+    def test_mapping_without_name_rejected(self):
+        """Overrides never guess their device: the mapping form
+        requires an explicit name."""
+        with pytest.raises(SpecError, match="requires a 'name'"):
+            DeviceSpec.from_value({"overrides": {"r_on": 2e3}})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError, match="device name"):
+            DeviceSpec(name="")
+
+
+class TestNonidealitySpec:
+    def test_defaults_are_default(self):
+        spec = NonidealitySpec()
+        assert spec.is_default()
+        assert spec.active_axes() == frozenset()
+
+    def test_axes_activate_independently(self):
+        assert NonidealitySpec(fault_rate=0.1).active_axes() == {"faults"}
+        assert NonidealitySpec(fault_count=3).active_axes() == {"faults"}
+        assert NonidealitySpec(variability_sigma=0.2).active_axes() == \
+            {"variability"}
+        assert NonidealitySpec(wire_resistance=2.0).active_axes() == \
+            {"ir_drop"}
+        assert NonidealitySpec(write_scheme="verify").active_axes() == \
+            {"write_verify"}
+
+    def test_rate_and_count_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            NonidealitySpec(fault_rate=0.1, fault_count=2)
+
+    @pytest.mark.parametrize("field,value", [
+        ("fault_rate", 1.5),
+        ("fault_rate", -0.1),
+        ("stuck_at_one_fraction", 2.0),
+        ("variability_sigma", -1.0),
+        ("wire_resistance", -2.5),
+        ("write_scheme", "yolo"),
+        ("verify_iterations", 0),
+        ("fault_count", -1),
+    ])
+    def test_bad_values_rejected_naming_field(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            NonidealitySpec(**{field: value})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown nonideality"):
+            NonidealitySpec.from_dict({"fault_rat": 0.1})
+
+    def test_int_knobs_normalize_to_float(self):
+        """JSON ``0`` and ``0.0`` must canonicalize identically."""
+        a = NonidealitySpec(fault_rate=0)
+        b = NonidealitySpec(fault_rate=0.0)
+        assert a == b and hash(a) == hash(b)
+
+    def test_faults_for_rate_and_count(self):
+        assert NonidealitySpec(fault_rate=0.1).faults_for(10, 10) == 10
+        assert NonidealitySpec(fault_count=7).faults_for(10, 10) == 7
+        assert NonidealitySpec().faults_for(10, 10) == 0
+
+    def test_latent_stuck_fraction_rejected(self):
+        """A knob that activates no axis must not exist: it would make
+        the spec non-default (new hash, fidelity probes) while running
+        ideal physics."""
+        with pytest.raises(ValueError, match="no effect"):
+            NonidealitySpec(stuck_at_one_fraction=0.3)
+        # With its axis on, the knob is valid.
+        NonidealitySpec(fault_rate=0.1, stuck_at_one_fraction=0.3)
+
+    def test_latent_verify_iterations_rejected(self):
+        with pytest.raises(ValueError, match="no effect"):
+            NonidealitySpec(verify_iterations=5)
+        NonidealitySpec(write_scheme="verify", verify_iterations=5)
+
+    def test_non_default_implies_active_axes(self):
+        """After latent-knob rejection, is_default and active_axes
+        agree: every representable non-default spec does real physics."""
+        for spec in (
+            NonidealitySpec(fault_rate=0.1, stuck_at_one_fraction=0.9),
+            NonidealitySpec(variability_sigma=0.2),
+            NonidealitySpec(wire_resistance=3.0),
+            NonidealitySpec(write_scheme="verify", verify_iterations=2),
+        ):
+            assert not spec.is_default()
+            assert spec.active_axes()

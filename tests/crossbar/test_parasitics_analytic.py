@@ -62,3 +62,49 @@ class TestScalingBehaviour:
         xb = Crossbar(2, 2, params=PARAMS)
         with pytest.raises(IndexError):
             ir_drop_column_currents(xb, [5])
+
+
+class TestLimitBehaviour:
+    """The two properties that pin the solver against the ideal model."""
+
+    def _loaded(self, rows=8, cols=16):
+        xb = Crossbar(rows, cols, params=PARAMS)
+        bits = np.random.default_rng(11).integers(0, 2, (rows, cols))
+        bits[0] = 1  # keep every column conducting on the read row
+        xb.load_matrix(bits)
+        return xb
+
+    @pytest.mark.parametrize("active", [[0], [0, 3], [0, 2, 5, 7]])
+    def test_zero_wire_limit_equals_ideal_currents(self, active):
+        """As wire resistance -> 0 the nodal solve converges to the
+        ideal current sum, column by column."""
+        xb = self._loaded()
+        ideal = xb.column_currents(active)
+        # Convergence is first-order in the segment resistance: each
+        # decade of wire improvement buys a decade of accuracy.
+        for r_wire, rtol in ((1e-3, 5e-4), (1e-6, 5e-7)):
+            real = ir_drop_column_currents(
+                xb, active, WireParameters(r_wire, r_wire))
+            np.testing.assert_allclose(real, ideal, rtol=rtol)
+
+    def test_loss_is_monotone_in_wire_resistance(self):
+        """More resistive wires can only lose more current -- on every
+        column, across four decades of segment resistance."""
+        from repro.crossbar import ir_drop_loss
+
+        xb = self._loaded()
+        losses = [
+            ir_drop_loss(xb, [0], WireParameters(r, r))
+            for r in (0.1, 1.0, 10.0, 100.0, 1000.0)
+        ]
+        for tighter, looser in zip(losses, losses[1:]):
+            assert (looser >= tighter - 1e-12).all()
+            assert looser.max() > tighter.max()
+
+    def test_loss_positive_and_bounded(self):
+        xb = self._loaded()
+        from repro.crossbar import ir_drop_loss
+
+        loss = ir_drop_loss(xb, [0, 4], WireParameters(25.0, 25.0))
+        assert (loss > 0).all()
+        assert (loss < 1).all()

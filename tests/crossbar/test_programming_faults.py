@@ -65,6 +65,45 @@ class TestProgramVerify:
         with pytest.raises(ValueError):
             program_with_verify(xb, np.zeros((4, 4)), margin_ratio=1.0)
 
+    def test_stuck_cells_exhaust_the_budget_and_stop(self):
+        """Cells that can never verify must not loop forever: the
+        retry loop gives up after exactly ``max_iterations``."""
+        xb = Crossbar(8, 8, params=PARAMS)
+        inject_random_stuck_faults(
+            xb, 0.2, np.random.default_rng(2), stuck_at_one_fraction=1.0
+        )
+        # Target all-zero: every stuck-at-one cell fails verification
+        # forever (its frozen R_on can never leave the ON band).
+        iterations = program_with_verify(
+            xb, np.zeros((8, 8), dtype=int), max_iterations=4
+        )
+        assert iterations == 4
+
+    def test_retry_count_grows_with_spread(self):
+        """Heavier cycle-to-cycle spread needs more rewrite passes."""
+        def retries(sigma, seed=13):
+            rng = np.random.default_rng(seed)
+            xb = Crossbar(
+                24, 24, params=PARAMS,
+                variability=VariabilityModel(
+                    sigma_on_d2d=0.0, sigma_off_d2d=0.0,
+                    sigma_on_c2c=sigma, sigma_off_c2c=sigma),
+                rng=rng,
+            )
+            target = np.random.default_rng(7).integers(0, 2, (24, 24))
+            return program_with_verify(xb, target, margin_ratio=2.0,
+                                       max_iterations=30)
+
+        assert retries(0.0) == 1
+        assert retries(1.5) > retries(0.05)
+
+    def test_verify_never_writes_beyond_failing_cells(self):
+        """A clean first write leaves program counters at one cycle."""
+        xb = Crossbar(8, 8, params=PARAMS)
+        target = np.ones((8, 8), dtype=int)
+        assert program_with_verify(xb, target) == 1
+        assert xb.max_program_cycles() == 1
+
 
 class TestIRDrop:
     def test_wire_resistance_reduces_current(self):
