@@ -1,0 +1,86 @@
+"""Accuracy under non-idealities: fault rate x ADC resolution.
+
+Two sweeps through the analog MVM engine:
+
+1. **MLP inference vs stuck-at faults** -- the acceptance-criterion
+   sweep: an ideal fabric matches the quantized reference exactly and
+   classification accuracy degrades monotonically as cells freeze.
+2. **Temporal-correlation detection, fault rate x ADC bits** -- a
+   denser workload where both axes bite: narrow converters clip the
+   popcounts (saturation) while faults corrupt the stored history, and
+   the table shows the two degradations compounding.
+
+Each cell is one reproducible ScenarioSpec run; task accuracy,
+float-reference agreement and ADC saturation come from the RunResult's
+AccuracySummary, fabric bit-error rate from its FidelitySummary.
+
+Run with:
+    PYTHONPATH=src python examples/mvm_accuracy_sweep.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.api import ScenarioSpec
+from repro.parallel import SweepRunner
+
+runner = SweepRunner(workers=4)
+
+# -- sweep 1: MLP classification vs stuck-at fault rate ----------------------
+
+mlp = ScenarioSpec(engine="analog_mvm", workload="mlp_inference",
+                   size=24, items=12, batch=4, seed=0)
+FAULT_RATES = [0.0, 0.05, 0.25]
+
+specs, results = runner.run_grid(mlp, {"fault_rate": FAULT_RATES})
+rows = [
+    (spec.nonideality.fault_rate,
+     result.accuracy.task_accuracy,
+     result.accuracy.reference_agreement,
+     result.accuracy.max_abs_error,
+     "-" if result.fidelity is None
+     else str(result.fidelity.stuck_faults))
+    for spec, result in zip(specs, results)
+]
+print(format_table(
+    ["fault_rate", "accuracy", "agreement", "max_err", "stuck_cells"],
+    rows,
+    title=f"MLP inference vs stuck-at faults ({mlp.batch} x "
+          f"{mlp.size} samples, hidden={mlp.items})",
+))
+accuracies = [r.accuracy.task_accuracy for r in results]
+assert accuracies == sorted(accuracies, reverse=True), \
+    "accuracy must degrade monotonically with fault rate"
+print(f"ideal run matches the quantized reference exactly: "
+      f"{results[0].ok}\n")
+
+# -- sweep 2: temporal correlation, fault rate x ADC resolution --------------
+
+temporal = ScenarioSpec(engine="analog_mvm",
+                        workload="temporal_correlation",
+                        size=96, items=6, batch=4, seed=0,
+                        params={"event_rate": 0.4})
+ADC_BITS = [3, 4, 6]
+
+specs, results = runner.run_grid(
+    temporal, {"adc_bits": ADC_BITS, "fault_rate": FAULT_RATES})
+rows = [
+    (spec.params["adc_bits"],
+     spec.nonideality.fault_rate,
+     result.accuracy.task_accuracy,
+     result.accuracy.reference_agreement,
+     result.accuracy.saturation_rate,
+     "-" if result.fidelity is None
+     else f"{result.fidelity.bit_error_rate:.4g}")
+    for spec, result in zip(specs, results)
+]
+print(format_table(
+    ["adc_bits", "fault_rate", "accuracy", "agreement",
+     "adc_saturation", "ber"],
+    rows,
+    title=f"Temporal-correlation detection ({temporal.batch} "
+          f"realizations, {4 * temporal.items} processes, "
+          f"{temporal.size} steps, dense events)",
+))
+print("\nnarrow ADCs saturate (clipped conversions) and faults corrupt "
+      "the stored history;\nboth pull detection accuracy down, and the "
+      "full-resolution ideal cell tracks the\nfloat reference "
+      "perfectly.")

@@ -17,9 +17,11 @@ execution layer -- through a single declarative surface:
   hash;
 * **Engine.from_spec(spec).run()** executes any scenario and returns a
   **RunResult** -- one schema for outputs, SI cost totals (joules /
-  seconds / mm^2), per-item batched costs, provenance, and a
+  seconds / mm^2), per-item batched costs, provenance, a
   **FidelitySummary** (bit-error rate, worst-case sense margin, verify
-  retries) whenever nonidealities are active;
+  retries) whenever nonidealities are active, and an
+  **AccuracySummary** (task accuracy, float-reference agreement, ADC
+  saturation) for the ``analog_mvm`` engine's workloads;
 * the ``python -m repro`` CLI exposes the same facade from the shell;
 * :mod:`repro.parallel` scales it out: ``ParallelRunner`` shards a
   batched spec across worker processes (bit-identical to ``workers=1``),
@@ -55,6 +57,7 @@ from repro.api.registry import (
     UnknownNameError,
 )
 from repro.api.result import (
+    AccuracySummary,
     CostSummary,
     FidelitySummary,
     RunResult,
@@ -72,6 +75,7 @@ from repro.api.spec import (
 from repro.api.workloads import ScenarioError, WorkloadAdapter, adapter_for
 
 __all__ = [
+    "AccuracySummary",
     "CostSummary",
     "DEVICES",
     "DeviceEntry",

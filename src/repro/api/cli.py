@@ -15,11 +15,15 @@ Subcommands:
   base spec into a grid (spec fields, nonideality knobs such as
   ``fault_rate`` / ``variability_sigma``, ``device.PARAM`` overrides,
   or workload params), fan the grid across workers, print one row per
-  cell -- with per-cell fidelity columns when nonidealities are active.
+  cell -- with per-cell fidelity columns when nonidealities are active
+  and accuracy columns for ``analog_mvm`` runs; ``--csv PATH``
+  additionally writes the table to a CSV file.
 * ``figures``           -- regenerate paper figures (all, or
   ``--only fig3 --only fig4``); exit status reflects the claim checks.
 * ``list [what]``       -- show registered engines, devices, workloads,
-  scenarios and figures.
+  scenarios and figures, each with a one-line description.
+* ``cache prune``       -- evict least-recently-used result-cache
+  entries down to ``--max-entries`` / ``--max-bytes`` caps.
 * ``bench``             -- engine execution throughput, batched vs
   single-item MVP (generation excluded), optionally persisted as JSON;
   ``--workers N`` additionally measures sharded vs single-process
@@ -49,8 +53,14 @@ from repro.api.registry import (
 )
 from repro.api.scenarios import scenario
 from repro.api.spec import DeviceSpec, ScenarioSpec, SpecError
+from repro.analysis.tables import write_csv
 from repro.bench import measure_throughput, speedup, write_bench_json
-from repro.parallel import ParallelRunner, SweepRunner, expand_grid
+from repro.parallel import (
+    ParallelRunner,
+    ResultCache,
+    SweepRunner,
+    expand_grid,
+)
 from repro.parallel.sweep import (
     NONIDEALITY_FIELDS,
     SPEC_FIELDS,
@@ -157,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
              "combinatorially)")
     sweep_p.add_argument("--json", type=Path, default=None, metavar="PATH",
                          help="persist every RunResult as a JSON list")
+    sweep_p.add_argument("--csv", type=Path, default=None, metavar="PATH",
+                         help="write the sweep table (axes, ok, cost, "
+                              "fidelity and accuracy columns) to a CSV "
+                              "file")
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument("--only", action="append", default=None,
@@ -167,6 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
     list_p.add_argument("what", nargs="?", default=None,
                         choices=sorted(_LISTABLE),
                         help="one registry (default: all)")
+
+    cache_p = sub.add_parser(
+        "cache", help="result-cache maintenance")
+    cache_sub = cache_p.add_subparsers(dest="cache_command")
+    prune_p = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries down to the "
+                      "given caps")
+    prune_p.add_argument("cache_dir", type=Path,
+                         help="the cache directory to prune")
+    prune_p.add_argument("--max-entries", type=int, default=None,
+                         metavar="N",
+                         help="keep at most N entries")
+    prune_p.add_argument("--max-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="keep at most BYTES of entry payload")
 
     bench_p = sub.add_parser(
         "bench", help="engine execution throughput: batched vs "
@@ -269,6 +298,16 @@ def _render_result(result) -> str:
             f"{f.verify_retries} verify retries, "
             f"{f.stuck_faults} stuck faults"
         )
+    if result.accuracy is not None:
+        a = result.accuracy
+        lines.append(
+            f"accuracy: task {a.task_accuracy:.4g} "
+            f"({a.correct}/{a.total}), float-ref agreement "
+            f"{a.reference_agreement:.4g}, max |err| "
+            f"{a.max_abs_error:.4g}, ADC saturation "
+            f"{a.saturation_rate:.4g} "
+            f"({a.adc_saturations}/{a.adc_conversions})"
+        )
     if result.cost.area_mm2:
         lines.append(f"area:    {result.cost.area_mm2:.4g} mm^2")
     counters = "  ".join(
@@ -366,9 +405,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     varied = list(axes)
     with_fidelity = any(r.fidelity is not None for r in results)
+    with_accuracy = any(r.accuracy is not None for r in results)
     header = [*varied, "ok", "energy_J", "latency_s"]
     if with_fidelity:
         header += ["ber", "margin_A"]
+    if with_accuracy:
+        header += ["accuracy", "agreement", "max_err"]
     header.append("source")
     rows = []
     for spec, result in zip(specs, results):
@@ -384,6 +426,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             row.append("-" if f is None else f"{f.bit_error_rate:.4g}")
             row.append("-" if f is None or f.worst_sense_margin is None
                        else f"{f.worst_sense_margin:.4g}")
+        if with_accuracy:
+            a = result.accuracy
+            row.append("-" if a is None else f"{a.task_accuracy:.4g}")
+            row.append("-" if a is None
+                       else f"{a.reference_agreement:.4g}")
+            row.append("-" if a is None else f"{a.max_abs_error:.4g}")
         row.append("cache" if hit else "run")
         rows.append(row)
     widths = [max(len(header[i]), *(len(r[i]) for r in rows))
@@ -394,6 +442,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"[{len(results)} runs, "
           f"{sum(1 for r in rows if r[-1] == 'cache')} cache hits, "
           f"workers={args.workers}]")
+    if args.csv is not None:
+        write_csv(args.csv, header, rows)
+        print(f"[csv saved to {args.csv}]")
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(
@@ -419,9 +470,32 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 detail = (f" -- engine={value.engine} "
                           f"workload={value.workload} size={value.size} "
                           f"batch={value.batch}")
+            elif what == "engines":
+                if value.description:
+                    detail = f" -- {value.description}"
             elif what == "workloads":
-                detail = f" -- engines: {', '.join(sorted(value.engines))}"
+                engines = ", ".join(sorted(value.engines))
+                summary = f"{value.description}; " \
+                    if value.description else ""
+                detail = f" -- {summary}engines: {engines}"
             print(f"  {name}{detail}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_command != "prune":
+        raise SpecError("cache needs a subcommand: prune")
+    if args.max_entries is None and args.max_bytes is None:
+        raise SpecError(
+            "cache prune needs --max-entries and/or --max-bytes")
+    if not args.cache_dir.is_dir():
+        raise SpecError(
+            f"cache directory {args.cache_dir} does not exist")
+    stats = ResultCache(args.cache_dir).prune(
+        max_entries=args.max_entries, max_bytes=args.max_bytes)
+    print(f"pruned {stats.removed} of {stats.scanned} entries "
+          f"({stats.removed_bytes} bytes freed); "
+          f"{stats.kept} entries / {stats.kept_bytes} bytes kept")
     return 0
 
 
@@ -515,6 +589,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return run_figures(args.only)
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except ValueError as exc:

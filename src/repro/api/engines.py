@@ -1,7 +1,7 @@
 """The engine facade: ``Engine.from_spec(spec).run() -> RunResult``.
 
-Four registered engines cover the paper's three CIM architectures plus
-the batched execution layer:
+Five registered engines cover the paper's CIM architectures plus the
+batched execution layer:
 
 * ``mvp``          -- single-item Memristive Vector Processor;
 * ``mvp_batched``  -- the PR-1 batch engine: one program over B logical
@@ -10,7 +10,11 @@ the batched execution layer:
   default; ``params["kernel"] in {"rram", "sram", "sdram"}`` swaps the
   priced dot-product kernel);
 * ``arch_model``   -- the analytical CPU+MVP vs multicore comparison of
-  Fig. 4.
+  Fig. 4;
+* ``analog_mvm``   -- the tiled analog matrix-vector-multiply
+  accelerator (:mod:`repro.mvm`): differential-pair crossbar tiles,
+  bit-serial DAC slicing, ADC quantization, and per-run
+  :class:`~repro.mvm.accuracy.AccuracySummary` reporting.
 
 Every engine consumes the same :class:`~repro.api.spec.ScenarioSpec`,
 resolves its device and workload through the registries, and returns
@@ -56,6 +60,9 @@ from repro.crossbar.nonideal import (
     NonidealCrossbarStack,
     probe_read_fidelity,
 )
+from repro.mvm.accuracy import AccuracySummary
+from repro.mvm.analog import AnalogAccelerator
+from repro.mvm.mapper import CONFIG_PARAM_KEYS, MVMConfig
 from repro.mvp.batch import BatchedMVPProcessor
 from repro.mvp.processor import MVPProcessor
 from repro.rram_ap.cost import RRAM_KERNEL, SDRAM_KERNEL, SRAM_KERNEL
@@ -98,6 +105,8 @@ class Engine:
 
     #: Registry name (set by subclasses).
     name = ""
+    #: One-line summary shown by ``repro list engines``.
+    description = ""
     #: Whether the engine services batch > 1 specs.
     supports_batch = False
     #: Whether the engine can execute a batch *window* in isolation
@@ -156,6 +165,10 @@ class Engine:
         #: Fidelity measured by the most recent window execution; None
         #: until a nonideal window ran (see :meth:`window_fidelity`).
         self._fidelity: FidelitySummary | None = None
+        #: Application accuracy of the most recent window execution;
+        #: None for engines without an accuracy axis (see
+        #: :meth:`window_accuracy`).
+        self._accuracy: AccuracySummary | None = None
 
     @classmethod
     def from_spec(
@@ -209,6 +222,7 @@ class Engine:
             item_costs=tuple(item_costs),
             provenance=provenance,
             fidelity=self.window_fidelity(),
+            accuracy=self.window_accuracy(),
         )
 
     def check_params(self, adapter: WorkloadAdapter) -> None:
@@ -308,8 +322,20 @@ class Engine:
             return
         items = fabric.items if isinstance(fabric, NonidealCrossbarStack) \
             else [fabric]
+        self._fidelity = self._fidelity_of_crossbars(items)
+
+    @staticmethod
+    def _fidelity_of_crossbars(crossbars) -> FidelitySummary | None:
+        """Probe and fold a deterministic sequence of nonideal arrays.
+
+        Shared by the crossbar engines' post-run probe and the analog
+        MVM engine's per-tile sweep: each array is read back through
+        its own (spread/fault/IR-drop-aware) read chain and the
+        declared fidelity metrics fold in sequence order, so shard
+        concatenation reproduces the workers=1 fold.
+        """
         summaries = []
-        for item in items:
+        for item in crossbars:
             errors, cells, margin = probe_read_fidelity(item)
             summaries.append(FidelitySummary(
                 bit_errors=errors,
@@ -318,7 +344,7 @@ class Engine:
                 verify_retries=item.verify_retries,
                 stuck_faults=item.fault_campaign.total,
             ))
-        self._fidelity = FidelitySummary.merge_all(summaries)
+        return FidelitySummary.merge_all(summaries)
 
     @classmethod
     def merge_window_fidelity(
@@ -332,6 +358,29 @@ class Engine:
         configuration) override this.
         """
         return FidelitySummary.merge_all(summaries)
+
+    # -- accuracy ----------------------------------------------------------------
+
+    def window_accuracy(self) -> AccuracySummary | None:
+        """Application accuracy of the last executed window.
+
+        None for engines without an accuracy axis; the ``analog_mvm``
+        engine populates it per window and the sharded executor folds
+        shards with :meth:`merge_window_accuracy`.
+        """
+        return self._accuracy
+
+    @classmethod
+    def merge_window_accuracy(
+        cls, summaries: list[AccuracySummary | None]
+    ) -> AccuracySummary | None:
+        """Fold per-shard accuracy summaries (shard order).
+
+        Integer sums plus a float max, per
+        :attr:`AccuracySummary.MERGE_POLICIES` -- exactly associative,
+        so sharded accuracy is bit-identical to ``workers=1``.
+        """
+        return AccuracySummary.merge_all(summaries)
 
     # -- shard hooks -------------------------------------------------------------
 
@@ -372,6 +421,8 @@ class MVPEngine(Engine):
     """Single-item MVP: lower the workload and execute it on a crossbar."""
 
     name = "mvp"
+    description = ("single-item Memristive Vector Processor on one "
+                   "crossbar")
     uses_device = True
     nonideality_axes = frozenset({
         AXIS_FAULTS, AXIS_VARIABILITY, AXIS_IR_DROP, AXIS_WRITE_VERIFY,
@@ -395,6 +446,8 @@ class BatchedMVPEngine(Engine):
     """Batched MVP: one program over every array of a crossbar stack."""
 
     name = "mvp_batched"
+    description = ("batched MVP: one program over B logical crossbars "
+                   "of a stack")
     supports_batch = True
     uses_device = True
     shardable = True
@@ -436,6 +489,8 @@ class RRAMAPEngine(Engine):
     """Hardware automata processor over the workload's automaton."""
 
     name = "rram_ap"
+    description = ("hardware automata processor with priced "
+                   "dot-product kernels")
     supports_batch = True
     engine_params = frozenset({"kernel"})
     shardable = True
@@ -542,6 +597,8 @@ class ArchModelEngine(Engine):
     """Analytical Fig. 4 comparison under the workload's offload mix."""
 
     name = "arch_model"
+    description = ("closed-form Fig. 4 CPU+MVP vs multicore "
+                   "architecture comparison")
 
     def __init__(self, spec: ScenarioSpec) -> None:
         super().__init__(spec)
@@ -587,6 +644,111 @@ class ArchModelEngine(Engine):
             counters={"grid_points": len(sweep.points)},
         )
         return outputs, cost, [cost]
+
+
+@ENGINES.register("analog_mvm")
+class AnalogMVMEngine(Engine):
+    """Tiled analog in-memory MVM with accuracy-under-nonideality.
+
+    Each batch item gets its own :class:`~repro.mvm.analog.
+    AnalogAccelerator` -- the workload's weight matrices mapped to
+    differential crossbar tiles, driven bit-serially through DAC/ADC
+    stages -- seeded from the item's fabric entropy stream, so sharded
+    execution stays bit-identical.  The workload adapter runs its
+    evaluation through the fabric and scores it against its own float
+    reference; the engine rolls the per-item
+    :class:`~repro.mvm.accuracy.AccuracySummary` records and tile
+    fidelity into the RunResult.
+    """
+
+    name = "analog_mvm"
+    description = ("tiled analog crossbar MVM: differential pairs, "
+                   "bit-sliced DAC/ADC, accuracy reporting")
+    supports_batch = True
+    uses_device = True
+    shardable = True
+    nonideality_axes = frozenset({
+        AXIS_FAULTS, AXIS_VARIABILITY, AXIS_IR_DROP, AXIS_WRITE_VERIFY,
+    })
+    engine_params = frozenset(CONFIG_PARAM_KEYS)
+
+    def mvm_config(self) -> MVMConfig:
+        """The spec's quantization/tiling knob set."""
+        try:
+            return MVMConfig.from_params(self.spec.params)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+
+    def build_fabric(self, adapter):
+        """One per-item accelerator list, in window order.
+
+        Item ``i``'s tiles draw all stochastic nonidealities from the
+        absolute-index fabric stream, so its physics never depend on
+        the window or sibling items.
+        """
+        config = self.mvm_config()
+        params = self.spec.device.resolve_parameters()
+        nonideality = self.spec.nonideality
+        energy_model = energy_model_for(params)
+        accelerators = []
+        for index in adapter.batch_indices:
+            rng = None if nonideality.is_default() \
+                else self._fabric_item_rng(index)
+            accelerators.append(AnalogAccelerator(
+                adapter.mvm_layers(index), config, params=params,
+                nonideality=nonideality, rng=rng,
+                energy_model=energy_model,
+            ))
+        return accelerators
+
+    def execute_window(self, adapter):
+        accelerators = self.build_fabric(adapter)
+        per_item_outputs = []
+        summaries = []
+        item_costs = []
+        for index, accelerator in zip(adapter.batch_indices,
+                                      accelerators):
+            outputs, summary = adapter.run_analog(index, accelerator)
+            per_item_outputs.append(outputs)
+            summaries.append(summary)
+            item_costs.append(CostSummary(
+                energy_joules=accelerator.energy_joules,
+                latency_seconds=accelerator.latency_seconds,
+                counters={
+                    "reads": accelerator.reads,
+                    "adc_conversions": accelerator.adc_conversions,
+                    "adc_saturations": accelerator.adc_saturations,
+                    "program_cycles": accelerator.program_cycles(),
+                    "tiles": len(accelerator.crossbars),
+                },
+            ))
+        outputs = adapter.merge_shard_outputs(per_item_outputs)
+        self._accuracy = AccuracySummary.merge_all(summaries)
+        if self.spec.nonideality.is_default():
+            self._fidelity = None
+        else:
+            self._fidelity = self._fidelity_of_crossbars([
+                crossbar
+                for accelerator in accelerators
+                for crossbar in accelerator.nonideal_crossbars
+            ])
+        return outputs, CostSummary(), item_costs
+
+    @staticmethod
+    def aggregate_cost(base, item_costs):
+        total = base
+        for item in item_costs:
+            total = total.merged_with(item)
+        # Items execute on independent per-item tile fabrics running
+        # concurrently: energy and event counters sum, the run's wall
+        # latency is the slowest item's (mirroring the AP's policy).
+        if item_costs:
+            total = dataclasses.replace(
+                total,
+                latency_seconds=max(
+                    c.latency_seconds for c in item_costs),
+            )
+        return total
 
 
 def run(spec: ScenarioSpec | Mapping[str, Any]) -> RunResult:

@@ -25,10 +25,12 @@ import numpy as np
 
 from repro.api.spec import ScenarioSpec
 from repro.arch.metrics import SystemPoint
+from repro.mvm.accuracy import AccuracySummary
 from repro.mvp.processor import MVPStats
 from repro.rram_ap.processor import RunCost
 
 __all__ = [
+    "AccuracySummary",
     "CostSummary",
     "FidelitySummary",
     "RunResult",
@@ -250,6 +252,9 @@ class RunResult:
             workload names, seed, package version, wall-clock seconds.
         fidelity: device-physics fidelity of the run's fabric; None for
             ideal runs (default nonideality).
+        accuracy: application accuracy of an analog MVM run
+            (:class:`~repro.mvm.accuracy.AccuracySummary`); None for
+            engines without an accuracy axis.
     """
 
     spec: ScenarioSpec
@@ -258,6 +263,7 @@ class RunResult:
     item_costs: tuple[CostSummary, ...] = ()
     provenance: dict[str, Any] = dataclasses.field(default_factory=dict)
     fidelity: FidelitySummary | None = None
+    accuracy: AccuracySummary | None = None
 
     @property
     def ok(self) -> bool:
@@ -267,8 +273,9 @@ class RunResult:
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable rendering of the full result.
 
-        The ``fidelity`` key appears only when fidelity was measured,
-        keeping ideal results' payloads identical to the pre-v2 shape.
+        The ``fidelity`` and ``accuracy`` keys appear only when those
+        axes were measured, keeping other results' payloads identical
+        to the earlier shapes.
         """
         data = {
             "spec": self.spec.to_dict(),
@@ -279,6 +286,8 @@ class RunResult:
         }
         if self.fidelity is not None:
             data["fidelity"] = self.fidelity.to_dict()
+        if self.accuracy is not None:
+            data["accuracy"] = self.accuracy.to_dict()
         return data
 
     @classmethod
@@ -301,6 +310,7 @@ class RunResult:
                 or not isinstance(provenance, Mapping):
             raise ValueError("outputs and provenance must be mappings")
         fidelity = data.get("fidelity")
+        accuracy = data.get("accuracy")
         return cls(
             spec=ScenarioSpec.from_dict(data["spec"]),
             outputs=dict(outputs),
@@ -311,6 +321,8 @@ class RunResult:
             provenance=dict(provenance),
             fidelity=None if fidelity is None
             else FidelitySummary.from_dict(fidelity),
+            accuracy=None if accuracy is None
+            else AccuracySummary.from_dict(accuracy),
         )
 
 

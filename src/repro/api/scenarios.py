@@ -50,3 +50,11 @@ SCENARIOS.register("datamining", ScenarioSpec(
 SCENARIOS.register("arch", ScenarioSpec(
     engine="arch_model", workload="database",
 ))
+SCENARIOS.register("mlp", ScenarioSpec(
+    engine="analog_mvm", workload="mlp_inference", size=24, items=12,
+    batch=4,
+))
+SCENARIOS.register("temporal", ScenarioSpec(
+    engine="analog_mvm", workload="temporal_correlation", size=96,
+    items=6, batch=4,
+))

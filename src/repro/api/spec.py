@@ -182,11 +182,14 @@ class ScenarioSpec:
             streams (``rram_ap``); single-item engines require 1.
         seed: RNG seed; two runs of an equal spec are bit-identical.
         params: extra scalar knobs forwarded to the engine/workload
-            (e.g. ``{"kernel": "sram", "motif": "TATAWR"}``).  Stored
-            as a read-only mapping so a spec's equality/hash cannot
-            change after construction.  Structured knobs do *not*
-            belong here -- device windows go in ``device.overrides``
-            and physics in ``nonideality``.
+            (e.g. ``{"kernel": "sram", "motif": "TATAWR"}``; the
+            ``analog_mvm`` engine reads its quantization/tiling knobs
+            ``weight_bits`` / ``dac_bits`` / ``adc_bits`` /
+            ``tile_rows`` / ``tile_cols`` here).  Stored as a
+            read-only mapping so a spec's equality/hash cannot change
+            after construction.  Structured knobs do *not* belong
+            here -- device windows go in ``device.overrides`` and
+            physics in ``nonideality``.
         nonideality: the device-nonideality stack
             (:class:`~repro.crossbar.nonideal.NonidealitySpec`);
             accepts a mapping or a spec instance.  All-default means

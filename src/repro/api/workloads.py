@@ -11,6 +11,11 @@ through the surfaces the engines consume:
 * **AP surface** -- ``build_automaton()`` + ``streams()`` +
   ``check_ap()`` compile the workload to a homogeneous automaton and
   score the traces against an exact software golden reference;
+* **analog MVM surface** -- ``mvm_layers()`` supplies the weight
+  matrices the ``analog_mvm`` engine maps to crossbar tiles, and
+  ``run_analog()`` drives the per-item evaluation through the fabric,
+  scoring it against the workload's float reference into an
+  :class:`~repro.mvm.accuracy.AccuracySummary`;
 * **arch surface** -- ``arch_workload()`` summarizes the domain as the
   Fig. 4 offload mix.
 
@@ -59,12 +64,19 @@ from repro.automata.homogeneous import (
 )
 from repro.automata.regex import compile_regex
 from repro.automata.symbols import Alphabet
+from repro.mvm.accuracy import AccuracySummary
 from repro.mvp.isa import Instruction
 from repro.workloads.database import lower_query
 from repro.workloads.datamining import (
     contains_in_order,
     generate_patterns,
     generate_transaction,
+)
+from repro.workloads.mlp import blob_means, sample_blobs, train_mlp
+from repro.workloads.temporal import (
+    correlation_scores,
+    make_correlated_processes,
+    top_k_mask,
 )
 from repro.workloads import (
     BitmapIndex,
@@ -209,6 +221,8 @@ class WorkloadAdapter:
 
     #: Registry name (set by subclasses).
     name = ""
+    #: One-line summary shown by ``repro list workloads``.
+    description = ""
     #: Engine names this workload can serve.
     engines: frozenset[str] = frozenset()
     #: Whether AP runs re-arm start states each symbol (pattern search).
@@ -362,6 +376,40 @@ class WorkloadAdapter:
             f"workload {self.name!r} has no automaton form"
         )
 
+    # -- analog MVM surface ------------------------------------------------------
+
+    def mvm_layers(self, index: int) -> list[np.ndarray]:
+        """Float weight matrices, in application order, for the
+        ``analog_mvm`` engine to map onto crossbar tiles.
+
+        Args:
+            index: absolute batch index (workloads whose matrices are
+                batch-wide, like a shared trained model, ignore it).
+        """
+        raise ScenarioError(
+            f"workload {self.name!r} has no analog MVM form"
+        )
+
+    def run_analog(
+        self, index: int, accelerator
+    ) -> tuple[dict[str, Any], AccuracySummary]:
+        """Run item ``index``'s evaluation through an analog fabric.
+
+        Args:
+            index: absolute batch index.
+            accelerator: the item's programmed
+                :class:`~repro.mvm.analog.AnalogAccelerator`.
+
+        Returns:
+            ``(outputs, accuracy)``: a per-item outputs dict (item-axis
+            keys as one-entry lists, mergeable by
+            ``merge_shard_outputs``) and the item's
+            :class:`~repro.mvm.accuracy.AccuracySummary`.
+        """
+        raise ScenarioError(
+            f"workload {self.name!r} has no analog MVM form"
+        )
+
     # -- arch surface ------------------------------------------------------------
 
     def arch_workload(self) -> WorkloadParameters:
@@ -406,6 +454,8 @@ class DatabaseAdapter(WorkloadAdapter):
     """
 
     name = "database"
+    description = ("bitmap-index CNF analytics as in-memory "
+                   "AND/OR/POPCOUNT")
     engines = frozenset({"mvp", "mvp_batched", "arch_model"})
     arch_accelerated_fraction = 0.9
 
@@ -531,6 +581,7 @@ class GraphAdapter(WorkloadAdapter):
     """
 
     name = "graph"
+    description = "frontier BFS, one multi-row scouting OR per level"
     engines = frozenset({"mvp", "arch_model"})
     arch_accelerated_fraction = 0.8
 
@@ -575,6 +626,8 @@ class DnaAdapter(WorkloadAdapter):
     """
 
     name = "dna"
+    description = ("IUPAC degenerate-motif search over synthetic "
+                   "references")
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = True
     arch_accelerated_fraction = 0.85
@@ -634,6 +687,8 @@ class NetworkingAdapter(WorkloadAdapter):
     """
 
     name = "networking"
+    description = ("deep packet inspection against a merged IDS "
+                   "signature set")
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = True
     arch_accelerated_fraction = 0.75
@@ -709,6 +764,8 @@ class StringsAdapter(WorkloadAdapter):
     """
 
     name = "strings"
+    description = ("multi-pattern literal matching scored against "
+                   "Shift-And")
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = True
     arch_accelerated_fraction = 0.8
@@ -789,6 +846,8 @@ class DataminingAdapter(WorkloadAdapter):
     """
 
     name = "datamining"
+    description = ("sequential pattern mining by anchored ordered "
+                   "containment")
     engines = frozenset({"rram_ap", "arch_model"})
     unanchored = False
     arch_accelerated_fraction = 0.7
@@ -837,3 +896,211 @@ class DataminingAdapter(WorkloadAdapter):
             "golden_supports": supports,
             "checks_passed": accepted == golden,
         }
+
+
+# ---------------------------------------------------------------------------
+# mlp_inference: synthetic-blob MLP classification (analog MVM)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("mlp_inference")
+class MLPInferenceAdapter(WorkloadAdapter):
+    """MLP classification through the analog MVM fabric.
+
+    A two-layer bias-free MLP is trained deterministically on seeded
+    Gaussian blobs (batch-wide: one model shared by every item), then
+    each batch item evaluates its own test sample through the analog
+    pipeline.  ``size`` is the test samples per item, ``items`` the
+    hidden-layer width, ``batch`` the number of independent test sets.
+
+    Per item the adapter reports three prediction scores: against the
+    true labels (task accuracy), against the float model's predictions
+    (reference agreement -- quantization and device loss isolated from
+    the model's own errors), and -- as ``checks_passed`` -- exact
+    agreement with the digitally-quantized reference, which an ideal
+    fabric must reproduce bit-for-bit.
+    """
+
+    name = "mlp_inference"
+    description = ("synthetic-blob MLP classification through the "
+                   "analog MVM pipeline")
+    engines = frozenset({"analog_mvm", "arch_model"})
+    arch_accelerated_fraction = 0.9
+    item_output_keys = frozenset({
+        "analog_accuracy", "float_accuracy", "agreement",
+        "tile_saturations",
+    })
+
+    _FEATURES = 8
+    _CLASSES = 3
+    _TRAIN_SAMPLES = 96
+    _SPREAD = 0.12
+
+    @property
+    def hidden(self) -> int:
+        """Hidden-layer width (``spec.items``, floored at 6).
+
+        The floor keeps the shared float model trainable: narrower
+        layers can strand the seeded GD on dead ReLU units, and a
+        reference model that cannot classify would make the accuracy
+        axis meaningless.
+        """
+        return max(6, self.spec.items)
+
+    @cached_property
+    def _means(self) -> np.ndarray:
+        """Batch-wide class centers (shared stream 0)."""
+        return blob_means(self.shared_rng(0), self._CLASSES,
+                          self._FEATURES)
+
+    @cached_property
+    def _model(self):
+        """The batch-wide trained float model (shared stream 1)."""
+        return train_mlp(self.shared_rng(1), self._means,
+                         hidden=self.hidden,
+                         n_train=self._TRAIN_SAMPLES,
+                         spread=self._SPREAD)
+
+    def _testset(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Item ``index``'s labelled test samples (item stream)."""
+        return sample_blobs(self.item_rng(index), self._means,
+                            self.spec.size, self._SPREAD)
+
+    def mvm_layers(self, index: int) -> list[np.ndarray]:
+        return self._model.layers
+
+    def run_analog(self, index, accelerator):
+        samples, labels = self._testset(index)
+        float_logits = self._model.forward(samples)
+        float_pred = np.argmax(float_logits, axis=1)
+        analog_logits = np.empty_like(float_logits)
+        reference_pred = np.empty_like(float_pred)
+        for i, x in enumerate(samples):
+            hidden = np.maximum(accelerator.matvec(0, x), 0.0)
+            analog_logits[i] = accelerator.matvec(1, hidden)
+            ref_hidden = np.maximum(
+                accelerator.reference_matvec(0, x), 0.0)
+            reference_pred[i] = int(np.argmax(
+                accelerator.reference_matvec(1, ref_hidden)))
+        analog_pred = np.argmax(analog_logits, axis=1)
+        total = len(labels)
+        correct = int((analog_pred == labels).sum())
+        matched = int((analog_pred == float_pred).sum())
+        summary = AccuracySummary(
+            correct=correct,
+            matched=matched,
+            total=total,
+            max_abs_error=float(
+                np.abs(analog_logits - float_logits).max()),
+            adc_saturations=accelerator.adc_saturations,
+            adc_conversions=accelerator.adc_conversions,
+        )
+        outputs = {
+            "classes": self._CLASSES,
+            "hidden": self.hidden,
+            "analog_accuracy": [correct / total],
+            "float_accuracy": [float((float_pred == labels).mean())],
+            "agreement": [matched / total],
+            "tile_saturations": [list(accelerator.tile_saturations)],
+            "checks_passed": bool(
+                (analog_pred == reference_pred).all()),
+        }
+        return outputs, summary
+
+
+# ---------------------------------------------------------------------------
+# temporal_correlation: correlated-process detection (analog MVM)
+# ---------------------------------------------------------------------------
+
+
+@WORKLOADS.register("temporal_correlation")
+class TemporalCorrelationAdapter(WorkloadAdapter):
+    """Sebastian-style temporal-correlation detection on the MVM fabric.
+
+    Each batch item is one independent realization of N binary
+    processes, a hidden subset of which follows a shared latent event
+    stream.  The item's event history is programmed into the crossbar
+    tiles and a single analog matvec against the population-activity
+    vector scores every process; the top-k scores are classified as
+    correlated.  ``size`` is the time steps, ``items`` scales the
+    process count (``4 * items``), ``batch`` the realizations;
+    ``params["correlation"]`` / ``params["event_rate"]`` tune the
+    statistics.
+    """
+
+    name = "temporal_correlation"
+    description = ("correlated-process detection: one analog matvec "
+                   "ranks every process")
+    engines = frozenset({"analog_mvm", "arch_model"})
+    arch_accelerated_fraction = 0.85
+    item_output_keys = frozenset({
+        "detection_accuracy", "agreement", "tile_saturations",
+    })
+
+    def surface_params(self, engine: str) -> frozenset[str]:
+        if engine == "analog_mvm":
+            return frozenset({"correlation", "event_rate"})
+        return super().surface_params(engine)
+
+    @property
+    def processes(self) -> int:
+        return 4 * self.spec.items
+
+    @property
+    def n_correlated(self) -> int:
+        return max(2, self.processes // 4)
+
+    @cached_property
+    def _dataset_cache(self) -> dict:
+        return {}
+
+    def _dataset(self, index: int):
+        """Item ``index``'s realization (cached; pure in (seed, index))."""
+        if index not in self._dataset_cache:
+            self._dataset_cache[index] = make_correlated_processes(
+                self.item_rng(index), self.spec.size, self.processes,
+                self.n_correlated,
+                event_rate=float(
+                    self.spec.params.get("event_rate", 0.15)),
+                correlation=float(
+                    self.spec.params.get("correlation", 0.75)),
+            )
+        return self._dataset_cache[index]
+
+    def mvm_layers(self, index: int) -> list[np.ndarray]:
+        # One layer: the (processes, steps) history matrix, so the
+        # matvec against the activity vector scores every process.
+        return [self._dataset(index).events.T.astype(float)]
+
+    def run_analog(self, index, accelerator):
+        dataset = self._dataset(index)
+        activity = dataset.events.sum(axis=1).astype(float)
+        float_scores = correlation_scores(dataset.events)
+        analog_scores = accelerator.matvec(0, activity)
+        reference_scores = accelerator.reference_matvec(0, activity)
+        k = dataset.n_correlated
+        analog_mask = top_k_mask(analog_scores, k)
+        float_mask = top_k_mask(float_scores, k)
+        reference_mask = top_k_mask(reference_scores, k)
+        total = dataset.processes
+        correct = int((analog_mask == dataset.correlated).sum())
+        matched = int((analog_mask == float_mask).sum())
+        summary = AccuracySummary(
+            correct=correct,
+            matched=matched,
+            total=total,
+            max_abs_error=float(
+                np.abs(analog_scores - float_scores).max()),
+            adc_saturations=accelerator.adc_saturations,
+            adc_conversions=accelerator.adc_conversions,
+        )
+        outputs = {
+            "processes": total,
+            "planted_correlated": k,
+            "detection_accuracy": [correct / total],
+            "agreement": [matched / total],
+            "tile_saturations": [list(accelerator.tile_saturations)],
+            "checks_passed": bool(
+                (analog_mask == reference_mask).all()),
+        }
+        return outputs, summary

@@ -48,6 +48,7 @@ __all__ = [
     "NonidealitySpec",
     "NonidealCrossbar",
     "NonidealCrossbarStack",
+    "build_crossbar",
     "probe_read_fidelity",
     "read_back_errors",
     "worst_read_margin",
@@ -479,6 +480,31 @@ class NonidealCrossbarStack:
             f"NonidealCrossbarStack({self.batch}x{self.rows}x{self.cols}, "
             f"axes={sorted(self.nonideality.active_axes())})"
         )
+
+
+def build_crossbar(
+    rows: int,
+    cols: int,
+    params: DeviceParameters | None = None,
+    nonideality: NonidealitySpec | None = None,
+    rng: np.random.Generator | None = None,
+    read_voltage: float = 0.2,
+) -> Crossbar:
+    """Fabric factory: the ideal array, or its non-ideal counterpart.
+
+    The one construction switch every crossbar-backed fabric shares
+    (the engines' ``build_fabric`` hooks and the analog MVM tile mapper
+    both route through it): an all-default ``nonideality`` yields a
+    plain :class:`~repro.crossbar.array.Crossbar` -- no per-read
+    physics overhead -- while any active axis yields a
+    :class:`NonidealCrossbar` driven by ``rng``.
+    """
+    if nonideality is None or nonideality.is_default():
+        return Crossbar(rows, cols, params=params,
+                        read_voltage=read_voltage)
+    return NonidealCrossbar(rows, cols, params=params,
+                            nonideality=nonideality, rng=rng,
+                            read_voltage=read_voltage)
 
 
 # -- fidelity probes ---------------------------------------------------------

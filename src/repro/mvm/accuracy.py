@@ -1,0 +1,161 @@
+"""Application-accuracy metrics of an analog MVM run.
+
+Where :class:`~repro.api.result.FidelitySummary` measures the *fabric*
+(bit errors, sense margins), :class:`AccuracySummary` measures the
+*application*: does the analog pipeline still classify correctly, and
+how far do its outputs drift from the float reference?  The two
+summaries ride the same RunResult side by side, which is exactly the
+paper's accuracy-under-nonideality question -- a few percent bit-error
+rate may cost nothing or everything depending on the workload.
+
+Every field folds across shards under a declared, exactly-associative
+policy (integer sums and a float max), so sharded runs report the same
+summary bit-for-bit as single-process runs.  This module never imports
+:mod:`repro.api`; the result schema imports from here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+__all__ = ["AccuracySummary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracySummary:
+    """Accuracy of an analog run against labels and the float reference.
+
+    Attributes:
+        correct: predictions matching the workload's ground-truth
+            labels (task accuracy numerator).
+        matched: predictions agreeing with the float-reference model's
+            predictions (quantization + device degradation isolated
+            from the model's own errors).
+        total: predictions scored (the shared denominator).
+        max_abs_error: worst absolute deviation of any analog output
+            value from its float-reference counterpart.
+        adc_saturations: ADC conversions clipped at the top of their
+            range (per-tile detail lives in the run outputs).
+        adc_conversions: ADC conversions performed.
+    """
+
+    #: How each field folds across shards -- integer sums and a float
+    #: max are associative exactly, so ``workers=N`` accuracy is
+    #: bit-identical to ``workers=1``.
+    MERGE_POLICIES = {
+        "correct": "sum",
+        "matched": "sum",
+        "total": "sum",
+        "max_abs_error": "max",
+        "adc_saturations": "sum",
+        "adc_conversions": "sum",
+    }
+
+    correct: int = 0
+    matched: int = 0
+    total: int = 0
+    max_abs_error: float = 0.0
+    adc_saturations: int = 0
+    adc_conversions: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("correct", "matched", "total",
+                     "adc_saturations", "adc_conversions"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError(
+                    f"{name} must be a non-negative integer"
+                )
+        for name in ("correct", "matched"):
+            if getattr(self, name) > self.total:
+                raise ValueError(f"{name} cannot exceed total")
+        if self.adc_saturations > self.adc_conversions:
+            raise ValueError(
+                "adc_saturations cannot exceed adc_conversions"
+            )
+        if not isinstance(self.max_abs_error, (int, float)) \
+                or isinstance(self.max_abs_error, bool) \
+                or self.max_abs_error < 0:
+            raise ValueError(
+                "max_abs_error must be a non-negative number"
+            )
+        object.__setattr__(self, "max_abs_error",
+                           float(self.max_abs_error))
+
+    # -- derived rates -----------------------------------------------------------
+
+    @property
+    def task_accuracy(self) -> float:
+        """Correct predictions per scored prediction (0.0 when empty)."""
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def reference_agreement(self) -> float:
+        """Predictions agreeing with the float reference (0.0 empty)."""
+        return self.matched / self.total if self.total else 0.0
+
+    @property
+    def saturation_rate(self) -> float:
+        """Clipped ADC conversions per conversion (0.0 when none ran)."""
+        return self.adc_saturations / self.adc_conversions \
+            if self.adc_conversions else 0.0
+
+    # -- merging -----------------------------------------------------------------
+
+    def merged_with(self, other: "AccuracySummary") -> "AccuracySummary":
+        """Fold two summaries under :data:`MERGE_POLICIES`."""
+        return AccuracySummary(
+            correct=self.correct + other.correct,
+            matched=self.matched + other.matched,
+            total=self.total + other.total,
+            max_abs_error=max(self.max_abs_error, other.max_abs_error),
+            adc_saturations=self.adc_saturations + other.adc_saturations,
+            adc_conversions=self.adc_conversions + other.adc_conversions,
+        )
+
+    @classmethod
+    def merge_all(
+        cls, summaries: list["AccuracySummary | None"]
+    ) -> "AccuracySummary | None":
+        """Fold an ordered list; None entries (no accuracy axis) skip.
+
+        Returns None when nothing was measured, matching the
+        non-analog engines' ``accuracy=None``.
+        """
+        present = [s for s in summaries if s is not None]
+        if not present:
+            return None
+        merged = present[0]
+        for summary in present[1:]:
+            merged = merged.merged_with(summary)
+        return merged
+
+    # -- round-trips -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "correct": self.correct,
+            "matched": self.matched,
+            "total": self.total,
+            "task_accuracy": self.task_accuracy,
+            "reference_agreement": self.reference_agreement,
+            "max_abs_error": self.max_abs_error,
+            "adc_saturations": self.adc_saturations,
+            "adc_conversions": self.adc_conversions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AccuracySummary":
+        """Invert :meth:`to_dict` (derived rates are recomputed)."""
+        if not isinstance(data, Mapping):
+            raise ValueError("accuracy data must be a mapping")
+        return cls(
+            correct=int(data["correct"]),
+            matched=int(data["matched"]),
+            total=int(data["total"]),
+            max_abs_error=float(data["max_abs_error"]),
+            adc_saturations=int(data["adc_saturations"]),
+            adc_conversions=int(data["adc_conversions"]),
+        )

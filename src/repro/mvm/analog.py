@@ -1,0 +1,273 @@
+"""The executed analog MVM pipeline: bit-serial reads + recombination.
+
+:class:`AnalogMVM` drives one mapped matrix end to end:
+
+1. the DAC quantizes the input vector and slices it bit-serially;
+2. each slice activates the matching word lines of every tile and the
+   tile's bit-line currents are ADC-converted (one multi-row read per
+   tile per slice -- the crossbar's native operation, so the full
+   nonideality stack applies);
+3. shift-and-add recombination folds differential pairs, weight
+   planes and input slices back into integers;
+4. the partial-sum accumulator reduces across row tiles (per-tile
+   scales applied first, fixed tile order, so accumulation is
+   deterministic).
+
+Costs are priced from the device registry's read model: every
+activation pays the per-column read energy over the tile's physical
+bit lines, and slices are sequential while tiles convert in parallel,
+so a matvec's latency is ``dac_bits`` read cycles per layer.
+
+:meth:`AnalogMVM.reference_matvec` evaluates the identical pipeline
+digitally -- the ideal read currents synthesized from the intended
+programs, converted through the same ADC model -- without touching the
+fabric: on ideal hardware analog and reference agree bit-for-bit, and
+under nonidealities their divergence *is* the measured accuracy loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crossbar.nonideal import NonidealCrossbar, NonidealitySpec
+from repro.crossbar.scouting import ScoutingEnergyModel
+from repro.devices.base import DeviceParameters
+from repro.mvm.mapper import MVMConfig, map_matrix
+from repro.mvm.pipeline import ADCModel, bit_slices, quantize_input
+
+__all__ = ["AnalogMVM", "AnalogAccelerator"]
+
+
+class AnalogMVM:
+    """One weight matrix mapped to tiles and executed bit-serially.
+
+    Args:
+        weights: float ``(out_dim, in_dim)`` matrix (``y = W @ x``).
+        config: quantization/tiling knobs.
+        params: device resistance window.
+        nonideality: device-nonideality stack (default ideal).
+        rng: entropy for stochastic nonideality axes; a single
+            generator drives the whole tile grid in construction order.
+        energy_model: per-column read cost (from the device registry).
+        read_voltage: word-line read voltage, volts.
+
+    Attributes:
+        tiles: ``(row_offset, col_offset, tile)`` triples in grid order.
+        reads: multi-row activations performed.
+        adc_conversions: ADC conversions performed (columns read).
+        adc_saturations: conversions clipped at the ADC ceiling.
+        tile_saturations: per-tile saturation counts, in grid order.
+        energy_joules: accumulated read energy.
+        latency_seconds: accumulated timeline (sequential input slices;
+            tiles read in parallel).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        config: MVMConfig,
+        params: DeviceParameters | None = None,
+        nonideality: NonidealitySpec | None = None,
+        rng: np.random.Generator | None = None,
+        energy_model: ScoutingEnergyModel | None = None,
+        read_voltage: float = 0.2,
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2 or weights.size == 0:
+            raise ValueError(
+                f"weights must be a non-empty 2-D matrix, got shape "
+                f"{weights.shape}"
+            )
+        self.out_dim, self.in_dim = weights.shape
+        self.config = config
+        self.params = params or DeviceParameters()
+        self.energy_model = energy_model or ScoutingEnergyModel()
+        self.tiles = map_matrix(
+            weights, config, params=self.params,
+            nonideality=nonideality, rng=rng, read_voltage=read_voltage,
+        )
+        self.adc = ADCModel(
+            bits=config.adc_bits,
+            lsb_current=read_voltage / self.params.r_on,
+            leak_current=read_voltage / self.params.r_off,
+        )
+        self.reads = 0
+        self.adc_conversions = 0
+        self.adc_saturations = 0
+        self.tile_saturations = [0] * len(self.tiles)
+        self.energy_joules = 0.0
+        self.latency_seconds = 0.0
+
+    @property
+    def crossbars(self) -> list:
+        """The tiles' fabrics, in grid order (for fidelity probes)."""
+        return [tile.crossbar for _, _, tile in self.tiles]
+
+    def program_cycles(self) -> int:
+        """Programming events spent mapping the matrix (all tiles)."""
+        return int(sum(int(c.program_cycles.sum())
+                       for c in self.crossbars))
+
+    # -- execution ---------------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """One analog matrix-vector product through the fabric.
+
+        Args:
+            x: non-negative float input vector of length ``in_dim``.
+
+        Returns:
+            Float output vector of length ``out_dim``.
+        """
+        return self._matvec(x, electrical=True)
+
+    def reference_matvec(self, x: np.ndarray) -> np.ndarray:
+        """The digital golden twin of :meth:`matvec`.
+
+        Same DAC quantization, ideal read currents synthesized from
+        the tiles' intended programs, same ADC conversion and debias
+        gain -- with no cost accounting and no fabric state.  Equals
+        :meth:`matvec` exactly on an ideal fabric.
+        """
+        return self._matvec(x, electrical=False)
+
+    def _matvec(self, x: np.ndarray, electrical: bool) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.in_dim,):
+            raise ValueError(
+                f"expected a ({self.in_dim},) input vector, got "
+                f"{x.shape}"
+            )
+        x_int, x_scale = quantize_input(x, self.config.dac_bits)
+        y = np.zeros(self.out_dim, dtype=float)
+        if electrical:
+            # The control timeline always cycles through every input
+            # slice, whether or not a given slice activates any rows.
+            self.latency_seconds += \
+                self.config.dac_bits * self.energy_model.latency
+        if x_scale == 0.0:
+            return y
+        slices = bit_slices(x_int, self.config.dac_bits)
+        for s, mask in enumerate(slices):
+            weight = 2.0 ** s
+            for index, (row0, col0, tile) in enumerate(self.tiles):
+                sub = mask[row0:row0 + tile.rows]
+                active_rows = np.nonzero(sub)[0]
+                active = int(active_rows.size)
+                if active == 0:
+                    continue
+                if electrical:
+                    currents = tile.crossbar.column_currents(
+                        list(active_rows))
+                    codes, saturated = self.adc.convert(currents, active)
+                    self.reads += 1
+                    self.adc_conversions += tile.physical_cols
+                    self.adc_saturations += saturated
+                    self.tile_saturations[index] += saturated
+                    self.energy_joules += \
+                        self.energy_model.operation_energy(
+                            tile.physical_cols)
+                else:
+                    # The reference synthesizes the *ideal* read
+                    # currents (same operands and reduction order as
+                    # the fabric on ideal resistances) and converts
+                    # them through the one shared ADC, so analog ==
+                    # reference bit-for-bit on an ideal fabric for any
+                    # device window -- half-tie roundings included.
+                    codes, _ = self.adc.convert(
+                        tile.ideal_currents(active_rows), active)
+                y[col0:col0 + tile.out_cols] += \
+                    weight * tile.combine(codes)
+        return y * x_scale
+
+
+class AnalogAccelerator:
+    """A stack of :class:`AnalogMVM` layers sharing one cost ledger.
+
+    The per-item fabric the ``analog_mvm`` engine hands each workload:
+    one mapped layer per weight matrix, all driven from a single
+    entropy stream in layer order (so an item's physics are a pure
+    function of ``(seed, item index)``), with counters and energy
+    aggregated across layers.
+
+    Args:
+        layer_weights: one ``(out_dim, in_dim)`` float matrix per
+            layer, applied in order by the workload.
+        config: shared quantization/tiling knobs.
+        params: shared device window.
+        nonideality: shared nonideality stack.
+        rng: entropy stream for stochastic axes.
+        energy_model: per-column read cost.
+        read_voltage: shared read voltage.
+    """
+
+    def __init__(
+        self,
+        layer_weights,
+        config: MVMConfig,
+        params: DeviceParameters | None = None,
+        nonideality: NonidealitySpec | None = None,
+        rng: np.random.Generator | None = None,
+        energy_model: ScoutingEnergyModel | None = None,
+        read_voltage: float = 0.2,
+    ) -> None:
+        matrices = [np.asarray(w, dtype=float) for w in layer_weights]
+        if not matrices:
+            raise ValueError("accelerator needs at least one layer")
+        self.layers = [
+            AnalogMVM(weights, config, params=params,
+                      nonideality=nonideality, rng=rng,
+                      energy_model=energy_model,
+                      read_voltage=read_voltage)
+            for weights in matrices
+        ]
+
+    def matvec(self, layer: int, x: np.ndarray) -> np.ndarray:
+        """Analog matvec through the given layer's fabric."""
+        return self.layers[layer].matvec(x)
+
+    def reference_matvec(self, layer: int, x: np.ndarray) -> np.ndarray:
+        """Digital golden matvec of the given layer (no fabric state)."""
+        return self.layers[layer].reference_matvec(x)
+
+    # -- aggregated ledgers ------------------------------------------------------
+
+    @property
+    def crossbars(self) -> list:
+        """Every tile fabric, layer-major then grid order."""
+        return [c for layer in self.layers for c in layer.crossbars]
+
+    @property
+    def nonideal_crossbars(self) -> list[NonidealCrossbar]:
+        """The non-ideal subset of :attr:`crossbars` (same order)."""
+        return [c for c in self.crossbars
+                if isinstance(c, NonidealCrossbar)]
+
+    @property
+    def reads(self) -> int:
+        return sum(layer.reads for layer in self.layers)
+
+    @property
+    def adc_conversions(self) -> int:
+        return sum(layer.adc_conversions for layer in self.layers)
+
+    @property
+    def adc_saturations(self) -> int:
+        return sum(layer.adc_saturations for layer in self.layers)
+
+    @property
+    def tile_saturations(self) -> list[int]:
+        """Per-tile saturation counts, layer-major then grid order."""
+        return [count for layer in self.layers
+                for count in layer.tile_saturations]
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(layer.energy_joules for layer in self.layers)
+
+    @property
+    def latency_seconds(self) -> float:
+        return sum(layer.latency_seconds for layer in self.layers)
+
+    def program_cycles(self) -> int:
+        return sum(layer.program_cycles() for layer in self.layers)

@@ -1,0 +1,139 @@
+"""Mixed-signal conversion stages of the analog MVM pipeline.
+
+The crossbar computes in the analog current domain; everything entering
+or leaving it passes through a converter, and those converters -- not
+the array -- set the accuracy floor:
+
+* the **DAC stage** quantizes a non-negative float input vector to
+  ``dac_bits`` integer levels (one scale factor per vector) and slices
+  it bit-serially: slice ``s`` activates the word lines whose quantized
+  input has bit ``s`` set, and the digital back end re-weights it by
+  ``2**s`` during shift-and-add recombination;
+* the **ADC stage** converts each bit-line current back to an integer
+  code.  The LSB is calibrated to the nominal single-ON-cell current
+  (``Vr / r_on``), the expected all-OFF leakage of the activated rows
+  is subtracted as a baseline (the controller knows how many rows it
+  drove), and codes clip to ``2**adc_bits - 1`` -- clipped conversions
+  are counted as *saturations*, the signature of an ADC too narrow for
+  the tile's row count.
+
+With an ideal fabric the subtraction makes the conversion exact in the
+sense that the code equals ``round(n * (1 - r_on/r_off))`` for ``n``
+activated ON cells, whatever the device window.
+:meth:`repro.mvm.analog.AnalogMVM.reference_matvec` exploits this by
+synthesizing the ideal read currents digitally (same operands, same
+reduction order as the fabric) and converting them through this same
+ADC model, which is what lets tests pin analog == reference
+bit-for-bit on ideal hardware -- half-tie roundings included.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["ADCModel", "bit_slices", "quantize_input"]
+
+
+def quantize_input(
+    x: np.ndarray, bits: int
+) -> tuple[np.ndarray, float]:
+    """DAC quantization: non-negative floats -> integer levels + scale.
+
+    Args:
+        x: 1-D non-negative input vector.
+        bits: DAC resolution; levels span ``[0, 2**bits - 1]``.
+
+    Returns:
+        ``(x_int, scale)`` with ``x ~= x_int * scale``; the scale is
+        per-vector (full range maps to the vector's peak) and 0.0 for
+        an all-zero vector.
+
+    Raises:
+        ValueError: on a non-1-D vector, negative entries, or a
+            non-positive bit count.
+    """
+    if bits < 1:
+        raise ValueError("dac bits must be a positive integer")
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"input must be a 1-D vector, got shape {x.shape}")
+    if x.size and float(x.min()) < 0:
+        raise ValueError(
+            "analog MVM inputs must be non-negative (signed weights are "
+            "handled by the differential mapping; rectify inputs before "
+            "the DAC)"
+        )
+    peak = float(x.max()) if x.size else 0.0
+    if peak == 0.0:
+        return np.zeros(x.shape, dtype=np.int64), 0.0
+    scale = peak / (2 ** bits - 1)
+    return np.rint(x / scale).astype(np.int64), scale
+
+
+def bit_slices(x_int: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-serial slices of a quantized input vector.
+
+    Returns:
+        Boolean ``(bits, n)`` array; row ``s`` is the word-line
+        activation mask of input bit ``s`` (LSB first), so
+        ``sum_s 2**s * slices[s]`` reconstructs ``x_int``.
+    """
+    x_int = np.asarray(x_int, dtype=np.int64)
+    shifts = np.arange(bits, dtype=np.int64)
+    return ((x_int[None, :] >> shifts[:, None]) & 1).astype(bool)
+
+
+@dataclasses.dataclass(frozen=True)
+class ADCModel:
+    """Per-column current quantizer with clipping and baseline removal.
+
+    Attributes:
+        bits: ADC resolution; codes span ``[0, 2**bits - 1]``.
+        lsb_current: current of one nominal ON cell (``Vr / r_on``) --
+            the converter's LSB.
+        leak_current: nominal per-activated-row OFF leakage
+            (``Vr / r_off``), subtracted ``active_rows`` times as the
+            conversion baseline.
+    """
+
+    bits: int
+    lsb_current: float
+    leak_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.bits, int) or isinstance(self.bits, bool) \
+                or self.bits < 1:
+            raise ValueError("adc bits must be a positive integer")
+        if self.lsb_current <= 0:
+            raise ValueError("adc lsb current must be positive")
+        if self.leak_current < 0:
+            raise ValueError("adc leak current must be non-negative")
+
+    @property
+    def max_code(self) -> int:
+        """Top of the conversion range (``2**bits - 1``)."""
+        return 2 ** self.bits - 1
+
+    def convert(
+        self, currents: np.ndarray, active_rows: int
+    ) -> tuple[np.ndarray, int]:
+        """Quantize bit-line currents from one multi-row activation.
+
+        Args:
+            currents: per-column currents in amperes.
+            active_rows: word lines driven in this read (sets the
+                leakage baseline).
+
+        Returns:
+            ``(codes, saturated)``: integer codes clipped to the range,
+            and how many columns exceeded it (clipped high).
+        """
+        currents = np.asarray(currents, dtype=float)
+        raw = np.rint(
+            (currents - active_rows * self.leak_current)
+            / self.lsb_current
+        ).astype(np.int64)
+        saturated = int((raw > self.max_code).sum())
+        return np.clip(raw, 0, self.max_code), saturated

@@ -21,13 +21,14 @@ All three are reachable from the CLI: ``python -m repro run --workers N
 --workers N``.
 """
 
-from repro.parallel.cache import ResultCache
+from repro.parallel.cache import PruneStats, ResultCache
 from repro.parallel.runner import ParallelRunner, ShardResult
 from repro.parallel.sharding import plan_shards
 from repro.parallel.sweep import SweepRunner, expand_grid
 
 __all__ = [
     "ParallelRunner",
+    "PruneStats",
     "ResultCache",
     "ShardResult",
     "SweepRunner",

@@ -34,7 +34,12 @@ from typing import Any, Mapping, Sequence
 
 import repro
 from repro.api.engines import Engine
-from repro.api.result import CostSummary, FidelitySummary, RunResult
+from repro.api.result import (
+    AccuracySummary,
+    CostSummary,
+    FidelitySummary,
+    RunResult,
+)
 from repro.api.spec import ScenarioSpec
 from repro.api.workloads import adapter_for
 from repro.parallel.cache import ResultCache
@@ -63,6 +68,9 @@ class ShardResult:
         fidelity: the window's fabric-fidelity summary (None for ideal
             specs); folded across shards by the engine's declared
             ``merge_window_fidelity`` policy.
+        accuracy: the window's application-accuracy summary (None for
+            engines without an accuracy axis); folded across shards by
+            ``merge_window_accuracy``.
         wall_seconds: the worker's execution wall time.
     """
 
@@ -73,6 +81,7 @@ class ShardResult:
     item_costs: tuple[CostSummary, ...]
     wall_seconds: float
     fidelity: FidelitySummary | None = None
+    accuracy: AccuracySummary | None = None
 
 
 def _run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
@@ -91,6 +100,7 @@ def _run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
         item_costs=tuple(item_costs),
         wall_seconds=time.perf_counter() - started,
         fidelity=engine.window_fidelity(),
+        accuracy=engine.window_accuracy(),
     )
 
 
@@ -207,6 +217,8 @@ class ParallelRunner:
             shard_results[0].base_cost, list(item_costs))
         fidelity = type(engine).merge_window_fidelity(
             [s.fidelity for s in shard_results])
+        accuracy = type(engine).merge_window_accuracy(
+            [s.accuracy for s in shard_results])
         provenance = {
             "engine": engine.name,
             "workload": spec.workload,
@@ -233,6 +245,7 @@ class ParallelRunner:
             item_costs=item_costs,
             provenance=provenance,
             fidelity=fidelity,
+            accuracy=accuracy,
         )
 
     def _method(self) -> str:

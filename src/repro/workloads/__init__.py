@@ -45,6 +45,18 @@ from repro.workloads.networking import (
     generate_ruleset,
     make_ids_workload,
 )
+from repro.workloads.mlp import (
+    MLPModel,
+    blob_means,
+    sample_blobs,
+    train_mlp,
+)
+from repro.workloads.temporal import (
+    CorrelatedProcesses,
+    correlation_scores,
+    make_correlated_processes,
+    top_k_mask,
+)
 from repro.workloads.traces import (
     pointer_chase,
     random_uniform,
@@ -61,8 +73,10 @@ from repro.workloads.strings import (
 __all__ = [
     "BFSResult",
     "BitmapIndex",
+    "CorrelatedProcesses",
     "ITEM_ALPHABET",
     "IUPAC_CODES",
+    "MLPModel",
     "MatchResult",
     "MotifDataset",
     "MultiPatternMatcher",
@@ -74,11 +88,14 @@ __all__ = [
     "SignatureRule",
     "adjacency_bits",
     "bfs_levels_golden",
+    "blob_means",
     "contains_in_order",
+    "correlation_scores",
     "generate_payload",
     "generate_ruleset",
     "generate_transactions",
     "golden_support",
+    "make_correlated_processes",
     "make_ids_workload",
     "make_motif_dataset",
     "motif_nfa",
@@ -93,7 +110,10 @@ __all__ = [
     "random_sequence",
     "random_table",
     "random_uniform",
+    "sample_blobs",
     "sequential_scan",
     "strided_access",
+    "top_k_mask",
+    "train_mlp",
     "zipf_accesses",
 ]

@@ -1,0 +1,134 @@
+"""Tiny deterministic MLP on synthetic Gaussian blobs.
+
+The ``mlp_inference`` workload's model zoo: a two-layer bias-free MLP
+trained with plain full-batch gradient descent on a seeded
+Gaussian-blob classification set.  Everything is a pure function of
+the RNGs handed in -- training is a fixed number of deterministic
+numpy steps -- so a spec's seed fully determines the model, the test
+data, and therefore the analog pipeline's measured accuracy.
+
+Blob means live in the positive orthant and samples are clipped at
+zero, keeping every activation non-negative end to end (the analog
+MVM DAC encodes unsigned inputs; signed *weights* ride the
+differential column pairs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "MLPModel",
+    "blob_means",
+    "sample_blobs",
+    "train_mlp",
+]
+
+
+def blob_means(
+    rng: np.random.Generator, classes: int, features: int
+) -> np.ndarray:
+    """Class centers in the positive orthant, ``(classes, features)``."""
+    if classes < 2 or features < 1:
+        raise ValueError("need at least 2 classes and 1 feature")
+    return rng.uniform(0.15, 1.0, size=(classes, features))
+
+
+def sample_blobs(
+    rng: np.random.Generator,
+    means: np.ndarray,
+    n: int,
+    spread: float = 0.12,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` labelled samples around ``means``, clipped non-negative.
+
+    Labels cycle deterministically through the classes (a fixed class
+    composition, so accuracy comparisons across seeds measure noise,
+    not class imbalance).
+
+    Returns:
+        ``(X, labels)``: ``(n, features)`` floats >= 0 and ``(n,)``
+        integer labels.
+    """
+    means = np.asarray(means, dtype=float)
+    if n < 1:
+        raise ValueError("need at least one sample")
+    classes = means.shape[0]
+    labels = np.arange(n, dtype=np.int64) % classes
+    noise = rng.normal(0.0, spread, size=(n, means.shape[1]))
+    return np.clip(means[labels] + noise, 0.0, None), labels
+
+
+@dataclasses.dataclass(frozen=True)
+class MLPModel:
+    """A trained two-layer bias-free MLP (``relu`` hidden activation).
+
+    Attributes:
+        w1: hidden-layer weights, ``(hidden, features)``.
+        w2: output-layer weights, ``(classes, hidden)``.
+    """
+
+    w1: np.ndarray
+    w2: np.ndarray
+
+    @property
+    def layers(self) -> list[np.ndarray]:
+        """The weight matrices in application order (for MVM mapping)."""
+        return [self.w1, self.w2]
+
+    def hidden(self, x: np.ndarray) -> np.ndarray:
+        """ReLU hidden activations for ``(n, features)`` inputs."""
+        return np.maximum(np.asarray(x, dtype=float) @ self.w1.T, 0.0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Class logits for ``(n, features)`` inputs."""
+        return self.hidden(x) @ self.w2.T
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels for ``(n, features)`` inputs."""
+        return np.argmax(self.forward(x), axis=1)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def train_mlp(
+    rng: np.random.Generator,
+    means: np.ndarray,
+    hidden: int,
+    n_train: int = 96,
+    spread: float = 0.12,
+    steps: int = 200,
+    lr: float = 0.5,
+) -> MLPModel:
+    """Train the MLP on a fresh blob sample with full-batch GD.
+
+    Deterministic: the sample, the initialization and every update are
+    fixed by ``rng``, so equal seeds give bit-identical models.
+
+    Returns:
+        The trained :class:`MLPModel`.
+    """
+    means = np.asarray(means, dtype=float)
+    if hidden < 2:
+        raise ValueError("need at least 2 hidden units")
+    classes, features = means.shape
+    x, labels = sample_blobs(rng, means, n_train, spread)
+    w1 = rng.normal(0.0, 0.4, size=(hidden, features))
+    w2 = rng.normal(0.0, 0.4, size=(classes, hidden))
+    onehot = np.eye(classes)[labels]
+    for _ in range(steps):
+        h = np.maximum(x @ w1.T, 0.0)
+        probs = _softmax(h @ w2.T)
+        grad_logits = (probs - onehot) / n_train
+        grad_w2 = grad_logits.T @ h
+        grad_h = (grad_logits @ w2) * (h > 0)
+        grad_w1 = grad_h.T @ x
+        w2 = w2 - lr * grad_w2
+        w1 = w1 - lr * grad_w1
+    return MLPModel(w1=w1, w2=w2)

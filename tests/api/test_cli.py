@@ -23,6 +23,13 @@ class TestRun:
                      "--workload", "graph"]) == 0
         assert "improvement_geomean" in capsys.readouterr().out
 
+    def test_analog_run_prints_accuracy_summary(self, capsys):
+        assert main(["run", "mlp", "--size", "8", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy: task" in out
+        assert "float-ref agreement" in out
+        assert "ADC saturation" in out
+
     def test_json_output_round_trips(self, capsys):
         assert main(["run", "database", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
@@ -123,6 +130,34 @@ class TestSweep:
                      "--vary", "seed=3"]) == 2
         assert "twice" in capsys.readouterr().err
 
+    def test_csv_export_writes_the_printed_table(self, tmp_path,
+                                                 capsys):
+        out_csv = tmp_path / "table.csv"
+        assert main(["sweep", "database-batch", "--size", "128",
+                     "--vary", "seed=0,1", "--csv", str(out_csv)]) == 0
+        assert f"[csv saved to {out_csv}]" in capsys.readouterr().out
+        lines = out_csv.read_text().strip().splitlines()
+        assert lines[0].split(",")[:4] == ["seed", "ok", "energy_J",
+                                           "latency_s"]
+        assert len(lines) == 3
+
+    def test_csv_carries_fidelity_and_accuracy_columns(self, tmp_path,
+                                                       capsys):
+        out_csv = tmp_path / "mvm.csv"
+        assert main(["sweep", "mlp", "--size", "8", "--batch", "2",
+                     "--vary", "fault_rate=0.0,0.05",
+                     "--csv", str(out_csv)]) == 0
+        header = out_csv.read_text().splitlines()[0].split(",")
+        for column in ("ber", "margin_A", "accuracy", "agreement",
+                       "max_err"):
+            assert column in header
+
+    def test_accuracy_columns_printed_for_analog_sweeps(self, capsys):
+        assert main(["sweep", "mlp", "--size", "8", "--batch", "2",
+                     "--vary", "adc_bits=4,6"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out and "max_err" in out
+
 
 class TestList:
     def test_list_all(self, capsys):
@@ -134,14 +169,30 @@ class TestList:
 
     @pytest.mark.parametrize("what,expect", [
         ("engines", "mvp_batched"),
+        ("engines", "analog_mvm"),
         ("devices", "linear_drift"),
         ("workloads", "datamining"),
+        ("workloads", "mlp_inference"),
         ("scenarios", "database-batch"),
         ("figures", "fig9"),
     ])
     def test_list_one_registry(self, what, expect, capsys):
         assert main(["list", what]) == 0
         assert expect in capsys.readouterr().out
+
+    def test_engines_and_workloads_carry_descriptions(self, capsys):
+        assert main(["list", "engines"]) == 0
+        out = capsys.readouterr().out
+        assert "mvp -- single-item Memristive Vector Processor" in out
+        assert "analog_mvm -- tiled analog crossbar MVM" in out
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        # Every line pairs a description with the engines it serves.
+        for line in out.splitlines():
+            if line.startswith("  "):
+                assert " -- " in line and "engines: " in line
+        assert "temporal_correlation -- correlated-process " \
+               "detection" in out
 
 
 class TestFigures:

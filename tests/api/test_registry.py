@@ -84,7 +84,7 @@ class TestRegistry:
 class TestGlobalRegistries:
     def test_engines_registered(self):
         assert set(ENGINES.names()) == {
-            "mvp", "mvp_batched", "rram_ap", "arch_model",
+            "mvp", "mvp_batched", "rram_ap", "arch_model", "analog_mvm",
         }
 
     def test_devices_registered(self):
@@ -95,7 +95,7 @@ class TestGlobalRegistries:
     def test_workloads_registered(self):
         assert set(WORKLOADS.names()) == {
             "dna", "database", "networking", "graph", "strings",
-            "datamining",
+            "datamining", "mlp_inference", "temporal_correlation",
         }
 
     def test_every_scenario_names_registered_pieces(self):

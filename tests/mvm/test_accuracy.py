@@ -1,0 +1,88 @@
+"""AccuracySummary: validation, merge policies, round trips."""
+
+import pytest
+
+from repro.mvm.accuracy import AccuracySummary
+
+
+class TestValidation:
+    def test_defaults_are_empty(self):
+        summary = AccuracySummary()
+        assert summary.task_accuracy == 0.0
+        assert summary.reference_agreement == 0.0
+        assert summary.saturation_rate == 0.0
+
+    @pytest.mark.parametrize("field", ["correct", "matched", "total",
+                                       "adc_saturations",
+                                       "adc_conversions"])
+    def test_counters_must_be_non_negative_ints(self, field):
+        with pytest.raises(ValueError, match=field):
+            AccuracySummary(**{field: -1})
+        with pytest.raises(ValueError, match=field):
+            AccuracySummary(**{field: 1.5})
+
+    def test_correct_and_matched_bounded_by_total(self):
+        with pytest.raises(ValueError, match="correct"):
+            AccuracySummary(correct=3, total=2)
+        with pytest.raises(ValueError, match="matched"):
+            AccuracySummary(matched=3, total=2)
+
+    def test_saturations_bounded_by_conversions(self):
+        with pytest.raises(ValueError, match="adc_saturations"):
+            AccuracySummary(adc_saturations=2, adc_conversions=1)
+
+    def test_max_abs_error_non_negative(self):
+        with pytest.raises(ValueError, match="max_abs_error"):
+            AccuracySummary(max_abs_error=-0.1)
+
+
+class TestMerging:
+    A = AccuracySummary(correct=7, matched=8, total=10,
+                        max_abs_error=0.5, adc_saturations=1,
+                        adc_conversions=100)
+    B = AccuracySummary(correct=4, matched=4, total=6,
+                        max_abs_error=1.5, adc_saturations=0,
+                        adc_conversions=60)
+
+    def test_policies_cover_every_field(self):
+        import dataclasses
+        fields = {f.name for f in dataclasses.fields(AccuracySummary)}
+        assert set(AccuracySummary.MERGE_POLICIES) == fields
+
+    def test_merge_sums_counts_and_maxes_error(self):
+        merged = self.A.merged_with(self.B)
+        assert merged == AccuracySummary(
+            correct=11, matched=12, total=16, max_abs_error=1.5,
+            adc_saturations=1, adc_conversions=160,
+        )
+        assert merged.task_accuracy == pytest.approx(11 / 16)
+
+    def test_merge_is_associative_exactly(self):
+        c = AccuracySummary(correct=1, matched=0, total=3,
+                            max_abs_error=0.25)
+        left = self.A.merged_with(self.B).merged_with(c)
+        right = self.A.merged_with(self.B.merged_with(c))
+        assert left == right
+
+    def test_merge_all_skips_none_and_empties_to_none(self):
+        assert AccuracySummary.merge_all([]) is None
+        assert AccuracySummary.merge_all([None, None]) is None
+        assert AccuracySummary.merge_all([None, self.A, None]) == self.A
+        assert AccuracySummary.merge_all([self.A, self.B]) == \
+            self.A.merged_with(self.B)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        summary = AccuracySummary(correct=3, matched=5, total=9,
+                                  max_abs_error=0.125,
+                                  adc_saturations=2,
+                                  adc_conversions=40)
+        data = summary.to_dict()
+        assert data["task_accuracy"] == pytest.approx(3 / 9)
+        assert data["reference_agreement"] == pytest.approx(5 / 9)
+        assert AccuracySummary.from_dict(data) == summary
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            AccuracySummary.from_dict([1, 2, 3])

@@ -1,0 +1,221 @@
+"""ResultCache size caps: LRU eviction order, corruption tolerance."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.api import CostSummary, RunResult, ScenarioSpec
+from repro.api.cli import main
+from repro.parallel import ResultCache
+
+
+def make_result(seed: int) -> RunResult:
+    spec = ScenarioSpec(engine="mvp", workload="database", size=64,
+                        items=2, seed=seed)
+    return RunResult(
+        spec=spec,
+        outputs={"checks_passed": True, "seed": seed},
+        cost=CostSummary(energy_joules=float(seed)),
+        item_costs=(CostSummary(),),
+        provenance={"repro_version": __import__("repro").__version__},
+    )
+
+
+def stamp(path, order: int) -> None:
+    """Give ``path`` a distinct, ordered mtime (coarse-clock-proof)."""
+    base = time.time() - 1000
+    os.utime(path, (base + order, base + order))
+
+
+class TestPruneEvictionOrder:
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        results = [make_result(seed) for seed in range(4)]
+        for order, result in enumerate(results):
+            stamp(cache.store(result), order)
+        stats = cache.prune(max_entries=2)
+        assert (stats.scanned, stats.removed, stats.kept) == (4, 2, 2)
+        # Seeds 0 and 1 were oldest -> gone; 2 and 3 survive.
+        assert cache.load(results[0].spec) is None
+        assert cache.load(results[1].spec) is None
+        assert cache.load(results[2].spec) is not None
+        assert cache.load(results[3].spec) is not None
+
+    def test_load_touches_entry_lru_style(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        results = [make_result(seed) for seed in range(3)]
+        for order, result in enumerate(results):
+            stamp(cache.store(result), order)
+        # A hit on the oldest entry refreshes it past its siblings.
+        assert cache.load(results[0].spec) is not None
+        stats = cache.prune(max_entries=2)
+        assert stats.removed == 1
+        assert cache.load(results[0].spec) is not None
+        assert cache.load(results[1].spec) is None
+
+    def test_max_bytes_keeps_newest_within_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        results = [make_result(seed) for seed in range(3)]
+        paths = [cache.store(r) for r in results]
+        for order, path in enumerate(paths):
+            stamp(path, order)
+        size = paths[-1].stat().st_size
+        stats = cache.prune(max_bytes=size + 1)
+        assert stats.kept == 1
+        assert cache.load(results[2].spec) is not None
+
+    def test_byte_cap_is_strict_lru_no_gap_filling(self, tmp_path):
+        """Once an entry busts the byte cap, everything older goes too:
+        a cold small entry must never outlive a warm large one."""
+        cache = ResultCache(tmp_path)
+        # Oldest entry is small, newer ones are large (padded params).
+        sizes = {}
+        results = []
+        for order, pad in enumerate((0, 400, 500)):
+            spec = ScenarioSpec(engine="mvp", workload="database",
+                                size=64, items=2, seed=order)
+            result = RunResult(
+                spec=spec,
+                outputs={"checks_passed": True, "pad": "x" * pad},
+                cost=CostSummary(),
+                item_costs=(CostSummary(),),
+                provenance={"repro_version":
+                            __import__("repro").__version__},
+            )
+            results.append(result)
+            path = cache.store(result)
+            stamp(path, order)
+            sizes[order] = path.stat().st_size
+        # Budget fits the newest large entry but not the next one; the
+        # small oldest entry would "fit the gap" -- it must go anyway.
+        budget = sizes[2] + sizes[1] - 1
+        stats = cache.prune(max_bytes=budget)
+        assert stats.kept == 1
+        assert cache.load(results[2].spec) is not None
+        assert cache.load(results[1].spec) is None
+        assert cache.load(results[0].spec) is None
+
+    def test_entry_larger_than_budget_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = make_result(0)
+        cache.store(result)
+        stats = cache.prune(max_bytes=1)
+        assert (stats.removed, stats.kept) == (1, 0)
+        assert cache.load(result.spec) is None
+
+
+class TestStoreAutoPrune:
+    def test_store_enforces_constructor_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        results = [make_result(seed) for seed in range(4)]
+        for order, result in enumerate(results):
+            stamp(cache.store(result), order)
+        assert len(cache.entry_paths()) == 2
+
+    def test_store_enforces_byte_cap_via_running_estimate(self,
+                                                          tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        entry_size = probe.store(make_result(0)).stat().st_size
+        cache = ResultCache(tmp_path / "capped",
+                            max_bytes=2 * entry_size + 10)
+        for order, seed in enumerate(range(4)):
+            stamp(cache.store(make_result(seed)), order)
+        # Two entries fit the budget; older stores were evicted as the
+        # estimate crossed the cap.
+        assert len(cache.entry_paths()) == 2
+        assert cache.load(make_result(3).spec) is not None
+
+    def test_under_budget_stores_keep_everything(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10**9,
+                            max_entries=100)
+        for seed in range(3):
+            cache.store(make_result(seed))
+        assert len(cache.entry_paths()) == 3
+
+    def test_caps_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=-5)
+
+    def test_prune_rejects_non_positive_caps(self, tmp_path):
+        """A sign slip must not silently evict the whole cache."""
+        cache = ResultCache(tmp_path)
+        cache.store(make_result(0))
+        with pytest.raises(ValueError, match="max_entries"):
+            cache.prune(max_entries=-1)
+        with pytest.raises(ValueError, match="max_bytes"):
+            cache.prune(max_bytes=0)
+        assert len(cache.entry_paths()) == 1
+
+
+class TestCorruptionTolerance:
+    def test_garbage_entries_prune_without_error(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stamp(cache.store(make_result(0)), 1)
+        junk = tmp_path / "ab" / "not-a-real-entry.json"
+        junk.parent.mkdir(parents=True, exist_ok=True)
+        junk.write_text("{ this is not json")
+        stamp(junk, 0)
+        stats = cache.prune(max_entries=1)
+        # The junk file is oldest, counts as an entry, and evicts.
+        assert stats.scanned == 2
+        assert stats.removed == 1
+        assert not junk.exists()
+        assert cache.load(make_result(0).spec) is not None
+
+    def test_tmp_files_are_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_result(0))
+        leftover = tmp_path / "ab" / ".orphan.json.123.tmp"
+        leftover.parent.mkdir(parents=True, exist_ok=True)
+        leftover.write_text("partial")
+        assert cache.prune(max_entries=10).scanned == 1
+        assert leftover.exists()   # live writers are never raced
+
+
+class TestPruneCLI:
+    def test_cache_prune_subcommand(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        for order, seed in enumerate(range(3)):
+            stamp(cache.store(make_result(seed)), order)
+        code = main(["cache", "prune", str(tmp_path),
+                     "--max-entries", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pruned 2 of 3 entries" in out
+        assert len(cache.entry_paths()) == 1
+
+    def test_prune_without_caps_exits_2(self, tmp_path, capsys):
+        assert main(["cache", "prune", str(tmp_path)]) == 2
+        assert "--max-entries" in capsys.readouterr().err
+
+    def test_prune_missing_dir_exits_2(self, tmp_path, capsys):
+        code = main(["cache", "prune", str(tmp_path / "nope"),
+                     "--max-entries", "1"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_prune_negative_cap_exits_2(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        cache.store(make_result(0))
+        code = main(["cache", "prune", str(tmp_path),
+                     "--max-entries", "-1"])
+        assert code == 2
+        assert "max_entries" in capsys.readouterr().err
+        assert len(cache.entry_paths()) == 1
+
+    def test_cache_without_subcommand_exits_2(self, capsys):
+        assert main(["cache"]) == 2
+        assert "subcommand" in capsys.readouterr().err
+
+    def test_pruned_entry_payloads_are_real_cache_entries(self,
+                                                          tmp_path):
+        """Sanity: what prune ranks are the store's own JSON files."""
+        cache = ResultCache(tmp_path)
+        path = cache.store(make_result(7))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-result-cache-v1"
+        assert payload["spec"]["seed"] == 7

@@ -1,0 +1,76 @@
+"""Sharded analog MVM == single-process, AccuracySummary included.
+
+The analog engine's determinism contract extends PR-3's: besides
+outputs and cost records, the new AccuracySummary (and, for nonideal
+specs, the FidelitySummary over all tile fabrics) must fold across
+shards bit-identically to the workers=1 run, and a cache replay must
+return the accuracy the miss computed.
+"""
+
+import pytest
+
+from repro.api import Engine, ScenarioSpec
+from repro.parallel import ParallelRunner
+
+MLP = ScenarioSpec(engine="analog_mvm", workload="mlp_inference",
+                   size=12, items=6, batch=5, seed=3)
+TEMPORAL = ScenarioSpec(engine="analog_mvm",
+                        workload="temporal_correlation",
+                        size=48, items=4, batch=5, seed=2)
+FAULTY = MLP.replaced(nonideality={"fault_rate": 0.05})
+NOISY = TEMPORAL.replaced(nonideality={"variability_sigma": 0.3})
+
+_IDS = "{0.workload}-{0.nonideality.fault_rate}-" \
+       "{0.nonideality.variability_sigma}".format
+
+
+def comparable(result):
+    data = result.to_dict()
+    for key in ("wall_seconds", "parallel", "cache"):
+        data["provenance"].pop(key, None)
+    return data
+
+
+class TestShardedEqualsPlain:
+    @pytest.mark.parametrize("spec", [MLP, TEMPORAL, FAULTY, NOISY],
+                             ids=_IDS)
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8])
+    def test_inline_shard_plan_is_bit_identical(self, spec, workers):
+        plain = Engine.from_spec(spec).run()
+        sharded = ParallelRunner(workers=workers, pool="inline").run(
+            spec)
+        assert comparable(sharded) == comparable(plain)
+        assert sharded.cost == plain.cost
+        assert sharded.item_costs == plain.item_costs
+        # Dataclass equality: every accuracy field bit-identical.
+        assert sharded.accuracy == plain.accuracy
+        assert sharded.fidelity == plain.fidelity
+
+    def test_process_pool_is_bit_identical(self):
+        plain = Engine.from_spec(FAULTY).run()
+        sharded = ParallelRunner(workers=2).run(FAULTY)
+        assert sharded.provenance["parallel"]["workers"] == 2
+        assert comparable(sharded) == comparable(plain)
+        assert sharded.accuracy == plain.accuracy
+        assert sharded.fidelity == plain.fidelity
+
+
+class TestCacheReplay:
+    def test_replay_preserves_accuracy(self, tmp_path):
+        runner = ParallelRunner(workers=2, pool="inline",
+                                cache=tmp_path / "cache")
+        first = runner.run(MLP)
+        assert "cache" not in first.provenance
+        replay = runner.run(MLP)
+        assert replay.provenance["cache"]["hit"]
+        assert replay.accuracy == first.accuracy
+        assert replay.cost == first.cost
+
+    def test_replay_preserves_fidelity_and_accuracy_together(
+            self, tmp_path):
+        runner = ParallelRunner(cache=tmp_path / "cache")
+        first = runner.run(FAULTY)
+        replay = runner.run(FAULTY)
+        assert replay.provenance["cache"]["hit"]
+        assert replay.accuracy == first.accuracy
+        assert replay.fidelity == first.fidelity
