@@ -1,0 +1,63 @@
+"""reprolint: AST-based contract checking for the repro codebase.
+
+The runtime determinism suites can only judge code that executed; the
+rules here judge code as written.  Six rule families encode the repo's
+real contracts -- seeded-RNG discipline, merge-policy completeness,
+unit-suffix discipline, registry-contract conformance, spec-key
+liveness, and shard-hazard detection.  Entry points::
+
+    from repro.analysis.lint import lint_paths
+    report = lint_paths(["src"])
+
+or from the CLI: ``repro lint src/``.  Suppress a finding in place
+with ``# reprolint: disable=R003`` (trailing = that line, standalone =
+next line); grandfather intentional ones in
+``.reprolint-baseline.json`` with a reason.
+"""
+
+from repro.analysis.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.report import (
+    LintReport,
+    render_json,
+    render_stats,
+    render_text,
+)
+from repro.analysis.lint.rules import RULES, LintRule, all_rules, rules_for
+from repro.analysis.lint.runner import lint_modules, lint_paths
+from repro.analysis.lint.walker import (
+    LintModule,
+    ProjectIndex,
+    collect_python_files,
+    find_project_root,
+    parse_module,
+)
+
+# Importing the rule modules is what populates RULES.
+from repro.analysis.lint import rule_rng  # noqa: F401,E402
+from repro.analysis.lint import rule_merge  # noqa: F401,E402
+from repro.analysis.lint import rule_units  # noqa: F401,E402
+from repro.analysis.lint import rule_registry  # noqa: F401,E402
+from repro.analysis.lint import rule_speckeys  # noqa: F401,E402
+from repro.analysis.lint import rule_shard  # noqa: F401,E402
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintModule",
+    "LintReport",
+    "LintRule",
+    "ProjectIndex",
+    "RULES",
+    "all_rules",
+    "collect_python_files",
+    "find_project_root",
+    "lint_modules",
+    "lint_paths",
+    "parse_module",
+    "render_json",
+    "render_stats",
+    "render_text",
+    "rules_for",
+]

@@ -1,0 +1,97 @@
+"""Grandfathered findings: the baseline file.
+
+Some findings are intentional -- a serialized spec field whose rename
+would break canonical hashes, a published-record schema that predates
+the unit-suffix rule.  Those live in ``.reprolint-baseline.json`` at
+the project root, keyed by the line-independent fingerprint
+(``path::rule::symbol``) with a mandatory human reason.  The runner
+subtracts baselined findings from its report; ``--update-baseline``
+rewrites the file from the current findings, preserving reasons for
+fingerprints that survive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint.finding import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+class Baseline:
+    """Fingerprint -> reason map backed by a JSON file."""
+
+    def __init__(self, entries: dict[str, str] | None = None,
+                 path: Path | None = None) -> None:
+        self.entries = dict(entries or {})
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        raw = data.get("findings", {})
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"{path}: 'findings' must map fingerprint -> reason")
+        entries = {}
+        for fingerprint, reason in raw.items():
+            if not isinstance(reason, str) or not reason.strip():
+                raise ValueError(
+                    f"{path}: baseline entry '{fingerprint}' needs a "
+                    "non-empty reason string explaining why it is "
+                    "grandfathered")
+            entries[fingerprint] = reason
+        return cls(entries, path=path)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def split(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """``(new, grandfathered)`` partition of ``findings``."""
+        new = [f for f in findings if f not in self]
+        old = [f for f in findings if f in self]
+        return new, old
+
+    def stale(self, findings: list[Finding]) -> list[str]:
+        """Baselined fingerprints no current finding matches (fixed)."""
+        live = {f.fingerprint for f in findings}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+    def updated(self, findings: list[Finding],
+                default_reason: str = "TODO: explain why this is "
+                "intentional") -> "Baseline":
+        """A baseline covering exactly ``findings``, keeping reasons."""
+        entries = {}
+        for finding in sorted(findings):
+            entries[finding.fingerprint] = self.entries.get(
+                finding.fingerprint, default_reason)
+        return Baseline(entries, path=self.path)
+
+    def write(self, path: Path | None = None) -> Path:
+        target = Path(path or self.path or DEFAULT_BASELINE_NAME)
+        payload = {
+            "_comment": (
+                "reprolint baseline: grandfathered findings keyed by "
+                "path::rule::symbol fingerprint. Every entry's value "
+                "is the reason it is intentional. Regenerate with "
+                "'repro lint --update-baseline'; fix code instead of "
+                "adding entries whenever possible."
+            ),
+            "findings": dict(sorted(self.entries.items())),
+        }
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8")
+        return target

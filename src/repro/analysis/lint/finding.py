@@ -1,0 +1,62 @@
+"""The unit of reprolint output: one finding at one source location.
+
+A :class:`Finding` is deliberately plain data -- rule id, location,
+anchor symbol, message -- so reporters can render it as text or JSON
+and the baseline can fingerprint it.  The fingerprint intentionally
+excludes the line number: grandfathered findings stay matched while
+unrelated edits move code around, and only a genuine change to the
+flagged *symbol* (rename, move to another file, fix) invalidates the
+baseline entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: file path relative to the lint root (posix separators),
+            the stable half of the fingerprint.
+        line: 1-based line of the offending node.
+        column: 0-based column of the offending node.
+        rule: rule id (``R001`` ... ``R006``).
+        symbol: the qualified anchor the finding is about (e.g.
+            ``CostSummary.energy`` or ``build_fabric:np.random.rand``);
+            fingerprints use it instead of the line number.
+        message: human-readable explanation of the violation.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    symbol: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity: ``path::rule::symbol``."""
+        return f"{self.path}::{self.rule}::{self.symbol}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """The one-line text-report form."""
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule} {self.message} [{self.symbol}]")

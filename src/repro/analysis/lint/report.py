@@ -1,0 +1,102 @@
+"""Reporters: render a lint run as text or JSON.
+
+Both formats consume the same :class:`LintReport`; JSON is the CI
+surface (stable keys, machine-diffable), text is the human one.  The
+``--stats`` table is rendered by the text reporter regardless of
+format so a JSON consumer still gets counts inside the payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import LintRule
+
+__all__ = ["LintReport", "render_text", "render_json", "render_stats"]
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding]
+    grandfathered: list[Finding]
+    stale_baseline: list[str]
+    errors: list[str]
+    files_checked: int
+    rules: list[LintRule]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings (or parse errors / stale baseline)."""
+        if self.findings or self.errors or self.stale_baseline:
+            return 1
+        return 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts = {rule.rule_id: 0 for rule in self.rules}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "files_checked": self.files_checked,
+            "rules": [
+                {"id": rule.rule_id, "name": rule.name,
+                 "description": rule.description}
+                for rule in self.rules
+            ],
+            "counts": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+            "grandfathered": [f.to_dict() for f in self.grandfathered],
+            "stale_baseline": list(self.stale_baseline),
+            "errors": list(self.errors),
+            "exit_code": self.exit_code,
+        }
+
+
+def render_text(report: LintReport) -> str:
+    lines = []
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    for finding in sorted(report.findings):
+        lines.append(finding.render())
+    for fingerprint in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry (fixed? remove it): {fingerprint}")
+    total = len(report.findings)
+    suffix = "" if total == 1 else "s"
+    summary = (f"{report.files_checked} file(s) checked, "
+               f"{total} finding{suffix}")
+    if report.grandfathered:
+        summary += f" ({len(report.grandfathered)} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2)
+
+
+def render_stats(report: LintReport) -> str:
+    """Per-rule counts table for ``repro lint --stats``."""
+    counts = report.counts_by_rule()
+    grandfathered = {rule.rule_id: 0 for rule in report.rules}
+    for finding in report.grandfathered:
+        grandfathered[finding.rule] = \
+            grandfathered.get(finding.rule, 0) + 1
+    lines = ["rule   findings  baselined  description"]
+    for rule in report.rules:
+        lines.append(
+            f"{rule.rule_id:<6} {counts.get(rule.rule_id, 0):>8}  "
+            f"{grandfathered.get(rule.rule_id, 0):>9}  "
+            f"{rule.description}")
+    lines.append(
+        f"total  {len(report.findings):>8}  "
+        f"{len(report.grandfathered):>9}  "
+        f"across {report.files_checked} file(s)")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""R002: merge-policy completeness.
+
+Shard merging is exactly associative only because every summary field
+declares how it folds (``sum``/``min``/``max``/...) in a
+``MERGE_POLICIES`` table that ``merged_with`` consumes.  A new field
+without a policy either crashes the merge or -- worse -- gets silently
+dropped when shards combine, producing workers=N results that disagree
+with workers=1.  This rule cross-checks both directions: every field
+needs a policy, every policy needs a field, and the policy value must
+be one of the known associative folds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import RULES, LintRule
+from repro.analysis.lint.walker import LintModule, ProjectIndex
+
+__all__ = ["MergePolicyRule"]
+
+#: Folds the runtime merge helpers understand.  Everything here is
+#: associative and commutative so shard order cannot matter.
+_KNOWN_POLICIES = {
+    "sum", "min", "max", "and", "or", "concat", "equal", "first",
+    "dedup",
+}
+
+_MERGE_METHODS = {"merged_with", "merge_all"}
+
+
+@RULES.register("merge-policies")
+class MergePolicyRule(LintRule):
+    """Every mergeable ``*Summary`` field needs a ``MERGE_POLICIES`` entry."""
+
+    rule_id = "R002"
+    name = "merge-policies"
+    description = (
+        "*Summary dataclasses defining merged_with/merge_all must "
+        "declare a MERGE_POLICIES fold for every field, and vice versa"
+    )
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Summary"):
+                continue
+            methods = {
+                stmt.name for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if not methods & _MERGE_METHODS:
+                continue
+            yield from self._check_class(module, node)
+
+    def _check_class(self, module: LintModule,
+                     node: ast.ClassDef) -> Iterator[Finding]:
+        fields = self._field_names(node)
+        policies_node = self._policies_dict(node)
+        if policies_node is None:
+            yield self.finding(
+                module, node, f"{node.name}.MERGE_POLICIES",
+                f"mergeable summary '{node.name}' declares no "
+                "MERGE_POLICIES dict; every field needs an explicit "
+                "associative fold",
+            )
+            return
+        anchor, policies = policies_node
+        for field in fields:
+            if field not in policies:
+                yield self.finding(
+                    module, anchor, f"{node.name}.{field}",
+                    f"field '{field}' of '{node.name}' has no "
+                    "MERGE_POLICIES entry; shard merges would drop it",
+                )
+        for key, (key_node, value) in policies.items():
+            if key not in fields:
+                yield self.finding(
+                    module, key_node, f"{node.name}.{key}",
+                    f"MERGE_POLICIES names '{key}' which is not a "
+                    f"field of '{node.name}' (renamed or removed?)",
+                )
+            if value is not None and value not in _KNOWN_POLICIES:
+                known = ", ".join(sorted(_KNOWN_POLICIES))
+                yield self.finding(
+                    module, key_node, f"{node.name}.{key}:policy",
+                    f"unknown merge policy '{value}' for "
+                    f"'{node.name}.{key}'; known folds: {known}",
+                )
+
+    @staticmethod
+    def _field_names(node: ast.ClassDef) -> list[str]:
+        fields = []
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            name = stmt.target.id
+            if name.startswith("_") or name.isupper():
+                continue
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append(name)
+        return fields
+
+    @staticmethod
+    def _policies_dict(node: ast.ClassDef):
+        """``(anchor, {key: (key_node, policy_str|None)})`` or None."""
+        for stmt in node.body:
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                target, value = stmt.target.id, stmt.value
+            if target != "MERGE_POLICIES" or not isinstance(value, ast.Dict):
+                continue
+            policies = {}
+            for key_node, value_node in zip(value.keys, value.values):
+                if not isinstance(key_node, ast.Constant) \
+                        or not isinstance(key_node.value, str):
+                    continue
+                policy = None
+                if isinstance(value_node, ast.Constant) \
+                        and isinstance(value_node.value, str):
+                    policy = value_node.value
+                policies[key_node.value] = (key_node, policy)
+            return stmt, policies
+        return None

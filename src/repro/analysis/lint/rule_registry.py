@@ -1,0 +1,188 @@
+"""R004: registry-contract conformance.
+
+Registration is how an engine or workload enters the dispatch surface,
+and the registries only check the *name* at import time -- nothing
+verifies that the class behind ``@ENGINES.register("fast_mvm")``
+actually implements ``from_spec``/``run``/``build_fabric`` until a
+scenario tries to run it.  This rule resolves every register call site
+to its class (through project-local inheritance) and checks the
+required surface statically, including the sharding contract: a class
+claiming ``shardable = True`` in its own body must define its own
+``execute_window`` and ``aggregate_cost`` because the base-class stubs
+raise.
+
+When a base class cannot be resolved within the linted files the rule
+stays silent for inherited methods (absence proves nothing), but
+own-body claims such as name/description/shardable are still checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import RULES, LintRule
+from repro.analysis.lint.walker import (
+    LintModule,
+    ProjectIndex,
+    dotted_name,
+)
+
+__all__ = ["RegistryContractRule"]
+
+#: Must match repro.api.registry._NAME_RE.
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_\-]*$")
+
+_KNOWN_REGISTRIES = {"ENGINES", "WORKLOADS", "DEVICES", "SCENARIOS",
+                     "FIGURES"}
+
+#: Surface each registry's classes must expose (via inheritance is ok).
+_REQUIRED = {
+    "ENGINES": ("from_spec", "run", "build_fabric", "description"),
+    "WORKLOADS": ("description", "engines"),
+}
+
+#: Methods whose base-class versions are raising stubs: claiming
+#: ``shardable = True`` requires overriding them in the class body.
+_SHARD_SURFACE = ("execute_window", "aggregate_cost")
+
+
+@RULES.register("registry-contract")
+class RegistryContractRule(LintRule):
+    """Register call sites must resolve to conforming classes."""
+
+    rule_id = "R004"
+    name = "registry-contract"
+    description = (
+        "registered engines/workloads must implement the required "
+        "surface (from_spec, run, build_fabric, description; plus "
+        "execute_window/aggregate_cost when shardable)"
+    )
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for decorator in node.decorator_list:
+                    registration = self._registration(decorator)
+                    if registration:
+                        yield from self._check_registration(
+                            module, index, node, decorator, *registration)
+            elif isinstance(node, ast.Call):
+                registration = self._registration(node)
+                if registration is None or not node.args[1:]:
+                    continue
+                registry, name_node = registration
+                yield from self._check_name(module, node, registry,
+                                            name_node)
+                target = node.args[1]
+                info = None
+                target_dotted = dotted_name(target)
+                if target_dotted:
+                    info = index.lookup(target_dotted)
+                if info is not None:
+                    yield from self._check_class(
+                        module, index, info.node, node, registry)
+
+    @staticmethod
+    def _registration(node: ast.AST):
+        """``(registry, name_node)`` when node is ``X.register(...)``."""
+        if not isinstance(node, ast.Call) or not node.args:
+            return None
+        func = dotted_name(node.func)
+        if func is None or not func.endswith(".register"):
+            return None
+        registry = func.rsplit(".", 1)[0].rsplit(".", 1)[-1]
+        if registry not in _KNOWN_REGISTRIES:
+            return None
+        return registry, node.args[0]
+
+    def _check_registration(self, module, index, cls, call, registry,
+                            name_node) -> Iterator[Finding]:
+        yield from self._check_name(module, call, registry, name_node)
+        yield from self._check_class(module, index, cls, call, registry,
+                                     name_node)
+
+    def _check_name(self, module, anchor, registry,
+                    name_node) -> Iterator[Finding]:
+        if not isinstance(name_node, ast.Constant) \
+                or not isinstance(name_node.value, str):
+            return
+        if not _NAME_RE.match(name_node.value):
+            yield self.finding(
+                module, anchor, f"{registry}:{name_node.value}",
+                f"registered name '{name_node.value}' is not a valid "
+                "lowercase slug (see repro.api.registry)",
+            )
+
+    def _check_class(self, module, index, cls, anchor, registry,
+                     name_node=None) -> Iterator[Finding]:
+        info = index.lookup(cls.name)
+        if info is None or info.node is not cls:
+            matches = [i for i in index.classes.get(cls.name, [])
+                       if i.node is cls]
+            info = matches[0] if matches else info
+        if info is None:
+            return
+        attrs, complete = index.resolved_attrs(info)
+
+        required = _REQUIRED.get(registry, ())
+        if complete:
+            for method in required:
+                if method not in attrs:
+                    yield self.finding(
+                        module, anchor, f"{cls.name}.{method}",
+                        f"'{cls.name}' is registered in {registry} but "
+                        f"neither it nor its bases define '{method}'",
+                    )
+
+        own = self._own_constants(cls)
+        registered = None
+        if isinstance(name_node, ast.Constant) \
+                and isinstance(name_node.value, str):
+            registered = name_node.value
+        declared = own.get("name")
+        if registered is not None and isinstance(declared, str) \
+                and declared != registered:
+            yield self.finding(
+                module, anchor, f"{cls.name}.name",
+                f"'{cls.name}' declares name='{declared}' but is "
+                f"registered as '{registered}'; dispatch and error "
+                "messages will disagree",
+            )
+        if "description" in info.own_attrs \
+                and own.get("description") == "":
+            yield self.finding(
+                module, anchor, f"{cls.name}.description",
+                f"'{cls.name}' has an empty description; 'repro list' "
+                "output would be blank for it",
+            )
+        if own.get("shardable") is True:
+            for method in _SHARD_SURFACE:
+                if method not in info.own_attrs:
+                    yield self.finding(
+                        module, anchor, f"{cls.name}.{method}",
+                        f"'{cls.name}' claims shardable=True but does "
+                        f"not override '{method}'; the base "
+                        "implementation raises at runtime",
+                    )
+
+    @staticmethod
+    def _own_constants(cls: ast.ClassDef) -> dict[str, object]:
+        """Constant-valued assignments in the class body."""
+        out: dict[str, object] = {}
+        for stmt in cls.body:
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                target, value = stmt.target.id, stmt.value
+            if target and isinstance(value, ast.Constant):
+                out[target] = value.value
+        return out

@@ -1,0 +1,124 @@
+"""R001: seeded-RNG discipline.
+
+The repo's headline guarantee -- equal specs produce bit-identical
+results, and ``workers=N`` equals ``workers=1`` -- holds only because
+every drop of entropy threads through ``spec.seed`` via explicit
+``numpy.random.Generator`` / ``SeedSequence`` streams (see
+:mod:`repro.api.workloads`).  Any module-level RNG call, stdlib
+``random`` use, unseeded ``default_rng()`` or wall-clock read inside
+simulation code silently re-introduces global state that forked workers
+do not share deterministically.  This rule rejects all four at lint
+time, before any determinism suite has to catch them by luck.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import RULES, LintRule
+from repro.analysis.lint.walker import (
+    LintModule,
+    ProjectIndex,
+    dotted_name,
+    resolve_dotted,
+)
+
+__all__ = ["SeededRngRule"]
+
+#: ``numpy.random`` attributes that are part of the seeded discipline
+#: (constructors and seed plumbing); every other attribute call is the
+#: legacy module-level global-state API.
+_NUMPY_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "spawn",
+}
+
+#: Wall-clock reads: nondeterministic by construction.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+}
+
+
+@RULES.register("seeded-rng")
+class SeededRngRule(LintRule):
+    """Entropy must flow from ``spec.seed`` through explicit Generators."""
+
+    rule_id = "R001"
+    name = "seeded-rng"
+    description = (
+        "no module-level np.random calls, stdlib random, unseeded "
+        "default_rng() or wall-clock entropy in simulation code"
+    )
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        # Reporting/lint code (repro.analysis) is not simulation code:
+        # it never feeds results and may legitimately read clocks.
+        if module.package[:2] == ("repro", "analysis"):
+            return
+        aliases = module.aliases
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases)
+
+    def _check_import(self, module, node) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            names = [a.name for a in node.names]
+        elif node.level == 0 and node.module:
+            names = [node.module]
+        else:
+            return
+        for name in names:
+            if name == "random" or name.startswith("random."):
+                yield self.finding(
+                    module, node, f"{module.scope(node) or '<module>'}"
+                    ":import-random",
+                    "imports stdlib 'random' (unseeded global state); "
+                    "use a numpy Generator derived from spec.seed",
+                )
+
+    def _check_call(self, module, node, aliases) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        resolved = resolve_dotted(dotted, aliases)
+        scope = module.scope(node) or "<module>"
+
+        if resolved.startswith("numpy.random."):
+            attr = resolved[len("numpy.random."):]
+            if attr == "default_rng" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    module, node, f"{scope}:{dotted}",
+                    "default_rng() without a seed draws OS entropy; "
+                    "pass a seed or SeedSequence derived from "
+                    "spec.seed",
+                )
+            elif "." not in attr and attr not in _NUMPY_ALLOWED:
+                yield self.finding(
+                    module, node, f"{scope}:{dotted}",
+                    f"module-level numpy RNG call '{dotted}' uses "
+                    "hidden global state; thread an explicit "
+                    "np.random.Generator through instead",
+                )
+        elif resolved == "random" or resolved.startswith("random."):
+            yield self.finding(
+                module, node, f"{scope}:{dotted}",
+                f"stdlib random call '{dotted}' is unseeded global "
+                "state; use a numpy Generator derived from spec.seed",
+            )
+        elif resolved in _WALL_CLOCK:
+            yield self.finding(
+                module, node, f"{scope}:{dotted}",
+                f"wall-clock read '{dotted}' makes results depend on "
+                "when they ran; derive timestamps outside simulation "
+                "code (time.perf_counter for durations is fine)",
+            )

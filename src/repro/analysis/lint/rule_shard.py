@@ -1,0 +1,163 @@
+"""R006: shard-hazard detection.
+
+workers=N equals workers=1 only when shard execution and merging are
+insensitive to process identity and visit order.  Three hazards break
+that silently:
+
+* iterating a ``set`` (or ``dict.values()``/``.keys()``) while
+  accumulating in a merge path -- set order is hash-seed dependent, so
+  non-associative accumulation drifts between runs and workers;
+* mutable default arguments -- state leaks across calls and, under a
+  warm worker pool, across *tasks*;
+* module-level mutable containers in ``repro.parallel`` -- populated
+  pre-fork, they diverge between parent and children.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import RULES, LintRule
+from repro.analysis.lint.walker import (
+    LintModule,
+    ProjectIndex,
+    dotted_name,
+)
+
+__all__ = ["ShardHazardRule"]
+
+#: Constructors whose results are mutable (unsafe as defaults and as
+#: module-level state in fork-shared modules).
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "bytearray",
+                  "deque", "Counter", "OrderedDict"}
+
+#: Function-name fragments marking shard-merge paths.
+_MERGE_MARKERS = ("merge", "aggregate", "fold", "combine", "reduce")
+
+
+def _in_merge_path(module: LintModule, node: ast.AST) -> bool:
+    scope = module.scope(node).lower()
+    if any(marker in scope for marker in _MERGE_MARKERS):
+        return True
+    return "parallel" in module.package
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func and func.rsplit(".", 1)[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+def _unordered_iter(node: ast.AST) -> str | None:
+    """Describe ``node`` when its iteration order is unstable."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func in ("set", "frozenset"):
+            return f"{func}(...)"
+        if func and func.endswith(".values"):
+            return ".values() of a dict"
+        if func and func.endswith(".keys"):
+            return ".keys() of a dict"
+    return None
+
+
+@RULES.register("shard-hazards")
+class ShardHazardRule(LintRule):
+    """Order-unstable iteration, mutable defaults, fork-shared state."""
+
+    rule_id = "R006"
+    name = "shard-hazards"
+    description = (
+        "no set/dict-order iteration in shard-merge paths, no mutable "
+        "default arguments, no module-level mutable state in "
+        "repro.parallel"
+    )
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        if module.package[:2] == ("repro", "analysis"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_iteration(module, node, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    yield from self._check_iteration(module, node,
+                                                     comp.iter)
+        if "parallel" in module.package:
+            yield from self._check_module_state(module)
+
+    def _check_defaults(self, module, node) -> Iterator[Finding]:
+        qualname = module.scope(node)
+        qualname = f"{qualname}.{node.name}" if qualname else node.name
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaults: list[ast.AST | None] = [None] * (
+            len(positional) - len(args.defaults)) + list(args.defaults)
+        pairs = list(zip(positional, defaults))
+        pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)]
+        for arg, default in pairs:
+            if default is not None and _is_mutable_literal(default):
+                yield self.finding(
+                    module, default, f"{qualname}.{arg.arg}",
+                    f"mutable default for '{arg.arg}' is shared across "
+                    "calls (and across tasks in a warm worker); "
+                    "default to None and construct inside",
+                )
+
+    def _check_iteration(self, module, anchor, iter_node
+                         ) -> Iterator[Finding]:
+        if not _in_merge_path(module, anchor):
+            return
+        described = _unordered_iter(iter_node)
+        if described is None:
+            return
+        scope = module.scope(anchor) or "<module>"
+        source = dotted_name(iter_node) \
+            or (dotted_name(iter_node.func)
+                if isinstance(iter_node, ast.Call) else None) \
+            or "<expr>"
+        yield self.finding(
+            module, anchor, f"{scope}:iter:{source}",
+            f"iterating {described} in a shard-merge path; order is "
+            "hash-dependent, so non-associative accumulation drifts "
+            "between workers -- wrap in sorted(...)",
+        )
+
+    def _check_module_state(self, module) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                target, value = stmt.target.id, stmt.value
+            if target is None or value is None:
+                continue
+            if target.startswith("__") or not _is_mutable_literal(value):
+                continue
+            # Empty immutable-by-convention constants (UPPER_CASE dicts
+            # of callables etc.) are still fork hazards if ever mutated;
+            # flag them all and let suppressions carry the proof burden.
+            yield self.finding(
+                module, stmt, f"<module>.{target}",
+                f"module-level mutable container '{target}' in a "
+                "parallel module; populated pre-fork it diverges "
+                "between parent and workers -- pass state explicitly "
+                "or make it immutable",
+            )

@@ -1,0 +1,241 @@
+"""R005: spec-key liveness.
+
+The CLI, the sweep grid expander and the shard router all address
+:class:`~repro.api.spec.ScenarioSpec` fields by *string*: ``--vary
+size=...``, ``SPEC_FIELDS`` tuples, ``getattr(spec, axis)``,
+``spec.replaced(seed=...)``.  Renaming a spec field leaves those
+strings silently pointing at nothing -- ``getattr`` raises at runtime
+at best, and a sweep axis is dropped without error at worst.  This rule
+loads the real spec schema (via ``dataclasses.fields``, so it can never
+drift from the source of truth) and checks every string key site
+against it.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import RULES, LintRule
+from repro.analysis.lint.walker import (
+    LintModule,
+    ProjectIndex,
+    dotted_name,
+)
+
+__all__ = ["SpecKeyRule"]
+
+#: Assignment targets treated as spec-field string tables.
+_FIELD_TABLE_NAMES = {
+    "spec_fields", "scenario_fields", "int_fields", "float_fields",
+}
+
+
+@lru_cache(maxsize=1)
+def _schema() -> dict[str, frozenset[str]]:
+    """Live field sets keyed by receiver kind.
+
+    ``attrs`` additionally admits properties/methods so
+    ``getattr(spec, "device_name")`` is not a false positive.
+    """
+    from repro.api.spec import DeviceSpec, NonidealitySpec, ScenarioSpec
+    import dataclasses as dc
+
+    spec_fields = frozenset(f.name for f in dc.fields(ScenarioSpec))
+    nonideality_fields = frozenset(
+        f.name for f in dc.fields(NonidealitySpec))
+    device_fields = frozenset(f.name for f in dc.fields(DeviceSpec))
+    spec_attrs = spec_fields | frozenset(
+        n for n in dir(ScenarioSpec) if not n.startswith("_"))
+    nonideality_attrs = nonideality_fields | frozenset(
+        n for n in dir(NonidealitySpec) if not n.startswith("_"))
+    return {
+        "spec_fields": spec_fields,
+        "nonideality_fields": nonideality_fields,
+        "device_fields": device_fields,
+        "spec_attrs": spec_attrs,
+        "nonideality_attrs": nonideality_attrs,
+        "vary_fields": spec_fields | nonideality_fields,
+    }
+
+
+def _receiver_kind(dotted: str | None) -> str | None:
+    """Which schema a receiver expression indexes, if recognizable."""
+    if not dotted:
+        return None
+    last = dotted.rsplit(".", 1)[-1].lower()
+    if last == "self":
+        return None
+    if last == "nonideality" or last.endswith("_nonideality"):
+        return "nonideality"
+    if last == "spec" or last.endswith("spec") or last == "defaults":
+        return "spec"
+    return None
+
+
+@RULES.register("spec-keys")
+class SpecKeyRule(LintRule):
+    """String keys addressing spec fields must name real fields."""
+
+    rule_id = "R005"
+    name = "spec-keys"
+    description = (
+        "string keys indexing ScenarioSpec/NonidealitySpec fields "
+        "(getattr, SPEC_FIELDS tables, replaced(), constructors) must "
+        "name live spec fields"
+    )
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        if module.package[:2] == ("repro", "analysis"):
+            return
+        schema = _schema()
+        loop_strings = _loop_string_domains(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_getattr(
+                    module, node, schema, loop_strings)
+                yield from self._check_replaced(module, node, schema)
+                yield from self._check_constructors(module, node, schema)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_field_table(module, node, schema)
+
+    # -- getattr(spec, "key") / getattr(spec, axis) --------------------------
+
+    def _check_getattr(self, module, node, schema,
+                       loop_strings) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Name)
+                and node.func.id == "getattr" and len(node.args) >= 2):
+            return
+        kind = _receiver_kind(dotted_name(node.args[0]))
+        if kind is None:
+            return
+        allowed = schema[f"{kind}_attrs"]
+        key_node = node.args[1]
+        keys: list[str] = []
+        if isinstance(key_node, ast.Constant) \
+                and isinstance(key_node.value, str):
+            keys = [key_node.value]
+        elif isinstance(key_node, ast.Name):
+            keys = loop_strings.get(key_node.id, [])
+        for key in keys:
+            if key not in allowed:
+                yield self.finding(
+                    module, node, f"getattr:{kind}:{key}",
+                    f"getattr key '{key}' is not a field of "
+                    f"{'NonidealitySpec' if kind == 'nonideality' else 'ScenarioSpec'}"
+                    "; schema drift",
+                )
+
+    # -- SPEC_FIELDS = ("engine", ...) tables ---------------------------------
+
+    def _check_field_table(self, module, node, schema) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        else:
+            targets = [node.target] \
+                if isinstance(node.target, ast.Name) else []
+            value = node.value
+        if value is None or not targets:
+            return
+        name = targets[0].id.lower().lstrip("_")
+        if name not in _FIELD_TABLE_NAMES:
+            return
+        if not isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            return
+        allowed = schema["vary_fields"]
+        for element in value.elts:
+            if not isinstance(element, ast.Constant) \
+                    or not isinstance(element.value, str):
+                continue
+            key = element.value
+            if "." in key:  # dotted device-override paths route elsewhere
+                continue
+            if key not in allowed:
+                yield self.finding(
+                    module, element, f"{targets[0].id}:{key}",
+                    f"'{key}' in {targets[0].id} is not a ScenarioSpec "
+                    "or NonidealitySpec field; sweep axes addressing it "
+                    "would silently vanish",
+                )
+
+    # -- spec.replaced(kw=...) ------------------------------------------------
+
+    def _check_replaced(self, module, node, schema) -> Iterator[Finding]:
+        func = dotted_name(node.func)
+        if not func or not func.endswith(".replaced"):
+            return
+        kind = _receiver_kind(func.rsplit(".", 1)[0])
+        if kind is None:
+            return
+        allowed = schema[f"{kind}_fields"]
+        for keyword in node.keywords:
+            if keyword.arg and keyword.arg not in allowed:
+                yield self.finding(
+                    module, node, f"replaced:{kind}:{keyword.arg}",
+                    f"replaced(...) keyword '{keyword.arg}' is not a "
+                    f"field of "
+                    f"{'NonidealitySpec' if kind == 'nonideality' else 'ScenarioSpec'}",
+                )
+
+    # -- ScenarioSpec(...) / NonidealitySpec(...) keyword drift ---------------
+
+    def _check_constructors(self, module, node, schema) -> Iterator[Finding]:
+        func = dotted_name(node.func)
+        if func is None:
+            return
+        simple = func.rsplit(".", 1)[-1]
+        allowed = {
+            "ScenarioSpec": schema["spec_fields"],
+            "NonidealitySpec": schema["nonideality_fields"],
+            "DeviceSpec": schema["device_fields"],
+        }.get(simple)
+        if allowed is None:
+            return
+        for keyword in node.keywords:
+            if keyword.arg and keyword.arg not in allowed:
+                yield self.finding(
+                    module, node, f"{simple}:{keyword.arg}",
+                    f"{simple}(...) keyword '{keyword.arg}' is not a "
+                    "declared field; constructor would raise TypeError",
+                )
+
+
+def _loop_string_domains(tree: ast.Module) -> dict[str, list[str]]:
+    """Loop variables iterating literal string collections.
+
+    Resolves the common ``for axis in ("size", "seed"): getattr(spec,
+    axis)`` pattern: maps each such loop target to the literal string
+    domain it ranges over.  Targets bound by more than one loop are
+    dropped (ambiguous).
+    """
+    domains: dict[str, list[str]] = {}
+    ambiguous: set[str] = set()
+
+    def record(target: ast.AST, source: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if not isinstance(source, (ast.Tuple, ast.List, ast.Set)):
+            return
+        values = [e.value for e in source.elts
+                  if isinstance(e, ast.Constant)
+                  and isinstance(e.value, str)]
+        if len(values) != len(source.elts) or not values:
+            return
+        if target.id in domains:
+            ambiguous.add(target.id)
+        domains[target.id] = values
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            record(node.target, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for comp in node.generators:
+                record(comp.target, comp.iter)
+    return {name: values for name, values in domains.items()
+            if name not in ambiguous}

@@ -1,0 +1,187 @@
+"""R003: unit-suffix discipline.
+
+Cost accounting crosses many layers (device energy, ADC latency, array
+parasitics) and every hand-off is a chance to add joules to seconds.
+The defense is lexical: a numeric field or constant that *names* a
+physical quantity must say its unit (``energy_joules``, not
+``energy``), and an expression adding two names with *different* unit
+suffixes is flagged as a probable conversion bug.
+
+Scope is deliberately narrow to stay signal-heavy: dataclass fields
+with numeric annotations or defaults, and function parameters with
+numeric defaults (hard-coded physical constants).  Pass-through
+parameters without defaults are left alone -- their unit is the
+caller's problem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import RULES, LintRule
+from repro.analysis.lint.walker import LintModule, ProjectIndex
+
+__all__ = ["UnitSuffixRule"]
+
+#: Quantity stems -> the canonical suffix each must carry.
+_STEMS = {
+    "energy": "_joules",
+    "latency": "_seconds",
+    "delay": "_seconds",
+    "duration": "_seconds",
+    "resistance": "_ohms",
+    "voltage": "_volts",
+    "current": "_amps",
+}
+
+#: Words that count as a unit annotation when present anywhere in the
+#: name.  Includes the repo's area/feature-size units so
+#: ``area_mm2``-style names are recognized as already unit-qualified.
+_UNIT_WORDS = {
+    "joules", "seconds", "ohms", "volts", "amps", "watts", "hz",
+    "mm2", "f2", "ns", "us", "ms", "pj", "nj", "fj", "ev",
+}
+
+#: ``time`` is a stem only as a suffix word (``config_write_time``);
+#: leading ``time_*`` names (``time_step_count``) are usually indices.
+_SUFFIX_ONLY_STEMS = {"time": "_seconds"}
+
+
+def _words(name: str) -> list[str]:
+    return [w for w in name.lower().split("_") if w]
+
+
+def _unit_of(name: str) -> str | None:
+    """The unit word carried by ``name``, if any."""
+    for word in _words(name):
+        if word in _UNIT_WORDS:
+            return word
+    return None
+
+
+def _missing_suffix(name: str) -> str | None:
+    """The canonical suffix ``name`` should carry but does not."""
+    words = _words(name)
+    if not words or _unit_of(name):
+        return None
+    for word in words:
+        if word in _STEMS:
+            return _STEMS[word]
+    if words[-1] in _SUFFIX_ONLY_STEMS:
+        return _SUFFIX_ONLY_STEMS[words[-1]]
+    return None
+
+
+def _is_numeric_constant(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.UnaryOp) \
+            and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+def _is_numeric_annotation(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    text = ast.unparse(node)
+    return any(token in text for token in ("float", "int"))
+
+
+@RULES.register("unit-suffix")
+class UnitSuffixRule(LintRule):
+    """Physical-quantity names must carry canonical unit suffixes."""
+
+    rule_id = "R003"
+    name = "unit-suffix"
+    description = (
+        "numeric physical-quantity fields/constants need _joules/"
+        "_seconds/_ohms/_volts/_amps suffixes; arithmetic mixing "
+        "different unit suffixes is flagged"
+    )
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        if module.package[:2] == ("repro", "analysis"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_fields(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_params(module, node)
+            elif isinstance(node, ast.BinOp):
+                yield from self._check_mixing(module, node)
+
+    def _check_fields(self, module, node) -> Iterator[Finding]:
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) \
+                    or not isinstance(stmt.target, ast.Name):
+                continue
+            name = stmt.target.id
+            if name.startswith("_") or name.isupper():
+                continue
+            if not (_is_numeric_annotation(stmt.annotation)
+                    or _is_numeric_constant(stmt.value)):
+                continue
+            suffix = _missing_suffix(name)
+            if suffix:
+                yield self.finding(
+                    module, stmt, f"{node.name}.{name}",
+                    f"numeric field '{name}' names a physical quantity "
+                    f"without its unit; rename to '{name}{suffix}' "
+                    "(or another canonical unit suffix)",
+                )
+
+    def _check_params(self, module, node) -> Iterator[Finding]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaults: list[ast.AST | None] = [None] * (
+            len(positional) - len(args.defaults)) + list(args.defaults)
+        pairs = list(zip(positional, defaults))
+        pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)]
+        qualname = module.scope(node)
+        qualname = f"{qualname}.{node.name}" if qualname else node.name
+        for arg, default in pairs:
+            if not _is_numeric_constant(default):
+                continue
+            suffix = _missing_suffix(arg.arg)
+            if suffix:
+                yield self.finding(
+                    module, arg, f"{qualname}.{arg.arg}",
+                    f"parameter '{arg.arg}' defaults to a hard-coded "
+                    "physical constant without naming its unit; rename "
+                    f"to '{arg.arg}{suffix}'",
+                )
+
+    def _check_mixing(self, module, node) -> Iterator[Finding]:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        left = self._operand_name(node.left)
+        right = self._operand_name(node.right)
+        if left is None or right is None:
+            return
+        left_unit = _unit_of(left)
+        right_unit = _unit_of(right)
+        if not left_unit or not right_unit or left_unit == right_unit:
+            return
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        scope = module.scope(node) or "<module>"
+        yield self.finding(
+            module, node, f"{scope}:{left}{op}{right}",
+            f"'{left} {op} {right}' mixes {left_unit} with "
+            f"{right_unit}; probable unit bug (convert explicitly "
+            "or suppress if intentional)",
+        )
+
+    @staticmethod
+    def _operand_name(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None

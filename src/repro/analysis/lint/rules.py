@@ -1,0 +1,91 @@
+"""The rule engine: base class and registry for reprolint rules.
+
+Rules are registered in the same string-keyed :class:`~repro.api.
+registry.Registry` the engines and workloads use, which is what makes
+``repro list rules`` fall out of the existing ``list`` machinery and a
+new rule one decorator away from running.  Each rule is a pure function
+of the parsed module (plus the cross-module :class:`~repro.analysis.
+lint.walker.ProjectIndex`): no file IO, no mutation, so the runner can
+apply any subset in any order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.walker import LintModule, ProjectIndex
+from repro.api.registry import Registry
+
+__all__ = ["RULES", "LintRule", "all_rules", "rules_for"]
+
+#: Registered lint rules: slug name -> LintRule subclass.
+RULES = Registry("lint rule")
+
+
+class LintRule:
+    """One contract checker.
+
+    Subclasses set the identity attributes and implement :meth:`check`,
+    yielding :class:`Finding` records; suppression, baselining and
+    reporting are the runner's job.
+    """
+
+    #: Stable id used in reports, ``--select`` and suppressions.
+    rule_id = ""
+    #: Registry slug (also accepted in suppression comments).
+    name = ""
+    #: One-line summary shown by ``repro list rules`` / ``--stats``.
+    description = ""
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def finding(self, module: LintModule, node, symbol: str,
+                message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in ``module``."""
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            symbol=symbol,
+            message=message,
+        )
+
+
+def all_rules() -> list[LintRule]:
+    """One instance of every registered rule, ordered by rule id."""
+    instances = [cls() for _, cls in RULES.items()]
+    return sorted(instances, key=lambda rule: rule.rule_id)
+
+
+def rules_for(select: list[str] | None) -> list[LintRule]:
+    """Rules matching ``select`` (ids or slugs; None = all).
+
+    Raises:
+        ValueError: naming any token that matches no registered rule.
+    """
+    rules = all_rules()
+    if not select:
+        return rules
+    by_token = {}
+    for rule in rules:
+        by_token[rule.rule_id.upper()] = rule
+        by_token[rule.name.upper()] = rule
+    chosen = []
+    unknown = []
+    for token in select:
+        rule = by_token.get(token.strip().upper())
+        if rule is None:
+            unknown.append(token)
+        elif rule not in chosen:
+            chosen.append(rule)
+    if unknown:
+        known = ", ".join(sorted(r.rule_id for r in rules))
+        raise ValueError(
+            f"unknown lint rule(s) {unknown}; known: {known}")
+    return sorted(chosen, key=lambda rule: rule.rule_id)

@@ -1,0 +1,106 @@
+"""The lint driver: files in, :class:`LintReport` out.
+
+Collect files, parse each into a :class:`LintModule`, build the
+cross-module :class:`ProjectIndex`, run every selected rule over every
+module, drop suppressed findings, subtract the baseline, report.  Parse
+failures become report errors instead of crashing the run, so one
+broken fixture cannot hide findings elsewhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.report import LintReport
+from repro.analysis.lint.rules import LintRule, rules_for
+from repro.analysis.lint.walker import (
+    LintModule,
+    ProjectIndex,
+    collect_python_files,
+    find_project_root,
+    parse_module,
+)
+
+__all__ = ["lint_paths", "lint_modules"]
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: list[str] | None = None,
+    baseline_path: str | Path | None = None,
+    use_baseline: bool = True,
+) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    Args:
+        paths: files and/or directories to lint.
+        select: rule ids/slugs to run (None = all registered rules).
+        baseline_path: explicit baseline file; defaults to
+            ``.reprolint-baseline.json`` at the detected project root.
+        use_baseline: False ignores the baseline entirely (every
+            finding reports as new, none as stale).
+    """
+    path_list = [Path(p) for p in paths]
+    files = collect_python_files(path_list)
+    root = find_project_root(path_list[0]) if path_list else Path.cwd()
+    rules = rules_for(select)
+
+    modules: list[LintModule] = []
+    errors: list[str] = []
+    for file in files:
+        try:
+            modules.append(parse_module(file, root))
+        except SyntaxError as exc:
+            errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
+
+    findings = lint_modules(modules, rules)
+
+    grandfathered: list[Finding] = []
+    stale: list[str] = []
+    if use_baseline:
+        resolved = Path(baseline_path) if baseline_path \
+            else root / DEFAULT_BASELINE_NAME
+        try:
+            baseline = Baseline.load(resolved)
+        except ValueError as exc:
+            errors.append(str(exc))
+            baseline = Baseline(path=resolved)
+        findings, grandfathered = baseline.split(findings)
+        # Stale entries only make sense when the run covers both the
+        # file and the rule the entry refers to; a single-file or
+        # --select lint must not report everything else as fixed.
+        relpaths = {m.relpath for m in modules}
+        rule_ids = {rule.rule_id for rule in rules}
+        stale = []
+        for fp in baseline.stale(grandfathered):
+            parts = fp.split("::")
+            if len(parts) >= 2 and parts[0] in relpaths \
+                    and parts[1] in rule_ids:
+                stale.append(fp)
+
+    return LintReport(
+        findings=sorted(findings),
+        grandfathered=sorted(grandfathered),
+        stale_baseline=stale,
+        errors=errors,
+        files_checked=len(modules),
+        rules=rules,
+    )
+
+
+def lint_modules(modules: list[LintModule],
+                 rules: list[LintRule]) -> list[Finding]:
+    """Run ``rules`` over ``modules``; suppressions applied, no baseline."""
+    index = ProjectIndex(modules)
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check(module, index):
+                if module.is_suppressed(finding.line, rule.rule_id,
+                                        rule.name):
+                    continue
+                findings.append(finding)
+    return findings

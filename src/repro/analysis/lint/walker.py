@@ -1,0 +1,347 @@
+"""Parsing and project indexing: the AST substrate the rules share.
+
+One :class:`LintModule` per file carries the parsed tree plus the
+derived views every rule needs -- per-line suppression sets (from
+``# reprolint: disable=...`` comments), a node -> enclosing-scope
+qualname map, and the module's import-alias table so ``np.random.rand``
+and ``numpy.random.rand`` resolve to the same dotted name.
+
+The :class:`ProjectIndex` spans all parsed modules and answers the
+cross-module questions: which classes exist, what attributes each
+defines, and what a class inherits through project-local bases -- the
+substrate of the registry-contract rule, which must see that an engine
+registered in ``engines.py`` inherits ``run`` from the ``Engine`` base
+defined hundreds of lines earlier.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LintModule",
+    "ClassInfo",
+    "ProjectIndex",
+    "collect_python_files",
+    "dotted_name",
+    "find_project_root",
+    "parse_module",
+    "resolve_dotted",
+]
+
+#: Comment syntax: ``# reprolint: disable`` (all rules) or
+#: ``# reprolint: disable=R001,R002`` (listed rules).  A trailing
+#: comment suppresses its own line; a standalone comment line
+#: suppresses the next line holding code.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:=([A-Za-z0-9_,\-\s]+))?")
+
+#: Directory entries never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv",
+              "node_modules", ".eggs", "build", "dist"}
+
+#: Markers that identify a project root for relative-path fingerprints.
+_ROOT_MARKERS = ("pyproject.toml", ".git", "setup.py", "setup.cfg")
+
+
+@dataclasses.dataclass
+class LintModule:
+    """One parsed source file plus the views rules consume."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: Dotted module path within its package when the file lives under a
+    #: ``repro`` package directory (e.g. ``("repro", "parallel",
+    #: "runner")``); empty for loose files such as test fixtures.
+    package: tuple[str, ...]
+    #: line -> rule tokens suppressed there ("*" suppresses all rules).
+    suppressions: dict[int, frozenset[str]]
+    #: id(node) -> dotted qualname of the enclosing class/function scope
+    #: ("" at module level).
+    scope_of: dict[int, str]
+    #: local name -> dotted import target (``np`` -> ``numpy``,
+    #: ``default_rng`` -> ``numpy.random.default_rng``).
+    aliases: dict[str, str]
+
+    def scope(self, node: ast.AST) -> str:
+        """Qualname of the scope enclosing ``node`` ("" = module)."""
+        return self.scope_of.get(id(node), "")
+
+    def is_suppressed(self, line: int, rule: str,
+                      rule_name: str = "") -> bool:
+        """Whether findings of ``rule`` on ``line`` are suppressed."""
+        tokens = self.suppressions.get(line)
+        if not tokens:
+            return False
+        if "*" in tokens:
+            return True
+        wanted = {rule.upper()}
+        if rule_name:
+            wanted.add(rule_name.upper())
+        return bool(wanted & tokens)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition as the index sees it."""
+
+    name: str
+    relpath: str
+    node: ast.ClassDef
+    #: Base-class expressions as dotted names (unresolvable bases such
+    #: as subscripted generics are recorded as "?").
+    bases: tuple[str, ...]
+    #: Names bound directly in the class body (methods, assignments,
+    #: annotated fields).
+    own_attrs: frozenset[str]
+
+
+class ProjectIndex:
+    """Cross-module class lookup with project-local inheritance."""
+
+    def __init__(self, modules: Iterable[LintModule]) -> None:
+        self.modules = list(modules)
+        self.classes: dict[str, list[ClassInfo]] = {}
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = ClassInfo(
+                    name=node.name,
+                    relpath=module.relpath,
+                    node=node,
+                    bases=tuple(dotted_name(b) or "?" for b in node.bases),
+                    own_attrs=frozenset(_bound_names(node)),
+                )
+                self.classes.setdefault(node.name, []).append(info)
+
+    def lookup(self, name: str) -> ClassInfo | None:
+        """The class with simple name ``name`` (first match), if any."""
+        candidates = self.classes.get(name.rsplit(".", 1)[-1])
+        return candidates[0] if candidates else None
+
+    def resolved_attrs(self, info: ClassInfo) -> tuple[set[str], bool]:
+        """Attributes of ``info`` including project-local inheritance.
+
+        Returns:
+            ``(attrs, complete)`` -- ``complete`` is False when any base
+            could not be resolved within the indexed files (external or
+            dynamic bases), in which case absence of an attribute proves
+            nothing and contract rules must stay silent.
+        """
+        attrs: set[str] = set()
+        complete = True
+        seen: set[str] = set()
+        stack = [info]
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            attrs |= current.own_attrs
+            for base in current.bases:
+                simple = base.rsplit(".", 1)[-1]
+                if simple == "object":
+                    continue
+                resolved = self.lookup(simple)
+                if resolved is None:
+                    complete = False
+                else:
+                    stack.append(resolved)
+        return attrs, complete
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def resolve_dotted(dotted: str, aliases: dict[str, str]) -> str:
+    """Expand the first segment of ``dotted`` through import aliases."""
+    head, sep, rest = dotted.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return dotted
+    return f"{target}.{rest}" if sep else target
+
+
+def find_project_root(path: Path) -> Path:
+    """Nearest ancestor holding a project marker (else the path's dir).
+
+    Lint fingerprints are paths relative to this root, so a baseline
+    recorded in CI (run from the checkout root) matches a lint run from
+    any working directory.
+    """
+    start = path.resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return start
+
+
+def collect_python_files(paths: Iterable[Path]) -> list[Path]:
+    """All ``.py`` files under ``paths``, sorted, deduplicated."""
+    found: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path.resolve())
+        elif path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(child.parts):
+                    found.add(child.resolve())
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def parse_module(path: Path, root: Path) -> LintModule:
+    """Parse one file into a :class:`LintModule`.
+
+    Raises:
+        SyntaxError: when the file does not parse; the runner reports
+            it as a lint error rather than crashing the whole run.
+    """
+    path = Path(path).resolve()
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        relpath = path.relative_to(root).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return LintModule(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        package=_package_of(path),
+        suppressions=_suppressions(source),
+        scope_of=_scopes(tree),
+        aliases=_import_aliases(tree),
+    )
+
+
+def _package_of(path: Path) -> tuple[str, ...]:
+    parts = path.with_suffix("").parts
+    if "repro" in parts:
+        return parts[parts.index("repro"):]
+    return ()
+
+
+def _bound_names(node: ast.ClassDef) -> Iterator[str]:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt.name
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            yield stmt.target.id
+
+
+def _scopes(tree: ast.Module) -> dict[int, str]:
+    out: dict[int, str] = {}
+
+    def visit(node: ast.AST, stack: list[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_stack = stack + [child.name]
+                out[id(child)] = ".".join(stack)
+                visit(child, child_stack)
+            else:
+                if stack:
+                    out[id(child)] = ".".join(stack)
+                visit(child, stack)
+
+    visit(tree, [])
+    return out
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.partition(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line -> suppressed rule tokens (uppercased; "*" = all)."""
+    code_lines: set[int] = set()
+    comments: list[tuple[int, bool, frozenset[str]]] = []
+    insignificant = {
+        tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+        tokenize.DEDENT, tokenize.ENCODING, tokenize.ENDMARKER,
+    }
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except tokenize.TokenError:  # pragma: no cover - parse succeeded
+        return {}
+    for tok in tokens:
+        if tok.type not in insignificant:
+            for line in range(tok.start[0], tok.end[0] + 1):
+                code_lines.add(line)
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if not match:
+            continue
+        raw = match.group(1)
+        if raw is None:
+            rules = frozenset({"*"})
+        else:
+            rules = frozenset(
+                token.strip().upper()
+                for token in raw.split(",") if token.strip()
+            ) or frozenset({"*"})
+        line = tok.start[0]
+        comments.append((line, line in code_lines, rules))
+    out: dict[int, frozenset[str]] = {}
+
+    def add(line: int, rules: frozenset[str]) -> None:
+        out[line] = out.get(line, frozenset()) | rules
+
+    for line, trailing, rules in comments:
+        if trailing:
+            add(line, rules)
+        else:
+            following = [c for c in code_lines if c > line]
+            if following:
+                add(min(following), rules)
+    return out

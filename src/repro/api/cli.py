@@ -53,6 +53,13 @@ from repro.api.registry import (
 )
 from repro.api.scenarios import scenario
 from repro.api.spec import DeviceSpec, ScenarioSpec, SpecError
+from repro.analysis.lint import (
+    RULES,
+    lint_paths,
+    render_json,
+    render_stats,
+    render_text,
+)
 from repro.analysis.tables import write_csv
 from repro.bench import measure_throughput, speedup, write_bench_json
 from repro.parallel import (
@@ -75,6 +82,7 @@ _LISTABLE = {
     "workloads": WORKLOADS,
     "scenarios": SCENARIOS,
     "figures": FIGURES,
+    "rules": RULES,
 }
 
 
@@ -196,6 +204,36 @@ def build_parser() -> argparse.ArgumentParser:
     prune_p.add_argument("--max-bytes", type=int, default=None,
                          metavar="BYTES",
                          help="keep at most BYTES of entry payload")
+
+    lint_p = sub.add_parser(
+        "lint", help="reprolint: AST contract checks (determinism, "
+                     "merge policies, unit suffixes, registry "
+                     "contracts, spec keys, shard hazards)")
+    lint_p.add_argument("paths", nargs="*", default=["src"],
+                        metavar="PATH",
+                        help="files/directories to lint (default: src)")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="report format (default: text)")
+    lint_p.add_argument("--select", action="append", default=None,
+                        metavar="RULE",
+                        help="run only this rule id or slug "
+                             "(repeatable; default: all)")
+    lint_p.add_argument("--stats", action="store_true",
+                        help="also print per-rule finding counts and "
+                             "descriptions")
+    lint_p.add_argument("--baseline", type=Path, default=None,
+                        metavar="FILE",
+                        help="baseline file (default: "
+                             ".reprolint-baseline.json at the project "
+                             "root)")
+    lint_p.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report every "
+                             "finding")
+    lint_p.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to cover the "
+                             "current findings (keeps existing "
+                             "reasons)")
 
     bench_p = sub.add_parser(
         "bench", help="engine execution throughput: batched vs "
@@ -478,8 +516,45 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 summary = f"{value.description}; " \
                     if value.description else ""
                 detail = f" -- {summary}engines: {engines}"
+            elif what == "rules":
+                detail = f" -- {value.rule_id}: {value.description}"
             print(f"  {name}{detail}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import DEFAULT_BASELINE_NAME, Baseline
+    from repro.analysis.lint.walker import find_project_root
+
+    if args.no_baseline and (args.baseline or args.update_baseline):
+        raise SpecError(
+            "--no-baseline conflicts with --baseline/--update-baseline")
+    try:
+        report = lint_paths(
+            args.paths,
+            select=args.select,
+            baseline_path=args.baseline,
+            use_baseline=not args.no_baseline,
+        )
+    except FileNotFoundError as exc:
+        raise SpecError(str(exc)) from None
+    if args.update_baseline:
+        root = find_project_root(Path(args.paths[0]))
+        path = args.baseline or root / DEFAULT_BASELINE_NAME
+        baseline = Baseline.load(path)
+        updated = baseline.updated(report.findings + report.grandfathered)
+        updated.write(path)
+        print(f"baseline updated: {len(updated)} entr"
+              f"{'y' if len(updated) == 1 else 'ies'} -> {path}")
+        return 0
+    if args.fmt == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    if args.stats:
+        print()
+        print(render_stats(report))
+    return report.exit_code
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -593,6 +668,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_cache(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ValueError as exc:
         # Covers RegistryError/SpecError/ScenarioError plus the model
         # layers' own ValueErrors (bad workload parameters, sizes a

@@ -19,7 +19,7 @@ The legacy records stay -- the facade converts them via
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Mapping
+from typing import Any, ClassVar, Mapping
 
 import numpy as np
 
@@ -78,6 +78,15 @@ class CostSummary:
     latency_seconds: float = 0.0
     area_mm2: float = 0.0
     counters: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    #: Associative fold per field, consumed by shard merges and checked
+    #: by reprolint R002 (merge-policy completeness).
+    MERGE_POLICIES: ClassVar[dict[str, str]] = {
+        "energy_joules": "sum",
+        "latency_seconds": "sum",
+        "area_mm2": "max",
+        "counters": "sum",
+    }
 
     def __post_init__(self) -> None:
         for name in ("energy_joules", "latency_seconds", "area_mm2"):

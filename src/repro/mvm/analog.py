@@ -88,8 +88,8 @@ class AnalogMVM:
         )
         self.adc = ADCModel(
             bits=config.adc_bits,
-            lsb_current=read_voltage / self.params.r_on,
-            leak_current=read_voltage / self.params.r_off,
+            lsb_current_amps=read_voltage / self.params.r_on,
+            leak_current_amps=read_voltage / self.params.r_off,
         )
         self.reads = 0
         self.adc_conversions = 0

@@ -91,24 +91,24 @@ class ADCModel:
 
     Attributes:
         bits: ADC resolution; codes span ``[0, 2**bits - 1]``.
-        lsb_current: current of one nominal ON cell (``Vr / r_on``) --
+        lsb_current_amps: current of one nominal ON cell (``Vr / r_on``) --
             the converter's LSB.
-        leak_current: nominal per-activated-row OFF leakage
+        leak_current_amps: nominal per-activated-row OFF leakage
             (``Vr / r_off``), subtracted ``active_rows`` times as the
             conversion baseline.
     """
 
     bits: int
-    lsb_current: float
-    leak_current: float = 0.0
+    lsb_current_amps: float
+    leak_current_amps: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.bits, int) or isinstance(self.bits, bool) \
                 or self.bits < 1:
             raise ValueError("adc bits must be a positive integer")
-        if self.lsb_current <= 0:
+        if self.lsb_current_amps <= 0:
             raise ValueError("adc lsb current must be positive")
-        if self.leak_current < 0:
+        if self.leak_current_amps < 0:
             raise ValueError("adc leak current must be non-negative")
 
     @property
@@ -132,8 +132,8 @@ class ADCModel:
         """
         currents = np.asarray(currents, dtype=float)
         raw = np.rint(
-            (currents - active_rows * self.leak_current)
-            / self.lsb_current
+            (currents - active_rows * self.leak_current_amps)
+            / self.lsb_current_amps
         ).astype(np.int64)
         saturated = int((raw > self.max_code).sum())
         return np.clip(raw, 0, self.max_code), saturated

@@ -72,14 +72,14 @@ class BatchedMVPProcessor:
         stack: the batch of logical crossbars.  The *last* row of every
             array is reserved for the all-ones constant used by ``VNOT``.
         energy_model: per-activation cost model (shared by all items).
-        activation_latency: seconds per multi-row read.
+        activation_latency_seconds: seconds per multi-row read.
     """
 
     def __init__(
         self,
         stack: CrossbarStack,
         energy_model: ScoutingEnergyModel | None = None,
-        activation_latency: float = 100e-9,
+        activation_latency_seconds: float = 100e-9,
     ) -> None:
         if stack.rows < 2:
             raise ValueError("crossbar needs >= 2 rows (one is reserved)")
@@ -87,7 +87,7 @@ class BatchedMVPProcessor:
         self.batch = stack.batch
         self.logic = ScoutingLogic(stack)
         self.energy_model = energy_model or ScoutingEnergyModel()
-        self.activation_latency = activation_latency
+        self.activation_latency_seconds = activation_latency_seconds
         self._ones_row = stack.rows - 1
         stack.write_row(self._ones_row, np.ones(stack.cols, dtype=int))
         self.result = np.zeros((self.batch, stack.cols), dtype=np.int8)
@@ -144,7 +144,7 @@ class BatchedMVPProcessor:
         self._activations += 1
         self._bit_operations += cols
         self._energy += self.energy_model.operation_energy(cols)
-        self._time += self.activation_latency
+        self._time += self.activation_latency_seconds
 
     def _charge_write(self, cells_per_item: np.ndarray) -> None:
         self._program_cycles += cells_per_item

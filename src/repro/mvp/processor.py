@@ -84,21 +84,21 @@ class MVPProcessor:
         crossbar: the storage/compute array.  The *last* row is reserved by
             the processor for the all-ones constant used by ``VNOT``.
         energy_model: per-activation cost model.
-        activation_latency: seconds per multi-row read.
+        activation_latency_seconds: seconds per multi-row read.
     """
 
     def __init__(
         self,
         crossbar: Crossbar,
         energy_model: ScoutingEnergyModel | None = None,
-        activation_latency: float = 100e-9,
+        activation_latency_seconds: float = 100e-9,
     ) -> None:
         if crossbar.rows < 2:
             raise ValueError("crossbar needs >= 2 rows (one is reserved)")
         self.crossbar = crossbar
         self.logic = ScoutingLogic(crossbar)
         self.energy_model = energy_model or ScoutingEnergyModel()
-        self.activation_latency = activation_latency
+        self.activation_latency_seconds = activation_latency_seconds
         self.stats = MVPStats()
         self._ones_row = crossbar.rows - 1
         crossbar.write_row(self._ones_row, np.ones(crossbar.cols, dtype=int))
@@ -150,7 +150,7 @@ class MVPProcessor:
         self.stats.activations += 1
         self.stats.bit_operations += cols
         self.stats.energy += self.energy_model.operation_energy(cols)
-        self.stats.time += self.activation_latency
+        self.stats.time += self.activation_latency_seconds
 
     def _charge_write(self, cells: int) -> None:
         self.stats.program_cycles += cells

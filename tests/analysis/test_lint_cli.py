@@ -1,0 +1,146 @@
+"""``repro lint`` / ``repro list rules`` CLI surface, plus the
+acceptance self-checks: the post-fix tree lints clean, and each seeded
+regression (a dropped MERGE_POLICIES entry, a bare ``np.random.rand``
+in an engine module) makes the lint exit non-zero."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+class TestLintCli:
+    def test_src_tree_is_clean(self, capsys):
+        # The headline self-check: the shipped tree has zero
+        # non-baselined findings.
+        assert main(["lint", str(SRC)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", str(SRC), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 0
+        assert payload["findings"] == []
+        assert {r["id"] for r in payload["rules"]} == \
+            {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert payload["files_checked"] > 50
+
+    def test_stats_lists_every_rule(self, capsys):
+        assert main(["lint", str(SRC), "--stats"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rule_id in out
+
+    def test_select_single_rule(self, capsys):
+        assert main(["lint", str(SRC), "--select", "R002",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"R002"}
+        assert main(["lint", str(SRC), "--select",
+                     "merge-policies"]) == 0
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", str(SRC), "--select", "R099"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["lint", "definitely/not/a/path"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["list", "rules"]) == 0
+        out = capsys.readouterr().out
+        assert "rules:" in out
+        assert "seeded-rng" in out and "R001:" in out
+        assert "merge-policies" in out and "R002:" in out
+
+    def test_no_baseline_reports_grandfathered(self, capsys):
+        assert main(["lint", str(SRC), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "R003" in out
+
+    def test_no_baseline_conflicts_with_update(self, capsys):
+        assert main(["lint", str(SRC), "--no-baseline",
+                     "--update-baseline"]) == 2
+
+
+@pytest.fixture()
+def tree_copy(tmp_path):
+    """A lintable copy of src/repro with its own project root."""
+    shutil.copytree(SRC / "repro", tmp_path / "src" / "repro")
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    shutil.copy(REPO_ROOT / ".reprolint-baseline.json",
+                tmp_path / ".reprolint-baseline.json")
+    return tmp_path
+
+
+def _lint_copy(tree_copy):
+    return main(["lint", str(tree_copy / "src")])
+
+
+class TestSeededRegressions:
+    def test_copy_lints_clean(self, tree_copy, capsys):
+        assert _lint_copy(tree_copy) == 0
+
+    @pytest.mark.parametrize("entry", [
+        '"bit_errors": "sum",',          # FidelitySummary
+        '"worst_sense_margin": "min",',  # FidelitySummary
+    ])
+    def test_dropping_fidelity_policy_fails_lint(
+            self, tree_copy, capsys, entry):
+        target = tree_copy / "src" / "repro" / "api" / "result.py"
+        source = target.read_text()
+        assert entry in source
+        target.write_text(source.replace(entry, ""))
+        assert _lint_copy(tree_copy) == 1
+        assert "R002" in capsys.readouterr().out
+
+    def test_dropping_accuracy_policy_fails_lint(self, tree_copy,
+                                                 capsys):
+        target = tree_copy / "src" / "repro" / "mvm" / "accuracy.py"
+        source = target.read_text()
+        entry = '"adc_saturations": "sum",'
+        assert entry in source
+        target.write_text(source.replace(entry, ""))
+        assert _lint_copy(tree_copy) == 1
+        assert "AccuracySummary.adc_saturations" in \
+            capsys.readouterr().out
+
+    def test_bare_np_random_in_engine_fails_lint(self, tree_copy,
+                                                 capsys):
+        target = tree_copy / "src" / "repro" / "api" / "engines.py"
+        source = target.read_text()
+        needle = "def build_fabric("
+        assert needle in source
+        injected = source.replace(
+            needle,
+            "def _noise(self):\n"
+            "        return np.random.rand(4)\n\n"
+            "    def build_fabric(",
+            1)
+        target.write_text(injected)
+        assert _lint_copy(tree_copy) == 1
+        assert "np.random.rand" in capsys.readouterr().out
+
+    def test_update_baseline_grandfathers_new_finding(self, tree_copy,
+                                                      capsys):
+        target = tree_copy / "src" / "repro" / "api" / "engines.py"
+        source = target.read_text()
+        target.write_text(source.replace(
+            "def build_fabric(",
+            "def _noise(self):\n"
+            "        return np.random.rand(4)\n\n"
+            "    def build_fabric(",
+            1))
+        assert _lint_copy(tree_copy) == 1
+        capsys.readouterr()
+        assert main(["lint", str(tree_copy / "src"),
+                     "--update-baseline"]) == 0
+        assert "baseline updated" in capsys.readouterr().out
+        assert _lint_copy(tree_copy) == 0

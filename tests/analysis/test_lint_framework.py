@@ -1,0 +1,192 @@
+"""Framework mechanics: suppressions, baseline, fingerprints, selection."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    Baseline,
+    Finding,
+    all_rules,
+    collect_python_files,
+    lint_modules,
+    lint_paths,
+    parse_module,
+    rules_for,
+)
+
+
+def _module(tmp_path, source, filename="repro/mod.py"):
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return parse_module(path, tmp_path)
+
+
+class TestSuppression:
+    BAD_LINE = "    return np.random.rand(n)"
+
+    def _findings(self, tmp_path, body):
+        source = ("import numpy as np\n\n"
+                  "def build(n):\n" + body + "\n")
+        path = tmp_path / "repro" / "mod.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        module = parse_module(path, tmp_path)
+        return lint_modules([module], rules_for(["R001"]))
+
+    def test_unsuppressed_fires(self, tmp_path):
+        assert len(self._findings(tmp_path, self.BAD_LINE)) == 1
+
+    def test_trailing_comment_suppresses_own_line(self, tmp_path):
+        body = self.BAD_LINE + "  # reprolint: disable=R001"
+        assert self._findings(tmp_path, body) == []
+
+    def test_standalone_comment_suppresses_next_line(self, tmp_path):
+        body = "    # reprolint: disable=R001\n" + self.BAD_LINE
+        assert self._findings(tmp_path, body) == []
+
+    def test_slug_works_like_rule_id(self, tmp_path):
+        body = self.BAD_LINE + "  # reprolint: disable=seeded-rng"
+        assert self._findings(tmp_path, body) == []
+
+    def test_bare_disable_suppresses_all_rules(self, tmp_path):
+        body = self.BAD_LINE + "  # reprolint: disable"
+        assert self._findings(tmp_path, body) == []
+
+    def test_other_rule_does_not_suppress(self, tmp_path):
+        body = self.BAD_LINE + "  # reprolint: disable=R003"
+        assert len(self._findings(tmp_path, body)) == 1
+
+    def test_comma_separated_rules(self, tmp_path):
+        body = self.BAD_LINE + "  # reprolint: disable=R003, R001"
+        assert self._findings(tmp_path, body) == []
+
+
+class TestFingerprint:
+    def test_excludes_line_number(self):
+        a = Finding("src/m.py", 10, 0, "R003", "Cost.energy", "msg")
+        b = Finding("src/m.py", 99, 4, "R003", "Cost.energy", "msg")
+        assert a.fingerprint == b.fingerprint == \
+            "src/m.py::R003::Cost.energy"
+
+    def test_symbol_rename_changes_fingerprint(self):
+        a = Finding("src/m.py", 10, 0, "R003", "Cost.energy", "msg")
+        b = Finding("src/m.py", 10, 0, "R003", "Cost.energy_joules",
+                    "msg")
+        assert a.fingerprint != b.fingerprint
+
+
+class TestBaseline:
+    def _finding(self, symbol="Cost.energy"):
+        return Finding("repro/m.py", 5, 4, "R003", symbol, "msg")
+
+    def test_split_partitions_by_fingerprint(self):
+        baseline = Baseline({self._finding().fingerprint: "legacy"})
+        new, old = baseline.split(
+            [self._finding(), self._finding("Cost.fresh")])
+        assert [f.symbol for f in old] == ["Cost.energy"]
+        assert [f.symbol for f in new] == ["Cost.fresh"]
+
+    def test_load_rejects_reasonless_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"findings": {"a::R001::b": ""}}))
+        with pytest.raises(ValueError, match="reason"):
+            Baseline.load(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_round_trip_preserves_reasons(self, tmp_path):
+        finding = self._finding()
+        baseline = Baseline({finding.fingerprint: "intentional: legacy"})
+        path = baseline.write(tmp_path / "baseline.json")
+        reloaded = Baseline.load(path)
+        assert reloaded.entries[finding.fingerprint] == \
+            "intentional: legacy"
+
+    def test_updated_keeps_reasons_and_drops_fixed(self):
+        fixed = self._finding("Cost.fixed")
+        kept = self._finding("Cost.kept")
+        baseline = Baseline({fixed.fingerprint: "was intentional",
+                             kept.fingerprint: "still intentional"})
+        updated = baseline.updated([kept])
+        assert set(updated.entries) == {kept.fingerprint}
+        assert updated.entries[kept.fingerprint] == "still intentional"
+
+    def test_stale_lists_fixed_fingerprints(self):
+        gone = self._finding("Cost.gone")
+        baseline = Baseline({gone.fingerprint: "reason"})
+        assert baseline.stale([]) == [gone.fingerprint]
+
+
+class TestRunner:
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        report = lint_paths([tmp_path])
+        assert report.findings == []
+        assert len(report.errors) == 1
+        assert report.exit_code == 1
+
+    def test_nonexistent_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_collect_skips_pycache(self, tmp_path):
+        good = tmp_path / "a.py"
+        good.write_text("x = 1\n")
+        cached = tmp_path / "__pycache__" / "a.py"
+        cached.parent.mkdir()
+        cached.write_text("x = 1\n")
+        assert collect_python_files([tmp_path]) == [good.resolve()]
+
+    def test_baseline_subtracts_findings(self, tmp_path):
+        path = tmp_path / "repro" / "engine.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "import numpy as np\n\n"
+            "def build(n):\n"
+            "    return np.random.rand(n)\n")
+        dirty = lint_paths([tmp_path], select=["R001"],
+                           use_baseline=False)
+        assert len(dirty.findings) == 1 and dirty.exit_code == 1
+        baseline_path = tmp_path / "baseline.json"
+        Baseline({dirty.findings[0].fingerprint: "fixture"}).write(
+            baseline_path)
+        clean = lint_paths([tmp_path], select=["R001"],
+                           baseline_path=baseline_path)
+        assert clean.findings == []
+        assert len(clean.grandfathered) == 1
+        assert clean.exit_code == 0
+
+    def test_stale_entry_fails_when_file_linted(self, tmp_path):
+        path = tmp_path / "repro" / "engine.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        baseline_path = tmp_path / "baseline.json"
+        Baseline({"repro/engine.py::R001::gone": "fixed now"}).write(
+            baseline_path)
+        report = lint_paths([tmp_path], baseline_path=baseline_path)
+        assert report.stale_baseline == \
+            ["repro/engine.py::R001::gone"]
+        assert report.exit_code == 1
+
+
+class TestSelection:
+    def test_all_rules_ordered_by_id(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert {"R001", "R002", "R003", "R004", "R005",
+                "R006"} <= set(ids)
+
+    def test_select_accepts_ids_and_slugs(self):
+        assert [r.rule_id for r in rules_for(["r003"])] == ["R003"]
+        assert [r.rule_id for r in rules_for(["unit-suffix"])] == \
+            ["R003"]
+
+    def test_unknown_selection_raises(self):
+        with pytest.raises(ValueError, match="R099"):
+            rules_for(["R099"])

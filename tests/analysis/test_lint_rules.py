@@ -1,0 +1,469 @@
+"""Per-rule positive/negative fixtures for reprolint.
+
+Every rule family gets at least one known-bad snippet it must flag and
+one idiomatic in-tree pattern it must stay silent on.  Snippets are
+written to tmp_path so the walker exercises its real file path
+(collect, parse, suppressions) rather than a synthetic AST.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    LintModule,
+    ProjectIndex,
+    lint_modules,
+    parse_module,
+    rules_for,
+)
+
+
+def _lint(tmp_path, source, rule=None, filename="repro/engine_mod.py"):
+    """Findings from linting ``source`` as a single module."""
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    module = parse_module(path, tmp_path)
+    rules = rules_for([rule] if rule else None)
+    return lint_modules([module], rules)
+
+
+def _rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+class TestSeededRng:
+    def test_flags_module_level_numpy_rng(self, tmp_path):
+        findings = _lint(tmp_path, """
+            import numpy as np
+
+            def build(n):
+                return np.random.rand(n)
+        """, rule="R001")
+        assert len(findings) == 1
+        assert findings[0].symbol == "build:np.random.rand"
+
+    def test_flags_unseeded_default_rng(self, tmp_path):
+        findings = _lint(tmp_path, """
+            import numpy as np
+
+            def build():
+                return np.random.default_rng()
+        """, rule="R001")
+        assert len(findings) == 1
+        assert "without a seed" in findings[0].message
+
+    def test_flags_stdlib_random_and_wall_clock(self, tmp_path):
+        findings = _lint(tmp_path, """
+            import random
+            import time
+
+            def jitter():
+                return random.random() + time.time()
+        """, rule="R001")
+        symbols = {f.symbol for f in findings}
+        assert any("random.random" in s for s in symbols)
+        assert any("time.time" in s for s in symbols)
+        assert any("import-random" in s for s in symbols)
+
+    def test_seeded_spawn_key_idiom_is_clean(self, tmp_path):
+        # The exact pattern repro.api.engines uses for fabric streams.
+        findings = _lint(tmp_path, """
+            import numpy as np
+
+            def fabric_rng(seed, index):
+                seq = np.random.SeedSequence(seed, spawn_key=(2, index))
+                return np.random.default_rng(seq)
+
+            def draw(rng, n):
+                return rng.standard_normal(n)
+        """, rule="R001")
+        assert findings == []
+
+    def test_perf_counter_is_not_wall_clock(self, tmp_path):
+        findings = _lint(tmp_path, """
+            import time
+
+            def measure(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+        """, rule="R001")
+        assert findings == []
+
+
+class TestMergePolicies:
+    GOOD = """
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class ShardSummary:
+            bit_errors: int = 0
+            worst_margin: float = 0.0
+
+            MERGE_POLICIES = {
+                "bit_errors": "sum",
+                "worst_margin": "min",
+            }
+
+            def merged_with(self, other):
+                return self
+    """
+
+    def test_complete_policies_are_clean(self, tmp_path):
+        assert _lint(tmp_path, self.GOOD, rule="R002") == []
+
+    def test_missing_dict_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            class ShardSummary:
+                bit_errors: int = 0
+
+                def merged_with(self, other):
+                    return self
+        """, rule="R002")
+        assert len(findings) == 1
+        assert findings[0].symbol == "ShardSummary.MERGE_POLICIES"
+
+    def test_field_without_entry_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, self.GOOD.replace(
+            '"bit_errors": "sum",', ""), rule="R002")
+        assert [f.symbol for f in findings] == ["ShardSummary.bit_errors"]
+
+    def test_entry_without_field_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, self.GOOD.replace(
+            "bit_errors: int = 0", "renamed_errors: int = 0"),
+            rule="R002")
+        symbols = {f.symbol for f in findings}
+        assert "ShardSummary.renamed_errors" in symbols  # no policy
+        assert "ShardSummary.bit_errors" in symbols      # dangling key
+
+    def test_unknown_policy_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, self.GOOD.replace(
+            '"min"', '"average"'), rule="R002")
+        assert [f.symbol for f in findings] == \
+            ["ShardSummary.worst_margin:policy"]
+
+    def test_non_merging_summary_is_ignored(self, tmp_path):
+        findings = _lint(tmp_path, """
+            class ReportSummary:
+                energy: float = 0.0
+        """, rule="R002")
+        assert findings == []
+
+
+class TestUnitSuffix:
+    def test_unsuffixed_field_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Cost:
+                energy: float = 0.0
+                latency_seconds: float = 0.0
+        """, rule="R003")
+        assert [f.symbol for f in findings] == ["Cost.energy"]
+        assert "_joules" in findings[0].message
+
+    def test_hardcoded_constant_param_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def program(cell, voltage=1.2, pulses=3):
+                cell.apply(voltage, pulses)
+        """, rule="R003")
+        assert [f.symbol for f in findings] == ["program.voltage"]
+
+    def test_passthrough_param_without_default_is_clean(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def step(device, voltage, dt_seconds):
+                return device.step(voltage, dt_seconds)
+        """, rule="R003")
+        assert findings == []
+
+    def test_mixed_unit_arithmetic_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def total(read_energy_joules, sense_latency_seconds):
+                return read_energy_joules + sense_latency_seconds
+        """, rule="R003")
+        assert len(findings) == 1
+        assert "mixes joules with seconds" in findings[0].message
+
+    def test_same_unit_arithmetic_is_clean(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def total(read_energy_joules, write_energy_joules):
+                return read_energy_joules + write_energy_joules
+        """, rule="R003")
+        assert findings == []
+
+    def test_ev_counts_as_unit_qualified(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def arrhenius(rate, activation_energy_ev=0.6):
+                return rate * activation_energy_ev
+        """, rule="R003")
+        assert findings == []
+
+
+class TestRegistryContract:
+    HARNESS = """
+        from repro.api.registry import Registry
+
+        ENGINES = Registry("engine")
+
+        class Engine:
+            name = ""
+            description = ""
+            shardable = False
+
+            @classmethod
+            def from_spec(cls, spec):
+                return cls()
+
+            def run(self):
+                raise NotImplementedError
+
+            def build_fabric(self):
+                raise NotImplementedError
+
+            def execute_window(self, window):
+                raise NotImplementedError
+
+            def aggregate_cost(self, windows):
+                raise NotImplementedError
+    """
+
+    def test_conforming_engine_is_clean(self, tmp_path):
+        findings = _lint(tmp_path, self.HARNESS + """
+            @ENGINES.register("fast")
+            class FastEngine(Engine):
+                name = "fast"
+                description = "a conforming engine"
+        """, rule="R004")
+        assert findings == []
+
+    def test_name_mismatch_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, self.HARNESS + """
+            @ENGINES.register("fast")
+            class FastEngine(Engine):
+                name = "slow"
+                description = "names disagree"
+        """, rule="R004")
+        assert [f.symbol for f in findings] == ["FastEngine.name"]
+
+    def test_shardable_without_window_surface_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, self.HARNESS + """
+            @ENGINES.register("sharded")
+            class ShardedEngine(Engine):
+                name = "sharded"
+                description = "claims sharding, no window methods"
+                shardable = True
+        """, rule="R004")
+        symbols = {f.symbol for f in findings}
+        assert symbols == {"ShardedEngine.execute_window",
+                           "ShardedEngine.aggregate_cost"}
+
+    def test_missing_surface_with_resolved_bases_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            from repro.api.registry import Registry
+
+            class Base:
+                def run(self):
+                    pass
+
+            class BareEngine(Base):
+                name = "bare"
+                description = "missing most of the surface"
+
+            ENGINES = Registry("engine")
+            ENGINES.register("bare", BareEngine)
+        """, rule="R004")
+        symbols = {f.symbol for f in findings}
+        assert "BareEngine.from_spec" in symbols
+        assert "BareEngine.build_fabric" in symbols
+        assert "BareEngine.run" not in symbols  # inherited, resolved
+
+    def test_unresolvable_base_stays_silent_on_inherited(self, tmp_path):
+        findings = _lint(tmp_path, """
+            from repro.api.registry import Registry
+            from somewhere.external import ExternalEngine
+
+            ENGINES = Registry("engine")
+
+            @ENGINES.register("ext")
+            class WrappedEngine(ExternalEngine):
+                name = "ext"
+                description = "base lives outside the linted tree"
+        """, rule="R004")
+        assert findings == []
+
+    def test_bad_slug_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, self.HARNESS + """
+            @ENGINES.register("Fast_Engine")
+            class FastEngine(Engine):
+                name = "Fast_Engine"
+                description = "uppercase slug"
+        """, rule="R004")
+        assert any(f.symbol == "ENGINES:Fast_Engine" for f in findings)
+
+
+class TestSpecKeys:
+    def test_live_getattr_key_is_clean(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def axis(spec):
+                return getattr(spec, "seed")
+        """, rule="R005")
+        assert findings == []
+
+    def test_dead_getattr_key_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def axis(spec):
+                return getattr(spec, "random_seed")
+        """, rule="R005")
+        assert [f.symbol for f in findings] == \
+            ["getattr:spec:random_seed"]
+
+    def test_loop_variable_domain_is_resolved(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def non_defaults(spec, defaults):
+                return [axis for axis in ("size", "items", "sede")
+                        if getattr(spec, axis) != getattr(defaults, axis)]
+        """, rule="R005")
+        # The typo fires once per getattr site that uses the variable.
+        assert {f.symbol for f in findings} == {"getattr:spec:sede"}
+        assert len(findings) == 2
+
+    def test_spec_fields_table_drift_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            SPEC_FIELDS = ("engine", "workload", "sede")
+        """, rule="R005")
+        assert [f.symbol for f in findings] == ["SPEC_FIELDS:sede"]
+
+    def test_device_dotted_paths_are_ignored(self, tmp_path):
+        findings = _lint(tmp_path, """
+            FLOAT_FIELDS = {"fault_rate", "device.r_on"}
+        """, rule="R005")
+        assert findings == []
+
+    def test_replaced_keyword_drift_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def reseed(spec, value):
+                spec = spec.replaced(seed=value)
+                return spec.replaced(sede=value)
+        """, rule="R005")
+        assert [f.symbol for f in findings] == ["replaced:spec:sede"]
+
+    def test_constructor_keyword_drift_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            from repro.api.spec import ScenarioSpec
+
+            def build():
+                return ScenarioSpec(engine="mvp", workload="strings",
+                                    random_seed=7)
+        """, rule="R005")
+        assert [f.symbol for f in findings] == \
+            ["ScenarioSpec:random_seed"]
+
+
+class TestShardHazards:
+    def test_mutable_default_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def collect(item, bucket=[]):
+                bucket.append(item)
+                return bucket
+        """, rule="R006")
+        assert [f.symbol for f in findings] == ["collect.bucket"]
+
+    def test_set_iteration_in_merge_path_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def merge_counters(shards):
+                total = 0.0
+                for shard in set(shards):
+                    total += shard.value
+                return total
+        """, rule="R006")
+        assert len(findings) == 1
+        assert "hash-dependent" in findings[0].message
+
+    def test_dict_values_in_merge_path_is_flagged(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def aggregate(by_name):
+                out = 0.0
+                for value in by_name.values():
+                    out += value
+                return out
+        """, rule="R006")
+        assert len(findings) == 1
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def merge_counters(by_name):
+                total = 0.0
+                for key in sorted(by_name):
+                    total += by_name[key]
+                return total
+        """, rule="R006")
+        assert findings == []
+
+    def test_set_iteration_outside_merge_path_is_clean(self, tmp_path):
+        findings = _lint(tmp_path, """
+            def describe(names):
+                for name in set(names):
+                    print(name)
+        """, rule="R006")
+        assert findings == []
+
+    def test_module_state_in_parallel_package_is_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path, "WORKER_CACHE = {}\n",
+            rule="R006", filename="repro/parallel/pool.py")
+        assert [f.symbol for f in findings] == ["<module>.WORKER_CACHE"]
+
+    def test_module_state_elsewhere_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path, "CACHE = {}\n",
+            rule="R006", filename="repro/api/helpers.py")
+        assert findings == []
+
+
+class TestCrossModuleIndex:
+    def test_inheritance_resolves_across_files(self, tmp_path):
+        base = tmp_path / "repro" / "base.py"
+        base.parent.mkdir(parents=True)
+        base.write_text(textwrap.dedent("""
+            class Engine:
+                description = ""
+
+                @classmethod
+                def from_spec(cls, spec):
+                    return cls()
+
+                def run(self):
+                    pass
+
+                def build_fabric(self):
+                    pass
+        """))
+        impl = tmp_path / "repro" / "impl.py"
+        impl.write_text(textwrap.dedent("""
+            from repro.api.registry import Registry
+            from repro.base import Engine
+
+            ENGINES = Registry("engine")
+
+            @ENGINES.register("x")
+            class XEngine(Engine):
+                name = "x"
+                description = "inherits the surface from base.py"
+        """))
+        modules = [parse_module(base, tmp_path),
+                   parse_module(impl, tmp_path)]
+        findings = lint_modules(modules, rules_for(["R004"]))
+        assert findings == []
+
+    def test_project_index_reports_incomplete_bases(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("class A(Unknown):\n    x = 1\n")
+        module = parse_module(path, tmp_path)
+        index = ProjectIndex([module])
+        info = index.lookup("A")
+        attrs, complete = index.resolved_attrs(info)
+        assert attrs == {"x"}
+        assert complete is False

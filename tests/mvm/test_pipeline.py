@@ -51,7 +51,7 @@ class TestDAC:
 
 class TestADC:
     def test_exact_counts_below_range(self):
-        adc = ADCModel(bits=6, lsb_current=1e-6, leak_current=1e-11)
+        adc = ADCModel(bits=6, lsb_current_amps=1e-6, leak_current_amps=1e-11)
         counts = np.array([0, 1, 17, 63])
         currents = counts * 1e-6 + 5 * 1e-11  # 5 active rows of leak
         codes, saturated = adc.convert(currents, active_rows=5)
@@ -59,23 +59,23 @@ class TestADC:
         assert saturated == 0
 
     def test_clipping_counts_saturations(self):
-        adc = ADCModel(bits=3, lsb_current=1e-6)
+        adc = ADCModel(bits=3, lsb_current_amps=1e-6)
         currents = np.array([2.0, 7.0, 7.4, 8.0, 30.0]) * 1e-6
         codes, saturated = adc.convert(currents, active_rows=0)
         assert codes.tolist() == [2, 7, 7, 7, 7]
         assert saturated == 2   # 8 and 30 exceed the 3-bit ceiling
 
     def test_baseline_subtraction_clamps_at_zero(self):
-        adc = ADCModel(bits=4, lsb_current=1e-6, leak_current=1e-7)
+        adc = ADCModel(bits=4, lsb_current_amps=1e-6, leak_current_amps=1e-7)
         codes, saturated = adc.convert(np.array([0.0]), active_rows=8)
         assert codes.tolist() == [0]
         assert saturated == 0
 
     def test_validation(self):
         with pytest.raises(ValueError, match="adc bits"):
-            ADCModel(bits=0, lsb_current=1e-6)
+            ADCModel(bits=0, lsb_current_amps=1e-6)
         with pytest.raises(ValueError, match="lsb"):
-            ADCModel(bits=4, lsb_current=0.0)
+            ADCModel(bits=4, lsb_current_amps=0.0)
 
 
 class TestAnalogMVM:
