@@ -29,7 +29,7 @@ def sweep_resistance_window():
     for ratio in (3, 10, 100, 1e3, 1e5):
         params = DeviceParameters(r_on=1e3, r_off=1e3 * ratio)
         rng = np.random.default_rng(73)
-        xb = Crossbar(2, 2048, params=params, read_voltage=0.2,
+        xb = Crossbar(2, 2048, params=params, read_voltage_volts=0.2,
                       variability=VariabilityModel(), rng=rng)
         a = rng.integers(0, 2, 2048)
         b = rng.integers(0, 2, 2048)

@@ -148,7 +148,7 @@ class Fig3Result:
 def fig3_scouting(read_voltage: float = 0.2) -> Fig3Result:
     """Regenerate Fig. 3: all 2-input combinations on one crossbar."""
     params = DeviceParameters()
-    xb = Crossbar(2, 4, params=params, read_voltage=read_voltage)
+    xb = Crossbar(2, 4, params=params, read_voltage_volts=read_voltage)
     xb.write_row(0, [0, 0, 1, 1])
     xb.write_row(1, [0, 1, 0, 1])
     logic = ScoutingLogic(xb)

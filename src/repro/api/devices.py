@@ -79,7 +79,7 @@ class DeviceEntry:
         window and the R_on-scaled per-column read energy.
         """
         p = self.parameters
-        read_pj = self.energy_model().energy_per_column * 1e12
+        read_pj = self.energy_model().energy_per_column_joules * 1e12
         return (f"LRS/HRS {p.r_on:.3g}/{p.r_off:.3g} Ohm "
                 f"(window {p.resistance_ratio:.3g}x); "
                 f"read {read_pj:.3g} pJ/column")
@@ -95,10 +95,10 @@ def energy_model_for(parameters: DeviceParameters) -> ScoutingEnergyModel:
     """
     scale = _REFERENCE_R_ON / parameters.r_on
     return ScoutingEnergyModel(
-        energy_per_column=(
-            _REFERENCE_ENERGY_MODEL.energy_per_column * scale
+        energy_per_column_joules=(
+            _REFERENCE_ENERGY_MODEL.energy_per_column_joules * scale
         ),
-        latency=_REFERENCE_ENERGY_MODEL.latency,
+        latency_seconds=_REFERENCE_ENERGY_MODEL.latency_seconds,
     )
 
 

@@ -70,7 +70,7 @@ def _add_bitline_infrastructure(
         gate=lambda t: t < t_wordline,
     )
     circuit.add_capacitor("c_bitline", BITLINE, "gnd", total_cap,
-                          initial_voltage=tech.v_precharge)
+                          initial_voltage_volts=tech.v_precharge)
 
 
 def build_rram_column(
@@ -138,17 +138,29 @@ class DischargeMeasurement:
     """Outcome of one precharge/evaluate cycle.
 
     Attributes:
-        discharge_time: seconds from word-line enable to the SA trip-point
-            crossing, or None if the bit line never tripped (dot product 0).
-        energy: energy drawn from the precharge supply over the run, joules.
+        discharge_time_seconds: seconds from word-line enable to the SA
+            trip-point crossing, or None if the bit line never tripped
+            (dot product 0).
+        energy_joules: energy drawn from the precharge supply over the
+            run, joules.
         tripped: whether the SA registered a discharge (inverted output 1).
         result: the raw transient waveforms.
     """
 
-    discharge_time: float | None
-    energy: float
+    discharge_time_seconds: float | None
+    energy_joules: float
     tripped: bool
     result: TransientResult
+
+    @property
+    def discharge_time(self) -> float | None:
+        """Deprecated alias of :attr:`discharge_time_seconds`."""
+        return self.discharge_time_seconds
+
+    @property
+    def energy(self) -> float:
+        """Deprecated alias of :attr:`energy_joules`."""
+        return self.energy_joules
 
 
 def measure_discharge(
@@ -192,8 +204,8 @@ def measure_discharge(
         swing = column.tech.v_precharge - max(v_end, 0.0)
     energy = total_cap * column.tech.v_precharge * swing
     return DischargeMeasurement(
-        discharge_time=delay,
-        energy=energy,
+        discharge_time_seconds=delay,
+        energy_joules=energy,
         tripped=delay is not None,
         result=result,
     )

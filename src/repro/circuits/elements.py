@@ -60,11 +60,16 @@ class Capacitor:
     node_a: int
     node_b: int
     capacitance: float
-    initial_voltage: float = 0.0
+    initial_voltage_volts: float = 0.0
 
     def __post_init__(self) -> None:
         if self.capacitance <= 0:
             raise ValueError(f"capacitor {self.name} must have C > 0")
+
+    @property
+    def initial_voltage(self) -> float:
+        """Deprecated alias of :attr:`initial_voltage_volts`."""
+        return self.initial_voltage_volts
 
 
 @dataclasses.dataclass(frozen=True)

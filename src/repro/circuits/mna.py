@@ -82,10 +82,11 @@ class Circuit:
         node_a: str,
         node_b: str,
         capacitance: float,
-        initial_voltage: float = 0.0,
+        initial_voltage_volts: float = 0.0,
     ) -> Capacitor:
         element = Capacitor(
-            name, self.node(node_a), self.node(node_b), capacitance, initial_voltage
+            name, self.node(node_a), self.node(node_b), capacitance,
+            initial_voltage_volts,
         )
         self.capacitors.append(element)
         return element

@@ -118,7 +118,8 @@ def simulate(
     energy = np.zeros(n_src)
 
     # Capacitor voltages start from their declared initial conditions.
-    cap_v = np.array([c.initial_voltage for c in circuit.capacitors])
+    cap_v = np.array([c.initial_voltage_volts
+                      for c in circuit.capacitors])
     cap_g = np.array([c.capacitance / dt for c in circuit.capacitors])
 
     # The MNA matrix changes only when a switch toggles or a time-varying

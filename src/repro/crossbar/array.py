@@ -60,7 +60,7 @@ class Crossbar:
         rows: number of word lines.
         cols: number of bit lines.
         params: device resistance window and thresholds.
-        read_voltage: word-line read voltage Vr in volts; must sit inside
+        read_voltage_volts: word-line read voltage Vr; must sit inside
             the device dead zone so reads are non-destructive.
         variability: optional lognormal resistance spread applied on every
             programming event.
@@ -78,7 +78,7 @@ class Crossbar:
         rows: int,
         cols: int,
         params: DeviceParameters | None = None,
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
         variability: VariabilityModel | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
@@ -88,16 +88,18 @@ class Crossbar:
         # Positivity is the more fundamental requirement, so it is checked
         # first: a non-positive voltage that also falls outside the dead
         # zone should not be reported as a disturb hazard.
-        if read_voltage <= 0:
+        if read_voltage_volts <= 0:
             raise ValueError("read voltage must be positive")
-        if not -self.params.v_reset < read_voltage < self.params.v_set:
+        if not (-self.params.v_reset
+                < read_voltage_volts < self.params.v_set):
             raise ValueError(
-                f"read voltage {read_voltage} V would disturb stored data "
+                f"read voltage {read_voltage_volts} V would disturb "
+                f"stored data "
                 f"(dead zone is ({-self.params.v_reset}, {self.params.v_set}))"
             )
         self.rows = rows
         self.cols = cols
-        self.read_voltage = read_voltage
+        self.read_voltage = read_voltage_volts
         self.variability = variability
         self.rng = rng
         if variability is not None and rng is None:
@@ -230,6 +232,27 @@ class Crossbar:
         )
         self._stuck_mask[row, col] = True
 
+    def inject_stuck_cells(
+        self, rows: np.ndarray, cols: np.ndarray, stuck_bits: np.ndarray
+    ) -> None:
+        """Freeze many cells in one vectorized pass.
+
+        Equivalent to calling :meth:`inject_stuck_fault` once per
+        ``(rows[i], cols[i], stuck_bits[i])`` triple; the triples must
+        not repeat a cell (campaigns sample without replacement).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        stuck = np.asarray(stuck_bits, dtype=np.int64)
+        if rows.size and (
+                rows.min() < 0 or rows.max() >= self.rows
+                or cols.min() < 0 or cols.max() >= self.cols):
+            raise ValueError("cell index out of range")
+        self.bits[rows, cols] = stuck.astype(self.bits.dtype)
+        self.resistances[rows, cols] = np.where(
+            stuck.astype(bool), self.params.r_on, self.params.r_off)
+        self._stuck_mask[rows, cols] = True
+
     def apply_resistance_drift(self, factor: np.ndarray | float) -> None:
         """Multiply all cell resistances by ``factor`` (retention drift)."""
         self.resistances = self.resistances * factor
@@ -354,7 +377,7 @@ class CrossbarStack:
         rows: word lines per logical array.
         cols: bit lines per logical array.
         params: shared device resistance window and thresholds.
-        read_voltage: shared word-line read voltage, volts.
+        read_voltage_volts: shared word-line read voltage.
 
     Attributes:
         bits: stored logic values, int8 (batch, rows, cols).
@@ -368,24 +391,26 @@ class CrossbarStack:
         rows: int,
         cols: int,
         params: DeviceParameters | None = None,
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
     ) -> None:
         if batch < 1:
             raise ValueError("stack must hold at least one logical array")
         if rows < 1 or cols < 1:
             raise ValueError("crossbar must have at least one row and column")
         self.params = params or DeviceParameters()
-        if read_voltage <= 0:
+        if read_voltage_volts <= 0:
             raise ValueError("read voltage must be positive")
-        if not -self.params.v_reset < read_voltage < self.params.v_set:
+        if not (-self.params.v_reset
+                < read_voltage_volts < self.params.v_set):
             raise ValueError(
-                f"read voltage {read_voltage} V would disturb stored data "
+                f"read voltage {read_voltage_volts} V would disturb "
+                f"stored data "
                 f"(dead zone is ({-self.params.v_reset}, {self.params.v_set}))"
             )
         self.batch = batch
         self.rows = rows
         self.cols = cols
-        self.read_voltage = read_voltage
+        self.read_voltage = read_voltage_volts
         self.bits = np.zeros((batch, rows, cols), dtype=np.int8)
         self.resistances = np.full(
             (batch, rows, cols), float(self.params.r_off)

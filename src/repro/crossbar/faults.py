@@ -97,18 +97,23 @@ def inject_stuck_faults(
             f"n_faults must be in [0, {n_cells}], got {n_faults}"
         )
     flat = rng.choice(n_cells, size=n_faults, replace=False)
-    locations = []
-    n_one = 0
-    for cell in flat:
-        row, col = divmod(int(cell), cols)
-        stuck_bit = 1 if rng.random() < stuck_at_one_fraction else 0
-        crossbar.inject_stuck_fault(row, col, stuck_bit)
-        locations.append((row, col, stuck_bit))
-        n_one += stuck_bit
+    if n_faults == 0:
+        return FaultCampaign(0, 0, ())
+    # One batched uniform draw consumes the generator stream exactly as
+    # the historical per-fault ``rng.random()`` loop did, so campaigns
+    # stay bit-identical while the injection applies in one pass.
+    rows_idx, cols_idx = np.divmod(flat.astype(np.int64), cols)
+    stuck_bits = (rng.random(size=n_faults)
+                  < stuck_at_one_fraction).astype(np.int64)
+    crossbar.inject_stuck_cells(rows_idx, cols_idx, stuck_bits)
+    n_one = int(stuck_bits.sum())
     return FaultCampaign(
         stuck_at_zero=n_faults - n_one,
         stuck_at_one=n_one,
-        locations=tuple(locations),
+        locations=tuple(
+            (int(r), int(c), int(b))
+            for r, c, b in zip(rows_idx, cols_idx, stuck_bits)
+        ),
     )
 
 

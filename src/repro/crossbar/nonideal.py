@@ -97,7 +97,10 @@ class NonidealitySpec:
     fault_count: int = 0
     stuck_at_one_fraction: float = 0.5
     variability_sigma: float = 0.0
-    wire_resistance: float = 0.0
+    # The spelling is load-bearing: spec fields feed the canonical
+    # serialization hash (cache keys, provenance), so renaming it to the
+    # unit-suffixed form would silently invalidate every stored result.
+    wire_resistance: float = 0.0  # reprolint: disable=R003
     write_scheme: str = "direct"
     verify_iterations: int = 10
 
@@ -260,7 +263,7 @@ class NonidealCrossbar(Crossbar):
         nonideality: the nonideality knob set.
         rng: random generator; required when the spec has any
             stochastic axis (faults or variability).
-        read_voltage: word-line read voltage, volts.
+        read_voltage_volts: word-line read voltage.
 
     Attributes:
         nonideality: the spec this fabric realizes.
@@ -276,7 +279,7 @@ class NonidealCrossbar(Crossbar):
         params: DeviceParameters | None = None,
         nonideality: NonidealitySpec | None = None,
         rng: np.random.Generator | None = None,
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
     ) -> None:
         nonideality = nonideality or NonidealitySpec()
         stochastic = {AXIS_FAULTS, AXIS_VARIABILITY} \
@@ -287,7 +290,8 @@ class NonidealCrossbar(Crossbar):
                 f"{sorted(stochastic)}"
             )
         super().__init__(
-            rows, cols, params=params, read_voltage=read_voltage,
+            rows, cols, params=params,
+            read_voltage_volts=read_voltage_volts,
             variability=nonideality.variability_model(), rng=rng,
         )
         self.nonideality = nonideality
@@ -371,7 +375,7 @@ class NonidealCrossbarStack:
             them from per-item entropy streams (the engines key them by
             absolute batch index) so batch composition never changes an
             item's physics.
-        read_voltage: shared word-line read voltage, volts.
+        read_voltage_volts: shared word-line read voltage.
     """
 
     def __init__(
@@ -381,14 +385,14 @@ class NonidealCrossbarStack:
         params: DeviceParameters | None = None,
         nonideality: NonidealitySpec | None = None,
         rngs: Sequence[np.random.Generator | None] = (None,),
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
     ) -> None:
         if not rngs:
             raise ValueError("stack must hold at least one logical array")
         self.items = [
             NonidealCrossbar(rows, cols, params=params,
                              nonideality=nonideality, rng=rng,
-                             read_voltage=read_voltage)
+                             read_voltage_volts=read_voltage_volts)
             for rng in rngs
         ]
         first = self.items[0]
@@ -396,7 +400,7 @@ class NonidealCrossbarStack:
         self.rows = rows
         self.cols = cols
         self.params = first.params
-        self.read_voltage = read_voltage
+        self.read_voltage = read_voltage_volts
         self.nonideality = first.nonideality
 
     @property
@@ -488,7 +492,7 @@ def build_crossbar(
     params: DeviceParameters | None = None,
     nonideality: NonidealitySpec | None = None,
     rng: np.random.Generator | None = None,
-    read_voltage: float = 0.2,
+    read_voltage_volts: float = 0.2,
 ) -> Crossbar:
     """Fabric factory: the ideal array, or its non-ideal counterpart.
 
@@ -501,10 +505,10 @@ def build_crossbar(
     """
     if nonideality is None or nonideality.is_default():
         return Crossbar(rows, cols, params=params,
-                        read_voltage=read_voltage)
+                        read_voltage_volts=read_voltage_volts)
     return NonidealCrossbar(rows, cols, params=params,
                             nonideality=nonideality, rng=rng,
-                            read_voltage=read_voltage)
+                            read_voltage_volts=read_voltage_volts)
 
 
 # -- fidelity probes ---------------------------------------------------------
@@ -532,6 +536,18 @@ def probe_read_fidelity(crossbar: Crossbar) -> tuple[int, int, float]:
     """
     i_ref = sense_reference_current(crossbar.params,
                                     crossbar.read_voltage)
+    if getattr(crossbar, "wires", None) is None:
+        # Without a wire network a single-row read is the elementwise
+        # Ohm's-law current of that row (the row sum degenerates to one
+        # term), so the whole sweep vectorizes into one array pass that
+        # is bit-identical to the per-row loop below: every per-cell
+        # current, threshold and margin is the same float, and the
+        # global min/total are order-free.
+        currents = crossbar.read_voltage * (1.0 / crossbar.resistances)
+        stored_on = crossbar.bits.astype(bool)
+        errors = int(((currents > i_ref) != stored_on).sum())
+        margin = np.where(stored_on, currents - i_ref, i_ref - currents)
+        return errors, crossbar.rows * crossbar.cols, float(margin.min())
     errors = 0
     worst = math.inf
     for row in range(crossbar.rows):

@@ -222,18 +222,29 @@ class ScoutingEnergyModel:
     column; the word-line drivers amortize across columns.
 
     Attributes:
-        energy_per_column: joules per bit-line per activation.
-        latency: seconds per activation (all columns in parallel).
+        energy_per_column_joules: joules per bit-line per activation.
+        latency_seconds: seconds per activation (all columns in
+            parallel).
     """
 
-    energy_per_column: float = 0.1e-12
-    latency: float = 10e-9
+    energy_per_column_joules: float = 0.1e-12
+    latency_seconds: float = 10e-9
+
+    @property
+    def energy_per_column(self) -> float:
+        """Deprecated alias of :attr:`energy_per_column_joules`."""
+        return self.energy_per_column_joules
+
+    @property
+    def latency(self) -> float:
+        """Deprecated alias of :attr:`latency_seconds`."""
+        return self.latency_seconds
 
     def operation_energy(self, columns: int) -> float:
         """Energy of one k-row activation across ``columns`` bit lines."""
         if columns < 1:
             raise ValueError("columns must be positive")
-        return self.energy_per_column * columns
+        return self.energy_per_column_joules * columns
 
     def bit_ops_per_activation(self, columns: int) -> int:
         """Logical bit-operations delivered by one activation."""

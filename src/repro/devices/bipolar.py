@@ -20,27 +20,29 @@ class BipolarSwitch(MemristiveDevice):
     """Two-state resistive switch with abrupt (or timed) threshold switching.
 
     The state ramps linearly toward the target level while the voltage is
-    beyond a threshold; with the default ``switching_time`` of 0 the device
+    beyond a threshold; with the default ``switching_time_seconds`` of
+    0 the device
     switches within a single ``step`` call, which is the idealization the
     paper's logic layers assume.
 
     Args:
         params: resistance window and thresholds.
-        switching_time: seconds of continuous over-threshold stress required
-            for a full 0 -> 1 (or 1 -> 0) transition.  Zero means abrupt.
+        switching_time_seconds: seconds of continuous over-threshold
+            stress required for a full 0 -> 1 (or 1 -> 0) transition.
+            Zero means abrupt.
         state: initial normalized state.
     """
 
     def __init__(
         self,
         params: DeviceParameters | None = None,
-        switching_time: float = 0.0,
+        switching_time_seconds: float = 0.0,
         state: float = 0.0,
     ) -> None:
         super().__init__(params or DeviceParameters(), state=state)
-        if switching_time < 0:
-            raise ValueError("switching_time must be non-negative")
-        self.switching_time = switching_time
+        if switching_time_seconds < 0:
+            raise ValueError("switching_time_seconds must be non-negative")
+        self.switching_time = switching_time_seconds
 
     def _state_derivative(self, voltage: float) -> float:
         p = self.params

@@ -124,13 +124,15 @@ def loop_area(voltage: np.ndarray, current: np.ndarray) -> float:
     return total + abs(acc)
 
 
-def pinch_current(result: SweepResult, voltage_tolerance: float = 1e-3) -> float:
+def pinch_current(result: SweepResult,
+                  voltage_tolerance_volts: float = 1e-3) -> float:
     """Largest |current| observed while |voltage| is within tolerance of 0.
 
     A memristive device must return (near) zero: the pinch point of the
     hysteresis loop.  Used by tests and the Fig. 1 bench as the pinch check.
     """
-    near_zero = np.abs(result.voltage) <= voltage_tolerance * result.amplitude
+    near_zero = (np.abs(result.voltage)
+                 <= voltage_tolerance_volts * result.amplitude)
     if not near_zero.any():
         raise ValueError("no samples near zero voltage; raise the tolerance")
     return float(np.max(np.abs(result.current[near_zero])))

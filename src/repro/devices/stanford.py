@@ -42,7 +42,8 @@ class StanfordRRAMDevice(MemristiveDevice):
         temperature_k: lattice temperature in kelvin.
         v_char: characteristic voltage of the sinh I-V in volts.
         gamma: field-enhancement factor for gap motion.
-        read_voltage: voltage at which the resistance window is calibrated.
+        read_voltage_volts: voltage at which the resistance window
+            is calibrated.
         state: initial normalized state (0 = OFF).
     """
 
@@ -56,7 +57,7 @@ class StanfordRRAMDevice(MemristiveDevice):
         temperature_k: float = 300.0,
         v_char: float = 0.4,
         gamma: float = 12.0,
-        read_voltage: float = 0.1,
+        read_voltage_volts: float = 0.1,
         state: float = 0.0,
     ) -> None:
         super().__init__(params or DeviceParameters(), state=state)
@@ -73,14 +74,14 @@ class StanfordRRAMDevice(MemristiveDevice):
         self.temperature_k = temperature_k
         self.v_char = v_char
         self.gamma = gamma
-        self.read_voltage = read_voltage
+        self.read_voltage = read_voltage_volts
         # Calibrate I0 and g0 so R(g_min) = r_on and R(g_max) = r_off at the
         # read voltage:  R = v / I = v / (I0 * exp(-g/g0) * sinh(v/V0)).
         ratio = self.params.r_off / self.params.r_on
         self._g0 = (g_max - g_min) / math.log(ratio)
-        sinh_term = math.sinh(read_voltage / v_char)
+        sinh_term = math.sinh(read_voltage_volts / v_char)
         self._i0 = (
-            read_voltage
+            read_voltage_volts
             / (self.params.r_on * sinh_term * math.exp(-g_min / self._g0))
         )
 

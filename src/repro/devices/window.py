@@ -31,9 +31,9 @@ __all__ = [
 
 
 class WindowFunction(Protocol):
-    """Callable window: ``f(x, current)`` with ``x`` the normalized state."""
+    """Callable window: ``f(x, i)`` with ``x`` the normalized state."""
 
-    def __call__(self, x: float, current: float = 0.0) -> float: ...
+    def __call__(self, x: float, current_amps: float = 0.0) -> float: ...
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,10 +44,10 @@ class RectangularWindow:
     the test suite exploits as an analytic cross-check.
     """
 
-    def __call__(self, x: float, current: float = 0.0) -> float:
-        if x <= 0.0 and current < 0.0:
+    def __call__(self, x: float, current_amps: float = 0.0) -> float:
+        if x <= 0.0 and current_amps < 0.0:
             return 0.0
-        if x >= 1.0 and current > 0.0:
+        if x >= 1.0 and current_amps > 0.0:
             return 0.0
         return 1.0
 
@@ -67,7 +67,7 @@ class JoglekarWindow:
         if self.p < 1:
             raise ValueError("window exponent p must be >= 1")
 
-    def __call__(self, x: float, current: float = 0.0) -> float:
+    def __call__(self, x: float, current_amps: float = 0.0) -> float:
         return 1.0 - (2.0 * x - 1.0) ** (2 * self.p)
 
 
@@ -85,8 +85,8 @@ class BiolekWindow:
         if self.p < 1:
             raise ValueError("window exponent p must be >= 1")
 
-    def __call__(self, x: float, current: float = 0.0) -> float:
-        step = 1.0 if current >= 0.0 else 0.0
+    def __call__(self, x: float, current_amps: float = 0.0) -> float:
+        step = 1.0 if current_amps >= 0.0 else 0.0
         return 1.0 - (x - (1.0 - step)) ** (2 * self.p)
 
 
@@ -107,7 +107,7 @@ class ProdromakisWindow:
         if self.j <= 0:
             raise ValueError("window scale j must be positive")
 
-    def __call__(self, x: float, current: float = 0.0) -> float:
+    def __call__(self, x: float, current_amps: float = 0.0) -> float:
         return self.j * (1.0 - ((x - 0.5) ** 2 + 0.75) ** self.p)
 
 

@@ -34,18 +34,33 @@ result schema live in the api layer and import from here.
 """
 
 from repro.mvm.accuracy import AccuracySummary
-from repro.mvm.analog import AnalogAccelerator, AnalogMVM
+from repro.mvm.analog import (
+    AnalogAccelerator,
+    AnalogAcceleratorGroup,
+    AnalogMVM,
+)
+from repro.mvm.kernel import TileStack
 from repro.mvm.mapper import CrossbarTile, MVMConfig, map_matrix
-from repro.mvm.pipeline import ADCModel, bit_slices, quantize_input
+from repro.mvm.pipeline import (
+    ADCModel,
+    bit_slices,
+    bit_slices_batch,
+    quantize_batch,
+    quantize_input,
+)
 
 __all__ = [
     "ADCModel",
     "AccuracySummary",
     "AnalogAccelerator",
+    "AnalogAcceleratorGroup",
     "AnalogMVM",
     "CrossbarTile",
     "MVMConfig",
+    "TileStack",
     "bit_slices",
+    "bit_slices_batch",
     "map_matrix",
+    "quantize_batch",
     "quantize_input",
 ]

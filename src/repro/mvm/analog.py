@@ -32,10 +32,32 @@ import numpy as np
 from repro.crossbar.nonideal import NonidealCrossbar, NonidealitySpec
 from repro.crossbar.scouting import ScoutingEnergyModel
 from repro.devices.base import DeviceParameters
+from repro.mvm.kernel import TileStack
 from repro.mvm.mapper import MVMConfig, map_matrix
-from repro.mvm.pipeline import ADCModel, bit_slices, quantize_input
+from repro.mvm.pipeline import (
+    ADCModel,
+    bit_slices,
+    quantize_batch,
+    quantize_input,
+)
 
-__all__ = ["AnalogMVM", "AnalogAccelerator"]
+__all__ = ["AnalogAccelerator", "AnalogAcceleratorGroup", "AnalogMVM"]
+
+
+def _sequential_fold(start: float, values: np.ndarray) -> float:
+    """Left-fold ``start + v[0] + v[1] + ...`` with scalar rounding.
+
+    The ledger's float accumulators are defined by the serial path's
+    one-by-one accumulation order.  A plain 1-D ``values.sum()`` rounds
+    differently (NumPy reduces the innermost stride pairwise), so the
+    addends are laid out as the first column of a two-column matrix:
+    reductions over a non-innermost axis run strictly sequentially in
+    index order, reproducing the Python ``+=`` loop bit for bit.
+    """
+    seq = np.zeros((values.size + 1, 2), dtype=float)
+    seq[0, 0] = start
+    seq[1:, 0] = values
+    return float(seq.sum(axis=0)[0])
 
 
 class AnalogMVM:
@@ -49,7 +71,7 @@ class AnalogMVM:
         rng: entropy for stochastic nonideality axes; a single
             generator drives the whole tile grid in construction order.
         energy_model: per-column read cost (from the device registry).
-        read_voltage: word-line read voltage, volts.
+        read_voltage_volts: word-line read voltage.
 
     Attributes:
         tiles: ``(row_offset, col_offset, tile)`` triples in grid order.
@@ -70,7 +92,7 @@ class AnalogMVM:
         nonideality: NonidealitySpec | None = None,
         rng: np.random.Generator | None = None,
         energy_model: ScoutingEnergyModel | None = None,
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
     ) -> None:
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 2 or weights.size == 0:
@@ -84,13 +106,24 @@ class AnalogMVM:
         self.energy_model = energy_model or ScoutingEnergyModel()
         self.tiles = map_matrix(
             weights, config, params=self.params,
-            nonideality=nonideality, rng=rng, read_voltage=read_voltage,
+            nonideality=nonideality, rng=rng,
+            read_voltage_volts=read_voltage_volts,
         )
         self.adc = ADCModel(
             bits=config.adc_bits,
-            lsb_current_amps=read_voltage / self.params.r_on,
-            leak_current_amps=read_voltage / self.params.r_off,
+            lsb_current_amps=read_voltage_volts / self.params.r_on,
+            leak_current_amps=read_voltage_volts / self.params.r_off,
         )
+        self._stack = TileStack(
+            self.tiles, self.out_dim, self.in_dim, config, self.adc)
+        self._phys_cols = np.array(
+            [tile.physical_cols for _, _, tile in self.tiles],
+            dtype=np.int64)
+        self._op_energy = [
+            self.energy_model.operation_energy(tile.physical_cols)
+            for _, _, tile in self.tiles
+        ]
+        self._op_energy_arr = np.array(self._op_energy, dtype=float)
         self.reads = 0
         self.adc_conversions = 0
         self.adc_saturations = 0
@@ -108,6 +141,28 @@ class AnalogMVM:
         return int(sum(int(c.program_cycles.sum())
                        for c in self.crossbars))
 
+    def ledger_twin(self) -> "AnalogMVM":
+        """A fresh cost ledger over the same mapped fabric.
+
+        Shares the tiles, crossbars and stacked tensors -- which ideal
+        execution never mutates -- while counting reads, conversions,
+        energy and latency from zero.  Mapping a matrix once and
+        twinning is observably identical to remapping it per item on an
+        ideal fabric: construction is deterministic and consumes no
+        entropy there.  Non-ideal fabrics must not be twinned (their
+        construction draws per-item entropy, and IR-drop reads mutate
+        shared state).
+        """
+        twin = object.__new__(AnalogMVM)
+        twin.__dict__.update(self.__dict__)
+        twin.reads = 0
+        twin.adc_conversions = 0
+        twin.adc_saturations = 0
+        twin.tile_saturations = [0] * len(self.tiles)
+        twin.energy_joules = 0.0
+        twin.latency_seconds = 0.0
+        return twin
+
     # -- execution ---------------------------------------------------------------
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
@@ -119,7 +174,7 @@ class AnalogMVM:
         Returns:
             Float output vector of length ``out_dim``.
         """
-        return self._matvec(x, electrical=True)
+        return self._single(x, electrical=True)
 
     def reference_matvec(self, x: np.ndarray) -> np.ndarray:
         """The digital golden twin of :meth:`matvec`.
@@ -129,22 +184,104 @@ class AnalogMVM:
         gain -- with no cost accounting and no fabric state.  Equals
         :meth:`matvec` exactly on an ideal fabric.
         """
-        return self._matvec(x, electrical=False)
+        return self._single(x, electrical=False)
 
-    def _matvec(self, x: np.ndarray, electrical: bool) -> np.ndarray:
+    def matvec_batch(self, x_batch: np.ndarray) -> np.ndarray:
+        """A whole batch of analog matvecs in one kernel dispatch.
+
+        Sample ``m`` of the result -- outputs *and* every ledger
+        increment -- is bit-identical to calling :meth:`matvec` on
+        ``x_batch[m]`` in batch order; batching changes the layout of
+        the computation, never its numerics.
+
+        Args:
+            x_batch: non-negative float ``(batch, in_dim)`` matrix.
+
+        Returns:
+            Float ``(batch, out_dim)`` outputs.
+        """
+        return self._run_batch(x_batch, electrical=True)
+
+    def reference_matvec_batch(self, x_batch: np.ndarray) -> np.ndarray:
+        """Batched :meth:`reference_matvec` (no ledger, no fabric)."""
+        return self._run_batch(x_batch, electrical=False)
+
+    def _single(self, x: np.ndarray, electrical: bool) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         if x.shape != (self.in_dim,):
             raise ValueError(
                 f"expected a ({self.in_dim},) input vector, got "
                 f"{x.shape}"
             )
+        return self._run_batch(x[None, :], electrical)[0]
+
+    def _run_batch(
+        self, x_batch: np.ndarray, electrical: bool
+    ) -> np.ndarray:
+        x_batch = np.asarray(x_batch, dtype=float)
+        if x_batch.ndim != 2 or x_batch.shape[1] != self.in_dim:
+            raise ValueError(
+                f"expected a (batch, {self.in_dim}) input matrix, got "
+                f"{x_batch.shape}"
+            )
+        if electrical and self._stack.has_wire_drop:
+            # Wire IR drop solves a nodal network per read whose result
+            # depends on the whole activation pattern; those fabrics
+            # keep the per-read serial path.
+            if x_batch.shape[0] == 0:
+                return np.zeros((0, self.out_dim), dtype=float)
+            return np.stack(
+                [self._matvec_serial(row) for row in x_batch])
+        x_int, scales = quantize_batch(x_batch, self.config.dac_bits)
+        y, counted, tile_sats = self._stack.execute(
+            x_int, scales, electrical)
+        if electrical:
+            self._account_batch(counted, tile_sats)
+        return y
+
+    def _account_batch(
+        self, counted: np.ndarray, tile_sats: np.ndarray
+    ) -> None:
+        """Apply one batch's ledger increments in serial-path order.
+
+        Integer counters are order-free sums; the float accumulators
+        replay the serial accumulation sequence exactly -- one latency
+        step per sample, then per-read energy in (sample, slice, tile)
+        order -- so batched ledgers match per-sample ledgers to the
+        last ulp.
+        """
+        batch = counted.shape[1]
+        # The control timeline always cycles through every input
+        # slice, whether or not a given slice activates any rows.
+        step = self.config.dac_bits * self.energy_model.latency_seconds
+        self.latency_seconds = _sequential_fold(
+            self.latency_seconds, np.full(batch, step))
+        self.reads += int(counted.sum())
+        reads_per_tile = counted.sum(axis=(1, 2))
+        self.adc_conversions += int(
+            (reads_per_tile * self._phys_cols).sum())
+        self.adc_saturations += int(tile_sats.sum())
+        for index, sats in enumerate(tile_sats):
+            self.tile_saturations[index] += int(sats)
+        # Energy adds in (sample, slice, tile) order; skipped reads
+        # contribute exact +0.0 addends, which never change a
+        # non-negative accumulator's bits.
+        energies = counted.transpose(1, 2, 0) * self._op_energy_arr
+        self.energy_joules = _sequential_fold(
+            self.energy_joules, energies.ravel())
+
+    def _matvec_serial(self, x: np.ndarray) -> np.ndarray:
+        """The per-read electrical path for IR-drop fabrics.
+
+        Wire networks make each read's currents a function of the full
+        activation pattern, so these fabrics execute the original
+        slice x tile loop against
+        :meth:`repro.crossbar.nonideal.NonidealCrossbar.column_currents`.
+        """
         x_int, x_scale = quantize_input(x, self.config.dac_bits)
         y = np.zeros(self.out_dim, dtype=float)
-        if electrical:
-            # The control timeline always cycles through every input
-            # slice, whether or not a given slice activates any rows.
-            self.latency_seconds += \
-                self.config.dac_bits * self.energy_model.latency
+        self.latency_seconds += \
+            self.config.dac_bits * self.energy_model.latency_seconds
         if x_scale == 0.0:
             return y
         slices = bit_slices(x_int, self.config.dac_bits)
@@ -156,26 +293,14 @@ class AnalogMVM:
                 active = int(active_rows.size)
                 if active == 0:
                     continue
-                if electrical:
-                    currents = tile.crossbar.column_currents(
-                        list(active_rows))
-                    codes, saturated = self.adc.convert(currents, active)
-                    self.reads += 1
-                    self.adc_conversions += tile.physical_cols
-                    self.adc_saturations += saturated
-                    self.tile_saturations[index] += saturated
-                    self.energy_joules += \
-                        self.energy_model.operation_energy(
-                            tile.physical_cols)
-                else:
-                    # The reference synthesizes the *ideal* read
-                    # currents (same operands and reduction order as
-                    # the fabric on ideal resistances) and converts
-                    # them through the one shared ADC, so analog ==
-                    # reference bit-for-bit on an ideal fabric for any
-                    # device window -- half-tie roundings included.
-                    codes, _ = self.adc.convert(
-                        tile.ideal_currents(active_rows), active)
+                currents = tile.crossbar.column_currents(
+                    list(active_rows))
+                codes, saturated = self.adc.convert(currents, active)
+                self.reads += 1
+                self.adc_conversions += tile.physical_cols
+                self.adc_saturations += saturated
+                self.tile_saturations[index] += saturated
+                self.energy_joules += self._op_energy[index]
                 y[col0:col0 + tile.out_cols] += \
                     weight * tile.combine(codes)
         return y * x_scale
@@ -198,7 +323,7 @@ class AnalogAccelerator:
         nonideality: shared nonideality stack.
         rng: entropy stream for stochastic axes.
         energy_model: per-column read cost.
-        read_voltage: shared read voltage.
+        read_voltage_volts: shared read voltage.
     """
 
     def __init__(
@@ -209,7 +334,7 @@ class AnalogAccelerator:
         nonideality: NonidealitySpec | None = None,
         rng: np.random.Generator | None = None,
         energy_model: ScoutingEnergyModel | None = None,
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
     ) -> None:
         matrices = [np.asarray(w, dtype=float) for w in layer_weights]
         if not matrices:
@@ -218,7 +343,7 @@ class AnalogAccelerator:
             AnalogMVM(weights, config, params=params,
                       nonideality=nonideality, rng=rng,
                       energy_model=energy_model,
-                      read_voltage=read_voltage)
+                      read_voltage_volts=read_voltage_volts)
             for weights in matrices
         ]
 
@@ -229,6 +354,16 @@ class AnalogAccelerator:
     def reference_matvec(self, layer: int, x: np.ndarray) -> np.ndarray:
         """Digital golden matvec of the given layer (no fabric state)."""
         return self.layers[layer].reference_matvec(x)
+
+    def matvec_batch(self, layer: int, x_batch: np.ndarray) -> np.ndarray:
+        """Batched analog matvecs through the given layer's fabric."""
+        return self.layers[layer].matvec_batch(x_batch)
+
+    def reference_matvec_batch(
+        self, layer: int, x_batch: np.ndarray
+    ) -> np.ndarray:
+        """Batched digital golden matvecs of the given layer."""
+        return self.layers[layer].reference_matvec_batch(x_batch)
 
     # -- aggregated ledgers ------------------------------------------------------
 
@@ -271,3 +406,131 @@ class AnalogAccelerator:
 
     def program_cycles(self) -> int:
         return sum(layer.program_cycles() for layer in self.layers)
+
+    def ledger_twin(self) -> "AnalogAccelerator":
+        """A fresh-ledger accelerator over the same mapped layers.
+
+        See :meth:`AnalogMVM.ledger_twin`; valid only for ideal
+        fabrics, whose mapping is deterministic and read-only.
+        """
+        twin = object.__new__(AnalogAccelerator)
+        twin.layers = [layer.ledger_twin() for layer in self.layers]
+        return twin
+
+
+class AnalogAcceleratorGroup:
+    """Several same-geometry accelerators fused into grouped dispatches.
+
+    The window-level execution form the ``analog_mvm`` engine's batch
+    runs use: when every item's accelerator shares the same tile layout
+    (same matrix shapes, knobs and converters -- fabrics, weights and
+    tile scales may differ per item), the members' conductance stacks
+    concatenate along a leading member axis and one kernel call serves
+    the whole window.  Member ``i``'s outputs and ledger increments are
+    bit-identical to running member ``i``'s batch alone -- members
+    never mix in any reduction -- so grouping is invisible to results,
+    costs and shard determinism.
+
+    Args:
+        accelerators: the member :class:`AnalogAccelerator` objects, in
+            window order.  Must satisfy :meth:`compatible`.
+    """
+
+    def __init__(self, accelerators) -> None:
+        accelerators = list(accelerators)
+        if not accelerators:
+            raise ValueError("group needs at least one accelerator")
+        if not self.compatible(accelerators):
+            raise ValueError(
+                "accelerators cannot fuse: members must share layer "
+                "count and per-layer tile geometry, with no wire-drop "
+                "fabric"
+            )
+        self.accelerators = accelerators
+
+    @staticmethod
+    def compatible(accelerators) -> bool:
+        """True when the members can execute as one fused group.
+
+        Requires an equal layer count, per-layer identical geometry
+        keys (tiling, bands, converters, read voltage) and no wire
+        IR-drop fabric anywhere (those reads solve per-pattern nodal
+        networks and keep the serial path).
+        """
+        accelerators = list(accelerators)
+        if not accelerators:
+            return False
+        first = accelerators[0]
+        if any(len(acc.layers) != len(first.layers)
+               for acc in accelerators[1:]):
+            return False
+        for layer in range(len(first.layers)):
+            stacks = [acc.layers[layer]._stack for acc in accelerators]
+            if any(s.has_wire_drop for s in stacks):
+                return False
+            key = stacks[0].geometry_key()
+            if any(s.geometry_key() != key for s in stacks[1:]):
+                return False
+        return True
+
+    def matvec_batch(self, layer: int, x_stacked: np.ndarray) -> np.ndarray:
+        """Every member's analog batch through ``layer`` in one pass.
+
+        Args:
+            x_stacked: non-negative float ``(members, batch, in_dim)``
+                inputs; member ``i`` executes ``x_stacked[i]``.
+
+        Returns:
+            Float ``(members, batch, out_dim)`` outputs.
+        """
+        return self._run(layer, x_stacked, electrical=True)
+
+    def reference_matvec_batch(
+        self, layer: int, x_stacked: np.ndarray
+    ) -> np.ndarray:
+        """Grouped digital golden batches (no ledger, no fabric)."""
+        return self._run(layer, x_stacked, electrical=False)
+
+    def _run(
+        self, layer: int, x_stacked: np.ndarray, electrical: bool
+    ) -> np.ndarray:
+        mvms = [acc.layers[layer] for acc in self.accelerators]
+        proto = mvms[0]._stack
+        x = np.asarray(x_stacked, dtype=float)
+        if x.ndim != 3 or x.shape[0] != len(mvms) \
+                or x.shape[2] != proto.in_dim:
+            raise ValueError(
+                f"expected a ({len(mvms)}, batch, {proto.in_dim}) "
+                f"input tensor, got {x.shape}"
+            )
+        members, batch, n = x.shape
+        x_int, scales = quantize_batch(
+            x.reshape(members * batch, n), proto.config.dac_bits)
+        x_int = x_int.reshape(members, batch, n)
+        scales = scales.reshape(members, batch)
+        if all(mvm._stack is proto for mvm in mvms[1:]):
+            # Ledger twins share one mapped fabric: pass a single
+            # broadcast member (the kernel never mixes members, so a
+            # size-1 member axis is a pure layout change) instead of
+            # stacking identical copies.
+            if electrical:
+                conductance = proto.fabric_conductances()[None]
+            else:
+                conductance = proto._g_ideal[None]
+            scale_gain = proto._scale_gain[None]
+        elif electrical:
+            conductance = np.stack(
+                [mvm._stack.fabric_conductances() for mvm in mvms])
+            scale_gain = np.stack(
+                [mvm._stack._scale_gain for mvm in mvms])
+        else:
+            conductance = np.stack(
+                [mvm._stack._g_ideal for mvm in mvms])
+            scale_gain = np.stack(
+                [mvm._stack._scale_gain for mvm in mvms])
+        y, counted, tile_sats = proto.execute_group(
+            x_int, scales, electrical, conductance, scale_gain)
+        if electrical:
+            for i, mvm in enumerate(mvms):
+                mvm._account_batch(counted[i], tile_sats[i])
+        return y

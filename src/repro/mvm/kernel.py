@@ -1,0 +1,411 @@
+"""Structure-of-arrays execution kernel for the analog MVM pipeline.
+
+The scalar pipeline in :mod:`repro.mvm.analog` used to walk a Python
+loop nest -- samples x DAC slices x tiles -- performing one small
+NumPy read per (slice, tile).  This module replaces that hot path with
+a structure-of-arrays layout: at map time every tile's cell
+conductances are stacked into one padded ``(tiles, rows, cols)``
+tensor (``cols = out_cols * 2 * weight_bits`` bit lines, i.e. the
+bit-plane axis is unrolled into the physical column axis exactly as it
+is on the fabric), and a whole batch of matvecs executes as a handful
+of whole-tensor operations: masked conductance sums for the read
+currents, one vectorized ADC conversion, one shift-and-add
+contraction over the differential bit planes, and one ordered
+reduction for the partial-sum accumulation.
+
+**Bit-for-bit contract.**  The kernel is not "close to" the scalar
+pipeline -- it is exactly it, for every sample, fabric and device
+window (the equivalence suite in ``tests/mvm/test_kernel_equivalence``
+pins this against a scalar transcription of the legacy loops):
+
+* masked reduction: ``np.where(mask, G, 0.0).sum(axis=rows)`` reduces
+  over a non-innermost axis, which NumPy performs strictly
+  sequentially in index order; the masked-out zeros are exact
+  additive no-ops, so the result is bit-identical to the legacy
+  ``G[active_rows, :].sum(axis=0)``;
+* the ADC applies the identical elementwise expression through
+  :meth:`repro.mvm.pipeline.ADCModel.convert_batch`;
+* shift-and-add folds integer-valued floats scaled by exact powers of
+  two (every intermediate is exactly representable), so the plane
+  contraction is exact in any association order;
+* partial sums accumulate through an ordered ``(slice, row-band)``
+  axis reduction that reproduces the legacy slice-major, grid-order
+  accumulation sequence.
+
+Zero-padding is benign by construction: padded rows are never
+activated, padded columns have zero conductance, so their codes are
+zero, their baseline-subtracted raw codes clip at zero, and their
+(sliced-off) fold contributions are exact zeros.
+
+Tiles whose fabric models wire IR drop are the one exception: each
+read then solves a nodal network whose result depends on the whole
+activation pattern, so those fabrics keep the per-read serial path in
+:class:`repro.mvm.analog.AnalogMVM`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mvm.mapper import CrossbarTile, MVMConfig
+from repro.mvm.pipeline import ADCModel, bit_slices_batch
+
+__all__ = ["TileStack"]
+
+#: Soft ceiling on the masked-conductance workspace (float64 elements);
+#: batches whose ``tiles * samples * slices * rows * cols`` footprint
+#: would exceed it are executed in sample chunks (chunking is invisible
+#: to the numerics -- samples are independent and chunks run in order).
+_WORKSPACE_ELEMENTS = 1 << 24
+
+
+class TileStack:
+    """All of one layer's tiles stacked into padded SoA tensors.
+
+    Args:
+        tiles: the mapper's ``(row_offset, col_offset, tile)`` triples
+            in grid order (row bands outermost).
+        out_dim: logical output length of the mapped matrix.
+        in_dim: logical input length of the mapped matrix.
+        config: the layer's quantization/tiling knobs.
+        adc: the layer's ADC model.
+
+    Attributes:
+        n_tiles: stacked tile count.
+        bands: distinct input row bands, in offset order.
+    """
+
+    def __init__(
+        self,
+        tiles: list[tuple[int, int, CrossbarTile]],
+        out_dim: int,
+        in_dim: int,
+        config: MVMConfig,
+        adc: ADCModel,
+    ) -> None:
+        self._tiles = tiles
+        self.out_dim = out_dim
+        self.in_dim = in_dim
+        self.config = config
+        self.adc = adc
+        self.n_tiles = len(tiles)
+
+        planes = config.planes_per_col
+        self._max_rows = max(tile.rows for _, _, tile in tiles)
+        self._max_out = max(tile.out_cols for _, _, tile in tiles)
+        self._cols = self._max_out * planes
+
+        # Row bands: tiles sharing a row offset share activation masks
+        # and leakage baselines; band order is ascending offsets, which
+        # is also the grid's outer iteration order.
+        band_offsets: list[int] = []
+        for row0, _, _ in tiles:
+            if row0 not in band_offsets:
+                band_offsets.append(row0)
+        self.bands = band_offsets
+        band_index = {row0: b for b, row0 in enumerate(band_offsets)}
+        self._band_rows = np.array(
+            [next(t.rows for r0, _, t in tiles if r0 == row0)
+             for row0 in band_offsets], dtype=np.int64)
+        self._band_of_tile = np.array(
+            [band_index[row0] for row0, _, _ in tiles], dtype=np.int64)
+        self._col0 = [col0 for _, col0, _ in tiles]
+        self._out_cols = [tile.out_cols for _, _, tile in tiles]
+        self._read_voltage = tiles[0][2].crossbar.read_voltage
+
+        # Shift-and-add constants: the shared pair vector and one
+        # ``scale * gain`` scalar per tile, computed with the exact
+        # float expression of CrossbarTile.combine.
+        self._pair_vector = tiles[0][2]._pair_vector
+        scale_gain = []
+        for _, _, tile in tiles:
+            params = tile.crossbar.params
+            gain = 1.0 / (1.0 - params.r_on / params.r_off)
+            scale_gain.append(tile.scale * gain)
+        self._scale_gain = np.array(scale_gain, dtype=float)
+
+        self._g_ideal = self._stack(
+            [tile._ideal_conductance for _, _, tile in tiles])
+        # True when the single row band spans the full logical input:
+        # activation slices then *are* the band masks (no padded rows),
+        # so execution can broadcast them instead of copying.
+        self._whole_band = (
+            len(self.bands) == 1
+            and int(self._band_rows[0]) == self._max_rows
+            and self.in_dim == self._max_rows
+        )
+
+    def geometry_key(self) -> tuple:
+        """Hashable layout signature; equal keys mean two stacks can
+        execute as one group (same tiling, bands, converters and
+        read voltage -- fabrics and scales are per-member state)."""
+        return (
+            self.out_dim, self.in_dim, self._max_rows, self._cols,
+            tuple(self.bands), tuple(int(r) for r in self._band_rows),
+            tuple(self._col0), tuple(self._out_cols),
+            self._read_voltage, self.config, self.adc,
+        )
+
+    def _stack(self, per_tile: list[np.ndarray]) -> np.ndarray:
+        """Zero-pad per-tile ``(rows, cols)`` arrays into one tensor."""
+        stacked = np.zeros(
+            (self.n_tiles, self._max_rows, self._cols), dtype=float)
+        for t, array in enumerate(per_tile):
+            rows, cols = array.shape
+            stacked[t, :rows, :cols] = array
+        return stacked
+
+    def fabric_conductances(self) -> np.ndarray:
+        """The programmed fabrics' cell conductances, freshly stacked.
+
+        Recomputed per batch (it is a tiny elementwise pass) so fault
+        injection, variability spread and any later fabric mutation are
+        always reflected; the elementwise ``1 / R`` matches the operand
+        the serial read path feeds its reduction.
+        """
+        return self._stack(
+            [1.0 / tile.crossbar.resistances
+             for _, _, tile in self._tiles])
+
+    @property
+    def has_wire_drop(self) -> bool:
+        """True if any tile's fabric solves a wire IR-drop network."""
+        return any(getattr(tile.crossbar, "wires", None) is not None
+                   for _, _, tile in self._tiles)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self, x_int: np.ndarray, scales: np.ndarray, electrical: bool
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Run a whole batch of quantized matvecs through the stack.
+
+        Args:
+            x_int: ``(batch, in_dim)`` quantized DAC levels.
+            scales: ``(batch,)`` per-sample DAC scales.
+            electrical: read the programmed fabric (True) or synthesize
+                the ideal reference currents (False).
+
+        Returns:
+            ``(y, counted, tile_saturations)``: the ``(batch, out_dim)``
+            outputs, plus -- on the electrical path -- the boolean
+            ``(tiles, batch, slices)`` mask of performed reads and the
+            per-tile saturation totals (both ``None`` on the reference
+            path, which keeps no ledger).
+        """
+        conductance = (self.fabric_conductances() if electrical
+                       else self._g_ideal)
+        y, counted, tile_sats = self.execute_group(
+            x_int[None], scales[None], electrical,
+            conductance[None], self._scale_gain[None],
+        )
+        if not electrical:
+            return y[0], None, None
+        return y[0], counted[0], tile_sats[0]
+
+    def execute_group(
+        self,
+        x_int: np.ndarray,
+        scales: np.ndarray,
+        electrical: bool,
+        conductance: np.ndarray,
+        scale_gain: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Run several same-geometry members' batches as one pass.
+
+        The grouped core behind :meth:`execute`: member ``i`` of the
+        group (one accelerator's layer, with its own fabric and tile
+        scales) executes its own batch, and every tensor simply carries
+        the member axis in front.  Per-member numerics are exactly
+        :meth:`execute` -- members never mix in any reduction -- so
+        grouping is a pure layout change (the equivalence suite pins
+        grouped == solo bit-for-bit).
+
+        Args:
+            x_int: ``(members, batch, in_dim)`` quantized DAC levels.
+            scales: ``(members, batch)`` per-sample DAC scales.
+            electrical: fabric read (True) or ideal reference (False).
+            conductance: ``(members, tiles, rows, cols)`` stacked cell
+                conductances to read; a size-1 member axis broadcasts
+                (members sharing one fabric, e.g. ledger twins).
+            scale_gain: ``(members, tiles)`` per-tile ``scale * gain``;
+                a size-1 member axis broadcasts.
+
+        Returns:
+            ``(y, counted, tile_saturations)`` shaped ``(members,
+            batch, out_dim)`` / ``(members, tiles, batch, slices)`` /
+            ``(members, tiles)``; the ledger pair is None on the
+            reference path.
+        """
+        members, batch = x_int.shape[:2]
+        y = np.zeros((members, batch, self.out_dim), dtype=float)
+        if batch == 0 or members == 0:
+            if not electrical:
+                return y, None, None
+            return y, np.zeros(
+                (members, self.n_tiles, batch, self.config.dac_bits),
+                dtype=bool), \
+                np.zeros((members, self.n_tiles), dtype=np.int64)
+        slices = bit_slices_batch(
+            x_int.reshape(members * batch, self.in_dim),
+            self.config.dac_bits,
+        ).reshape(members, batch, self.config.dac_bits, self.in_dim)
+
+        per_sample = (members * self.n_tiles * self.config.dac_bits
+                      * self._max_rows * self._cols)
+        chunk = max(1, _WORKSPACE_ELEMENTS // max(1, per_sample))
+        counted_parts: list[np.ndarray] = []
+        tile_sats = np.zeros((members, self.n_tiles), dtype=np.int64)
+        for m0 in range(0, batch, chunk):
+            part = self._execute_chunk(
+                slices[:, m0:m0 + chunk], conductance, scale_gain,
+                electrical)
+            y[:, m0:m0 + chunk] = part[0]
+            if electrical:
+                counted_parts.append(part[1])
+                tile_sats += part[2]
+        y *= scales[:, :, None]
+        if not electrical:
+            return y, None, None
+        return y, np.concatenate(counted_parts, axis=2), tile_sats
+
+    def _execute_chunk(
+        self, slices: np.ndarray, conductance: np.ndarray,
+        scale_gain: np.ndarray, electrical: bool,
+    ):
+        """One sample chunk: masks -> currents -> codes -> partials."""
+        members, m = slices.shape[:2]
+        s_bits = self.config.dac_bits
+        n_bands = len(self.bands)
+
+        # (members, bands, m, slices, rows): each band's activation
+        # masks, padded rows never active.  When the single band spans
+        # the whole input the slices already are the masks.
+        if self._whole_band:
+            band_masks = slices[:, None]
+        else:
+            band_masks = np.zeros(
+                (members, n_bands, m, s_bits, self._max_rows),
+                dtype=bool)
+            for b, row0 in enumerate(self.bands):
+                rows = int(self._band_rows[b])
+                band_masks[:, b, :, :, :rows] = \
+                    slices[:, :, :, row0:row0 + rows]
+        active = band_masks.sum(axis=4, dtype=np.int64)
+
+        act_t = active[:, self._band_of_tile]
+        summed = self._row_sums(band_masks, conductance)
+        currents = self._read_voltage * summed
+
+        codes, clipped = self.adc.convert_codes(currents, act_t)
+
+        # Shift-and-add: fold differential bit planes (exact: integer
+        # codes scaled by exact powers of two), apply per-tile
+        # scale * gain, then the per-slice 2**s weights.
+        folded = codes.reshape(
+            members, self.n_tiles, m, s_bits, self._max_out,
+            self.config.planes_per_col,
+        ) @ self._pair_vector
+        partial = folded * scale_gain[:, :, None, None, None]
+        partial *= 2.0 ** np.arange(s_bits)[None, None, None, :, None]
+
+        # Partial-sum accumulation in the legacy order: slice-major,
+        # then grid (band) order.  Tiles within one (slice, band) pair
+        # write disjoint output columns, so scattering then accumulating
+        # the leading axis reproduces the serial accumulation sequence
+        # exactly; skipped (inactive) reads contribute signed zeros,
+        # which are exact no-ops on the accumulator.  The accumulation
+        # is an explicit ordered loop (one whole-batch add per step):
+        # an axis reduction would go pairwise -- and change last-ulp
+        # roundings -- whenever the trailing axes collapse to stride 1.
+        gathered = np.zeros(
+            (members, s_bits, n_bands, m, self.out_dim), dtype=float)
+        for t in range(self.n_tiles):
+            col0, out_cols = self._col0[t], self._out_cols[t]
+            gathered[:, :, self._band_of_tile[t], :,
+                     col0:col0 + out_cols] \
+                = partial[:, t, :, :, :out_cols].transpose(0, 2, 1, 3)
+        gathered = gathered.reshape(members, -1, m, self.out_dim)
+        y = np.zeros((members, m, self.out_dim), dtype=float)
+        for k in range(gathered.shape[1]):
+            y += gathered[:, k]
+
+        if not electrical:
+            return y, None, None
+        counted = act_t > 0
+        # Saturations count per conversion; inactive reads convert
+        # nothing (their raw codes are exactly zero) and padded columns
+        # clip at the bottom of the range, so the mask is already
+        # confined to real conversions.
+        tile_sats = clipped.sum(axis=(2, 3, 4), dtype=np.int64)
+        return y, counted, tile_sats
+
+    #: Row-pattern lookup tables cover at most this many rows; the
+    #: remainder folds with masked adds.  2**bits table entries per
+    #: tile, capped further by the element budget below.
+    _TABLE_BITS = 12
+    _TABLE_BUDGET = 1 << 22
+
+    def _row_sums(
+        self, band_masks: np.ndarray, conductance: np.ndarray
+    ) -> np.ndarray:
+        """Per-read conductance row sums, in serial fold order.
+
+        Each read accumulates its active rows' conductances by an
+        ascending-row left fold (the serial path's order).  A fold over
+        the lowest ``tb`` rows depends only on their activation bit
+        pattern, so those are precomputed for every pattern with a
+        doubling recurrence -- ``table[p] = table[p - msb(p)] +
+        G[msb(p)]``, exactly the ascending fold since the highest bit
+        is added last -- and gathered per read; rows above ``tb`` fold
+        on top with masked in-place adds, one sequential addition each.
+        Inactive rows contribute nothing on either path, which matches
+        the serial sum bitwise: its +0.0 addends never change the
+        non-negative accumulator.
+
+        Args:
+            band_masks: ``(members, bands-or-1, m, slices, rows)``
+                activation masks (a size-1 band axis broadcasts).
+            conductance: ``(members-or-1, tiles, rows, cols)`` cell
+                conductances (a size-1 member axis broadcasts -- e.g.
+                ledger twins sharing one fabric).
+
+        Returns:
+            ``(members, tiles, m, slices, cols)`` summed conductances.
+        """
+        members = band_masks.shape[0]
+        i_c = conductance.shape[0]
+        # Shrink the table until building it (2**tb patterns per
+        # member-tile) is cheap relative to the reads it serves; each
+        # level below max_rows trades one masked add per read.
+        reads = members * band_masks.shape[2] * band_masks.shape[3]
+        tb = min(self._TABLE_BITS, self._max_rows)
+        while tb > 0 and (
+                (i_c * self.n_tiles * self._cols) << tb
+                > self._TABLE_BUDGET
+                or (i_c << tb) > 2 * reads):
+            tb -= 1
+        table = np.zeros(
+            (i_c, self.n_tiles, 1 << tb, self._cols), dtype=float)
+        for b in range(tb):
+            half = 1 << b
+            table[:, :, half:2 * half] = (
+                table[:, :, :half] + conductance[:, :, None, b, :])
+        weights = np.zeros(self._max_rows, dtype=np.int64)
+        weights[:tb] = 1 << np.arange(tb, dtype=np.int64)
+        idx = band_masks.astype(np.int64) @ weights
+        if idx.shape[1] != 1:
+            idx = idx[:, self._band_of_tile]
+        mem = (np.arange(members).reshape(-1, 1, 1, 1)
+               if i_c == members and members > 1
+               else np.zeros((1, 1, 1, 1), dtype=np.intp))
+        til = np.arange(self.n_tiles).reshape(1, -1, 1, 1)
+        summed = table[mem, til, idx]
+        if tb < self._max_rows:
+            tile_masks = band_masks if band_masks.shape[1] == 1 \
+                else band_masks[:, self._band_of_tile]
+            for r in range(tb, self._max_rows):
+                np.add(summed, conductance[:, :, None, None, r, :],
+                       out=summed,
+                       where=tile_masks[:, :, :, :, r, None])
+        return summed

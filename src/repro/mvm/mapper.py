@@ -119,7 +119,7 @@ class CrossbarTile:
         params: device resistance window (sets the stored levels).
         nonideality: the device-nonideality stack; default is ideal.
         rng: entropy for stochastic nonideality axes.
-        read_voltage: word-line read voltage, volts.
+        read_voltage_volts: word-line read voltage.
 
     Attributes:
         rows: logical input rows (crossbar word lines).
@@ -139,7 +139,7 @@ class CrossbarTile:
         params: DeviceParameters | None = None,
         nonideality: NonidealitySpec | None = None,
         rng: np.random.Generator | None = None,
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
     ) -> None:
         block = np.asarray(block, dtype=float)
         if block.ndim != 2 or block.size == 0:
@@ -167,7 +167,7 @@ class CrossbarTile:
         self.crossbar = build_crossbar(
             self.rows, self.out_cols * config.planes_per_col,
             params=params, nonideality=nonideality, rng=rng,
-            read_voltage=read_voltage,
+            read_voltage_volts=read_voltage_volts,
         )
         self.crossbar.load_matrix(self._bit_matrix)
 
@@ -265,7 +265,7 @@ def map_matrix(
     params: DeviceParameters | None = None,
     nonideality: NonidealitySpec | None = None,
     rng: np.random.Generator | None = None,
-    read_voltage: float = 0.2,
+    read_voltage_volts: float = 0.2,
 ) -> list[tuple[int, int, CrossbarTile]]:
     """Split a float ``(out_dim, in_dim)`` matrix into crossbar tiles.
 
@@ -294,6 +294,6 @@ def map_matrix(
             block = weights[col0:col0 + cols, row0:row0 + rows]
             tiles.append((row0, col0, CrossbarTile(
                 block, config, params=params, nonideality=nonideality,
-                rng=rng, read_voltage=read_voltage,
+                rng=rng, read_voltage_volts=read_voltage_volts,
             )))
     return tiles

@@ -33,7 +33,13 @@ import dataclasses
 
 import numpy as np
 
-__all__ = ["ADCModel", "bit_slices", "quantize_input"]
+__all__ = [
+    "ADCModel",
+    "bit_slices",
+    "bit_slices_batch",
+    "quantize_batch",
+    "quantize_input",
+]
 
 
 def quantize_input(
@@ -72,6 +78,51 @@ def quantize_input(
     return np.rint(x / scale).astype(np.int64), scale
 
 
+def quantize_batch(
+    x: np.ndarray, bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`quantize_input`: one scale per batch row.
+
+    Args:
+        x: 2-D non-negative ``(batch, n)`` input matrix.
+        bits: DAC resolution; levels span ``[0, 2**bits - 1]``.
+
+    Returns:
+        ``(x_int, scales)`` of shapes ``(batch, n)`` / ``(batch,)``.
+        Every row quantizes exactly as :func:`quantize_input` would
+        quantize it alone (same peak, same scale, same roundings), so
+        batching is a pure layout change, not a numerics change.
+
+    Raises:
+        ValueError: on a non-2-D matrix, negative entries, or a
+            non-positive bit count.
+    """
+    if bits < 1:
+        raise ValueError("dac bits must be a positive integer")
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(
+            f"input must be a 2-D (batch, n) matrix, got shape {x.shape}"
+        )
+    if x.size and float(x.min()) < 0:
+        raise ValueError(
+            "analog MVM inputs must be non-negative (signed weights are "
+            "handled by the differential mapping; rectify inputs before "
+            "the DAC)"
+        )
+    if x.size == 0:
+        return (np.zeros(x.shape, dtype=np.int64),
+                np.zeros(x.shape[0], dtype=float))
+    peaks = x.max(axis=1)
+    scales = np.where(peaks > 0.0, peaks / (2 ** bits - 1), 0.0)
+    # Divide by 1.0 on all-zero rows (their x_int is forced to 0), so
+    # live rows see the exact ``x / scale`` division of the scalar path.
+    safe = np.where(scales > 0.0, scales, 1.0)
+    x_int = np.rint(x / safe[:, None]).astype(np.int64)
+    x_int[scales == 0.0] = 0
+    return x_int, scales
+
+
 def bit_slices(x_int: np.ndarray, bits: int) -> np.ndarray:
     """Bit-serial slices of a quantized input vector.
 
@@ -83,6 +134,19 @@ def bit_slices(x_int: np.ndarray, bits: int) -> np.ndarray:
     x_int = np.asarray(x_int, dtype=np.int64)
     shifts = np.arange(bits, dtype=np.int64)
     return ((x_int[None, :] >> shifts[:, None]) & 1).astype(bool)
+
+
+def bit_slices_batch(x_int: np.ndarray, bits: int) -> np.ndarray:
+    """Batched :func:`bit_slices`.
+
+    Returns:
+        Boolean ``(batch, bits, n)`` array; ``out[m, s]`` is sample
+        ``m``'s word-line activation mask for input bit ``s``.
+    """
+    x_int = np.asarray(x_int, dtype=np.int64)
+    shifts = np.arange(bits, dtype=np.int64)
+    return ((x_int[:, None, :] >> shifts[None, :, None]) & 1) \
+        .astype(bool)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,10 +194,59 @@ class ADCModel:
             ``(codes, saturated)``: integer codes clipped to the range,
             and how many columns exceeded it (clipped high).
         """
+        codes, clipped = self.convert_batch(currents, active_rows)
+        return codes, int(clipped.sum())
+
+    def convert_batch(
+        self, currents: np.ndarray, active_rows
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized conversion over any batch of reads.
+
+        The workhorse behind :meth:`convert` and the batched MVM
+        kernel.  Saturation semantics are **per conversion**: every
+        element of ``currents`` is one ADC conversion, and it is
+        flagged exactly once iff its unclipped code exceeds
+        :attr:`max_code` -- independent of how many DAC slices, tiles
+        or samples share the surrounding loop (a column clipping on k
+        slices of one matvec is k conversions and k saturations).
+
+        Args:
+            currents: per-conversion currents, any shape.
+            active_rows: word lines driven per read -- a scalar, or an
+                array broadcastable against ``currents`` with its
+                trailing (per-column) axis dropped.
+
+        Returns:
+            ``(codes, clipped)``: int64 codes clipped to the range and
+            a same-shaped boolean mask of saturated conversions.
+        """
+        codes, clipped = self.convert_codes(currents, active_rows)
+        return codes.astype(np.int64), clipped
+
+    def convert_codes(
+        self, currents: np.ndarray, active_rows
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`convert_batch` returning float-valued codes.
+
+        The kernel's hot path: ``np.rint`` already yields exact
+        integer-valued floats and clipping preserves them, so the codes
+        can feed the shift-and-add fold directly without an int64 round
+        trip.  Numerically identical to :meth:`convert_batch` --
+        ``convert_batch(c, a) == (convert_codes(c, a)[0].astype(int64),
+        ...)`` element for element.
+
+        Returns:
+            ``(codes, clipped)``: float64 integer-valued codes clipped
+            to the range and the boolean saturation mask.
+        """
         currents = np.asarray(currents, dtype=float)
+        baseline = np.asarray(active_rows) * self.leak_current_amps
+        if np.ndim(baseline) and np.ndim(baseline) < currents.ndim:
+            baseline = np.expand_dims(baseline, -1)
         raw = np.rint(
-            (currents - active_rows * self.leak_current_amps)
-            / self.lsb_current_amps
-        ).astype(np.int64)
-        saturated = int((raw > self.max_code).sum())
-        return np.clip(raw, 0, self.max_code), saturated
+            (currents - baseline) / self.lsb_current_amps
+        )
+        clipped = raw > self.max_code
+        np.maximum(raw, 0.0, out=raw)
+        np.minimum(raw, float(self.max_code), out=raw)
+        return raw, clipped

@@ -123,8 +123,8 @@ class BatchedMVPProcessor:
             activations=self._activations,
             program_cycles=int(self._program_cycles[item]),
             bit_operations=self._bit_operations,
-            energy=float(self._energy[item]),
-            time=self._time,
+            energy_joules=float(self._energy[item]),
+            time_seconds=self._time,
         )
 
     @property

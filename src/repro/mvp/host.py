@@ -29,28 +29,48 @@ class HostReport:
         cpu_ops: operations executed on the host core.
         mvp_instructions: macro-instructions dispatched to the MVP.
         mvp_bit_operations: bit-operations the MVP completed.
-        cpu_energy: host-side energy, joules.
-        mvp_energy: MVP-side energy, joules.
-        cpu_time: host-side time, seconds.
-        mvp_time: MVP-side time, seconds.
+        cpu_energy_joules: host-side energy, joules.
+        mvp_energy_joules: MVP-side energy, joules.
+        cpu_time_seconds: host-side time, seconds.
+        mvp_time_seconds: MVP-side time, seconds.
     """
 
     cpu_ops: int
     mvp_instructions: int
     mvp_bit_operations: int
-    cpu_energy: float
-    mvp_energy: float
-    cpu_time: float
-    mvp_time: float
+    cpu_energy_joules: float
+    mvp_energy_joules: float
+    cpu_time_seconds: float
+    mvp_time_seconds: float
+
+    @property
+    def cpu_energy(self) -> float:
+        """Deprecated alias of :attr:`cpu_energy_joules`."""
+        return self.cpu_energy_joules
+
+    @property
+    def mvp_energy(self) -> float:
+        """Deprecated alias of :attr:`mvp_energy_joules`."""
+        return self.mvp_energy_joules
+
+    @property
+    def cpu_time(self) -> float:
+        """Deprecated alias of :attr:`cpu_time_seconds`."""
+        return self.cpu_time_seconds
+
+    @property
+    def mvp_time(self) -> float:
+        """Deprecated alias of :attr:`mvp_time_seconds`."""
+        return self.mvp_time_seconds
 
     @property
     def total_energy(self) -> float:
-        return self.cpu_energy + self.mvp_energy
+        return self.cpu_energy_joules + self.mvp_energy_joules
 
     @property
     def total_time(self) -> float:
         """Serialized offload: host waits for macro-calls (conservative)."""
-        return self.cpu_time + self.mvp_time
+        return self.cpu_time_seconds + self.mvp_time_seconds
 
     @property
     def offloaded_fraction(self) -> float:
@@ -112,8 +132,8 @@ class HostSystem:
             cpu_ops=self.cpu_ops,
             mvp_instructions=stats.instructions - base.instructions,
             mvp_bit_operations=stats.bit_operations - base.bit_operations,
-            cpu_energy=self.cpu_ops * e_op,
-            mvp_energy=stats.energy - base.energy,
-            cpu_time=self.cpu_ops * t_op,
-            mvp_time=stats.time - base.time,
+            cpu_energy_joules=self.cpu_ops * e_op,
+            mvp_energy_joules=stats.energy_joules - base.energy_joules,
+            cpu_time_seconds=self.cpu_ops * t_op,
+            mvp_time_seconds=stats.time_seconds - base.time_seconds,
         )

@@ -37,33 +37,31 @@ class MVPStats:
         activations: multi-row read activations (one per logic/read op).
         program_cycles: cell programming events issued (endurance wear).
         bit_operations: logical bit-operations completed.
-        energy: accumulated energy estimate in joules.
-        time: accumulated latency estimate in seconds.
+        energy_joules: accumulated energy estimate, joules.
+        time_seconds: accumulated latency estimate, seconds.
     """
 
     instructions: int = 0
     activations: int = 0
     program_cycles: int = 0
     bit_operations: int = 0
-    energy: float = 0.0
-    time: float = 0.0
-
-    @property
-    def energy_joules(self) -> float:
-        """Canonical unit accessor: accumulated energy, joules.
-
-        ``MVPStats.energy``, ``RunCost.energy`` and the arch layer's
-        power figures historically carried their units only in
-        docstrings; the ``*_joules`` / ``*_seconds`` accessors give the
-        unified :class:`repro.api.result.CostSummary` one spelled-out
-        contract across all three (see tests/api/test_units.py).
-        """
-        return self.energy
+    energy_joules: float = 0.0
+    time_seconds: float = 0.0
 
     @property
     def latency_seconds(self) -> float:
         """Canonical unit accessor: accumulated latency, seconds."""
-        return self.time
+        return self.time_seconds
+
+    @property
+    def energy(self) -> float:
+        """Deprecated alias of :attr:`energy_joules`."""
+        return self.energy_joules
+
+    @property
+    def time(self) -> float:
+        """Deprecated alias of :attr:`time_seconds`."""
+        return self.time_seconds
 
     def merged_with(self, other: "MVPStats") -> "MVPStats":
         """Element-wise sum of two counter sets."""
@@ -72,8 +70,8 @@ class MVPStats:
             activations=self.activations + other.activations,
             program_cycles=self.program_cycles + other.program_cycles,
             bit_operations=self.bit_operations + other.bit_operations,
-            energy=self.energy + other.energy,
-            time=self.time + other.time,
+            energy_joules=self.energy_joules + other.energy_joules,
+            time_seconds=self.time_seconds + other.time_seconds,
         )
 
 
@@ -149,13 +147,14 @@ class MVPProcessor:
         cols = self.crossbar.cols
         self.stats.activations += 1
         self.stats.bit_operations += cols
-        self.stats.energy += self.energy_model.operation_energy(cols)
-        self.stats.time += self.activation_latency_seconds
+        self.stats.energy_joules += \
+            self.energy_model.operation_energy(cols)
+        self.stats.time_seconds += self.activation_latency_seconds
 
     def _charge_write(self, cells: int) -> None:
         self.stats.program_cycles += cells
-        self.stats.energy += cells * _WRITE_ENERGY_PER_CELL
-        self.stats.time += _WRITE_LATENCY
+        self.stats.energy_joules += cells * _WRITE_ENERGY_PER_CELL
+        self.stats.time_seconds += _WRITE_LATENCY
 
     def _vload(self, instr: Instruction):
         row = instr.rows[0]

@@ -126,7 +126,13 @@ class ResultCache:
                 raise ValueError("schema mismatch")
             stored_spec = payload["spec"]
             result = RunResult.from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError):
+        except (AttributeError, IndexError, KeyError, OverflowError,
+                TypeError, ValueError):
+            # Anything a structurally wrong JSON payload can make the
+            # decoders raise -- not just the documented trio: a list
+            # where a mapping should be (AttributeError/IndexError), or
+            # a 1e999-style float overflowing int() (OverflowError).
+            # The hit path must degrade to a recompute, never crash.
             self._discard(path)
             return None
         if stored_spec != spec.to_dict():

@@ -42,58 +42,79 @@ class DotProductKernelCost:
 
     Attributes:
         name: technology label.
-        delay: bit-line evaluate delay, seconds per activation.
-        energy_per_column: joules per column per activation.
+        delay_seconds: bit-line evaluate delay, seconds per activation.
+        energy_per_column_joules: joules per column per activation.
         cell_area_f2: configurable-bit area, F^2.
-        config_write_time: per-cell configuration write time, seconds
+        config_write_time_seconds: per-cell configuration write time
             (RRAM programming is slow -- a stated drawback).
-        config_write_energy: per-cell configuration write energy, joules.
+        config_write_energy_joules: per-cell configuration write energy.
         volatile: True if configuration is lost on power-down (the paper's
             non-volatility argument for RRAM-AP).
     """
 
     name: str
-    delay: float
-    energy_per_column: float
+    delay_seconds: float
+    energy_per_column_joules: float
     cell_area_f2: float
-    config_write_time: float
-    config_write_energy: float
+    config_write_time_seconds: float
+    config_write_energy_joules: float
     volatile: bool
 
     def __post_init__(self) -> None:
-        for attr in ("delay", "energy_per_column", "cell_area_f2",
-                     "config_write_time", "config_write_energy"):
+        for attr in ("delay_seconds", "energy_per_column_joules",
+                     "cell_area_f2", "config_write_time_seconds",
+                     "config_write_energy_joules"):
             if getattr(self, attr) <= 0:
                 raise ValueError(f"{attr} must be positive")
+
+    @property
+    def delay(self) -> float:
+        """Deprecated alias of :attr:`delay_seconds`."""
+        return self.delay_seconds
+
+    @property
+    def energy_per_column(self) -> float:
+        """Deprecated alias of :attr:`energy_per_column_joules`."""
+        return self.energy_per_column_joules
+
+    @property
+    def config_write_time(self) -> float:
+        """Deprecated alias of :attr:`config_write_time_seconds`."""
+        return self.config_write_time_seconds
+
+    @property
+    def config_write_energy(self) -> float:
+        """Deprecated alias of :attr:`config_write_energy_joules`."""
+        return self.config_write_energy_joules
 
 
 RRAM_KERNEL = DotProductKernelCost(
     name="RRAM-AP",
-    delay=104e-12,
-    energy_per_column=2.09e-15,
+    delay_seconds=104e-12,
+    energy_per_column_joules=2.09e-15,
     cell_area_f2=12.0,
-    config_write_time=100e-9,     # slow SET/RESET programming
-    config_write_energy=10e-12,   # power-hungry programming pulse
+    config_write_time_seconds=100e-9,   # slow SET/RESET programming
+    config_write_energy_joules=10e-12,  # power-hungry programming pulse
     volatile=False,
 )
 
 SRAM_KERNEL = DotProductKernelCost(
     name="SRAM-AP",
-    delay=161e-12,
-    energy_per_column=5.16e-15,
+    delay_seconds=161e-12,
+    energy_per_column_joules=5.16e-15,
     cell_area_f2=250.0,
-    config_write_time=1e-9,       # SRAM writes are fast
-    config_write_energy=0.1e-12,
+    config_write_time_seconds=1e-9,     # SRAM writes are fast
+    config_write_energy_joules=0.1e-12,
     volatile=True,
 )
 
 SDRAM_KERNEL = DotProductKernelCost(
     name="SDRAM-AP",
-    delay=7.5e-9,                 # 133 MHz symbol cycle of the Micron AP
-    energy_per_column=15e-15,
+    delay_seconds=7.5e-9,         # 133 MHz symbol cycle of the Micron AP
+    energy_per_column_joules=15e-15,
     cell_area_f2=30.0,
-    config_write_time=10e-9,
-    config_write_energy=1e-12,
+    config_write_time_seconds=10e-9,
+    config_write_energy_joules=1e-12,
     volatile=True,
 )
 
@@ -131,12 +152,12 @@ def kernel_cost_from_circuit(
         raise ValueError("kind must be 'rram' or 'sram'")
     measured = measure_discharge(column, t_stop=column.t_wordline + 1e-9,
                                  dt=dt)
-    if measured.discharge_time is None:
+    if measured.discharge_time_seconds is None:
         raise RuntimeError("column failed to discharge; check calibration")
     return dataclasses.replace(
         template,
-        delay=measured.discharge_time,
-        energy_per_column=measured.energy,
+        delay_seconds=measured.discharge_time_seconds,
+        energy_per_column_joules=measured.energy_joules,
     )
 
 
@@ -161,17 +182,18 @@ class APChipCost:
 
     def symbol_latency(self) -> float:
         """Seconds to process one input symbol (STE + routing, serial)."""
-        return self.kernel.delay * (1 + self.routing_stages)
+        return self.kernel.delay_seconds * (1 + self.routing_stages)
 
     def symbol_energy(self) -> float:
         """Joules per input symbol across STE and routing arrays."""
-        ste = self.n_states * self.kernel.energy_per_column
-        routing = self.routing_columns * self.kernel.energy_per_column
+        ste = self.n_states * self.kernel.energy_per_column_joules
+        routing = (self.routing_columns
+                   * self.kernel.energy_per_column_joules)
         return ste + routing
 
     def throughput_symbols_per_second(self) -> float:
         """Pipelined throughput: stages overlap across symbols."""
-        return 1.0 / self.kernel.delay
+        return 1.0 / self.kernel.delay_seconds
 
     def array_bits(self) -> int:
         """Configurable bits: STE array plus routing switches."""
@@ -185,8 +207,8 @@ class APChipCost:
 
     def config_time(self) -> float:
         """Seconds to (re)configure the full automaton, row-serial."""
-        return self.wordlines * self.kernel.config_write_time
+        return self.wordlines * self.kernel.config_write_time_seconds
 
     def config_energy(self) -> float:
         """Joules to program every configurable bit once."""
-        return self.array_bits() * self.kernel.config_write_energy
+        return self.array_bits() * self.kernel.config_write_energy_joules

@@ -68,7 +68,7 @@ class CrossbarDotProduct:
     Args:
         config: boolean (rows, cols) configuration matrix.
         params: device resistance window.
-        read_voltage: word-line read voltage.
+        read_voltage_volts: word-line read voltage.
         variability: optional resistance spread (tests margin robustness).
         rng: random generator when variability is given.
     """
@@ -77,7 +77,7 @@ class CrossbarDotProduct:
         self,
         config: np.ndarray,
         params: DeviceParameters | None = None,
-        read_voltage: float = 0.2,
+        read_voltage_volts: float = 0.2,
         variability: VariabilityModel | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
@@ -87,13 +87,14 @@ class CrossbarDotProduct:
         params = params or DeviceParameters()
         rows, cols = config.shape
         self.crossbar = Crossbar(
-            rows, cols, params=params, read_voltage=read_voltage,
+            rows, cols, params=params,
+            read_voltage_volts=read_voltage_volts,
             variability=variability, rng=rng,
         )
         self.crossbar.load_matrix(config.astype(np.int8))
         # Worst-case levels: all rows selected & OFF vs one selected ON.
-        i_leak_max = rows * read_voltage / params.r_off
-        i_one_hot = read_voltage / params.r_on
+        i_leak_max = rows * read_voltage_volts / params.r_off
+        i_one_hot = read_voltage_volts / params.r_on
         if i_leak_max >= i_one_hot:
             raise ValueError(
                 f"resistance window too small for {rows} rows: aggregate "

@@ -43,29 +43,31 @@ class RunCost:
 
     Attributes:
         symbols: input symbols processed.
-        latency: total un-pipelined latency, seconds.
-        pipelined_time: total time at steady-state pipelining, seconds.
-        energy: total array energy, joules.
+        latency_seconds: total un-pipelined latency, seconds.
+        pipelined_time_seconds: total time at steady-state pipelining,
+            seconds.
+        energy_joules: total array energy, joules.
     """
 
     symbols: int
-    latency: float
-    pipelined_time: float
-    energy: float
+    latency_seconds: float
+    pipelined_time_seconds: float
+    energy_joules: float
 
     @property
-    def energy_joules(self) -> float:
-        """Canonical unit accessor: total array energy, joules."""
-        return self.energy
+    def latency(self) -> float:
+        """Deprecated alias of :attr:`latency_seconds`."""
+        return self.latency_seconds
 
     @property
-    def latency_seconds(self) -> float:
-        """Canonical unit accessor: un-pipelined latency, seconds.
+    def pipelined_time(self) -> float:
+        """Deprecated alias of :attr:`pipelined_time_seconds`."""
+        return self.pipelined_time_seconds
 
-        The conservative serial figure; steady-state pipelining is the
-        separate ``pipelined_time`` (also seconds).
-        """
-        return self.latency
+    @property
+    def energy(self) -> float:
+        """Deprecated alias of :attr:`energy_joules`."""
+        return self.energy_joules
 
 
 class AutomataProcessor:
@@ -178,9 +180,9 @@ class AutomataProcessor:
         chip = self.chip_cost()
         return RunCost(
             symbols=n_symbols,
-            latency=n_symbols * chip.symbol_latency(),
-            pipelined_time=n_symbols * self.kernel.delay,
-            energy=n_symbols * chip.symbol_energy(),
+            latency_seconds=n_symbols * chip.symbol_latency(),
+            pipelined_time_seconds=n_symbols * self.kernel.delay_seconds,
+            energy_joules=n_symbols * chip.symbol_energy(),
         )
 
     def run_batch(

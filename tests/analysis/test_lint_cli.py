@@ -60,10 +60,23 @@ class TestLintCli:
         assert "seeded-rng" in out and "R001:" in out
         assert "merge-policies" in out and "R002:" in out
 
-    def test_no_baseline_reports_grandfathered(self, capsys):
-        assert main(["lint", str(SRC), "--no-baseline"]) == 1
-        out = capsys.readouterr().out
-        assert "R003" in out
+    def test_src_tree_is_clean_without_baseline(self, capsys):
+        # The R003 baseline was burned down to empty, so the tree must
+        # lint clean even with the baseline ignored.
+        assert main(["lint", str(SRC), "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_no_baseline_surfaces_findings(self, tmp_path, capsys):
+        module = tmp_path / "src" / "offender"
+        module.mkdir(parents=True)
+        (module / "mod.py").write_text(
+            "def pulse(delay: float = 1.0) -> float:\n"
+            "    return delay\n"
+        )
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        assert main(["lint", str(tmp_path / "src"),
+                     "--no-baseline"]) == 1
+        assert "R003" in capsys.readouterr().out
 
     def test_no_baseline_conflicts_with_update(self, capsys):
         assert main(["lint", str(SRC), "--no-baseline",

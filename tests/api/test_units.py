@@ -24,13 +24,14 @@ from repro.rram_ap.processor import RunCost
 class TestCanonicalAccessors:
     def test_mvp_stats_si_accessors(self):
         stats = MVPStats(instructions=3, activations=2, program_cycles=7,
-                         bit_operations=64, energy=1.5e-9, time=2.5e-7)
+                         bit_operations=64, energy_joules=1.5e-9,
+                         time_seconds=2.5e-7)
         assert stats.energy_joules == stats.energy == 1.5e-9
         assert stats.latency_seconds == stats.time == 2.5e-7
 
     def test_run_cost_si_accessors(self):
-        cost = RunCost(symbols=10, latency=3e-8, pipelined_time=1e-8,
-                       energy=4e-12)
+        cost = RunCost(symbols=10, latency_seconds=3e-8,
+                       pipelined_time_seconds=1e-8, energy_joules=4e-12)
         assert cost.energy_joules == cost.energy == 4e-12
         assert cost.latency_seconds == cost.latency == 3e-8
 
@@ -58,7 +59,8 @@ class TestCanonicalAccessors:
 class TestCostConverters:
     def test_mvp_stats_conversion(self):
         stats = MVPStats(instructions=5, activations=4, program_cycles=9,
-                         bit_operations=128, energy=2e-9, time=1e-6)
+                         bit_operations=128, energy_joules=2e-9,
+                         time_seconds=1e-6)
         cost = cost_from_mvp_stats(stats)
         assert cost.energy_joules == stats.energy_joules
         assert cost.latency_seconds == stats.latency_seconds
@@ -68,8 +70,8 @@ class TestCostConverters:
         }
 
     def test_run_cost_conversion(self):
-        rc = RunCost(symbols=42, latency=5e-8, pipelined_time=2e-8,
-                     energy=3e-12)
+        rc = RunCost(symbols=42, latency_seconds=5e-8,
+                     pipelined_time_seconds=2e-8, energy_joules=3e-12)
         cost = cost_from_run_cost(rc, area_mm2=1.25)
         assert cost.energy_joules == rc.energy_joules
         assert cost.latency_seconds == rc.latency_seconds

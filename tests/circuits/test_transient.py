@@ -12,7 +12,7 @@ def rc_charge_circuit(r=1e3, c=1e-9, v=1.0):
     circuit = Circuit()
     circuit.add_vsource("vs", "in", "gnd", v)
     circuit.add_resistor("r", "in", "out", r)
-    circuit.add_capacitor("c", "out", "gnd", c, initial_voltage=0.0)
+    circuit.add_capacitor("c", "out", "gnd", c, initial_voltage_volts=0.0)
     return circuit
 
 
@@ -34,7 +34,7 @@ class TestRCCharge:
         circuit = Circuit()
         circuit.add_vsource("vs", "in", "gnd", 0.0)
         circuit.add_resistor("r", "in", "out", 1e3)
-        circuit.add_capacitor("c", "out", "gnd", 1e-9, initial_voltage=0.7)
+        circuit.add_capacitor("c", "out", "gnd", 1e-9, initial_voltage_volts=0.7)
         result = simulate(circuit, t_stop=1e-7, dt=1e-9)
         assert result.v("out")[0] == pytest.approx(0.7, abs=1e-3)
 
@@ -46,7 +46,7 @@ class TestRCDischarge:
         tau = r * c
         circuit = Circuit()
         circuit.add_resistor("r", "out", "gnd", r)
-        circuit.add_capacitor("c", "out", "gnd", c, initial_voltage=v0)
+        circuit.add_capacitor("c", "out", "gnd", c, initial_voltage_volts=v0)
         result = simulate(circuit, t_stop=10 * tau, dt=tau / 200)
         t_cross = result.crossing_time("out", 0.1, falling=True)
         expected = tau * math.log(v0 / 0.1)
@@ -88,7 +88,7 @@ class TestSwitchedCircuits:
     def test_switch_delays_discharge(self):
         """Capacitor must hold until the switch closes at t=1us."""
         circuit = Circuit()
-        circuit.add_capacitor("c", "out", "gnd", 1e-9, initial_voltage=1.0)
+        circuit.add_capacitor("c", "out", "gnd", 1e-9, initial_voltage_volts=1.0)
         circuit.add_switch("s", "out", "gnd", r_on=1e3, r_off=1e12,
                            gate=lambda t: t >= 1e-6)
         result = simulate(circuit, t_stop=3e-6, dt=2e-9)

@@ -25,11 +25,11 @@ class TestConstruction:
 
     def test_rejects_disturbing_read_voltage(self):
         with pytest.raises(ValueError):
-            Crossbar(4, 4, params=PARAMS, read_voltage=1.4)  # above v_set
+            Crossbar(4, 4, params=PARAMS, read_voltage_volts=1.4)  # above v_set
 
     def test_rejects_negative_read_voltage(self):
         with pytest.raises(ValueError):
-            Crossbar(4, 4, params=PARAMS, read_voltage=-0.2)
+            Crossbar(4, 4, params=PARAMS, read_voltage_volts=-0.2)
 
     def test_variability_requires_rng(self):
         with pytest.raises(ValueError):
@@ -49,29 +49,29 @@ class TestReadVoltageValidationOrder:
         # -v_reset - 1 is outside the dead zone AND non-positive.
         bad = -PARAMS.v_reset - 1.0
         with pytest.raises(ValueError, match="must be positive"):
-            Crossbar(4, 4, params=PARAMS, read_voltage=bad)
+            Crossbar(4, 4, params=PARAMS, read_voltage_volts=bad)
 
     def test_zero_voltage_reports_positivity(self):
         with pytest.raises(ValueError, match="must be positive"):
-            Crossbar(4, 4, params=PARAMS, read_voltage=0.0)
+            Crossbar(4, 4, params=PARAMS, read_voltage_volts=0.0)
 
     def test_small_negative_voltage_reports_positivity(self):
         # Inside the dead zone but non-positive: still the positivity
         # message (the dead-zone check alone would have let it pass).
         with pytest.raises(ValueError, match="must be positive"):
-            Crossbar(4, 4, params=PARAMS, read_voltage=-PARAMS.v_reset / 2)
+            Crossbar(4, 4, params=PARAMS, read_voltage_volts=-PARAMS.v_reset / 2)
 
     def test_voltage_at_set_threshold_reports_dead_zone(self):
         with pytest.raises(ValueError, match="dead zone"):
-            Crossbar(4, 4, params=PARAMS, read_voltage=PARAMS.v_set)
+            Crossbar(4, 4, params=PARAMS, read_voltage_volts=PARAMS.v_set)
 
     def test_voltage_above_set_threshold_reports_dead_zone(self):
         with pytest.raises(ValueError, match="dead zone"):
-            Crossbar(4, 4, params=PARAMS, read_voltage=PARAMS.v_set + 0.1)
+            Crossbar(4, 4, params=PARAMS, read_voltage_volts=PARAMS.v_set + 0.1)
 
     def test_voltage_just_inside_dead_zone_accepted(self):
         xb = Crossbar(4, 4, params=PARAMS,
-                      read_voltage=PARAMS.v_set * 0.999)
+                      read_voltage_volts=PARAMS.v_set * 0.999)
         assert xb.read_voltage == pytest.approx(PARAMS.v_set * 0.999)
 
 
@@ -308,10 +308,10 @@ class TestCrossbarStack:
         with pytest.raises(ValueError, match="at least one logical"):
             CrossbarStack(0, 2, 2)
         with pytest.raises(ValueError, match="must be positive"):
-            CrossbarStack(1, 2, 2, read_voltage=-1.0)
+            CrossbarStack(1, 2, 2, read_voltage_volts=-1.0)
         with pytest.raises(ValueError, match="dead zone"):
             CrossbarStack(1, 2, 2, params=PARAMS,
-                          read_voltage=PARAMS.v_set + 1.0)
+                          read_voltage_volts=PARAMS.v_set + 1.0)
         stack = CrossbarStack(1, 2, 2)
         with pytest.raises(ValueError, match="0 or 1"):
             stack.write_row(0, [2, 0])

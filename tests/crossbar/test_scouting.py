@@ -121,7 +121,7 @@ class TestMarginsUnderVariability:
         matters."""
         bad = DeviceParameters(r_on=1e3, r_off=1.5e3)
         rng = np.random.default_rng(7)
-        xb = Crossbar(2, 256, params=bad, read_voltage=0.2,
+        xb = Crossbar(2, 256, params=bad, read_voltage_volts=0.2,
                       variability=VariabilityModel(sigma_on_d2d=0.3,
                                                    sigma_off_d2d=0.3),
                       rng=rng)

@@ -40,7 +40,7 @@ class TestAbruptSwitching:
 
 class TestTimedSwitching:
     def test_partial_switching_accumulates(self):
-        d = BipolarSwitch(PARAMS, switching_time=10e-9, state=0.0)
+        d = BipolarSwitch(PARAMS, switching_time_seconds=10e-9, state=0.0)
         d.step(1.5, dt=4e-9)
         assert d.state == pytest.approx(0.4)
         d.step(1.5, dt=4e-9)
@@ -49,12 +49,12 @@ class TestTimedSwitching:
         assert d.state == 1.0  # clipped
 
     def test_sub_threshold_does_not_accumulate(self):
-        d = BipolarSwitch(PARAMS, switching_time=10e-9, state=0.5)
+        d = BipolarSwitch(PARAMS, switching_time_seconds=10e-9, state=0.5)
         d.step(1.0, dt=100e-9)
         assert d.state == pytest.approx(0.5)
 
     def test_reset_direction(self):
-        d = BipolarSwitch(PARAMS, switching_time=10e-9, state=1.0)
+        d = BipolarSwitch(PARAMS, switching_time_seconds=10e-9, state=1.0)
         d.step(-0.6, dt=5e-9)
         assert d.state == pytest.approx(0.5)
 
@@ -76,4 +76,4 @@ class TestDisturbPredicate:
 class TestValidation:
     def test_rejects_negative_switching_time(self):
         with pytest.raises(ValueError):
-            BipolarSwitch(PARAMS, switching_time=-1.0)
+            BipolarSwitch(PARAMS, switching_time_seconds=-1.0)

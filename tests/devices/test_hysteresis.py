@@ -56,7 +56,7 @@ class TestMemristorFingerprints:
     def test_loop_is_pinched(self):
         """Fingerprint 1: zero crossing current at zero voltage."""
         r = sweep(2.0)
-        i_pinch = pinch_current(r, voltage_tolerance=2e-3)
+        i_pinch = pinch_current(r, voltage_tolerance_volts=2e-3)
         i_max = float(np.max(np.abs(r.current)))
         assert i_pinch < 0.02 * i_max
 
@@ -107,4 +107,4 @@ class TestPinchCurrent:
             amplitude=1.0,
         )
         with pytest.raises(ValueError):
-            pinch_current(never_zero, voltage_tolerance=1e-3)
+            pinch_current(never_zero, voltage_tolerance_volts=1e-3)

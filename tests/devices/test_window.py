@@ -21,13 +21,13 @@ class TestRectangular:
 
     def test_blocks_outward_drift_at_boundaries(self):
         w = RectangularWindow()
-        assert w(1.0, current=+1.0) == 0.0
-        assert w(0.0, current=-1.0) == 0.0
+        assert w(1.0, current_amps=+1.0) == 0.0
+        assert w(0.0, current_amps=-1.0) == 0.0
 
     def test_allows_inward_drift_at_boundaries(self):
         w = RectangularWindow()
-        assert w(1.0, current=-1.0) == 1.0
-        assert w(0.0, current=+1.0) == 1.0
+        assert w(1.0, current_amps=-1.0) == 1.0
+        assert w(0.0, current_amps=+1.0) == 1.0
 
 
 class TestJoglekar:
@@ -60,14 +60,14 @@ class TestBiolek:
     def test_no_lockup_when_leaving_boundary(self):
         w = BiolekWindow(p=2)
         # At x=1 with negative current (moving away from ON) the window is 1.
-        assert w(1.0, current=-1.0) == pytest.approx(1.0)
+        assert w(1.0, current_amps=-1.0) == pytest.approx(1.0)
         # At x=0 with positive current the window is 1.
-        assert w(0.0, current=+1.0) == pytest.approx(1.0)
+        assert w(0.0, current_amps=+1.0) == pytest.approx(1.0)
 
     def test_zero_when_pushing_into_boundary(self):
         w = BiolekWindow(p=2)
-        assert w(1.0, current=+1.0) == pytest.approx(0.0)
-        assert w(0.0, current=-1.0) == pytest.approx(0.0)
+        assert w(1.0, current_amps=+1.0) == pytest.approx(0.0)
+        assert w(0.0, current_amps=-1.0) == pytest.approx(0.0)
 
     def test_rejects_bad_exponent(self):
         with pytest.raises(ValueError):

@@ -186,6 +186,60 @@ class TestAnalogMVM:
             mvm.matvec(np.ones(5))
 
 
+class TestSaturationSemantics:
+    """ADC saturation accounting is strictly per conversion.
+
+    A conversion that clips counts exactly once however far over range
+    it lands, inactive reads convert nothing, and the per-tile split
+    always reconciles with the whole-fabric counter.
+    """
+
+    @staticmethod
+    def _saturating_mvm(dac_bits: int = 4) -> AnalogMVM:
+        # All-ones weights quantize both positive planes to 1, so with
+        # 24 active unit rows against a 2-bit ADC (ceiling 3) every
+        # positive-plane conversion clips and no negative-plane one
+        # does.
+        return AnalogMVM(np.ones((4, 24)),
+                         MVMConfig(weight_bits=2, dac_bits=dac_bits,
+                                   adc_bits=2, tile_rows=32,
+                                   tile_cols=8))
+
+    def test_tile_split_reconciles_with_totals(self):
+        mvm = self._saturating_mvm()
+        mvm.matvec(np.ones(24))
+        assert mvm.adc_saturations > 0
+        assert sum(mvm.tile_saturations) == mvm.adc_saturations
+        assert mvm.adc_saturations <= mvm.adc_conversions
+        # 4 slices x 16 physical columns; the 8 positive-plane columns
+        # clip once per conversion each, 30x over range or not.
+        assert mvm.adc_conversions == 64
+        assert mvm.adc_saturations == 32
+
+    def test_repeated_matvecs_add_identical_increments(self):
+        mvm = self._saturating_mvm()
+        x = np.linspace(0.1, 1.0, 24)
+        mvm.matvec(x)
+        first = (mvm.reads, mvm.adc_conversions, mvm.adc_saturations,
+                 list(mvm.tile_saturations))
+        mvm.matvec(x)
+        assert mvm.reads == 2 * first[0]
+        assert mvm.adc_conversions == 2 * first[1]
+        assert mvm.adc_saturations == 2 * first[2]
+        assert mvm.tile_saturations == [2 * s for s in first[3]]
+
+    def test_one_bit_dac_counts_each_clipped_conversion_once(self):
+        # The degenerate single-threshold DAC: one slice, one read,
+        # every physical column converted exactly once.
+        mvm = self._saturating_mvm(dac_bits=1)
+        y = mvm.matvec(np.ones(24))
+        assert mvm.reads == 1
+        assert mvm.adc_conversions == 16
+        assert mvm.adc_saturations == 8
+        assert sum(mvm.tile_saturations) == mvm.adc_saturations
+        assert np.array_equal(y, mvm.reference_matvec(np.ones(24)))
+
+
 class TestAnalogAccelerator:
     def test_layers_share_one_ledger(self):
         rng = np.random.default_rng(5)

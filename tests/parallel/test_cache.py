@@ -7,6 +7,7 @@ store/load round-trip and the recovery path for corrupted entries.
 """
 
 import json
+import os
 
 import pytest
 
@@ -175,6 +176,33 @@ class TestCorruptionRecovery:
         assert "cache" not in rerun.provenance  # recomputed, not served
         replay = runner.run(RUN_SPEC)
         assert replay.provenance["cache"]["hit"] is True
+
+    def test_overflowing_numeric_payload_is_a_miss(self, tmp_path):
+        """Deep corruption the decoders only hit mid-reconstruction --
+        a counter of 1e999 parses to infinity and overflows int() --
+        must degrade to a discard + miss, not crash the hit path."""
+        cache = ResultCache(tmp_path / "cache")
+        entry = cache.store(Engine.from_spec(RUN_SPEC).run())
+        payload = json.loads(entry.read_text())
+        payload["result"]["cost"]["counters"] = {"reads": 1e999}
+        entry.write_text(json.dumps(payload))
+        assert cache.load(RUN_SPEC) is None
+        assert not entry.exists()
+
+    def test_entry_pruned_between_runs_recomputes(self, tmp_path):
+        """An entry the size-cap pruner evicted is an ordinary miss:
+        the rerun recomputes and re-stores it."""
+        cache = ResultCache(tmp_path / "cache")
+        first = cache.store(Engine.from_spec(RUN_SPEC).run())
+        cache.store(Engine.from_spec(RUN_SPEC.replaced(seed=9)).run())
+        os.utime(first, (1.0, 1.0))  # make the subject the LRU entry
+        cache.prune(max_entries=1)
+        assert cache.load(RUN_SPEC) is None
+        runner = ParallelRunner(workers=1, cache=cache)
+        rerun = runner.run(RUN_SPEC)
+        assert "cache" not in rerun.provenance  # recomputed
+        replay = runner.run(RUN_SPEC)
+        assert replay.provenance["cache"]["hit"] is True  # re-stored
 
     def test_store_leaves_no_temp_files(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -55,6 +55,44 @@ class TestShardedEqualsPlain:
         assert sharded.fidelity == plain.fidelity
 
 
+class TestGroupedDispatchEquivalence:
+    """The fused-window fast paths are pure layout changes.
+
+    The engine may fuse a window's same-geometry items into grouped
+    kernel dispatches and may share one mapped fabric between ideal
+    items via ledger twins; disabling either optimization must
+    reproduce the exact same result, provenance scheduling aside.
+    """
+
+    @pytest.mark.parametrize("spec", [MLP, TEMPORAL, FAULTY, NOISY],
+                             ids=_IDS)
+    def test_grouped_window_equals_per_item_loop(self, spec,
+                                                 monkeypatch):
+        from repro.mvm.analog import AnalogAcceleratorGroup
+        grouped = Engine.from_spec(spec).run()
+        monkeypatch.setattr(AnalogAcceleratorGroup, "compatible",
+                            staticmethod(lambda accelerators: False))
+        looped = Engine.from_spec(spec).run()
+        assert comparable(looped) == comparable(grouped)
+        assert looped.cost == grouped.cost
+        assert looped.item_costs == grouped.item_costs
+        assert looped.accuracy == grouped.accuracy
+
+    def test_ledger_twins_equal_independent_builds(self, monkeypatch):
+        from repro.api import workloads as wl
+        twinned = Engine.from_spec(MLP).run()
+        # Fresh weight copies defeat the identical-arrays check, so
+        # every item maps its own fabric instead of twinning.
+        orig = wl.MLPInferenceAdapter.mvm_layers
+        monkeypatch.setattr(
+            wl.MLPInferenceAdapter, "mvm_layers",
+            lambda self, index: [w.copy()
+                                 for w in orig(self, index)])
+        rebuilt = Engine.from_spec(MLP).run()
+        assert comparable(rebuilt) == comparable(twinned)
+        assert rebuilt.item_costs == twinned.item_costs
+
+
 class TestCacheReplay:
     def test_replay_preserves_accuracy(self, tmp_path):
         runner = ParallelRunner(workers=2, pool="inline",
