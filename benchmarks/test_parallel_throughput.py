@@ -96,6 +96,20 @@ def test_parallel_throughput(save_report, tmp_path):
     ratio = speedup(sharded, serial)
     cache_ratio = speedup(cached, serial)
     results = [serial, sharded, cached]
+    # Record the gate decision honestly: a speedup bar is only asserted
+    # on full-size workloads AND >= 2 CPUs.  A 1-CPU container gets the
+    # overhead floor, never a scaling claim -- and the JSON must say so
+    # rather than reporting "scaling_asserted: true" next to "cpus: 1".
+    scaling_asserted = (not smoke_mode()) and cpus >= 2
+    if smoke_mode():
+        scaling_gate = "skipped: smoke workload below pool startup cost"
+    elif cpus >= WORKERS:
+        scaling_gate = f"asserted: >= {MIN_SPEEDUP_4CPU}x on {cpus} CPUs"
+    elif cpus >= 2:
+        scaling_gate = f"asserted: >= {MIN_SPEEDUP_2CPU}x on {cpus} CPUs"
+    else:
+        scaling_gate = (f"skipped: {cpus} CPU cannot scale; overhead "
+                        f"floor {MIN_RATIO_1CPU}x only")
     write_bench_json(
         REPO_ROOT / "BENCH_parallel.json",
         results,
@@ -109,7 +123,8 @@ def test_parallel_throughput(save_report, tmp_path):
             "size": SIZE,
             "items": ITEMS,
             "deterministic_vs_workers1": True,
-            "scaling_asserted": not smoke_mode(),
+            "scaling_asserted": scaling_asserted,
+            "scaling_gate": scaling_gate,
         },
     )
 

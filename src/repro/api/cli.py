@@ -22,8 +22,14 @@ Subcommands:
   ``--only fig3 --only fig4``); exit status reflects the claim checks.
 * ``list [what]``       -- show registered engines, devices, workloads,
   scenarios and figures, each with a one-line description.
+* ``serve``             -- drive a burst of concurrent requests (seed
+  variants of a base spec, or a JSON list of specs) through the
+  serving subsystem: warm worker pool, in-flight dedup, result-cache
+  tier, request coalescing and bounded-queue backpressure; prints the
+  ServiceStats snapshot and ``--stats-json PATH`` persists it.
 * ``cache prune``       -- evict least-recently-used result-cache
-  entries down to ``--max-entries`` / ``--max-bytes`` caps.
+  entries down to ``--max-entries`` / ``--max-bytes`` caps;
+  ``--verbose`` additionally prints the cache's lifetime counters.
 * ``bench``             -- engine execution throughput, batched vs
   single-item MVP (generation excluded), optionally persisted as JSON;
   ``--workers N`` additionally measures sharded vs single-process
@@ -180,6 +186,45 @@ def build_parser() -> argparse.ArgumentParser:
                               "fidelity and accuracy columns) to a CSV "
                               "file")
 
+    serve_p = sub.add_parser(
+        "serve", help="drive concurrent requests through the serving "
+                      "subsystem (warm pool + coalescer + cache tier)")
+    add_spec_source(serve_p)
+    serve_p.add_argument("--requests", type=int, default=8, metavar="N",
+                         help="concurrent submissions: seed variants "
+                              "seed..seed+N-1 of the base spec "
+                              "(default 8)")
+    serve_p.add_argument("--specs", type=Path, default=None,
+                         metavar="FILE",
+                         help="JSON file holding a list of spec dicts "
+                              "to submit instead of seed variants")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="warm worker processes (default 2)")
+    serve_p.add_argument("--pool-mode", default="auto",
+                         choices=("auto", "fork", "forkserver", "spawn",
+                                  "inline"),
+                         help="worker start method; 'inline' serves "
+                              "synchronously in-process (default auto)")
+    serve_p.add_argument("--cache", type=Path, default=None,
+                         metavar="DIR",
+                         help="result-cache directory for the cache "
+                              "tier (hits answered without a worker)")
+    serve_p.add_argument("--max-batch", type=int, default=8,
+                         help="coalesce lane capacity (default 8)")
+    serve_p.add_argument("--max-wait", type=float, default=0.01,
+                         metavar="SECONDS",
+                         help="max seconds a request waits for lane "
+                              "companions before dispatch "
+                              "(default 0.01)")
+    serve_p.add_argument("--max-queue", type=int, default=64,
+                         help="admitted-request bound; beyond it "
+                              "submissions are rejected with a "
+                              "retry-after (default 64)")
+    serve_p.add_argument("--stats-json", type=Path, default=None,
+                         metavar="PATH",
+                         help="persist the final ServiceStats snapshot "
+                              "as JSON")
+
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument("--only", action="append", default=None,
                        metavar="NAME", choices=list(FIGURES.names()),
@@ -204,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
     prune_p.add_argument("--max-bytes", type=int, default=None,
                          metavar="BYTES",
                          help="keep at most BYTES of entry payload")
+    prune_p.add_argument("--verbose", action="store_true",
+                         help="also print the cache's lifetime "
+                              "hit/miss/store/evict counters")
 
     lint_p = sub.add_parser(
         "lint", help="reprolint: AST contract checks (determinism, "
@@ -566,12 +614,68 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if not args.cache_dir.is_dir():
         raise SpecError(
             f"cache directory {args.cache_dir} does not exist")
-    stats = ResultCache(args.cache_dir).prune(
+    cache = ResultCache(args.cache_dir)
+    stats = cache.prune(
         max_entries=args.max_entries, max_bytes=args.max_bytes)
     print(f"pruned {stats.removed} of {stats.scanned} entries "
           f"({stats.removed_bytes} bytes freed); "
           f"{stats.kept} entries / {stats.kept_bytes} bytes kept")
+    if args.verbose:
+        counters = cache.stats()
+        print("counters: " + "  ".join(
+            f"{key}={value}"
+            for key, value in sorted(counters.as_dict().items())))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import Service, serve_all
+
+    if args.requests < 1:
+        raise SpecError("--requests must be a positive integer")
+    if args.specs is not None:
+        try:
+            entries = json.loads(args.specs.read_text())
+        except OSError as exc:
+            raise SpecError(f"cannot read specs file: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SpecError(
+                f"specs file {args.specs} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(entries, list) or not entries:
+            raise SpecError(
+                "--specs file must hold a non-empty JSON list of spec "
+                "dicts")
+        specs = [ScenarioSpec.from_dict(entry) for entry in entries]
+    else:
+        base = _build_spec(args)
+        specs = [base.replaced(seed=base.seed + offset)
+                 for offset in range(args.requests)]
+
+    async def drive():
+        async with Service(
+            workers=args.workers,
+            pool_mode=args.pool_mode,
+            cache=args.cache,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            max_queue=args.max_queue,
+        ) as service:
+            results = await serve_all(service, specs)
+            return results, service.stats()
+
+    results, stats = asyncio.run(drive())
+    print(f"served {len(results)} requests "
+          f"({args.workers} workers, {args.pool_mode} pool)")
+    print(stats.render())
+    if args.stats_json is not None:
+        args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_json.write_text(
+            json.dumps(stats.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"[stats saved to {args.stats_json}]")
+    return 0 if all(_healthy(result) for result in results) else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -664,6 +768,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return run_figures(args.only)
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "bench":

@@ -21,17 +21,25 @@ All three are reachable from the CLI: ``python -m repro run --workers N
 --workers N``.
 """
 
-from repro.parallel.cache import PruneStats, ResultCache
-from repro.parallel.runner import ParallelRunner, ShardResult
+from repro.parallel.cache import CacheStats, PruneStats, ResultCache
+from repro.parallel.runner import (
+    ParallelRunner,
+    ShardResult,
+    merge_shard_results,
+    run_shard,
+)
 from repro.parallel.sharding import plan_shards
 from repro.parallel.sweep import SweepRunner, expand_grid
 
 __all__ = [
+    "CacheStats",
     "ParallelRunner",
     "PruneStats",
     "ResultCache",
     "ShardResult",
     "SweepRunner",
     "expand_grid",
+    "merge_shard_results",
     "plan_shards",
+    "run_shard",
 ]

@@ -42,10 +42,49 @@ import repro
 from repro.api.result import RunResult
 from repro.api.spec import ScenarioSpec
 
-__all__ = ["PruneStats", "ResultCache"]
+__all__ = ["CacheStats", "PruneStats", "ResultCache"]
 
 #: Entry schema identifier; bump to invalidate every older entry.
 CACHE_SCHEMA = "repro-result-cache-v1"
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Lifetime counters of one :class:`ResultCache` instance.
+
+    In-memory accounting of this instance's traffic (a fresh instance
+    over an old directory starts at zero).  The serving cache tier
+    surfaces these in its :class:`~repro.serving.stats.ServiceStats`
+    snapshot, and ``repro cache prune --verbose`` prints them for the
+    maintenance pass.
+
+    Attributes:
+        hits: loads answered from a stored entry.
+        misses: loads that found nothing usable (absent, corrupt,
+            stale-version or hash-collision entries all count here).
+        stores: entries persisted.
+        evictions: entries removed by prune passes (including the
+            automatic post-store cap enforcement).
+        corrupt_dropped: unreadable/unparsable entries deleted on load.
+        stale_dropped: well-formed entries refused because another
+            ``repro`` version produced them.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
+    stale_dropped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +133,24 @@ class ResultCache:
         # entries) can at worst mistime a prune, never corrupt one.
         self._bytes_estimate: int | None = None
         self._entries_estimate: int | None = None
+        # Lifetime traffic counters (see CacheStats / stats()).
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._corrupt_dropped = 0
+        self._stale_dropped = 0
+
+    def stats(self) -> CacheStats:
+        """This instance's lifetime hit/miss/store/prune counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            evictions=self._evictions,
+            corrupt_dropped=self._corrupt_dropped,
+            stale_dropped=self._stale_dropped,
+        )
 
     def path_for(self, spec: ScenarioSpec) -> Path:
         """The entry path ``spec`` addresses (existing or not)."""
@@ -117,9 +174,12 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
+            self._misses += 1
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._discard(path)
+            self._misses += 1
+            self._corrupt_dropped += 1
             return None
         try:
             if payload["schema"] != CACHE_SCHEMA:
@@ -134,14 +194,19 @@ class ResultCache:
             # a 1e999-style float overflowing int() (OverflowError).
             # The hit path must degrade to a recompute, never crash.
             self._discard(path)
+            self._misses += 1
+            self._corrupt_dropped += 1
             return None
         if stored_spec != spec.to_dict():
             # Hash collision or stale key derivation: a valid entry that
             # answers a different question.  Not corruption -- leave it.
+            self._misses += 1
             return None
         if result.provenance.get("repro_version") != repro.__version__:
             # Valid entry from another code version: stale, not
             # corrupt.  Report a miss; the rerun's store overwrites it.
+            self._misses += 1
+            self._stale_dropped += 1
             return None
         producer = {
             key: result.provenance[key]
@@ -163,6 +228,7 @@ class ResultCache:
             os.utime(path, None)
         except OSError:
             pass
+        self._hits += 1
         return RunResult(
             spec=result.spec,
             outputs=result.outputs,
@@ -190,6 +256,7 @@ class ResultCache:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
         os.replace(tmp, path)
+        self._stores += 1
         if self.max_entries is not None or self.max_bytes is not None:
             if self._over_caps_estimate(path):
                 self.prune(max_entries=self.max_entries,
@@ -277,6 +344,7 @@ class ResultCache:
                 kept_bytes += size
         self._bytes_estimate = kept_bytes
         self._entries_estimate = kept
+        self._evictions += removed
         return PruneStats(
             scanned=len(entries),
             removed=removed,

@@ -45,7 +45,12 @@ from repro.api.workloads import adapter_for
 from repro.parallel.cache import ResultCache
 from repro.parallel.sharding import plan_shards
 
-__all__ = ["ShardResult", "ParallelRunner"]
+__all__ = [
+    "ParallelRunner",
+    "ShardResult",
+    "merge_shard_results",
+    "run_shard",
+]
 
 #: Pool start methods, best first: ``fork`` shares the parent's loaded
 #: modules (cheap startup); ``spawn`` is the portable fallback;
@@ -84,8 +89,13 @@ class ShardResult:
     accuracy: AccuracySummary | None = None
 
 
-def _run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
-    """Pool worker: execute one batch window of ``spec``."""
+def run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
+    """Worker body: execute one batch window of ``spec``.
+
+    Shared by the per-run multiprocessing pool here and the long-lived
+    :class:`~repro.serving.pool.WorkerPool` workers -- a shard computes
+    the same thing regardless of which executor hosts it.
+    """
     spec, offset, count = task
     started = time.perf_counter()
     engine = Engine.from_spec(spec)
@@ -104,9 +114,77 @@ def _run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
     )
 
 
+# Historical private name; the sharded map tasks pickle by qualname.
+_run_shard = run_shard
+
+
 def _run_spec(spec: ScenarioSpec) -> RunResult:
     """Pool worker: execute one whole spec (spec-level fan-out)."""
     return Engine.from_spec(spec).run()
+
+
+def merge_shard_results(
+    spec: ScenarioSpec,
+    engine: Engine,
+    shard_results: Sequence[ShardResult],
+    parallel_provenance: Mapping[str, Any],
+    wall_seconds: float,
+) -> RunResult:
+    """Fold per-window shard results into the whole-run RunResult.
+
+    The single merge every sharded executor uses (the per-run pool here
+    and the serving layer's warm :class:`~repro.serving.pool.WorkerPool`
+    alike): per-item costs concatenate in plan order, the run cost is
+    re-aggregated by the engine's own fold over that concatenation
+    (same float-addition order as ``workers=1``), outputs merge through
+    the workload adapter, and fidelity/accuracy fold by the engine's
+    declared policies -- which is what keeps ``workers=N``
+    bit-identical to ``workers=1`` no matter which executor ran the
+    windows.
+
+    Args:
+        spec: the scenario the shards belong to.
+        engine: a bound engine for ``spec`` (merge policies live on the
+            class; the instance is not re-executed).
+        shard_results: one :class:`ShardResult` per window, in plan
+            (ascending offset) order.
+        parallel_provenance: the executor's scheduling record (worker
+            counts, pool flavour, per-shard wall times); stored under
+            ``provenance["parallel"]``.
+        wall_seconds: the whole sharded run's wall time.
+    """
+    shard_results = list(shard_results)
+    merge_adapter = adapter_for(spec, engine.name)
+    outputs = merge_adapter.merge_shard_outputs(
+        [s.outputs for s in shard_results])
+    item_costs = tuple(
+        c for s in shard_results for c in s.item_costs)
+    cost = type(engine).aggregate_cost(
+        shard_results[0].base_cost, list(item_costs))
+    fidelity = type(engine).merge_window_fidelity(
+        [s.fidelity for s in shard_results])
+    accuracy = type(engine).merge_window_accuracy(
+        [s.accuracy for s in shard_results])
+    provenance = {
+        "engine": engine.name,
+        "workload": spec.workload,
+        "device": spec.device.name,
+        "seed": spec.seed,
+        "repro_version": repro.__version__,
+        "wall_seconds": wall_seconds,
+        "parallel": dict(parallel_provenance),
+    }
+    if not spec.device.is_plain:
+        provenance["device_overrides"] = dict(spec.device.overrides)
+    return RunResult(
+        spec=spec,
+        outputs=outputs,
+        cost=cost,
+        item_costs=item_costs,
+        provenance=provenance,
+        fidelity=fidelity,
+        accuracy=accuracy,
+    )
 
 
 class ParallelRunner:
@@ -118,6 +196,13 @@ class ParallelRunner:
         pool: start method -- "auto" (fork where available, else
             spawn), "fork", "forkserver", "spawn", or "inline" (serial
             in-process execution of the identical shard plan).
+        executor: an optional long-lived executor (a started
+            :class:`~repro.serving.pool.WorkerPool`) that replaces the
+            per-run multiprocessing pool: cache handling stays here,
+            execution and shard merging delegate to the warm workers
+            (same shard plan, same merge, identical results -- without
+            paying a process spawn per run).  ``workers``/``pool`` are
+            ignored while an executor is attached.
     """
 
     def __init__(
@@ -125,6 +210,7 @@ class ParallelRunner:
         workers: int = 1,
         cache: ResultCache | str | None = None,
         pool: str = "auto",
+        executor=None,
     ) -> None:
         if not isinstance(workers, int) or isinstance(workers, bool) \
                 or workers < 1:
@@ -132,11 +218,18 @@ class ParallelRunner:
         if pool not in _POOL_MODES:
             raise ValueError(
                 f"pool must be one of {_POOL_MODES}, got {pool!r}")
+        if executor is not None and not (
+                callable(getattr(executor, "run", None))
+                and callable(getattr(executor, "run_many", None))):
+            raise ValueError(
+                "executor must provide run(spec) and run_many(specs) "
+                f"(e.g. a started WorkerPool), got {executor!r}")
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.workers = workers
         self.cache = cache
         self.pool = pool
+        self.executor = executor
 
     # -- execution ------------------------------------------------------------
 
@@ -152,12 +245,15 @@ class ParallelRunner:
             cached = self.cache.load(spec)
             if cached is not None:
                 return cached
-        engine = Engine.from_spec(spec)
-        shards = plan_shards(spec.batch, self.workers)
-        if engine.shardable and len(shards) > 1:
-            result = self._run_sharded(spec, engine, shards)
+        if self.executor is not None:
+            result = self.executor.run(spec)
         else:
-            result = engine.run()
+            engine = Engine.from_spec(spec)
+            shards = plan_shards(spec.batch, self.workers)
+            if engine.shardable and len(shards) > 1:
+                result = self._run_sharded(spec, engine, shards)
+            else:
+                result = engine.run()
         if self.cache is not None:
             self.cache.store(result)
         return result
@@ -185,7 +281,11 @@ class ParallelRunner:
                 results[i] = cached
             else:
                 misses.append(i)
-        fresh = self._map(_run_spec, [resolved[i] for i in misses])
+        missing = [resolved[i] for i in misses]
+        if self.executor is not None:
+            fresh = self.executor.run_many(missing)
+        else:
+            fresh = self._map(_run_spec, missing)
         for i, result in zip(misses, fresh):
             if self.cache is not None:
                 self.cache.store(result)
@@ -205,28 +305,11 @@ class ParallelRunner:
         engine.check_params(adapter_for(spec, engine.name))
         started = time.perf_counter()
         shard_results = self._map(
-            _run_shard, [(spec, off, cnt) for off, cnt in shards])
+            run_shard, [(spec, off, cnt) for off, cnt in shards])
         elapsed = time.perf_counter() - started
-
-        merge_adapter = adapter_for(spec, engine.name)
-        outputs = merge_adapter.merge_shard_outputs(
-            [s.outputs for s in shard_results])
-        item_costs = tuple(
-            c for s in shard_results for c in s.item_costs)
-        cost = type(engine).aggregate_cost(
-            shard_results[0].base_cost, list(item_costs))
-        fidelity = type(engine).merge_window_fidelity(
-            [s.fidelity for s in shard_results])
-        accuracy = type(engine).merge_window_accuracy(
-            [s.accuracy for s in shard_results])
-        provenance = {
-            "engine": engine.name,
-            "workload": spec.workload,
-            "device": spec.device.name,
-            "seed": spec.seed,
-            "repro_version": repro.__version__,
-            "wall_seconds": elapsed,
-            "parallel": {
+        return merge_shard_results(
+            spec, engine, shard_results,
+            parallel_provenance={
                 "workers": self.workers,
                 "pool": self._method(),
                 "shards": [
@@ -235,17 +318,7 @@ class ParallelRunner:
                     for s in shard_results
                 ],
             },
-        }
-        if not spec.device.is_plain:
-            provenance["device_overrides"] = dict(spec.device.overrides)
-        return RunResult(
-            spec=spec,
-            outputs=outputs,
-            cost=cost,
-            item_costs=item_costs,
-            provenance=provenance,
-            fidelity=fidelity,
-            accuracy=accuracy,
+            wall_seconds=elapsed,
         )
 
     def _method(self) -> str:

@@ -1,0 +1,64 @@
+"""Typed failures of the serving subsystem.
+
+Callers of :meth:`~repro.serving.service.Service.submit` see exactly
+three failure families: their own bad input (the usual
+:class:`~repro.api.workloads.ScenarioError` /
+:class:`~repro.api.spec.SpecError` raised by the engine facade),
+overload (:class:`ServiceOverloaded` -- retryable, carries a suggested
+backoff), and infrastructure loss (:class:`WorkerCrashed` -- a shard's
+worker died repeatedly even after restarts).  Everything else is a bug.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServiceOverloaded", "ServingError", "WorkerCrashed"]
+
+
+class ServingError(RuntimeError):
+    """Base class of the serving subsystem's own failures."""
+
+
+class ServiceOverloaded(ServingError):
+    """The bounded request queue is full; retry after a backoff.
+
+    Raised by :meth:`~repro.serving.service.Service.submit` *before*
+    any work is queued, so a rejected request costs the caller nothing
+    but this exception.  Load-shedding at admission keeps queue wait
+    bounded for the requests already admitted.
+
+    Attributes:
+        queue_depth: admitted-but-incomplete requests at rejection time.
+        limit: the configured queue bound that was exceeded.
+        retry_after_seconds: suggested client backoff, estimated from
+            the current depth and recent service rate (never zero, so
+            naive ``sleep(retry_after)`` loops cannot spin).
+    """
+
+    def __init__(self, queue_depth: int, limit: int,
+                 retry_after_seconds: float) -> None:
+        self.queue_depth = queue_depth
+        self.limit = limit
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            f"service overloaded: {queue_depth} requests in flight "
+            f"(limit {limit}); retry after "
+            f"{retry_after_seconds:.3g} s"
+        )
+
+
+class WorkerCrashed(ServingError):
+    """A task's worker process died and retries were exhausted.
+
+    The pool restarts crashed workers and transparently retries their
+    in-flight tasks on fresh ones (results are pure functions of the
+    spec, so a retry is bit-identical); this surfaces only when a task
+    keeps killing its workers -- which means the task itself, not the
+    infrastructure, is fatal.
+
+    Attributes:
+        attempts: how many workers the task consumed.
+    """
+
+    def __init__(self, message: str, attempts: int) -> None:
+        self.attempts = attempts
+        super().__init__(message)

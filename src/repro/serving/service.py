@@ -1,0 +1,393 @@
+"""The asyncio front-end: cache tier, dedup, coalescer, backpressure.
+
+:class:`Service` is the request path concurrent callers talk to.  A
+submitted :class:`~repro.api.spec.ScenarioSpec` flows through four
+stages, each of which may answer it without touching the next:
+
+1. **dedup** -- a submission whose ``canonical_hash`` matches a request
+   already in flight awaits that request's future instead of computing
+   twice (pure functions of the spec make sharing safe);
+2. **cache tier** -- a :class:`~repro.parallel.cache.ResultCache` hit
+   is answered immediately, no worker touched;
+3. **backpressure** -- if admitted-but-incomplete requests already
+   exceed ``max_queue``, the submission is rejected *before any work is
+   queued* with a typed :class:`~repro.serving.errors.ServiceOverloaded`
+   carrying a suggested ``retry_after_seconds``;
+4. **coalescer** -- surviving requests land in a lane keyed by spec
+   structure *modulo seed and batch* and are flushed to the warm
+   :class:`~repro.serving.pool.WorkerPool` as one group dispatch when
+   the lane reaches ``max_batch`` members or the oldest member has
+   waited ``max_wait`` seconds.
+
+Coalescing is *group dispatch*, not spec merging: the members of a
+flushed lane execute back-to-back on one warm worker, each through the
+plain ``Engine.from_spec(spec).run()`` body.  Results are therefore
+bit-identical to serial engine calls by construction -- the win is
+message amortization and shared warm state, never altered seeding.
+The lane key deliberately drops ``seed`` and ``batch``: concurrent
+same-scenario different-seed submissions (the Monte Carlo traffic
+pattern) group onto one worker, where they share the workload model
+cache outright and -- when seeds match the warm template -- mapped
+fabrics via :meth:`~repro.mvm.analog.AnalogAccelerator.ledger_twin`
+copies.
+
+Every stage increments :class:`~repro.serving.stats.StatsRecorder`
+counters and emits one structured ``key=value`` log line on the
+``repro.serving`` logger, so queue health is observable live
+(``repro serve --stats-json`` snapshots the same numbers).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.api.result import RunResult
+from repro.api.spec import ScenarioSpec
+from repro.parallel.cache import ResultCache
+from repro.serving.errors import ServiceOverloaded, ServingError
+from repro.serving.pool import WorkerPool
+from repro.serving.stats import ServiceStats, StatsRecorder
+
+__all__ = ["Service"]
+
+_LOG = logging.getLogger("repro.serving")
+
+#: Fallback mean-service estimate (seconds) for the retry-after hint
+#: before any request has completed.
+_COLD_SERVICE_ESTIMATE = 0.1
+
+
+class _Request:
+    """One admitted submission waiting in a coalesce lane."""
+
+    __slots__ = ("spec", "key", "future", "admitted_at")
+
+    def __init__(self, spec: ScenarioSpec, key: str,
+                 future: asyncio.Future) -> None:
+        self.spec = spec
+        self.key = key
+        self.future = future
+        self.admitted_at = time.perf_counter()
+
+
+class _Lane:
+    """An open coalesce lane: same-structure requests awaiting flush."""
+
+    __slots__ = ("requests", "timer")
+
+    def __init__(self) -> None:
+        self.requests: list[_Request] = []
+        self.timer: asyncio.Task | None = None
+
+
+class Service:
+    """Async request front-end over a warm worker pool.
+
+    Args:
+        pool: a :class:`~repro.serving.pool.WorkerPool` to serve from.
+            If None, the service creates (and owns) one from
+            ``workers``/``pool_mode``.
+        workers: worker count for an owned pool.
+        pool_mode: start method for an owned pool (see
+            :class:`WorkerPool`; "inline" serves synchronously
+            in-process -- the single-CPU and unit-test configuration).
+        cache: result cache tier -- a
+            :class:`~repro.parallel.cache.ResultCache`, a directory
+            path, or None to disable the tier.
+        max_batch: coalesce lane capacity; a lane flushes immediately
+            when it holds this many requests.
+        max_wait: seconds the oldest lane member waits for companions
+            before the lane flushes anyway.  The knob trades per-request
+            latency for coalesce factor.
+        max_queue: bound on admitted-but-incomplete requests; beyond it
+            submissions fail fast with
+            :class:`~repro.serving.errors.ServiceOverloaded`.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`close` explicitly::
+
+        async with Service(workers=4, cache="~/.cache/repro") as svc:
+            results = await asyncio.gather(
+                *(svc.submit(spec) for spec in specs))
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool | None = None,
+        *,
+        workers: int = 2,
+        pool_mode: str = "auto",
+        cache: ResultCache | str | None = None,
+        max_batch: int = 8,
+        max_wait: float = 0.01,
+        max_queue: int = 64,
+    ) -> None:
+        if not isinstance(max_batch, int) or isinstance(max_batch, bool) \
+                or max_batch < 1:
+            raise ValueError("max_batch must be a positive integer")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        if not isinstance(max_queue, int) or isinstance(max_queue, bool) \
+                or max_queue < 1:
+            raise ValueError("max_queue must be a positive integer")
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self._owns_pool = pool is None
+        self._pool = pool if pool is not None else WorkerPool(
+            workers=workers, mode=pool_mode)
+        self.cache = cache
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.max_queue = max_queue
+        self._stats = StatsRecorder()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._lanes: dict[str, _Lane] = {}
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._started = False
+        self._closed = False
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "Service":
+        """Start the underlying pool (idempotent)."""
+        if self._closed:
+            raise ServingError("service already closed")
+        if not self._started:
+            self._pool.start()
+            self._started = True
+            _LOG.info(
+                "event=start workers=%d mode=%s max_batch=%d "
+                "max_wait=%g max_queue=%d cache=%s",
+                self._pool.workers, self._pool.mode, self.max_batch,
+                self.max_wait, self.max_queue,
+                "on" if self.cache is not None else "off")
+        return self
+
+    async def __aenter__(self) -> "Service":
+        return self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Flush open lanes, drain dispatches, stop an owned pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for structure_key in list(self._lanes):
+            self._flush_lane(structure_key)
+        while self._dispatch_tasks:
+            await asyncio.gather(*list(self._dispatch_tasks),
+                                 return_exceptions=True)
+        if self._owns_pool and self._started:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.shutdown)
+        _LOG.info("event=close requests=%d completed=%d",
+                  self._stats.snapshot().requests,
+                  self._stats.snapshot().completed)
+
+    # -- request path ---------------------------------------------------------
+
+    async def submit(
+        self, spec: ScenarioSpec | Mapping[str, Any]
+    ) -> RunResult:
+        """Submit one scenario; resolves to its RunResult.
+
+        Raises:
+            ServiceOverloaded: the bounded queue is full (retryable).
+            ServingError: the service is closed, or the request's
+                workers kept crashing (:class:`WorkerCrashed`).
+            Exception: whatever the engine raises for a bad spec.
+        """
+        if self._closed or not self._started:
+            raise ServingError("service is not running")
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec.from_dict(spec)
+        key = spec.canonical_hash()
+
+        twin = self._inflight.get(key)
+        if twin is not None:
+            self._stats.admitted()
+            self._stats.deduped()
+            _LOG.debug("event=dedup key=%.12s", key)
+            try:
+                return await asyncio.shield(twin)
+            finally:
+                self._stats.settled_without_service()
+
+        if self.cache is not None:
+            cached = self.cache.load(spec)
+            if cached is not None:
+                self._stats.admitted()
+                self._stats.cache_hit()
+                self._stats.settled_without_service()
+                _LOG.debug("event=cache_hit key=%.12s", key)
+                return cached
+
+        depth = self._stats.queue_depth
+        if depth >= self.max_queue:
+            retry_after = self._retry_after(depth)
+            self._stats.rejected()
+            _LOG.warning(
+                "event=reject depth=%d limit=%d retry_after=%g",
+                depth, self.max_queue, retry_after)
+            raise ServiceOverloaded(
+                queue_depth=depth, limit=self.max_queue,
+                retry_after_seconds=retry_after)
+
+        self._stats.admitted()
+        if self.cache is not None:
+            self._stats.cache_miss()
+        future: asyncio.Future = \
+            asyncio.get_running_loop().create_future()
+        request = _Request(spec, key, future)
+        self._inflight[key] = future
+        self._enqueue(request)
+        try:
+            return await asyncio.shield(future)
+        except asyncio.CancelledError:
+            # The submitter was cancelled; the dispatch (and any
+            # deduped twins awaiting the same future) carry on.
+            raise
+
+    def stats(self) -> ServiceStats:
+        """Snapshot the full request path, pool and cache included."""
+        return self._stats.snapshot(
+            pool=self._pool.stats(),
+            result_cache=None if self.cache is None
+            else self.cache.stats(),
+        )
+
+    # -- coalescer ------------------------------------------------------------
+
+    @staticmethod
+    def _lane_key(spec: ScenarioSpec) -> str:
+        """Coalesce-lane key: spec structure modulo seed and batch.
+
+        Seed variants of one scenario are exactly the requests worth
+        grouping on one warm worker; batch is already excluded from
+        structure identity (see ``ScenarioSpec.structure_hash``).
+        """
+        data = spec.to_dict()
+        del data["batch"]
+        del data["seed"]
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    def _enqueue(self, request: _Request) -> None:
+        structure_key = self._lane_key(request.spec)
+        lane = self._lanes.get(structure_key)
+        if lane is None:
+            lane = self._lanes[structure_key] = _Lane()
+        lane.requests.append(request)
+        if len(lane.requests) >= self.max_batch:
+            self._flush_lane(structure_key)
+        elif lane.timer is None:
+            lane.timer = asyncio.get_running_loop().create_task(
+                self._flush_later(structure_key))
+
+    async def _flush_later(self, structure_key: str) -> None:
+        try:
+            await asyncio.sleep(self.max_wait)
+        except asyncio.CancelledError:
+            return
+        lane = self._lanes.get(structure_key)
+        if lane is not None:
+            lane.timer = None
+            self._flush_lane(structure_key)
+
+    def _flush_lane(self, structure_key: str) -> None:
+        lane = self._lanes.pop(structure_key, None)
+        if lane is None or not lane.requests:
+            return
+        if lane.timer is not None:
+            lane.timer.cancel()
+            lane.timer = None
+        requests = lane.requests
+        now = time.perf_counter()
+        self._stats.dispatched(
+            len(requests), now - requests[0].admitted_at)
+        _LOG.info("event=dispatch lane=%.12s requests=%d",
+                  structure_key, len(requests))
+        task = asyncio.get_running_loop().create_task(
+            self._dispatch(requests))
+        self._dispatch_tasks.add(task)
+        task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _dispatch(self, requests: list[_Request]) -> None:
+        specs = [r.spec for r in requests]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                None, self._pool.run_group, specs)
+        except Exception as exc:  # noqa: BLE001 -- routed to futures
+            for request in requests:
+                self._settle(request, error=exc)
+            return
+        for request, result in zip(requests, results):
+            if self.cache is not None:
+                self.cache.store(result)
+            self._settle(request, result=result)
+
+    def _settle(
+        self,
+        request: _Request,
+        result: RunResult | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        if self._inflight.get(request.key) is request.future:
+            del self._inflight[request.key]
+        elapsed = time.perf_counter() - request.admitted_at
+        self._stats.finished(error is None, elapsed)
+        if request.future.done():
+            return
+        if error is not None:
+            request.future.set_exception(error)
+        else:
+            request.future.set_result(result)
+
+    # -- backpressure ---------------------------------------------------------
+
+    def _retry_after(self, depth: int) -> float:
+        """Suggested backoff: current backlog over recent service rate.
+
+        Coarse by design -- the estimate only needs the right order of
+        magnitude, and the 50 ms floor keeps naive retry loops from
+        spinning before any request has calibrated the mean.
+        """
+        mean = self._stats.mean_service_seconds() \
+            or _COLD_SERVICE_ESTIMATE
+        per_dispatch = max(1, self._pool.workers * self.max_batch)
+        return max(0.05, mean * depth / per_dispatch)
+
+
+async def serve_all(
+    service: Service,
+    specs: Sequence[ScenarioSpec | Mapping[str, Any]],
+    *,
+    max_retries: int = 5,
+) -> list[RunResult]:
+    """Drive ``specs`` through ``service`` concurrently, in order.
+
+    The canonical client loop (used by ``repro serve`` and the demo):
+    every spec is submitted at once, and :class:`ServiceOverloaded`
+    rejections honor ``retry_after_seconds`` before resubmitting, up to
+    ``max_retries`` times.
+    """
+
+    async def one(spec) -> RunResult:
+        for _ in range(max_retries):
+            try:
+                return await service.submit(spec)
+            except ServiceOverloaded as exc:
+                await asyncio.sleep(exc.retry_after_seconds)
+        return await service.submit(spec)
+
+    return list(await asyncio.gather(*(one(s) for s in specs)))

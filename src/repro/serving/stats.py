@@ -1,0 +1,335 @@
+"""Observability surface of the serving subsystem.
+
+Every stage of the request path counts what it did -- admission,
+cache tier, deduplication, coalescing, dispatch, completion -- and two
+log-bucketed latency histograms track how long requests queued and how
+long they took end to end.  :meth:`StatsRecorder.snapshot` freezes the
+whole picture into a :class:`ServiceStats` value: JSON-serializable
+(``repro serve --stats-json``), renderable as text (the CLI summary),
+and cheap enough to take per request.
+
+The recorder is deliberately lock-guarded and allocation-light: it is
+touched on every request by the asyncio front-end and from executor
+threads completing pool dispatches.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import threading
+from typing import Any, Mapping
+
+from repro.api.fabric_cache import FabricCacheStats
+from repro.parallel.cache import CacheStats
+
+__all__ = ["LatencyHistogram", "PoolStats", "ServiceStats",
+           "StatsRecorder"]
+
+#: Histogram bucket upper bounds, seconds: half-decade log spacing from
+#: 100 microseconds to 100 seconds, plus the +inf overflow bucket.
+#: Thirteen buckets resolve the interesting range (sub-ms cache hits to
+#: multi-second sharded runs) while keeping snapshots tiny.
+_BOUNDS = (1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1,
+           3.16e-1, 1.0, 3.16, 10.0, 31.6, 100.0, float("inf"))
+
+
+class LatencyHistogram:
+    """A fixed-bucket log histogram of durations in seconds.
+
+    Not thread-safe by itself; the owning :class:`StatsRecorder`
+    serializes access.
+    """
+
+    def __init__(self) -> None:
+        self._counts = [0] * len(_BOUNDS)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self._counts[bisect.bisect_left(_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate (bucket upper bound; 0 if empty).
+
+        Quantiles from log buckets are estimates resolved to the bucket
+        edge -- honest to within the half-decade bucket width, which is
+        the right fidelity for queue-health dashboards (and avoids
+        pretending microsecond precision survives bucketing).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for bound, count in zip(_BOUNDS, self._counts):
+            seen += count
+            if seen >= rank:
+                return min(bound, self.max_seconds)
+        return self.max_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": count
+            for bound, count in zip(_BOUNDS, self._counts)
+            if count
+        }
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": 0.0 if self.count == 0 else self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolStats:
+    """One snapshot of a worker pool's lifetime accounting.
+
+    Attributes:
+        workers: configured worker slots.
+        alive: worker processes currently alive (equals ``workers``
+            for the inline pool).
+        restarts: workers restarted after a crash.
+        tasks_done: tasks completed successfully.
+        tasks_failed: tasks that raised (the error went to the caller).
+        tasks_retried: dispatch attempts repeated after a worker died.
+        pending: tasks queued but not yet dispatched.
+        running: tasks currently executing on a worker.
+        busy_seconds: total worker-occupied execution time.
+        fabric_cache: warm-fabric counters aggregated across workers.
+    """
+
+    workers: int = 0
+    alive: int = 0
+    restarts: int = 0
+    tasks_done: int = 0
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    pending: int = 0
+    running: int = 0
+    busy_seconds: float = 0.0
+    fabric_cache: FabricCacheStats = dataclasses.field(
+        default_factory=FabricCacheStats)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["fabric_cache"] = self.fabric_cache.as_dict()
+        return data
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceStats:
+    """A frozen end-to-end snapshot of the service's request path.
+
+    Attributes:
+        requests: submissions admitted past input validation.
+        completed: requests answered with a result.
+        errors: requests answered with an exception (bad specs,
+            exhausted worker retries).
+        rejected: requests refused at admission by backpressure.
+        cache_hits: answered from the result cache, no worker touched.
+        cache_misses: cache lookups that had to compute.
+        deduped: requests folded onto an identical in-flight request.
+        dispatches: task groups shipped to the pool.
+        dispatched_requests: requests carried by those groups.
+        queue_depth: admitted-but-incomplete requests right now.
+        peak_queue_depth: high-water mark of ``queue_depth``.
+        queue_wait: histogram of admission-to-dispatch waits.
+        service_time: histogram of admission-to-answer latencies.
+        pool: the worker pool's own counters.
+        result_cache: the cache tier's hit/miss/store/prune counters.
+    """
+
+    requests: int = 0
+    completed: int = 0
+    errors: int = 0
+    rejected: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduped: int = 0
+    dispatches: int = 0
+    dispatched_requests: int = 0
+    queue_depth: int = 0
+    peak_queue_depth: int = 0
+    queue_wait: Mapping[str, Any] = dataclasses.field(
+        default_factory=dict)
+    service_time: Mapping[str, Any] = dataclasses.field(
+        default_factory=dict)
+    pool: PoolStats = dataclasses.field(default_factory=PoolStats)
+    result_cache: CacheStats | None = None
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Mean requests per pool dispatch (1.0 = no folding yet).
+
+        The coalescer's effectiveness in one number: cache hits and
+        deduped requests never reach a dispatch, so this measures only
+        how densely the residual compute traffic was batched.
+        """
+        if self.dispatches == 0:
+            return 1.0
+        return self.dispatched_requests / self.dispatches
+
+    def to_dict(self) -> dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["coalesce_factor"] = self.coalesce_factor
+        data["pool"] = self.pool.to_dict()
+        data["result_cache"] = (
+            None if self.result_cache is None
+            else self.result_cache.as_dict())
+        return data
+
+    def render(self) -> str:
+        """A compact human-readable snapshot (the CLI summary block)."""
+        wait = self.queue_wait or {}
+        service = self.service_time or {}
+        lines = [
+            f"requests: {self.requests} admitted, "
+            f"{self.completed} completed, {self.errors} errors, "
+            f"{self.rejected} rejected",
+            f"cache tier: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses; {self.deduped} deduped "
+            "onto in-flight twins",
+            f"coalescer: {self.dispatched_requests} requests over "
+            f"{self.dispatches} dispatches "
+            f"(factor {self.coalesce_factor:.2f})",
+            f"queue: depth {self.queue_depth}, "
+            f"peak {self.peak_queue_depth}, "
+            f"wait p95 {wait.get('p95_seconds', 0.0):.4g} s",
+            f"latency: mean {service.get('mean_seconds', 0.0):.4g} s, "
+            f"p95 {service.get('p95_seconds', 0.0):.4g} s",
+            f"pool: {self.pool.alive}/{self.pool.workers} workers "
+            f"alive, {self.pool.restarts} restarts, "
+            f"{self.pool.tasks_done} tasks, "
+            f"busy {self.pool.busy_seconds:.4g} s",
+            "warm fabric: "
+            f"{self.pool.fabric_cache.hits} hits / "
+            f"{self.pool.fabric_cache.misses} misses "
+            f"({self.pool.fabric_cache.entries} warm)",
+        ]
+        if self.result_cache is not None:
+            c = self.result_cache
+            lines.append(
+                f"result cache: {c.hits} hits / {c.misses} misses, "
+                f"{c.stores} stores, {c.evictions} evictions")
+        return "\n".join(lines)
+
+
+class StatsRecorder:
+    """The mutable counters behind :class:`ServiceStats` snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._completed = 0
+        self._errors = 0
+        self._rejected = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._deduped = 0
+        self._dispatches = 0
+        self._dispatched_requests = 0
+        self._queue_depth = 0
+        self._peak_queue_depth = 0
+        self._queue_wait = LatencyHistogram()
+        self._service_time = LatencyHistogram()
+
+    # -- stage events ---------------------------------------------------------
+
+    def admitted(self) -> None:
+        with self._lock:
+            self._requests += 1
+            self._queue_depth += 1
+            self._peak_queue_depth = max(self._peak_queue_depth,
+                                         self._queue_depth)
+
+    def rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def cache_hit(self) -> None:
+        with self._lock:
+            self._cache_hits += 1
+
+    def cache_miss(self) -> None:
+        with self._lock:
+            self._cache_misses += 1
+
+    def deduped(self) -> None:
+        with self._lock:
+            self._deduped += 1
+
+    def dispatched(self, requests: int, queue_wait_seconds: float) -> None:
+        with self._lock:
+            self._dispatches += 1
+            self._dispatched_requests += requests
+            for _ in range(requests):
+                self._queue_wait.observe(queue_wait_seconds)
+
+    def finished(self, ok: bool, service_seconds: float) -> None:
+        with self._lock:
+            if ok:
+                self._completed += 1
+            else:
+                self._errors += 1
+            self._queue_depth -= 1
+            self._service_time.observe(service_seconds)
+
+    def settled_without_service(self) -> None:
+        """Release queue depth for a request that never dispatched
+        (deduped onto a twin, or answered by the cache tier)."""
+        with self._lock:
+            self._queue_depth -= 1
+
+    # -- reads ----------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queue_depth
+
+    def mean_service_seconds(self) -> float:
+        with self._lock:
+            return self._service_time.mean_seconds
+
+    def snapshot(
+        self,
+        pool: PoolStats | None = None,
+        result_cache: CacheStats | None = None,
+    ) -> ServiceStats:
+        """Freeze the counters (and optional pool/cache context)."""
+        with self._lock:
+            return ServiceStats(
+                requests=self._requests,
+                completed=self._completed,
+                errors=self._errors,
+                rejected=self._rejected,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                deduped=self._deduped,
+                dispatches=self._dispatches,
+                dispatched_requests=self._dispatched_requests,
+                queue_depth=self._queue_depth,
+                peak_queue_depth=self._peak_queue_depth,
+                queue_wait=self._queue_wait.to_dict(),
+                service_time=self._service_time.to_dict(),
+                pool=pool or PoolStats(),
+                result_cache=result_cache,
+            )

@@ -1,0 +1,130 @@
+"""ResultCache traffic counters: every load/store/prune path accounted.
+
+The counters feed two consumers: the serving cache tier (surfaced in
+``ServiceStats.result_cache``) and ``repro cache prune --verbose``.
+This suite drives each counting path -- plain hits and misses, corrupt
+and version-stale entries, hash-collision mismatches, stores and prune
+evictions -- and pins the arithmetic.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import Engine, ScenarioSpec
+from repro.parallel import CacheStats, ResultCache
+
+SPEC = ScenarioSpec(engine="mvp_batched", workload="database", size=96,
+                    items=2, batch=4, seed=3)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Engine.from_spec(SPEC).run()
+
+
+def test_fresh_cache_counts_nothing(cache):
+    stats = cache.stats()
+    assert stats == CacheStats()
+    assert stats.hit_rate == 0.0
+
+
+def test_miss_store_hit_roundtrip(cache, result):
+    assert cache.load(SPEC) is None
+    cache.store(result)
+    assert cache.load(SPEC) is not None
+    stats = cache.stats()
+    assert stats.misses == 1
+    assert stats.stores == 1
+    assert stats.hits == 1
+    assert stats.hit_rate == 0.5
+
+
+def test_corrupt_entry_counts_corrupt_dropped(cache, result):
+    path = cache.store(result)
+    path.write_text("{ not json")
+    assert cache.load(SPEC) is None
+    stats = cache.stats()
+    assert stats.corrupt_dropped == 1
+    assert stats.misses == 1
+    assert not path.exists()  # corruption is deleted, not kept
+
+
+def test_schema_mismatch_counts_corrupt_dropped(cache, result):
+    path = cache.store(result)
+    payload = json.loads(path.read_text())
+    payload["schema"] = "someone-elses-schema"
+    path.write_text(json.dumps(payload))
+    assert cache.load(SPEC) is None
+    assert cache.stats().corrupt_dropped == 1
+
+
+def test_version_stale_entry_counts_stale_dropped(cache, result):
+    path = cache.store(result)
+    payload = json.loads(path.read_text())
+    payload["result"]["provenance"]["repro_version"] = "0.0.0-before"
+    path.write_text(json.dumps(payload))
+    assert cache.load(SPEC) is None
+    stats = cache.stats()
+    assert stats.stale_dropped == 1
+    assert stats.corrupt_dropped == 0
+    assert stats.misses == 1
+    assert path.exists()  # stale is not corruption: left for overwrite
+
+
+def test_spec_mismatch_is_a_plain_miss(cache, result):
+    path = cache.store(result)
+    payload = json.loads(path.read_text())
+    payload["spec"]["seed"] = 999  # simulated hash collision
+    path.write_text(json.dumps(payload))
+    assert cache.load(SPEC) is None
+    stats = cache.stats()
+    assert stats.misses == 1
+    assert stats.corrupt_dropped == 0
+    assert stats.stale_dropped == 0
+
+
+def test_prune_counts_evictions(cache, result):
+    cache.store(result)
+    other = Engine.from_spec(SPEC.replaced(seed=4)).run()
+    cache.store(other)
+    prune = cache.prune(max_entries=1)
+    assert prune.removed == 1
+    assert cache.stats().evictions == 1
+    assert cache.stats().stores == 2
+
+
+def test_capped_store_counts_automatic_evictions(tmp_path, result):
+    capped = ResultCache(tmp_path / "cache", max_entries=1)
+    capped.store(result)
+    capped.store(Engine.from_spec(SPEC.replaced(seed=4)).run())
+    assert capped.stats().evictions >= 1
+
+
+def test_counters_are_per_instance(tmp_path, result):
+    first = ResultCache(tmp_path / "cache")
+    first.store(result)
+    second = ResultCache(tmp_path / "cache")
+    assert second.stats() == CacheStats()
+    assert second.load(SPEC) is not None
+    assert second.stats().hits == 1
+
+
+def test_cli_prune_verbose_prints_counters(tmp_path, result, capsys):
+    from repro.api.cli import main
+
+    cache_dir = tmp_path / "cache"
+    ResultCache(cache_dir).store(result)
+    code = main(["cache", "prune", str(cache_dir), "--max-entries", "1",
+                 "--verbose"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "counters:" in out
+    assert "evictions=0" in out
+    assert "hits=0" in out

@@ -1,0 +1,71 @@
+"""ParallelRunner's pool-backed execution path (``executor=``).
+
+A started :class:`~repro.serving.pool.WorkerPool` can replace the
+runner's per-run multiprocessing pool: the runner keeps owning the
+cache tier (lookups before execution, stores after) while execution
+and shard merging delegate to the warm workers.  Results must be
+bit-identical to the runner's own execution, because both sides run
+the same shard bodies and the same merge fold.
+"""
+
+import pytest
+
+from repro.api import Engine, ScenarioSpec
+from repro.parallel import ParallelRunner
+from repro.serving import WorkerPool
+
+SPEC = ScenarioSpec(engine="mvp_batched", workload="database", size=96,
+                    items=2, batch=5, seed=3)
+
+
+def comparable(result) -> dict:
+    data = result.to_dict()
+    for key in ("wall_seconds", "parallel", "cache"):
+        data["provenance"].pop(key, None)
+    return data
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(workers=2, mode="fork") as warm:
+        yield warm
+
+
+def test_executor_run_matches_own_execution(pool):
+    own = ParallelRunner(workers=2).run(SPEC)
+    delegated = ParallelRunner(executor=pool).run(SPEC)
+    assert comparable(delegated) == comparable(own)
+    assert delegated.provenance["parallel"]["pool"] == "warm-fork"
+
+
+def test_executor_run_many_matches(pool):
+    specs = [SPEC, SPEC.replaced(seed=4)]
+    own = ParallelRunner(workers=1).run_many(specs)
+    delegated = ParallelRunner(executor=pool).run_many(specs)
+    for a, b in zip(delegated, own):
+        assert comparable(a) == comparable(b)
+
+
+def test_cache_stays_with_the_runner(pool, tmp_path):
+    runner = ParallelRunner(executor=pool, cache=tmp_path / "cache")
+    first = runner.run(SPEC)
+    assert "cache" not in first.provenance
+    second = runner.run(SPEC)
+    assert second.provenance["cache"]["hit"] is True
+    assert runner.cache.stats().hits == 1
+    assert comparable(second) == comparable(first)
+
+
+def test_cached_specs_skip_the_pool(pool, tmp_path):
+    runner = ParallelRunner(executor=pool, cache=tmp_path / "cache")
+    runner.run(SPEC)
+    done_before = pool.stats().tasks_done
+    runner.run(SPEC)  # pure cache hit
+    assert pool.stats().tasks_done == done_before
+
+
+def test_executor_validation():
+    with pytest.raises(ValueError, match="executor"):
+        ParallelRunner(executor=object())
+    with pytest.raises(ValueError, match="executor"):
+        ParallelRunner(executor="warm")

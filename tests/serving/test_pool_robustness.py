@@ -1,0 +1,166 @@
+"""Pool robustness: crashes, retries, crash loops, overload rejection.
+
+The serving layer's failure contract: a worker killed mid-run is
+restarted and its task retried on the fresh worker with bit-identical
+output (tasks are pure functions of their specs); a task that keeps
+killing workers surfaces a typed
+:class:`~repro.serving.errors.WorkerCrashed` instead of hanging; and a
+full bounded queue rejects new submissions with a typed
+:class:`~repro.serving.errors.ServiceOverloaded` carrying a retry-after
+hint -- before any work is queued.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.api import Engine, ScenarioSpec
+from repro.parallel.runner import run_shard
+from repro.serving import (
+    Service,
+    ServiceOverloaded,
+    WorkerCrashed,
+    WorkerPool,
+)
+from repro.serving import pool as pool_module
+
+#: Big enough that a worker is reliably still computing when the test
+#: kills it right after the started notification (~150 ms of work vs a
+#: 50 ms collector poll).
+SLOW = ScenarioSpec(engine="mvp_batched", workload="database",
+                    size=2048, items=4, batch=16, seed=3)
+QUICK = ScenarioSpec(engine="mvp_batched", workload="database", size=96,
+                     items=2, batch=4, seed=3)
+
+#: Seed marking a spec as a worker-killing bomb for the crash-loop test.
+BOMB_SEED = 666
+
+
+def comparable(result) -> dict:
+    data = result.to_dict()
+    for key in ("wall_seconds", "parallel"):
+        data["provenance"].pop(key, None)
+    return data
+
+
+def test_worker_killed_mid_run_retries_with_identical_output():
+    serial = Engine.from_spec(SLOW).run()
+    with WorkerPool(workers=1, mode="fork") as pool:
+        task = pool.submit("spec", SLOW)
+        assert task.started.wait(timeout=30.0)
+        pool._slots[0].process.kill()
+        result = task.result(timeout=60.0)
+        stats = pool.stats()
+        # The restarted worker is a first-class pool member.
+        assert pool.ping(timeout=10.0) == {0: True}
+        assert pool.run(QUICK).ok
+    assert comparable(result) == comparable(serial)
+    assert result.cost == serial.cost
+    assert stats.restarts >= 1
+    assert stats.tasks_retried >= 1
+    assert task.attempts == 2
+
+
+def test_shard_window_killed_mid_run_retries_identically():
+    want = run_shard((SLOW, 0, 8))
+    with WorkerPool(workers=1, mode="fork") as pool:
+        task = pool.submit("window", (SLOW, 0, 8))
+        assert task.started.wait(timeout=30.0)
+        pool._slots[0].process.kill()
+        got = task.result(timeout=60.0)
+    assert got.offset == want.offset and got.count == want.count
+    assert got.outputs == want.outputs
+    assert got.base_cost == want.base_cost
+    assert got.item_costs == want.item_costs
+
+
+def test_crash_loop_surfaces_worker_crashed(monkeypatch):
+    real = pool_module._execute_task
+
+    def bomb(kind, payload):
+        if isinstance(payload, ScenarioSpec) \
+                and payload.seed == BOMB_SEED:
+            os._exit(13)
+        return real(kind, payload)
+
+    # Forked workers inherit the patched module, so every worker that
+    # picks the bomb up dies -- including the restarted ones.
+    monkeypatch.setattr(pool_module, "_execute_task", bomb)
+    with WorkerPool(workers=1, mode="fork", max_attempts=2) as pool:
+        task = pool.submit("spec", QUICK.replaced(seed=BOMB_SEED))
+        with pytest.raises(WorkerCrashed) as excinfo:
+            task.result(timeout=60.0)
+        assert excinfo.value.attempts == 2
+        # The pool survives the loss and keeps serving healthy specs.
+        assert pool.run(QUICK).ok
+        stats = pool.stats()
+    assert stats.restarts >= 2
+    assert stats.tasks_failed >= 1
+
+
+def test_idle_dead_worker_is_restarted():
+    with WorkerPool(workers=2, mode="fork") as pool:
+        pool._slots[1].process.kill()
+        deadline = 10.0
+        while pool.stats().restarts < 1 and deadline > 0:
+            deadline -= 0.05
+            import time
+            time.sleep(0.05)
+        assert pool.stats().restarts >= 1
+        assert pool.ping(timeout=10.0) == {0: True, 1: True}
+
+
+def test_bounded_queue_rejects_with_typed_overload():
+    async def main():
+        async with Service(workers=1, pool_mode="inline", max_batch=8,
+                           max_wait=5.0, max_queue=2) as service:
+            first = asyncio.ensure_future(service.submit(QUICK))
+            second = asyncio.ensure_future(
+                service.submit(QUICK.replaced(seed=4)))
+            await asyncio.sleep(0.05)  # both admitted, lane unflushed
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                await service.submit(QUICK.replaced(seed=5))
+            err = excinfo.value
+            assert err.queue_depth == 2
+            assert err.limit == 2
+            assert err.retry_after_seconds > 0
+            assert "retry after" in str(err)
+            stats = service.stats()
+            assert stats.rejected == 1
+            # close() flushes the held lane; the admitted requests
+            # complete normally.
+        results = await asyncio.gather(first, second)
+        return results, service.stats()
+
+    results, stats = asyncio.run(main())
+    assert all(r.ok for r in results)
+    assert stats.completed == 2
+    assert stats.rejected == 1
+    assert stats.queue_depth == 0
+
+
+def test_worker_crashed_propagates_through_service(monkeypatch):
+    real = pool_module._execute_task
+
+    def bomb(kind, payload):
+        if any(isinstance(s, ScenarioSpec) and s.seed == BOMB_SEED
+               for s in (payload if isinstance(payload, list)
+                         else [payload])):
+            os._exit(13)
+        return real(kind, payload)
+
+    monkeypatch.setattr(pool_module, "_execute_task", bomb)
+
+    async def main():
+        async with Service(workers=1, pool_mode="fork", max_batch=2,
+                           max_wait=0.01) as service:
+            with pytest.raises(WorkerCrashed):
+                await service.submit(QUICK.replaced(seed=BOMB_SEED))
+            result = await service.submit(QUICK)
+            return result, service.stats()
+
+    result, stats = asyncio.run(main())
+    assert result.ok
+    assert stats.errors == 1
+    assert stats.completed == 1
