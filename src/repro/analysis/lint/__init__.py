@@ -1,10 +1,11 @@
 """reprolint: AST-based contract checking for the repro codebase.
 
 The runtime determinism suites can only judge code that executed; the
-rules here judge code as written.  Six rule families encode the repo's
-real contracts -- seeded-RNG discipline, merge-policy completeness,
-unit-suffix discipline, registry-contract conformance, spec-key
-liveness, and shard-hazard detection.  Entry points::
+rules here judge code as written.  Seven rule families encode the
+repo's real contracts -- seeded-RNG discipline, merge-policy
+completeness, unit-suffix discipline, registry-contract conformance,
+spec-key liveness, shard-hazard detection, and timing discipline.
+Entry points::
 
     from repro.analysis.lint import lint_paths
     report = lint_paths(["src"])
@@ -40,6 +41,7 @@ from repro.analysis.lint import rule_units  # noqa: F401,E402
 from repro.analysis.lint import rule_registry  # noqa: F401,E402
 from repro.analysis.lint import rule_speckeys  # noqa: F401,E402
 from repro.analysis.lint import rule_shard  # noqa: F401,E402
+from repro.analysis.lint import rule_timing  # noqa: F401,E402
 
 __all__ = [
     "Baseline",

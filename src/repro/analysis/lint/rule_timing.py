@@ -1,0 +1,84 @@
+"""R007: timing reads belong to the telemetry and bench layers.
+
+The unified observability subsystem (:mod:`repro.obs`) is the one
+sanctioned owner of clocks: spans and histograms are how durations
+become data.  An ad-hoc ``time.perf_counter()`` pair in simulation or
+serving code bypasses the tracer -- its measurement is invisible to
+``repro trace summarize``, unlabelled in the metrics registry, and one
+refactor away from leaking into results (where R001 already bans
+wall-clock entropy outright).  This rule flags every ``time`` module
+clock read outside :mod:`repro.obs` and :mod:`repro.bench`; the
+pre-existing hand-rolled timings are grandfathered in the baseline
+with reasons, so only *new* ad-hoc timing trips CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.finding import Finding
+from repro.analysis.lint.rules import RULES, LintRule
+from repro.analysis.lint.walker import (
+    LintModule,
+    ProjectIndex,
+    dotted_name,
+    resolve_dotted,
+)
+
+__all__ = ["TimingDisciplineRule"]
+
+#: ``time`` module clock reads owned by the obs/bench layers.
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+}
+
+#: Packages allowed to read clocks directly: the telemetry subsystem
+#: (it *is* the clock owner) and the bench harness (its measurements
+#: are the product, not telemetry).
+_EXEMPT_PREFIXES = (
+    ("repro", "obs"),
+    ("repro", "bench"),
+)
+
+
+@RULES.register("timing-discipline")
+class TimingDisciplineRule(LintRule):
+    """Clock reads go through obs spans/metrics, not ad-hoc ``time``."""
+
+    rule_id = "R007"
+    name = "timing-discipline"
+    description = (
+        "time.time()/perf_counter()/monotonic() outside repro.obs and "
+        "repro.bench; measure via obs spans, metrics histograms, or "
+        "the bench harness"
+    )
+
+    def check(
+        self, module: LintModule, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        # Loose files (tests, benchmarks, examples) and the exempt
+        # packages are free to read clocks.
+        if not module.package or module.package[0] != "repro":
+            return
+        for prefix in _EXEMPT_PREFIXES:
+            if module.package[:len(prefix)] == prefix:
+                return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = resolve_dotted(dotted, module.aliases)
+            if resolved in _CLOCK_CALLS:
+                scope = module.scope(node) or "<module>"
+                yield self.finding(
+                    module, node, f"{scope}:{dotted}",
+                    f"ad-hoc clock read '{dotted}'; time through "
+                    "repro.obs spans/histograms (or repro.bench for "
+                    "benchmarks) so the measurement is observable",
+                )

@@ -165,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel(run_p)
     run_p.add_argument("--json", action="store_true",
                        help="print the RunResult as JSON")
+    run_p.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                       help="record a span trace of the run; a .jsonl "
+                            "path writes one span per line, anything "
+                            "else a Chrome trace_event file (loadable "
+                            "in Perfetto / chrome://tracing)")
 
     sweep_p = sub.add_parser(
         "sweep", help="run a grid of scenarios (base spec x --vary axes) "
@@ -223,7 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--stats-json", type=Path, default=None,
                          metavar="PATH",
                          help="persist the final ServiceStats snapshot "
-                              "as JSON")
+                              "as JSON (also flushed on SIGINT/SIGTERM)")
+    serve_p.add_argument("--metrics-json", type=Path, default=None,
+                         metavar="PATH",
+                         help="persist the unified metrics-registry "
+                              "snapshot (service_*, pool_*, "
+                              "result_cache_* series) as JSON (also "
+                              "flushed on SIGINT/SIGTERM)")
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect recorded span traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command")
+    summarize_p = trace_sub.add_parser(
+        "summarize", help="per-stage timing table (count, total, mean, "
+                          "share of root span time) from a trace file")
+    summarize_p.add_argument("trace_file", type=Path,
+                             help="a Chrome trace_event or span JSONL "
+                                  "file written by --trace")
+    summarize_p.add_argument("--csv", type=Path, default=None,
+                             metavar="PATH",
+                             help="additionally write the stage table "
+                                  "to a CSV file")
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument("--only", action="append", default=None,
@@ -427,18 +452,39 @@ def _healthy(result) -> bool:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        activate_tracer,
+        deactivate_tracer,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
     if args.workers < 1:
         raise SpecError("--workers must be a positive integer")
     spec = _build_spec(args)
-    if args.workers > 1 or args.cache is not None:
-        result = ParallelRunner(workers=args.workers,
-                                cache=args.cache).run(spec)
-    else:
-        result = Engine.from_spec(spec).run()
+    tracer = activate_tracer() if args.trace is not None else None
+    try:
+        if args.workers > 1 or args.cache is not None:
+            result = ParallelRunner(workers=args.workers,
+                                    cache=args.cache).run(spec)
+        else:
+            result = Engine.from_spec(spec).run()
+    finally:
+        if tracer is not None:
+            deactivate_tracer()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(_render_result(result))
+    if tracer is not None:
+        records = tracer.records()
+        if args.trace.suffix == ".jsonl":
+            write_spans_jsonl(args.trace, records)
+        else:
+            write_chrome_trace(args.trace, records,
+                               metadata={"trace_id": tracer.trace_id})
+        print(f"[trace saved to {args.trace}: {len(records)} spans, "
+              f"trace_id {tracer.trace_id}]")
     return 0 if _healthy(result) else 1
 
 
@@ -630,6 +676,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.serving import Service, serve_all
 
@@ -663,19 +710,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_wait=args.max_wait,
             max_queue=args.max_queue,
         ) as service:
-            results = await serve_all(service, specs)
-            return results, service.stats()
+            # SIGINT/SIGTERM interrupt the burst but never skip the
+            # stats/metrics flush: the snapshot of whatever completed
+            # still lands in --stats-json / --metrics-json.
+            loop = asyncio.get_running_loop()
+            stop = asyncio.Event()
+            installed = []
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread / unsupported platform
+            serve_task = asyncio.ensure_future(serve_all(service, specs))
+            stop_task = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait({serve_task, stop_task},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                for signum in installed:
+                    loop.remove_signal_handler(signum)
+            stop_task.cancel()
+            interrupted = stop.is_set() and not serve_task.done()
+            if interrupted:
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+                results = []
+            else:
+                results = serve_task.result()
+            metrics = service.metrics() \
+                if args.metrics_json is not None else None
+            return results, interrupted, service.stats(), metrics
 
-    results, stats = asyncio.run(drive())
-    print(f"served {len(results)} requests "
-          f"({args.workers} workers, {args.pool_mode} pool)")
+    results, interrupted, stats, metrics = asyncio.run(drive())
+    if interrupted:
+        print("interrupted: flushing stats before exit",
+              file=sys.stderr)
+    else:
+        print(f"served {len(results)} requests "
+              f"({args.workers} workers, {args.pool_mode} pool)")
     print(stats.render())
     if args.stats_json is not None:
         args.stats_json.parent.mkdir(parents=True, exist_ok=True)
         args.stats_json.write_text(
             json.dumps(stats.to_dict(), indent=2, sort_keys=True) + "\n")
         print(f"[stats saved to {args.stats_json}]")
+    if args.metrics_json is not None:
+        args.metrics_json.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_json.write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        print(f"[metrics saved to {args.metrics_json}]")
+    if interrupted:
+        return 130
     return 0 if all(_healthy(result) for result in results) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_spans, render_summary, summarize_spans
+
+    if args.trace_command != "summarize":
+        raise SpecError("trace needs a subcommand: summarize")
+    try:
+        records = read_spans(args.trace_file)
+    except OSError as exc:
+        raise SpecError(f"cannot read trace file: {exc}") from None
+    print(render_summary(records))
+    if args.csv is not None:
+        rows = summarize_spans(records)
+        write_csv(args.csv,
+                  ["stage", "count", "total_seconds", "mean_seconds",
+                   "share_pct"],
+                  [[r["stage"], r["count"], r["total_seconds"],
+                    r["mean_seconds"], r["share_pct"]] for r in rows])
+        print(f"[csv saved to {args.csv}]")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -776,6 +887,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except ValueError as exc:
         # Covers RegistryError/SpecError/ScenarioError plus the model
         # layers' own ValueErrors (bad workload parameters, sizes a

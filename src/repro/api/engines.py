@@ -63,6 +63,7 @@ from repro.crossbar.nonideal import (
 )
 from repro.mvm.accuracy import AccuracySummary
 from repro.mvm.analog import AnalogAccelerator
+from repro.obs.trace import active_tracer, span
 from repro.mvm.mapper import CONFIG_PARAM_KEYS, MVMConfig
 from repro.mvp.batch import BatchedMVPProcessor
 from repro.mvp.processor import MVPProcessor
@@ -200,11 +201,17 @@ class Engine:
         """
         if spec is not None and spec is not self.spec:
             return Engine.from_spec(spec).run()
-        adapter = adapter_for(self.spec, self.name)
-        self.check_params(adapter)
-        started = time.perf_counter()
-        outputs, cost, item_costs = self._execute(adapter)
-        elapsed = time.perf_counter() - started
+        tracer = active_tracer()
+        with span("engine.run", engine=self.name,
+                  workload=self.spec.workload, seed=self.spec.seed):
+            with span("spec.resolve"):
+                adapter = adapter_for(self.spec, self.name)
+                self.check_params(adapter)
+            wall_started = (tracer.wall_now()
+                            if tracer is not None else None)
+            started = time.perf_counter()
+            outputs, cost, item_costs = self._execute(adapter)
+            elapsed = time.perf_counter() - started
         provenance = {
             "engine": self.name,
             "workload": self.spec.workload,
@@ -213,6 +220,16 @@ class Engine:
             "repro_version": repro.__version__,
             "wall_seconds": elapsed,
         }
+        if tracer is not None:
+            # Trace linkage: enough to find this run's spans in the
+            # exported trace.  Scheduling provenance like wall_seconds
+            # -- excluded from determinism comparisons, moved under
+            # cache["producer"] on replay.
+            provenance["trace"] = {
+                "trace_id": tracer.trace_id,
+                "started_at": wall_started,
+                "duration_seconds": elapsed,
+            }
         if not self.spec.device.is_plain:
             provenance["device_overrides"] = dict(
                 self.spec.device.overrides)
@@ -337,7 +354,8 @@ class Engine:
             return
         items = fabric.items if isinstance(fabric, NonidealCrossbarStack) \
             else [fabric]
-        self._fidelity = self._fidelity_of_crossbars(items)
+        with span("fidelity.probe", arrays=len(items)):
+            self._fidelity = self._fidelity_of_crossbars(items)
 
     @staticmethod
     def _fidelity_of_crossbars(crossbars) -> FidelitySummary | None:
@@ -447,10 +465,12 @@ class MVPEngine(Engine):
         return self._crossbar_fabric(adapter)
 
     def _execute(self, adapter):
-        crossbar = self.build_fabric(adapter)
+        with span("fabric.build"):
+            crossbar = self.build_fabric(adapter)
         energy_model = energy_model_for(crossbar.params)
         processor = MVPProcessor(crossbar, energy_model=energy_model)
-        outputs = adapter.run_mvp(processor)
+        with span("window.execute"):
+            outputs = adapter.run_mvp(processor)
         cost = cost_from_mvp_stats(processor.stats)
         self._probe_fabric(crossbar)
         return outputs, cost, [cost]
@@ -474,10 +494,12 @@ class BatchedMVPEngine(Engine):
         return self._crossbar_fabric(adapter)
 
     def execute_window(self, adapter):
-        stack = self.build_fabric(adapter)
+        with span("fabric.build"):
+            stack = self.build_fabric(adapter)
         processor = BatchedMVPProcessor(
             stack, energy_model=energy_model_for(stack.params))
-        outputs = adapter.run_mvp_batched(processor)
+        with span("window.execute"):
+            outputs = adapter.run_mvp_batched(processor)
         item_costs = [
             cost_from_mvp_stats(processor.stats_for(i))
             for i in range(processor.batch)
@@ -573,11 +595,13 @@ class RRAMAPEngine(Engine):
         return present[0]
 
     def execute_window(self, adapter):
-        processor = self.build_fabric(adapter)
+        with span("fabric.build"):
+            processor = self.build_fabric(adapter)
         automaton = processor.automaton
-        traces, stream_costs = processor.run_batch(
-            adapter.streams(), unanchored=adapter.unanchored
-        )
+        with span("window.execute"):
+            traces, stream_costs = processor.run_batch(
+                adapter.streams(), unanchored=adapter.unanchored
+            )
         outputs = adapter.check_ap(traces)
         outputs.setdefault("accepted", [t.accepted for t in traces])
         area = processor.chip_cost().area_mm2()
@@ -780,13 +804,15 @@ class AnalogMVMEngine(Engine):
         return accelerators
 
     def execute_window(self, adapter):
-        accelerators = self.build_fabric(adapter)
+        with span("fabric.build"):
+            accelerators = self.build_fabric(adapter)
         # The window hook lets the adapter fuse same-geometry items
         # into grouped kernel dispatches; each item's ledger lives on
         # its own accelerator either way, so the per-item costs read
         # identically to the looped per-item path.
-        results = adapter.run_analog_window(
-            list(adapter.batch_indices), accelerators)
+        with span("window.execute"):
+            results = adapter.run_analog_window(
+                list(adapter.batch_indices), accelerators)
         per_item_outputs = [outputs for outputs, _ in results]
         summaries = [summary for _, summary in results]
         item_costs = []
@@ -807,11 +833,12 @@ class AnalogMVMEngine(Engine):
         if self.spec.nonideality.is_default():
             self._fidelity = None
         else:
-            self._fidelity = self._fidelity_of_crossbars([
-                crossbar
-                for accelerator in accelerators
-                for crossbar in accelerator.nonideal_crossbars
-            ])
+            with span("fidelity.probe"):
+                self._fidelity = self._fidelity_of_crossbars([
+                    crossbar
+                    for accelerator in accelerators
+                    for crossbar in accelerator.nonideal_crossbars
+                ])
         return outputs, CostSummary(), item_costs
 
     @staticmethod

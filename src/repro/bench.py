@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 import platform
 import time
@@ -32,6 +33,7 @@ __all__ = [
     "ThroughputResult",
     "available_cpus",
     "measure_throughput",
+    "round_sig",
     "smoke_mode",
     "speedup",
     "write_bench_json",
@@ -126,6 +128,34 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def round_sig(value: float, digits: int = 4) -> float:
+    """Round to ``digits`` significant digits.
+
+    The drift damper for persisted bench records: raw
+    ``perf_counter`` rates differ in every run's low digits, so a
+    regenerated ``BENCH_*.json`` would otherwise diff on every line.
+    Four significant digits keep the measurement honest (sub-0.1%
+    resolution) while making re-runs on comparable hardware mostly
+    byte-stable.
+    """
+    if value == 0 or not math.isfinite(value):
+        return value
+    return float(f"{value:.{digits}g}")
+
+
+def _rounded(obj):
+    """``obj`` with every float rounded to 4 significant digits."""
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, float):
+        return round_sig(obj)
+    if isinstance(obj, dict):
+        return {key: _rounded(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_rounded(value) for value in obj]
+    return obj
+
+
 def write_bench_json(
     path: str | Path,
     results: Sequence[ThroughputResult],
@@ -133,6 +163,10 @@ def write_bench_json(
     extra: dict[str, object] | None = None,
 ) -> Path:
     """Persist bench results as a machine-readable JSON record.
+
+    Keys are sorted and every recorded rate is rounded to 4
+    significant digits (:func:`round_sig`), so regenerating a record
+    produces minimal diffs.
 
     Args:
         path: output file (parents are created).
@@ -152,10 +186,10 @@ def write_bench_json(
         "numpy": np.__version__,
         "cpus": available_cpus(),
         "smoke": smoke_mode(),
-        "results": [r.as_dict() for r in results],
-        "speedups": dict(speedups or {}),
+        "results": [_rounded(r.as_dict()) for r in results],
+        "speedups": _rounded(dict(speedups or {})),
     }
     if extra:
-        payload["extra"] = dict(extra)
+        payload["extra"] = _rounded(dict(extra))
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

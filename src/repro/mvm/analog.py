@@ -40,6 +40,7 @@ from repro.mvm.pipeline import (
     quantize_batch,
     quantize_input,
 )
+from repro.obs.trace import span
 
 __all__ = ["AnalogAccelerator", "AnalogAcceleratorGroup", "AnalogMVM"]
 
@@ -104,11 +105,12 @@ class AnalogMVM:
         self.config = config
         self.params = params or DeviceParameters()
         self.energy_model = energy_model or ScoutingEnergyModel()
-        self.tiles = map_matrix(
-            weights, config, params=self.params,
-            nonideality=nonideality, rng=rng,
-            read_voltage_volts=read_voltage_volts,
-        )
+        with span("mvm.map_tiles", rows=self.out_dim, cols=self.in_dim):
+            self.tiles = map_matrix(
+                weights, config, params=self.params,
+                nonideality=nonideality, rng=rng,
+                read_voltage_volts=read_voltage_volts,
+            )
         self.adc = ADCModel(
             bits=config.adc_bits,
             lsb_current_amps=read_voltage_volts / self.params.r_on,
@@ -232,11 +234,13 @@ class AnalogMVM:
                 return np.zeros((0, self.out_dim), dtype=float)
             return np.stack(
                 [self._matvec_serial(row) for row in x_batch])
-        x_int, scales = quantize_batch(x_batch, self.config.dac_bits)
+        with span("mvm.dac"):
+            x_int, scales = quantize_batch(x_batch, self.config.dac_bits)
         y, counted, tile_sats = self._stack.execute(
             x_int, scales, electrical)
         if electrical:
-            self._account_batch(counted, tile_sats)
+            with span("mvm.ledger"):
+                self._account_batch(counted, tile_sats)
         return y
 
     def _account_batch(
@@ -504,8 +508,9 @@ class AnalogAcceleratorGroup:
                 f"input tensor, got {x.shape}"
             )
         members, batch, n = x.shape
-        x_int, scales = quantize_batch(
-            x.reshape(members * batch, n), proto.config.dac_bits)
+        with span("mvm.dac"):
+            x_int, scales = quantize_batch(
+                x.reshape(members * batch, n), proto.config.dac_bits)
         x_int = x_int.reshape(members, batch, n)
         scales = scales.reshape(members, batch)
         if all(mvm._stack is proto for mvm in mvms[1:]):
@@ -531,6 +536,7 @@ class AnalogAcceleratorGroup:
         y, counted, tile_sats = proto.execute_group(
             x_int, scales, electrical, conductance, scale_gain)
         if electrical:
-            for i, mvm in enumerate(mvms):
-                mvm._account_batch(counted[i], tile_sats[i])
+            with span("mvm.ledger"):
+                for i, mvm in enumerate(mvms):
+                    mvm._account_batch(counted[i], tile_sats[i])
         return y

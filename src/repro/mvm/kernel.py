@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.mvm.mapper import CrossbarTile, MVMConfig
 from repro.mvm.pipeline import ADCModel, bit_slices_batch
+from repro.obs.trace import span
 
 __all__ = ["TileStack"]
 
@@ -246,28 +247,40 @@ class TileStack:
                 (members, self.n_tiles, batch, self.config.dac_bits),
                 dtype=bool), \
                 np.zeros((members, self.n_tiles), dtype=np.int64)
-        slices = bit_slices_batch(
-            x_int.reshape(members * batch, self.in_dim),
-            self.config.dac_bits,
-        ).reshape(members, batch, self.config.dac_bits, self.in_dim)
+        # Stage spans are whole-tensor (one per batch, not per sample),
+        # so tracing never perturbs the numerics and enabled overhead
+        # stays within the obs bench's <5% bar.
+        with span("mvm.kernel", members=members, batch=batch,
+                  tiles=self.n_tiles):
+            with span("mvm.dac"):
+                slices = bit_slices_batch(
+                    x_int.reshape(members * batch, self.in_dim),
+                    self.config.dac_bits,
+                ).reshape(members, batch, self.config.dac_bits,
+                          self.in_dim)
 
-        per_sample = (members * self.n_tiles * self.config.dac_bits
-                      * self._max_rows * self._cols)
-        chunk = max(1, _WORKSPACE_ELEMENTS // max(1, per_sample))
-        counted_parts: list[np.ndarray] = []
-        tile_sats = np.zeros((members, self.n_tiles), dtype=np.int64)
-        for m0 in range(0, batch, chunk):
-            part = self._execute_chunk(
-                slices[:, m0:m0 + chunk], conductance, scale_gain,
-                electrical)
-            y[:, m0:m0 + chunk] = part[0]
-            if electrical:
-                counted_parts.append(part[1])
-                tile_sats += part[2]
-        y *= scales[:, :, None]
-        if not electrical:
-            return y, None, None
-        return y, np.concatenate(counted_parts, axis=2), tile_sats
+            per_sample = (members * self.n_tiles * self.config.dac_bits
+                          * self._max_rows * self._cols)
+            chunk = max(1, _WORKSPACE_ELEMENTS // max(1, per_sample))
+            counted_parts: list[np.ndarray] = []
+            tile_sats = np.zeros((members, self.n_tiles), dtype=np.int64)
+            for m0 in range(0, batch, chunk):
+                part = self._execute_chunk(
+                    slices[:, m0:m0 + chunk], conductance, scale_gain,
+                    electrical)
+                with span("mvm.shift_add"):
+                    y[:, m0:m0 + chunk] = part[0]
+                if electrical:
+                    with span("mvm.ledger"):
+                        counted_parts.append(part[1])
+                        tile_sats += part[2]
+            with span("mvm.shift_add"):
+                y *= scales[:, :, None]
+            if not electrical:
+                return y, None, None
+            with span("mvm.ledger"):
+                counted = np.concatenate(counted_parts, axis=2)
+            return y, counted, tile_sats
 
     def _execute_chunk(
         self, slices: np.ndarray, conductance: np.ndarray,
@@ -278,66 +291,79 @@ class TileStack:
         s_bits = self.config.dac_bits
         n_bands = len(self.bands)
 
-        # (members, bands, m, slices, rows): each band's activation
-        # masks, padded rows never active.  When the single band spans
-        # the whole input the slices already are the masks.
-        if self._whole_band:
-            band_masks = slices[:, None]
-        else:
-            band_masks = np.zeros(
-                (members, n_bands, m, s_bits, self._max_rows),
-                dtype=bool)
-            for b, row0 in enumerate(self.bands):
-                rows = int(self._band_rows[b])
-                band_masks[:, b, :, :, :rows] = \
-                    slices[:, :, :, row0:row0 + rows]
-        active = band_masks.sum(axis=4, dtype=np.int64)
+        with span("mvm.accumulate"):
+            # (members, bands, m, slices, rows): each band's activation
+            # masks, padded rows never active.  When the single band
+            # spans the whole input the slices already are the masks.
+            if self._whole_band:
+                band_masks = slices[:, None]
+            else:
+                band_masks = np.zeros(
+                    (members, n_bands, m, s_bits, self._max_rows),
+                    dtype=bool)
+                for b, row0 in enumerate(self.bands):
+                    rows = int(self._band_rows[b])
+                    band_masks[:, b, :, :, :rows] = \
+                        slices[:, :, :, row0:row0 + rows]
+            active = band_masks.sum(axis=4, dtype=np.int64)
 
-        act_t = active[:, self._band_of_tile]
-        summed = self._row_sums(band_masks, conductance)
-        currents = self._read_voltage * summed
+            act_t = active[:, self._band_of_tile]
+            summed = self._row_sums(band_masks, conductance)
+            currents = self._read_voltage * summed
+            # Free the stage's big temporaries while its span is still
+            # open: teardown stays attributed to the stage that paid
+            # for the allocation, and peak memory drops a chunk's worth
+            # of masks before the ADC allocates its code planes.
+            del band_masks, active, summed
 
-        codes, clipped = self.adc.convert_codes(currents, act_t)
+        with span("mvm.adc"):
+            codes, clipped = self.adc.convert_codes(currents, act_t)
+            del currents
 
-        # Shift-and-add: fold differential bit planes (exact: integer
-        # codes scaled by exact powers of two), apply per-tile
-        # scale * gain, then the per-slice 2**s weights.
-        folded = codes.reshape(
-            members, self.n_tiles, m, s_bits, self._max_out,
-            self.config.planes_per_col,
-        ) @ self._pair_vector
-        partial = folded * scale_gain[:, :, None, None, None]
-        partial *= 2.0 ** np.arange(s_bits)[None, None, None, :, None]
+        with span("mvm.shift_add"):
+            # Shift-and-add: fold differential bit planes (exact:
+            # integer codes scaled by exact powers of two), apply
+            # per-tile scale * gain, then the per-slice 2**s weights.
+            folded = codes.reshape(
+                members, self.n_tiles, m, s_bits, self._max_out,
+                self.config.planes_per_col,
+            ) @ self._pair_vector
+            partial = folded * scale_gain[:, :, None, None, None]
+            partial *= 2.0 ** np.arange(s_bits)[None, None, None, :, None]
+            del folded
 
-        # Partial-sum accumulation in the legacy order: slice-major,
-        # then grid (band) order.  Tiles within one (slice, band) pair
-        # write disjoint output columns, so scattering then accumulating
-        # the leading axis reproduces the serial accumulation sequence
-        # exactly; skipped (inactive) reads contribute signed zeros,
-        # which are exact no-ops on the accumulator.  The accumulation
-        # is an explicit ordered loop (one whole-batch add per step):
-        # an axis reduction would go pairwise -- and change last-ulp
-        # roundings -- whenever the trailing axes collapse to stride 1.
-        gathered = np.zeros(
-            (members, s_bits, n_bands, m, self.out_dim), dtype=float)
-        for t in range(self.n_tiles):
-            col0, out_cols = self._col0[t], self._out_cols[t]
-            gathered[:, :, self._band_of_tile[t], :,
-                     col0:col0 + out_cols] \
-                = partial[:, t, :, :, :out_cols].transpose(0, 2, 1, 3)
-        gathered = gathered.reshape(members, -1, m, self.out_dim)
-        y = np.zeros((members, m, self.out_dim), dtype=float)
-        for k in range(gathered.shape[1]):
-            y += gathered[:, k]
+            # Partial-sum accumulation in the legacy order: slice-major,
+            # then grid (band) order.  Tiles within one (slice, band)
+            # pair write disjoint output columns, so scattering then
+            # accumulating the leading axis reproduces the serial
+            # accumulation sequence exactly; skipped (inactive) reads
+            # contribute signed zeros, which are exact no-ops on the
+            # accumulator.  The accumulation is an explicit ordered loop
+            # (one whole-batch add per step): an axis reduction would go
+            # pairwise -- and change last-ulp roundings -- whenever the
+            # trailing axes collapse to stride 1.
+            gathered = np.zeros(
+                (members, s_bits, n_bands, m, self.out_dim), dtype=float)
+            for t in range(self.n_tiles):
+                col0, out_cols = self._col0[t], self._out_cols[t]
+                gathered[:, :, self._band_of_tile[t], :,
+                         col0:col0 + out_cols] \
+                    = partial[:, t, :, :, :out_cols].transpose(0, 2, 1, 3)
+            gathered = gathered.reshape(members, -1, m, self.out_dim)
+            y = np.zeros((members, m, self.out_dim), dtype=float)
+            for k in range(gathered.shape[1]):
+                y += gathered[:, k]
+            del partial, gathered
 
         if not electrical:
             return y, None, None
-        counted = act_t > 0
-        # Saturations count per conversion; inactive reads convert
-        # nothing (their raw codes are exactly zero) and padded columns
-        # clip at the bottom of the range, so the mask is already
-        # confined to real conversions.
-        tile_sats = clipped.sum(axis=(2, 3, 4), dtype=np.int64)
+        with span("mvm.ledger"):
+            counted = act_t > 0
+            # Saturations count per conversion; inactive reads convert
+            # nothing (their raw codes are exactly zero) and padded
+            # columns clip at the bottom of the range, so the mask is
+            # already confined to real conversions.
+            tile_sats = clipped.sum(axis=(2, 3, 4), dtype=np.int64)
         return y, counted, tile_sats
 
     #: Row-pattern lookup tables cover at most this many rows; the

@@ -1,0 +1,135 @@
+"""Span exporters: Chrome ``trace_event`` files and JSON-lines logs.
+
+The Chrome format is the JSON object Perfetto / ``about:tracing`` load
+directly: complete (``"ph": "X"``) events with microsecond timestamps,
+one per closed span, carrying the span/trace ids and attributes in
+``args`` so :func:`read_spans` can reconstruct the exact
+:class:`~repro.obs.trace.SpanRecord` list from either format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "read_spans",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]
+
+#: Chrome-trace schema marker stored in the file's metadata block.
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+def to_chrome_trace(
+    records: Sequence[SpanRecord],
+    metadata: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The Chrome ``trace_event`` object for ``records``."""
+    events = []
+    for rec in records:
+        events.append({
+            "name": rec.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": rec.start_seconds * 1e6,
+            "dur": rec.duration_seconds * 1e6,
+            "pid": rec.pid,
+            "tid": rec.tid,
+            "args": {
+                **dict(rec.attrs),
+                "trace_id": rec.trace_id,
+                "span_id": rec.span_id,
+                "parent_id": rec.parent_id,
+            },
+        })
+    events.sort(key=lambda e: (e["ts"], e["args"]["span_id"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"schema": TRACE_SCHEMA, **dict(metadata or {})},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    records: Sequence[SpanRecord],
+    metadata: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write ``records`` as a Perfetto-loadable Chrome trace file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = to_chrome_trace(records, metadata)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def write_spans_jsonl(path: str | Path,
+                      records: Iterable[SpanRecord]) -> Path:
+    """Write one ``SpanRecord.to_dict()`` JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for rec in records:
+            handle.write(json.dumps(rec.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def _record_from_event(event: Mapping[str, Any]) -> SpanRecord:
+    args = dict(event.get("args") or {})
+    span_id = args.pop("span_id", 0)
+    parent_id = args.pop("parent_id", None)
+    trace_id = args.pop("trace_id", "")
+    return SpanRecord(
+        name=str(event.get("name", "")),
+        trace_id=str(trace_id),
+        span_id=int(span_id),
+        parent_id=None if parent_id is None else int(parent_id),
+        start_seconds=float(event.get("ts", 0.0)) / 1e6,
+        duration_seconds=float(event.get("dur", 0.0)) / 1e6,
+        pid=int(event.get("pid", 0)),
+        tid=int(event.get("tid", 0)),
+        attrs=args,
+    )
+
+
+def read_spans(path: str | Path) -> list[SpanRecord]:
+    """Load spans back from a Chrome-trace or JSON-lines file.
+
+    Raises:
+        ValueError: when the file is neither format.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return [_record_from_event(event)
+                for event in payload["traceEvents"]
+                if event.get("ph", "X") == "X"]
+    if isinstance(payload, dict) and "span_id" in payload:
+        return [SpanRecord.from_dict(payload)]
+    if payload is None:
+        records = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a span record: {exc}") from exc
+        if records:
+            return records
+    raise ValueError(
+        f"{path}: neither a Chrome trace_event file nor a span JSONL log")

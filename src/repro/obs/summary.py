@@ -1,0 +1,65 @@
+"""Per-stage aggregation of span records (``repro trace summarize``).
+
+Spans aggregate by name: count, total time, mean, and the share of the
+trace's root time (the summed duration of spans with no parent -- the
+wall time actually traced; nested stages can sum past 100% of *their
+parent* only if they overlap, which the single-threaded run pipeline
+never does).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.tables import format_table
+from repro.obs.trace import SpanRecord
+
+__all__ = ["render_summary", "summarize_spans"]
+
+
+def summarize_spans(records: Sequence[SpanRecord]) -> list[dict[str, Any]]:
+    """Aggregate ``records`` by span name, longest total first.
+
+    Returns rows ``{"stage", "count", "total_seconds", "mean_seconds",
+    "share_pct"}`` where ``share_pct`` is the stage total as a
+    percentage of the summed root-span time (0 when nothing is a root).
+    """
+    known_ids = {rec.span_id for rec in records}
+    root_total = sum(
+        rec.duration_seconds for rec in records
+        if rec.parent_id is None or rec.parent_id not in known_ids
+    )
+    stages: dict[str, dict[str, Any]] = {}
+    for rec in records:
+        stage = stages.setdefault(
+            rec.name, {"stage": rec.name, "count": 0, "total_seconds": 0.0})
+        stage["count"] += 1
+        stage["total_seconds"] += rec.duration_seconds
+    rows = []
+    for stage in stages.values():
+        total = stage["total_seconds"]
+        rows.append({
+            **stage,
+            "mean_seconds": total / stage["count"],
+            "share_pct": 100.0 * total / root_total if root_total else 0.0,
+        })
+    rows.sort(key=lambda row: (-row["total_seconds"], row["stage"]))
+    return rows
+
+
+def render_summary(records: Sequence[SpanRecord],
+                   title: str = "trace summary") -> str:
+    """The fixed-width per-stage table for ``records``."""
+    rows = summarize_spans(records)
+    trace_ids = sorted({rec.trace_id for rec in records})
+    if trace_ids:
+        title = f"{title} ({len(records)} spans, " \
+                f"trace {', '.join(trace_ids[:3])}" \
+                f"{', ...' if len(trace_ids) > 3 else ''})"
+    table = format_table(
+        ["stage", "count", "total_s", "mean_s", "share_%"],
+        [(row["stage"], row["count"], row["total_seconds"],
+          row["mean_seconds"], row["share_pct"]) for row in rows],
+        title=title,
+    )
+    return table

@@ -1,0 +1,323 @@
+"""Structured span tracing with a process-global activation switch.
+
+A :class:`Tracer` collects :class:`SpanRecord` values -- named,
+nestable timing intervals with attributes -- under one trace id.  Code
+is instrumented with the module-level :func:`span` helper::
+
+    from repro.obs import span
+
+    with span("fabric.build", items=4):
+        fabric = build_fabric(adapter)
+
+When no tracer is active, :func:`span` returns a shared no-op context
+manager: the cost of an instrumentation site is one module-global read
+and a ``None`` check, so the instrumented hot paths stay within noise
+of uninstrumented code (pinned by ``benchmarks/test_obs_overhead.py``).
+
+Determinism contract: tracing only ever *reads* clocks.  It never
+touches ``random``/``numpy`` RNG state (trace ids come from
+``uuid4``/``os.urandom``, outside any seeded stream) and never feeds
+anything into spec hashing, so results are bit-identical with tracing
+on or off -- the determinism suites re-run under an active tracer to
+pin this.
+
+Cross-process stitching: worker processes record spans into their own
+short-lived tracer and ship ``[record.to_dict(), ...]`` back over the
+existing result queues; the parent grafts them under the dispatching
+span with :meth:`Tracer.adopt`, which remaps span ids, rebases start
+offsets onto the parent clock, and rewrites the trace id.  Clock bases
+differ across processes, so adopted placements are honest to within
+queue latency -- durations are exact, absolute offsets approximate.
+
+Thread model: span nesting is tracked per thread (the serving layer
+completes dispatches from executor threads), while the record list is
+lock-guarded and shared, so one tracer can observe a whole service.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import itertools
+import os
+import threading
+import time
+import uuid
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "activate_tracer",
+    "active_tracer",
+    "deactivate_tracer",
+    "span",
+    "traced",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: a named interval on a tracer's clock.
+
+    Attributes:
+        name: stage name, dot-namespaced (``"mvm.adc"``).
+        trace_id: the owning trace (shared by every span of one run).
+        span_id: unique within the trace.
+        parent_id: enclosing span's id, or None for a root span.
+        start_seconds: offset from the tracer's epoch.
+        duration_seconds: wall duration of the interval.
+        pid: process that recorded the span.
+        tid: thread ident that recorded the span.
+        attrs: small JSON-able annotations (counts, sizes, keys).
+    """
+
+    name: str
+    trace_id: str
+    span_id: int
+    parent_id: int | None
+    start_seconds: float
+    duration_seconds: float
+    pid: int
+    tid: int
+    attrs: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["attrs"] = dict(self.attrs)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpanRecord":
+        return cls(
+            name=str(data["name"]),
+            trace_id=str(data["trace_id"]),
+            span_id=int(data["span_id"]),
+            parent_id=(None if data.get("parent_id") is None
+                       else int(data["parent_id"])),
+            start_seconds=float(data["start_seconds"]),
+            duration_seconds=float(data["duration_seconds"]),
+            pid=int(data.get("pid", 0)),
+            tid=int(data.get("tid", 0)),
+            attrs=dict(data.get("attrs") or {}),
+        )
+
+
+class _OpenSpan:
+    """The context manager behind :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id",
+                 "_parent_id", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_OpenSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent_id = stack[-1] if stack else None
+        self._span_id = next(tracer._ids)
+        stack.append(self._span_id)
+        self._t0 = tracer.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        duration = tracer.now() - self._t0
+        stack = tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        attrs = self._attrs
+        if exc_type is not None:
+            attrs = {**attrs, "error": exc_type.__name__}
+        record = SpanRecord(
+            name=self._name,
+            trace_id=tracer.trace_id,
+            span_id=self._span_id,
+            parent_id=self._parent_id,
+            start_seconds=self._t0,
+            duration_seconds=duration,
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFFFFFF,
+            attrs=attrs,
+        )
+        with tracer._lock:
+            tracer._records.append(record)
+        return False
+
+
+class Tracer:
+    """A collector of nested spans under one trace id."""
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        #: Wall-clock instant the tracer was created -- the anchor for
+        #: provenance ``started_at`` stamps.
+        self.started_at = time.time()
+        self._epoch = time.perf_counter()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- clocks ----------------------------------------------------------------
+
+    def now(self) -> float:
+        """Monotonic seconds since this tracer's epoch."""
+        return time.perf_counter() - self._epoch
+
+    def wall_now(self) -> float:
+        """Wall-clock seconds (the one sanctioned wall-clock read)."""
+        return time.time()
+
+    # -- span recording --------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current_span_id(self) -> int | None:
+        """The innermost open span on this thread (None outside spans)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name: str, **attrs: Any) -> _OpenSpan:
+        """A context manager recording ``name`` around its body."""
+        return _OpenSpan(self, name, attrs)
+
+    def record_span(
+        self,
+        name: str,
+        start_seconds: float,
+        duration_seconds: float,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> int:
+        """Record an explicit interval (for async code that cannot hold
+        a context manager across awaits).  Returns the new span id."""
+        span_id = next(self._ids)
+        record = SpanRecord(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            start_seconds=start_seconds,
+            duration_seconds=max(0.0, duration_seconds),
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFFFFFF,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._records.append(record)
+        return span_id
+
+    def adopt(
+        self,
+        records: Iterable[SpanRecord | Mapping[str, Any]],
+        parent_id: int | None = None,
+        offset_seconds: float = 0.0,
+    ) -> int:
+        """Graft foreign records (a worker's tracer) under this trace.
+
+        Span ids are remapped onto this tracer's counter, roots are
+        reparented onto ``parent_id``, start offsets shift by
+        ``offset_seconds`` (the parent-clock instant the worker began),
+        and the trace id is rewritten.  Returns the adopted count.
+        """
+        incoming = [
+            rec if isinstance(rec, SpanRecord) else SpanRecord.from_dict(rec)
+            for rec in records
+        ]
+        with self._lock:
+            id_map = {rec.span_id: next(self._ids) for rec in incoming}
+            for rec in incoming:
+                self._records.append(dataclasses.replace(
+                    rec,
+                    trace_id=self.trace_id,
+                    span_id=id_map[rec.span_id],
+                    parent_id=id_map.get(rec.parent_id, parent_id),
+                    start_seconds=rec.start_seconds + offset_seconds,
+                ))
+        return len(incoming)
+
+    def records(self) -> list[SpanRecord]:
+        """A snapshot copy of every closed span so far."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class _NullSpan:
+    """The shared no-op context manager of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The process-global active tracer (None = tracing disabled).
+_ACTIVE: Tracer | None = None
+
+
+def activate_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def active_tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is disabled."""
+    return _ACTIVE
+
+
+def deactivate_tracer() -> Tracer | None:
+    """Disable tracing; returns the tracer that was active."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def span(name: str, **attrs: Any):
+    """A span on the active tracer, or a shared no-op when disabled.
+
+    This is *the* instrumentation entry point; its disabled path is a
+    module-global read plus a ``None`` check.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+@contextlib.contextmanager
+def traced(tracer: Tracer | None = None):
+    """Activate a tracer for a block, restoring the previous one after.
+
+    >>> with traced() as tracer:
+    ...     result = Engine.from_spec(spec).run()
+    >>> len(tracer.records()) > 0
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    tracer = tracer if tracer is not None else Tracer()
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

@@ -41,6 +41,7 @@ from pathlib import Path
 import repro
 from repro.api.result import RunResult
 from repro.api.spec import ScenarioSpec
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "PruneStats", "ResultCache"]
 
@@ -133,23 +134,29 @@ class ResultCache:
         # entries) can at worst mistime a prune, never corrupt one.
         self._bytes_estimate: int | None = None
         self._entries_estimate: int | None = None
-        # Lifetime traffic counters (see CacheStats / stats()).
-        self._hits = 0
-        self._misses = 0
-        self._stores = 0
-        self._evictions = 0
-        self._corrupt_dropped = 0
-        self._stale_dropped = 0
+        # Lifetime traffic counters (see CacheStats / stats()), held as
+        # series in this instance's own metrics registry so the serving
+        # layer can fold them into its unified snapshot.
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("result_cache_hits_total")
+        self._misses = self.metrics.counter("result_cache_misses_total")
+        self._stores = self.metrics.counter("result_cache_stores_total")
+        self._evictions = self.metrics.counter(
+            "result_cache_evictions_total")
+        self._corrupt_dropped = self.metrics.counter(
+            "result_cache_corrupt_dropped_total")
+        self._stale_dropped = self.metrics.counter(
+            "result_cache_stale_dropped_total")
 
     def stats(self) -> CacheStats:
         """This instance's lifetime hit/miss/store/prune counters."""
         return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            stores=self._stores,
-            evictions=self._evictions,
-            corrupt_dropped=self._corrupt_dropped,
-            stale_dropped=self._stale_dropped,
+            hits=self._hits.value,
+            misses=self._misses.value,
+            stores=self._stores.value,
+            evictions=self._evictions.value,
+            corrupt_dropped=self._corrupt_dropped.value,
+            stale_dropped=self._stale_dropped.value,
         )
 
     def path_for(self, spec: ScenarioSpec) -> Path:
@@ -174,12 +181,12 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
-            self._misses += 1
+            self._misses.inc()
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._discard(path)
-            self._misses += 1
-            self._corrupt_dropped += 1
+            self._misses.inc()
+            self._corrupt_dropped.inc()
             return None
         try:
             if payload["schema"] != CACHE_SCHEMA:
@@ -194,23 +201,23 @@ class ResultCache:
             # a 1e999-style float overflowing int() (OverflowError).
             # The hit path must degrade to a recompute, never crash.
             self._discard(path)
-            self._misses += 1
-            self._corrupt_dropped += 1
+            self._misses.inc()
+            self._corrupt_dropped.inc()
             return None
         if stored_spec != spec.to_dict():
             # Hash collision or stale key derivation: a valid entry that
             # answers a different question.  Not corruption -- leave it.
-            self._misses += 1
+            self._misses.inc()
             return None
         if result.provenance.get("repro_version") != repro.__version__:
             # Valid entry from another code version: stale, not
             # corrupt.  Report a miss; the rerun's store overwrites it.
-            self._misses += 1
-            self._stale_dropped += 1
+            self._misses.inc()
+            self._stale_dropped.inc()
             return None
         producer = {
             key: result.provenance[key]
-            for key in ("wall_seconds", "parallel")
+            for key in ("wall_seconds", "parallel", "trace")
             if key in result.provenance
         }
         provenance = {
@@ -228,7 +235,7 @@ class ResultCache:
             os.utime(path, None)
         except OSError:
             pass
-        self._hits += 1
+        self._hits.inc()
         return RunResult(
             spec=result.spec,
             outputs=result.outputs,
@@ -256,7 +263,7 @@ class ResultCache:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
         os.replace(tmp, path)
-        self._stores += 1
+        self._stores.inc()
         if self.max_entries is not None or self.max_bytes is not None:
             if self._over_caps_estimate(path):
                 self.prune(max_entries=self.max_entries,
@@ -344,7 +351,7 @@ class ResultCache:
                 kept_bytes += size
         self._bytes_estimate = kept_bytes
         self._entries_estimate = kept
-        self._evictions += removed
+        self._evictions.inc(removed)
         return PruneStats(
             scanned=len(entries),
             removed=removed,

@@ -42,6 +42,7 @@ from repro.api.result import (
 )
 from repro.api.spec import ScenarioSpec
 from repro.api.workloads import adapter_for
+from repro.obs.trace import Tracer, active_tracer, span, traced
 from repro.parallel.cache import ResultCache
 from repro.parallel.sharding import plan_shards
 
@@ -50,6 +51,7 @@ __all__ = [
     "ShardResult",
     "merge_shard_results",
     "run_shard",
+    "run_shard_traced",
 ]
 
 #: Pool start methods, best first: ``fork`` shares the parent's loaded
@@ -98,10 +100,11 @@ def run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
     """
     spec, offset, count = task
     started = time.perf_counter()
-    engine = Engine.from_spec(spec)
-    adapter = adapter_for(spec, engine.name, window=(offset, count))
-    engine.check_params(adapter)
-    outputs, base, item_costs = engine.execute_window(adapter)
+    with span("shard.window", offset=offset, count=count):
+        engine = Engine.from_spec(spec)
+        adapter = adapter_for(spec, engine.name, window=(offset, count))
+        engine.check_params(adapter)
+        outputs, base, item_costs = engine.execute_window(adapter)
     return ShardResult(
         offset=offset,
         count=count,
@@ -116,6 +119,21 @@ def run_shard(task: tuple[ScenarioSpec, int, int]) -> ShardResult:
 
 # Historical private name; the sharded map tasks pickle by qualname.
 _run_shard = run_shard
+
+
+def run_shard_traced(
+    task: tuple[ScenarioSpec, int, int],
+) -> tuple[ShardResult, list[dict[str, Any]]]:
+    """Worker body for traced sharded runs.
+
+    Executes the shard under a fresh worker-local tracer and ships the
+    span records home as dicts alongside the result, so the parent can
+    graft them under its dispatch span (:meth:`Tracer.adopt`).
+    """
+    tracer = Tracer()
+    with traced(tracer):
+        result = run_shard(task)
+    return result, [rec.to_dict() for rec in tracer.records()]
 
 
 def _run_spec(spec: ScenarioSpec) -> RunResult:
@@ -154,17 +172,18 @@ def merge_shard_results(
         wall_seconds: the whole sharded run's wall time.
     """
     shard_results = list(shard_results)
-    merge_adapter = adapter_for(spec, engine.name)
-    outputs = merge_adapter.merge_shard_outputs(
-        [s.outputs for s in shard_results])
-    item_costs = tuple(
-        c for s in shard_results for c in s.item_costs)
-    cost = type(engine).aggregate_cost(
-        shard_results[0].base_cost, list(item_costs))
-    fidelity = type(engine).merge_window_fidelity(
-        [s.fidelity for s in shard_results])
-    accuracy = type(engine).merge_window_accuracy(
-        [s.accuracy for s in shard_results])
+    with span("shards.merge", shards=len(shard_results)):
+        merge_adapter = adapter_for(spec, engine.name)
+        outputs = merge_adapter.merge_shard_outputs(
+            [s.outputs for s in shard_results])
+        item_costs = tuple(
+            c for s in shard_results for c in s.item_costs)
+        cost = type(engine).aggregate_cost(
+            shard_results[0].base_cost, list(item_costs))
+        fidelity = type(engine).merge_window_fidelity(
+            [s.fidelity for s in shard_results])
+        accuracy = type(engine).merge_window_accuracy(
+            [s.accuracy for s in shard_results])
     provenance = {
         "engine": engine.name,
         "workload": spec.workload,
@@ -176,6 +195,17 @@ def merge_shard_results(
     }
     if not spec.device.is_plain:
         provenance["device_overrides"] = dict(spec.device.overrides)
+    tracer = active_tracer()
+    if tracer is not None:
+        # Same linkage Engine.run stamps: scheduling provenance, never
+        # part of determinism comparisons.  started_at is anchored by
+        # subtracting the run duration (the executor measured it; the
+        # merge runs immediately after).
+        provenance["trace"] = {
+            "trace_id": tracer.trace_id,
+            "started_at": tracer.wall_now() - wall_seconds,
+            "duration_seconds": wall_seconds,
+        }
     return RunResult(
         spec=spec,
         outputs=outputs,
@@ -303,9 +333,25 @@ class ParallelRunner:
         # Validate params before forking so a typoed knob fails in the
         # parent with the usual error, not wrapped in a pool traceback.
         engine.check_params(adapter_for(spec, engine.name))
+        tasks = [(spec, off, cnt) for off, cnt in shards]
+        tracer = active_tracer()
         started = time.perf_counter()
-        shard_results = self._map(
-            run_shard, [(spec, off, cnt) for off, cnt in shards])
+        if tracer is None:
+            shard_results = self._map(run_shard, tasks)
+        else:
+            # Workers trace into their own short-lived tracer; the
+            # records come home with each result and graft under the
+            # dispatch span, rebased to the dispatch instant (worker
+            # clock bases are unknowable across processes).
+            with span("shards.dispatch", shards=len(shards),
+                      workers=self.workers, pool=self._method()):
+                dispatch_id = tracer.current_span_id
+                dispatch_at = tracer.now()
+                pairs = self._map(run_shard_traced, tasks)
+            shard_results = [result for result, _ in pairs]
+            for _, records in pairs:
+                tracer.adopt(records, parent_id=dispatch_id,
+                             offset_seconds=dispatch_at)
         elapsed = time.perf_counter() - started
         return merge_shard_results(
             spec, engine, shard_results,

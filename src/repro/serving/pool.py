@@ -61,6 +61,8 @@ from repro.api.fabric_cache import (
 from repro.api.result import RunResult
 from repro.api.spec import ScenarioSpec
 from repro.api.workloads import adapter_for
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active_tracer, span, traced
 from repro.parallel.runner import merge_shard_results, run_shard
 from repro.parallel.sharding import plan_shards
 from repro.serving.errors import ServingError, WorkerCrashed
@@ -127,11 +129,19 @@ def _worker_main(worker_id: int, inbox, outbox, warm_entries: int) -> None:
         if message[0] == "ping":
             outbox.put(("pong", worker_id, message[1]))
             continue
-        _, dispatch_id, kind, payload = message
+        _, dispatch_id, kind, payload, trace_on = message
         outbox.put(("started", worker_id, dispatch_id))
         started = time.perf_counter()
+        # Traced dispatches execute under a fresh worker-local tracer;
+        # the span records ride the "done" message home so the parent
+        # can graft them under the dispatching span (Tracer.adopt).
+        tracer = Tracer() if trace_on else None
         try:
-            result = _execute_task(kind, payload)
+            if tracer is not None:
+                with traced(tracer):
+                    result = _execute_task(kind, payload)
+            else:
+                result = _execute_task(kind, payload)
         except BaseException as exc:  # noqa: BLE001 -- forwarded whole
             outbox.put(("failed", worker_id, dispatch_id,
                         _sendable_error(exc),
@@ -140,8 +150,10 @@ def _worker_main(worker_id: int, inbox, outbox, warm_entries: int) -> None:
         stats = cache.stats()
         delta = stats.delta(reported)
         reported = stats
+        spans = [] if tracer is None \
+            else [rec.to_dict() for rec in tracer.records()]
         outbox.put(("done", worker_id, dispatch_id, result,
-                    time.perf_counter() - started, delta))
+                    time.perf_counter() - started, delta, spans))
 
 
 class PoolTask:
@@ -162,6 +174,11 @@ class PoolTask:
         self.future: Future = Future()
         self.started = threading.Event()
         self.attempts = 0
+        # Trace linkage for worker-side spans: the submitter's open
+        # span (adoption parent) and the parent-clock dispatch instant
+        # (adoption offset); only meaningful while a tracer is active.
+        self.trace_parent_id: int | None = None
+        self.trace_offset = 0.0
 
     def result(self, timeout: float | None = None) -> Any:
         """Block for the task's result (raises what the task raised)."""
@@ -238,12 +255,21 @@ class WorkerPool:
         self._collector: threading.Thread | None = None
         self._running = False
         self._closed = False
-        # Lifetime counters (under _lock).
-        self._restarts = 0
-        self._tasks_done = 0
-        self._tasks_failed = 0
-        self._tasks_retried = 0
-        self._busy_seconds = 0.0
+        # Lifetime counters: ``pool_*`` series in the unified metrics
+        # registry (:mod:`repro.obs.metrics`); compound updates still
+        # happen under _lock, :meth:`stats` is the dataclass adapter.
+        self.metrics = MetricsRegistry()
+        self._restarts = self.metrics.counter("pool_restarts_total")
+        self._tasks_done = self.metrics.counter("pool_tasks_done_total")
+        self._tasks_failed = self.metrics.counter(
+            "pool_tasks_failed_total")
+        self._tasks_retried = self.metrics.counter(
+            "pool_tasks_retried_total")
+        self._busy_seconds = self.metrics.counter(
+            "pool_busy_seconds_total")
+        self._pending_gauge = self.metrics.gauge("pool_pending_tasks")
+        self._running_gauge = self.metrics.gauge("pool_running_tasks")
+        self._alive_gauge = self.metrics.gauge("pool_workers_alive")
         self._fabric_totals = FabricCacheStats()
         # Inline mode: the cache shared by in-process execution, plus
         # whatever cache was active before start() so shutdown can
@@ -350,6 +376,10 @@ class WorkerPool:
         if kind not in ("window", "spec", "group"):
             raise ValueError(f"unknown task kind {kind!r}")
         task = PoolTask(kind, payload)
+        tracer = active_tracer()
+        if tracer is not None:
+            # Worker-side spans adopt under the submitter's open span.
+            task.trace_parent_id = tracer.current_span_id
         with self._lock:
             if not self._running or self._closed:
                 raise ServingError("pool is not running")
@@ -369,12 +399,12 @@ class WorkerPool:
         try:
             result = _execute_task(task.kind, task.payload)
         except BaseException as exc:  # noqa: BLE001 -- future carries it
-            self._busy_seconds += time.perf_counter() - started
-            self._tasks_failed += 1
+            self._busy_seconds.inc(time.perf_counter() - started)
+            self._tasks_failed.inc()
             task.future.set_exception(exc)
             return
-        self._busy_seconds += time.perf_counter() - started
-        self._tasks_done += 1
+        self._busy_seconds.inc(time.perf_counter() - started)
+        self._tasks_done.inc()
         self._fabric_totals = self._fabric_totals.merged_with(
             cache.stats().delta(before))
         task.future.set_result(result)
@@ -397,9 +427,11 @@ class WorkerPool:
         # usual error, not wrapped in a worker traceback.
         engine.check_params(adapter_for(spec, engine.name))
         started = time.perf_counter()
-        tasks = [self.submit("window", (spec, offset, count))
-                 for offset, count in shards]
-        shard_results = [task.result() for task in tasks]
+        with span("shards.dispatch", shards=len(shards),
+                  workers=self.workers, pool=f"warm-{self._method()}"):
+            tasks = [self.submit("window", (spec, offset, count))
+                     for offset, count in shards]
+            shard_results = [task.result() for task in tasks]
         elapsed = time.perf_counter() - started
         return merge_shard_results(
             spec, engine, shard_results,
@@ -490,16 +522,21 @@ class WorkerPool:
                     entries=warm_entries,
                 )
                 running = sum(1 for s in self._slots if s.busy)
+            # Instantaneous gauges refresh on snapshot (the registry's
+            # exposition reflects the latest stats() call).
+            self._pending_gauge.set(len(self._pending))
+            self._running_gauge.set(running)
+            self._alive_gauge.set(alive)
             return PoolStats(
                 workers=self.workers,
                 alive=alive,
-                restarts=self._restarts,
-                tasks_done=self._tasks_done,
-                tasks_failed=self._tasks_failed,
-                tasks_retried=self._tasks_retried,
+                restarts=self._restarts.value,
+                tasks_done=self._tasks_done.value,
+                tasks_failed=self._tasks_failed.value,
+                tasks_retried=self._tasks_retried.value,
                 pending=len(self._pending),
                 running=running,
-                busy_seconds=self._busy_seconds,
+                busy_seconds=self._busy_seconds.value,
                 fabric_cache=fabric,
             )
 
@@ -542,8 +579,11 @@ class WorkerPool:
             task.attempts += 1
             self._dispatches[dispatch_id] = task
             slot.dispatch_id = dispatch_id
+            tracer = active_tracer()
+            if tracer is not None:
+                task.trace_offset = tracer.now()
             slot.inbox.put(("task", dispatch_id, task.kind,
-                            task.payload))
+                            task.payload, tracer is not None))
 
     def _collect_loop(self) -> None:
         """Collector thread: results, health, restarts, scheduling.
@@ -597,19 +637,28 @@ class WorkerPool:
             if slot.dispatch_id == dispatch_id:
                 slot.dispatch_id = None
             if kind == "done":
-                _, _, _, result, busy, delta = message
-                self._busy_seconds += busy
+                _, _, _, result, busy, delta, spans = message
+                self._busy_seconds.inc(busy)
                 self._fabric_totals = \
                     self._fabric_totals.merged_with(delta)
                 slot.warm_entries_gauge = delta.entries
+                tracer = active_tracer()
+                if spans and tracer is not None:
+                    tracer.adopt(
+                        spans,
+                        parent_id=(task.trace_parent_id
+                                   if task is not None else None),
+                        offset_seconds=(task.trace_offset
+                                        if task is not None else 0.0),
+                    )
                 if task is not None and not task.future.done():
-                    self._tasks_done += 1
+                    self._tasks_done.inc()
                     task.future.set_result(result)
             else:
                 _, _, _, error, busy = message
-                self._busy_seconds += busy
+                self._busy_seconds.inc(busy)
                 if task is not None and not task.future.done():
-                    self._tasks_failed += 1
+                    self._tasks_failed.inc()
                     task.future.set_exception(error)
             self._dispatch_pending()
 
@@ -634,19 +683,19 @@ class WorkerPool:
                 task = self._dispatches.pop(slot.dispatch_id, None) \
                     if slot.dispatch_id else None
                 slot.dispatch_id = None
-                self._restarts += 1
+                self._restarts.inc()
                 self._start_worker(slot)
                 if task is None or task.future.done():
                     continue
                 if task.attempts >= self.max_attempts:
-                    self._tasks_failed += 1
+                    self._tasks_failed.inc()
                     task.future.set_exception(WorkerCrashed(
                         f"task killed {task.attempts} workers "
                         f"(kind={task.kind!r}); giving up",
                         attempts=task.attempts,
                     ))
                 else:
-                    self._tasks_retried += 1
+                    self._tasks_retried.inc()
                     # Head of the queue: a retried task was admitted
                     # before everything still pending.
                     self._pending.appendleft(task)

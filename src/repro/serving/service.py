@@ -47,6 +47,8 @@ from typing import Any, Mapping, Sequence
 
 from repro.api.result import RunResult
 from repro.api.spec import ScenarioSpec
+from repro.obs.metrics import merge_snapshots
+from repro.obs.trace import active_tracer, span
 from repro.parallel.cache import ResultCache
 from repro.serving.errors import ServiceOverloaded, ServingError
 from repro.serving.pool import WorkerPool
@@ -64,7 +66,8 @@ _COLD_SERVICE_ESTIMATE = 0.1
 class _Request:
     """One admitted submission waiting in a coalesce lane."""
 
-    __slots__ = ("spec", "key", "future", "admitted_at")
+    __slots__ = ("spec", "key", "future", "admitted_at",
+                 "trace_t0", "trace_dispatch")
 
     def __init__(self, spec: ScenarioSpec, key: str,
                  future: asyncio.Future) -> None:
@@ -72,6 +75,11 @@ class _Request:
         self.key = key
         self.future = future
         self.admitted_at = time.perf_counter()
+        # Tracer-clock stamps (async stages cannot hold a span context
+        # manager across awaits, so the request span is recorded
+        # explicitly at settle time from these).
+        self.trace_t0: float | None = None
+        self.trace_dispatch: float | None = None
 
 
 class _Lane:
@@ -212,6 +220,8 @@ class Service:
         if not isinstance(spec, ScenarioSpec):
             spec = ScenarioSpec.from_dict(spec)
         key = spec.canonical_hash()
+        tracer = active_tracer()
+        t0 = tracer.now() if tracer is not None else 0.0
 
         twin = self._inflight.get(key)
         if twin is not None:
@@ -222,6 +232,10 @@ class Service:
                 return await asyncio.shield(twin)
             finally:
                 self._stats.settled_without_service()
+                if tracer is not None:
+                    tracer.record_span(
+                        "serve.request", t0, tracer.now() - t0,
+                        outcome="deduped", key=key[:12])
 
         if self.cache is not None:
             cached = self.cache.load(spec)
@@ -230,6 +244,10 @@ class Service:
                 self._stats.cache_hit()
                 self._stats.settled_without_service()
                 _LOG.debug("event=cache_hit key=%.12s", key)
+                if tracer is not None:
+                    tracer.record_span(
+                        "serve.request", t0, tracer.now() - t0,
+                        outcome="cache_hit", key=key[:12])
                 return cached
 
         depth = self._stats.queue_depth
@@ -239,6 +257,10 @@ class Service:
             _LOG.warning(
                 "event=reject depth=%d limit=%d retry_after=%g",
                 depth, self.max_queue, retry_after)
+            if tracer is not None:
+                tracer.record_span(
+                    "serve.request", t0, tracer.now() - t0,
+                    outcome="rejected", key=key[:12])
             raise ServiceOverloaded(
                 queue_depth=depth, limit=self.max_queue,
                 retry_after_seconds=retry_after)
@@ -249,6 +271,8 @@ class Service:
         future: asyncio.Future = \
             asyncio.get_running_loop().create_future()
         request = _Request(spec, key, future)
+        if tracer is not None:
+            request.trace_t0 = t0
         self._inflight[key] = future
         self._enqueue(request)
         try:
@@ -265,6 +289,22 @@ class Service:
             result_cache=None if self.cache is None
             else self.cache.stats(),
         )
+
+    def metrics(self) -> dict[str, Any]:
+        """One unified registry snapshot of every serving component.
+
+        Merges the ``service_*`` recorder series, the pool's ``pool_*``
+        series and -- when the cache tier is on -- the cache's
+        ``result_cache_*`` series (prefixes keep the merge
+        collision-free).  This is what ``repro serve --metrics-json``
+        writes and what the Prometheus-style exposition renders.
+        """
+        self._pool.stats()  # refresh the pool's instantaneous gauges
+        snapshots = [self._stats.metrics.snapshot(),
+                     self._pool.metrics.snapshot()]
+        if self.cache is not None:
+            snapshots.append(self.cache.metrics.snapshot())
+        return merge_snapshots(*snapshots)
 
     # -- coalescer ------------------------------------------------------------
 
@@ -312,6 +352,11 @@ class Service:
             lane.timer = None
         requests = lane.requests
         now = time.perf_counter()
+        tracer = active_tracer()
+        if tracer is not None:
+            dispatch_now = tracer.now()
+            for request in requests:
+                request.trace_dispatch = dispatch_now
         self._stats.dispatched(
             len(requests), now - requests[0].admitted_at)
         _LOG.info("event=dispatch lane=%.12s requests=%d",
@@ -321,12 +366,22 @@ class Service:
         self._dispatch_tasks.add(task)
         task.add_done_callback(self._dispatch_tasks.discard)
 
+    def _run_group(self, specs: list[ScenarioSpec]) -> list[RunResult]:
+        """Executor-thread body of one coalesced dispatch.
+
+        The ``serve.dispatch`` span is opened on the dispatching thread
+        so the workers' shipped spans adopt under it (the pool reads
+        the submitter's open span as the adoption parent).
+        """
+        with span("serve.dispatch", requests=len(specs)):
+            return self._pool.run_group(specs)
+
     async def _dispatch(self, requests: list[_Request]) -> None:
         specs = [r.spec for r in requests]
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
-                None, self._pool.run_group, specs)
+                None, self._run_group, specs)
         except Exception as exc:  # noqa: BLE001 -- routed to futures
             for request in requests:
                 self._settle(request, error=exc)
@@ -346,6 +401,23 @@ class Service:
             del self._inflight[request.key]
         elapsed = time.perf_counter() - request.admitted_at
         self._stats.finished(error is None, elapsed)
+        tracer = active_tracer()
+        if tracer is not None and request.trace_t0 is not None:
+            now = tracer.now()
+            request_id = tracer.record_span(
+                "serve.request", request.trace_t0,
+                now - request.trace_t0,
+                outcome="completed" if error is None else "error",
+                key=request.key[:12])
+            if request.trace_dispatch is not None:
+                tracer.record_span(
+                    "serve.coalesce", request.trace_t0,
+                    request.trace_dispatch - request.trace_t0,
+                    parent_id=request_id)
+                tracer.record_span(
+                    "serve.service", request.trace_dispatch,
+                    now - request.trace_dispatch,
+                    parent_id=request_id)
         if request.future.done():
             return
         if error is not None:

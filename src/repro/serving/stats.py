@@ -11,91 +11,45 @@ and cheap enough to take per request.
 The recorder is deliberately lock-guarded and allocation-light: it is
 touched on every request by the asyncio front-end and from executor
 threads completing pool dispatches.
+
+Since the unified telemetry subsystem (:mod:`repro.obs`), the recorder
+is an *adapter*: every counter and histogram lives as a labeled series
+in a :class:`~repro.obs.metrics.MetricsRegistry` (``service_*`` metric
+names), and :meth:`StatsRecorder.snapshot` freezes those series into
+the same :class:`ServiceStats` dataclass as before.  The registry
+snapshot itself feeds ``repro serve --metrics-json`` and the
+Prometheus-style exposition.
 """
 
 from __future__ import annotations
 
-import bisect
 import dataclasses
 import threading
 from typing import Any, Mapping
 
 from repro.api.fabric_cache import FabricCacheStats
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, Histogram, MetricsRegistry
 from repro.parallel.cache import CacheStats
 
 __all__ = ["LatencyHistogram", "PoolStats", "ServiceStats",
            "StatsRecorder"]
 
-#: Histogram bucket upper bounds, seconds: half-decade log spacing from
-#: 100 microseconds to 100 seconds, plus the +inf overflow bucket.
-#: Thirteen buckets resolve the interesting range (sub-ms cache hits to
-#: multi-second sharded runs) while keeping snapshots tiny.
-_BOUNDS = (1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1,
-           3.16e-1, 1.0, 3.16, 10.0, 31.6, 100.0, float("inf"))
+#: Histogram bucket upper bounds, seconds (see
+#: :data:`repro.obs.metrics.DEFAULT_LATENCY_BOUNDS`, the shared
+#: definition every registry histogram defaults to).
+_BOUNDS = DEFAULT_LATENCY_BOUNDS
 
 
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """A fixed-bucket log histogram of durations in seconds.
 
-    Not thread-safe by itself; the owning :class:`StatsRecorder`
-    serializes access.
+    The serving-facing name of :class:`repro.obs.metrics.Histogram`
+    with the default latency bounds.  Not thread-safe by itself; the
+    owning :class:`StatsRecorder` serializes access.
     """
 
     def __init__(self) -> None:
-        self._counts = [0] * len(_BOUNDS)
-        self.count = 0
-        self.total_seconds = 0.0
-        self.min_seconds = float("inf")
-        self.max_seconds = 0.0
-
-    def observe(self, seconds: float) -> None:
-        seconds = max(0.0, float(seconds))
-        self._counts[bisect.bisect_left(_BOUNDS, seconds)] += 1
-        self.count += 1
-        self.total_seconds += seconds
-        self.min_seconds = min(self.min_seconds, seconds)
-        self.max_seconds = max(self.max_seconds, seconds)
-
-    @property
-    def mean_seconds(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """The ``q``-quantile estimate (bucket upper bound; 0 if empty).
-
-        Quantiles from log buckets are estimates resolved to the bucket
-        edge -- honest to within the half-decade bucket width, which is
-        the right fidelity for queue-health dashboards (and avoids
-        pretending microsecond precision survives bucketing).
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for bound, count in zip(_BOUNDS, self._counts):
-            seen += count
-            if seen >= rank:
-                return min(bound, self.max_seconds)
-        return self.max_seconds
-
-    def to_dict(self) -> dict[str, Any]:
-        buckets = {
-            f"le_{bound:g}": count
-            for bound, count in zip(_BOUNDS, self._counts)
-            if count
-        }
-        return {
-            "count": self.count,
-            "mean_seconds": self.mean_seconds,
-            "min_seconds": 0.0 if self.count == 0 else self.min_seconds,
-            "max_seconds": self.max_seconds,
-            "p50_seconds": self.quantile(0.50),
-            "p95_seconds": self.quantile(0.95),
-            "p99_seconds": self.quantile(0.99),
-            "buckets": buckets,
-        }
+        super().__init__(_BOUNDS)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -233,77 +187,88 @@ class ServiceStats:
 
 
 class StatsRecorder:
-    """The mutable counters behind :class:`ServiceStats` snapshots."""
+    """The mutable counters behind :class:`ServiceStats` snapshots.
 
-    def __init__(self) -> None:
+    Every series lives in a :class:`MetricsRegistry` (``service_*``
+    names); the recorder's lock serializes the compound updates
+    (admit = request count + queue depth + peak) so a snapshot is
+    always internally consistent.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
-        self._requests = 0
-        self._completed = 0
-        self._errors = 0
-        self._rejected = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._deduped = 0
-        self._dispatches = 0
-        self._dispatched_requests = 0
-        self._queue_depth = 0
-        self._peak_queue_depth = 0
-        self._queue_wait = LatencyHistogram()
-        self._service_time = LatencyHistogram()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._requests = self.metrics.counter("service_requests_total")
+        self._completed = self.metrics.counter("service_completed_total")
+        self._errors = self.metrics.counter("service_errors_total")
+        self._rejected = self.metrics.counter("service_rejected_total")
+        self._cache_hits = self.metrics.counter("service_cache_hits_total")
+        self._cache_misses = self.metrics.counter(
+            "service_cache_misses_total")
+        self._deduped = self.metrics.counter("service_deduped_total")
+        self._dispatches = self.metrics.counter("service_dispatches_total")
+        self._dispatched_requests = self.metrics.counter(
+            "service_dispatched_requests_total")
+        self._queue_depth = self.metrics.gauge("service_queue_depth")
+        self._peak_queue_depth = self.metrics.gauge(
+            "service_peak_queue_depth")
+        self._queue_wait = self.metrics.histogram(
+            "service_queue_wait_seconds")
+        self._service_time = self.metrics.histogram("service_time_seconds")
 
     # -- stage events ---------------------------------------------------------
 
     def admitted(self) -> None:
         with self._lock:
-            self._requests += 1
-            self._queue_depth += 1
-            self._peak_queue_depth = max(self._peak_queue_depth,
-                                         self._queue_depth)
+            self._requests.inc()
+            self._queue_depth.inc()
+            self._peak_queue_depth.set(max(self._peak_queue_depth.value,
+                                           self._queue_depth.value))
 
     def rejected(self) -> None:
         with self._lock:
-            self._rejected += 1
+            self._rejected.inc()
 
     def cache_hit(self) -> None:
         with self._lock:
-            self._cache_hits += 1
+            self._cache_hits.inc()
 
     def cache_miss(self) -> None:
         with self._lock:
-            self._cache_misses += 1
+            self._cache_misses.inc()
 
     def deduped(self) -> None:
         with self._lock:
-            self._deduped += 1
+            self._deduped.inc()
 
     def dispatched(self, requests: int, queue_wait_seconds: float) -> None:
         with self._lock:
-            self._dispatches += 1
-            self._dispatched_requests += requests
+            self._dispatches.inc()
+            self._dispatched_requests.inc(requests)
             for _ in range(requests):
                 self._queue_wait.observe(queue_wait_seconds)
 
     def finished(self, ok: bool, service_seconds: float) -> None:
         with self._lock:
             if ok:
-                self._completed += 1
+                self._completed.inc()
             else:
-                self._errors += 1
-            self._queue_depth -= 1
+                self._errors.inc()
+            self._queue_depth.dec()
             self._service_time.observe(service_seconds)
 
     def settled_without_service(self) -> None:
         """Release queue depth for a request that never dispatched
         (deduped onto a twin, or answered by the cache tier)."""
         with self._lock:
-            self._queue_depth -= 1
+            self._queue_depth.dec()
 
     # -- reads ----------------------------------------------------------------
 
     @property
     def queue_depth(self) -> int:
         with self._lock:
-            return self._queue_depth
+            return self._queue_depth.value
 
     def mean_service_seconds(self) -> float:
         with self._lock:
@@ -314,20 +279,20 @@ class StatsRecorder:
         pool: PoolStats | None = None,
         result_cache: CacheStats | None = None,
     ) -> ServiceStats:
-        """Freeze the counters (and optional pool/cache context)."""
+        """Freeze the registry series (and optional pool/cache context)."""
         with self._lock:
             return ServiceStats(
-                requests=self._requests,
-                completed=self._completed,
-                errors=self._errors,
-                rejected=self._rejected,
-                cache_hits=self._cache_hits,
-                cache_misses=self._cache_misses,
-                deduped=self._deduped,
-                dispatches=self._dispatches,
-                dispatched_requests=self._dispatched_requests,
-                queue_depth=self._queue_depth,
-                peak_queue_depth=self._peak_queue_depth,
+                requests=self._requests.value,
+                completed=self._completed.value,
+                errors=self._errors.value,
+                rejected=self._rejected.value,
+                cache_hits=self._cache_hits.value,
+                cache_misses=self._cache_misses.value,
+                deduped=self._deduped.value,
+                dispatches=self._dispatches.value,
+                dispatched_requests=self._dispatched_requests.value,
+                queue_depth=self._queue_depth.value,
+                peak_queue_depth=self._peak_queue_depth.value,
                 queue_wait=self._queue_wait.to_dict(),
                 service_time=self._service_time.to_dict(),
                 pool=pool or PoolStats(),

@@ -28,7 +28,7 @@ class TestLintCli:
         assert payload["exit_code"] == 0
         assert payload["findings"] == []
         assert {r["id"] for r in payload["rules"]} == \
-            {"R001", "R002", "R003", "R004", "R005", "R006"}
+            {"R001", "R002", "R003", "R004", "R005", "R006", "R007"}
         assert payload["files_checked"] > 50
 
     def test_stats_lists_every_rule(self, capsys):
@@ -61,10 +61,17 @@ class TestLintCli:
         assert "merge-policies" in out and "R002:" in out
 
     def test_src_tree_is_clean_without_baseline(self, capsys):
-        # The R003 baseline was burned down to empty, so the tree must
-        # lint clean even with the baseline ignored.
-        assert main(["lint", str(SRC), "--no-baseline"]) == 0
-        assert "0 findings" in capsys.readouterr().out
+        # The baseline holds exactly the grandfathered timing findings
+        # (R007 pre-existing hand-rolled timings, plus the tracer's
+        # sanctioned wall-clock reads under R001): ignoring it must
+        # surface those families and nothing else.
+        assert main(["lint", str(SRC), "--no-baseline",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        nonzero = {rule for rule, count in payload["counts"].items()
+                   if count}
+        assert nonzero <= {"R001", "R007"}
+        assert payload["counts"]["R007"] > 0
 
     def test_no_baseline_surfaces_findings(self, tmp_path, capsys):
         module = tmp_path / "src" / "offender"

@@ -1,0 +1,62 @@
+"""Bench-record drift damping: stable key order, 4-sig-digit floats."""
+
+import json
+import math
+
+from repro.bench import ThroughputResult, round_sig, write_bench_json
+
+
+class TestRoundSig:
+    def test_four_significant_digits(self):
+        assert round_sig(123456.789) == 123500.0
+        assert round_sig(0.000123456) == 0.0001235
+        assert round_sig(1.0) == 1.0
+
+    def test_zero_and_nonfinite_pass_through(self):
+        assert round_sig(0.0) == 0.0
+        assert round_sig(float("inf")) == float("inf")
+        assert math.isnan(round_sig(float("nan")))
+
+    def test_digit_override(self):
+        assert round_sig(123456.789, digits=2) == 120000.0
+
+
+class TestWriteBenchJson:
+    def _results(self):
+        return [ThroughputResult(name="demo", ops=1000,
+                                 seconds=0.123456789,
+                                 ops_per_second=8100.005432,
+                                 repeats=3)]
+
+    def test_floats_rounded_in_every_section(self, tmp_path):
+        path = write_bench_json(
+            tmp_path / "BENCH_demo.json", self._results(),
+            speedups={"a_vs_b": 1.23456789},
+            extra={"overhead": 0.045678901,
+                   "nested": {"rate": 9.87654321e6},
+                   "flag": True, "count": 7})
+        payload = json.loads(path.read_text())
+        result = payload["results"][0]
+        assert result["seconds"] == 0.1235
+        assert result["ops_per_second"] == 8100.0
+        assert result["ops"] == 1000  # ints untouched
+        assert payload["speedups"]["a_vs_b"] == 1.235
+        assert payload["extra"]["overhead"] == 0.04568
+        assert payload["extra"]["nested"]["rate"] == 9877000.0
+        assert payload["extra"]["flag"] is True  # bools not floats
+        assert payload["extra"]["count"] == 7
+
+    def test_key_order_is_stable(self, tmp_path):
+        first = write_bench_json(tmp_path / "a.json", self._results(),
+                                 extra={"z": 1.0, "a": 2.0})
+        second = write_bench_json(tmp_path / "b.json", self._results(),
+                                  extra={"a": 2.0, "z": 1.0})
+        assert first.read_text() == second.read_text()
+
+    def test_rewriting_identical_measurements_is_byte_stable(
+            self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        write_bench_json(path, self._results())
+        before = path.read_text()
+        write_bench_json(path, self._results())
+        assert path.read_text() == before

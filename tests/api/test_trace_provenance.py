@@ -1,0 +1,68 @@
+"""RunResult provenance <-> trace linkage (and its round-trip).
+
+A traced run stamps ``provenance["trace"]`` with the trace id and the
+run's position on the wall clock, so a persisted result can be joined
+back to its span log.  The stamp is scheduling provenance -- excluded
+from determinism comparisons exactly like ``wall_seconds`` -- and
+absent entirely when tracing is off.
+"""
+
+import pytest
+
+from repro.api import RunResult, ScenarioSpec
+from repro.obs.trace import deactivate_tracer, traced
+from repro.parallel import ParallelRunner
+
+SPEC = ScenarioSpec(engine="analog_mvm", workload="mlp_inference",
+                    size=12, items=6, batch=5, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    deactivate_tracer()
+    yield
+    deactivate_tracer()
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    deactivate_tracer()
+    with traced() as tracer:
+        result = ParallelRunner(workers=2).run(SPEC)
+    return result, tracer
+
+
+class TestTraceProvenance:
+    def test_untraced_run_has_no_trace_stamp(self):
+        result = ParallelRunner(workers=2).run(SPEC)
+        assert "trace" not in result.provenance
+
+    def test_stamp_links_to_the_active_tracer(self, traced_result):
+        result, tracer = traced_result
+        stamp = result.provenance["trace"]
+        assert set(stamp) == {"trace_id", "started_at",
+                              "duration_seconds"}
+        assert stamp["trace_id"] == tracer.trace_id
+        assert stamp["duration_seconds"] > 0.0
+        # started_at anchors near the tracer's own epoch (same run,
+        # same process; generous slack for slow CI).
+        assert abs(stamp["started_at"] - tracer.started_at) < 60.0
+
+    def test_stamp_matches_recorded_spans(self, traced_result):
+        result, tracer = traced_result
+        stamp = result.provenance["trace"]
+        assert all(rec.trace_id == stamp["trace_id"]
+                   for rec in tracer.records())
+
+    def test_round_trips_through_to_dict(self, traced_result):
+        result, _ = traced_result
+        rebuilt = RunResult.from_dict(result.to_dict())
+        assert rebuilt.provenance["trace"] == \
+            result.provenance["trace"]
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_serial_traced_run_also_stamped(self):
+        with traced() as tracer:
+            result = ParallelRunner(workers=1).run(SPEC)
+        assert result.provenance["trace"]["trace_id"] == \
+            tracer.trace_id

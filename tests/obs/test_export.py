@@ -1,0 +1,91 @@
+"""Exporter round-trips: Chrome trace_event and JSON-lines span logs."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    read_spans,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.trace import Tracer
+
+
+def _sample_records():
+    tracer = Tracer(trace_id="cafe0123cafe0123")
+    with tracer.span("engine.run", engine="analog_mvm"):
+        with tracer.span("window.execute", index=0):
+            pass
+        with tracer.span("window.execute", index=1):
+            pass
+    return tracer.records()
+
+
+class TestChromeTrace:
+    def test_object_shape(self):
+        records = _sample_records()
+        payload = to_chrome_trace(records, metadata={"spec": "demo"})
+        assert payload["metadata"]["schema"] == TRACE_SCHEMA
+        assert payload["metadata"]["spec"] == "demo"
+        events = payload["traceEvents"]
+        assert all(event["ph"] == "X" for event in events)
+        assert [e["ts"] for e in events] == \
+            sorted(e["ts"] for e in events)
+        run = next(e for e in events if e["name"] == "engine.run")
+        assert run["args"]["engine"] == "analog_mvm"
+        assert run["args"]["trace_id"] == "cafe0123cafe0123"
+        assert run["dur"] == pytest.approx(
+            records[-1].duration_seconds * 1e6)
+
+    def test_round_trip(self, tmp_path):
+        records = _sample_records()
+        path = write_chrome_trace(tmp_path / "run.json", records)
+        loaded = read_spans(path)
+        by_id = {rec.span_id: rec for rec in loaded}
+        assert len(loaded) == len(records)
+        for rec in records:
+            got = by_id[rec.span_id]
+            assert got.name == rec.name
+            assert got.parent_id == rec.parent_id
+            assert got.trace_id == rec.trace_id
+            assert got.attrs == dict(rec.attrs)
+            assert got.duration_seconds == \
+                pytest.approx(rec.duration_seconds, abs=1e-9)
+
+    def test_write_creates_parents(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "deep" / "run.json",
+                                  _sample_records())
+        assert path.is_file()
+        json.loads(path.read_text())
+
+
+class TestJsonl:
+    def test_round_trip_is_exact(self, tmp_path):
+        records = _sample_records()
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", records)
+        assert read_spans(path) == records  # bit-exact, no µs rounding
+
+    def test_lines_are_standalone_json(self, tmp_path):
+        path = write_spans_jsonl(tmp_path / "spans.jsonl",
+                                 _sample_records())
+        for line in path.read_text().splitlines():
+            assert "span_id" in json.loads(line)
+
+
+class TestReadSpans:
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text('{"some": "object"}\n')
+        with pytest.raises(ValueError, match="neither"):
+            read_spans(path)
+
+    def test_rejects_broken_jsonl(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"span_id": 1, "name": "ok", "trace_id": "t",'
+                        ' "start_seconds": 0, "duration_seconds": 1}\n'
+                        "not json\n")
+        with pytest.raises(ValueError, match="broken.jsonl:2"):
+            read_spans(path)

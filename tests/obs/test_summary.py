@@ -1,0 +1,66 @@
+"""Per-stage aggregation behind ``repro trace summarize``."""
+
+import pytest
+
+from repro.obs.summary import render_summary, summarize_spans
+from repro.obs.trace import SpanRecord
+
+
+def _rec(name, span_id, parent_id, start, duration):
+    return SpanRecord(name=name, trace_id="t" * 16, span_id=span_id,
+                      parent_id=parent_id, start_seconds=start,
+                      duration_seconds=duration, pid=1, tid=1)
+
+
+def _nested_trace():
+    return [
+        _rec("engine.run", 1, None, 0.0, 1.0),
+        _rec("window.execute", 2, 1, 0.1, 0.4),
+        _rec("window.execute", 3, 1, 0.5, 0.4),
+        _rec("mvm.kernel", 4, 2, 0.1, 0.3),
+    ]
+
+
+class TestSummarizeSpans:
+    def test_aggregates_by_name(self):
+        rows = {row["stage"]: row
+                for row in summarize_spans(_nested_trace())}
+        assert rows["window.execute"]["count"] == 2
+        assert rows["window.execute"]["total_seconds"] == \
+            pytest.approx(0.8)
+        assert rows["window.execute"]["mean_seconds"] == \
+            pytest.approx(0.4)
+
+    def test_share_is_relative_to_root_time(self):
+        rows = {row["stage"]: row
+                for row in summarize_spans(_nested_trace())}
+        # engine.run is the only root (1.0s); shares follow from it.
+        assert rows["engine.run"]["share_pct"] == 100.0
+        assert rows["window.execute"]["share_pct"] == \
+            pytest.approx(80.0)
+
+    def test_orphan_parents_count_as_roots(self):
+        # An adopted worker span whose parent never shipped still
+        # anchors the denominator instead of producing share=inf.
+        rows = summarize_spans([_rec("ghost.child", 5, 99, 0.0, 2.0)])
+        assert rows[0]["share_pct"] == 100.0
+
+    def test_rows_sorted_by_total_desc(self):
+        totals = [row["total_seconds"]
+                  for row in summarize_spans(_nested_trace())]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty_trace(self):
+        assert summarize_spans([]) == []
+
+
+class TestRenderSummary:
+    def test_table_mentions_stages_and_trace(self):
+        text = render_summary(_nested_trace())
+        assert "engine.run" in text
+        assert "mvm.kernel" in text
+        assert "t" * 16 in text
+        assert "share_%" in text
+
+    def test_render_empty(self):
+        assert "trace summary" in render_summary([])

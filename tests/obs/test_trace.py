@@ -1,0 +1,192 @@
+"""Tracer core: nesting, the disabled path, adoption, activation."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    activate_tracer,
+    active_tracer,
+    deactivate_tracer,
+    span,
+    traced,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    deactivate_tracer()
+    yield
+    deactivate_tracer()
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_when_disabled(self):
+        assert active_tracer() is None
+        first = span("anything", size=3)
+        second = span("else")
+        assert first is second  # one shared singleton, zero allocation
+        with first:
+            pass  # and it is a working context manager
+
+    def test_noop_span_swallows_nothing(self):
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("propagates")
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            outer_id = tracer.current_span_id
+            with tracer.span("inner", depth=2):
+                assert tracer.current_span_id != outer_id
+        outer, inner = {rec.name: rec for rec in tracer.records()}[
+            "outer"], {rec.name: rec for rec in tracer.records()}["inner"]
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner.attrs == {"depth": 2}
+        assert inner.start_seconds >= outer.start_seconds
+        assert inner.duration_seconds <= outer.duration_seconds
+        assert tracer.current_span_id is None
+
+    def test_exception_closes_span_and_marks_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("recorded, not swallowed")
+        (rec,) = tracer.records()
+        assert rec.attrs["error"] == "ValueError"
+        assert tracer.current_span_id is None
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("thread.child"):
+                seen["child_parent"] = None  # placeholder; read below
+                seen["id"] = tracer.current_span_id
+
+        with tracer.span("main.root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {rec.name: rec for rec in tracer.records()}
+        # The worker thread's stack is its own: its span is a root,
+        # not a child of the span open on the main thread.
+        assert by_name["thread.child"].parent_id is None
+        assert by_name["thread.child"].span_id == seen["id"]
+
+
+class TestRecordSpan:
+    def test_explicit_interval(self):
+        tracer = Tracer()
+        span_id = tracer.record_span("async.op", 1.5, 0.25,
+                                     parent_id=None, key="abc")
+        (rec,) = tracer.records()
+        assert rec.span_id == span_id
+        assert rec.start_seconds == 1.5
+        assert rec.duration_seconds == 0.25
+        assert rec.attrs == {"key": "abc"}
+
+    def test_negative_duration_clamped(self):
+        tracer = Tracer()
+        tracer.record_span("clock.skew", 0.0, -0.1)
+        assert tracer.records()[0].duration_seconds == 0.0
+
+
+class TestAdopt:
+    def test_remap_reparent_rebase(self):
+        worker = Tracer()
+        with worker.span("w.outer"):
+            with worker.span("w.inner"):
+                pass
+        parent = Tracer()
+        with parent.span("dispatch"):
+            dispatch_id = parent.current_span_id
+            adopted = parent.adopt(worker.records(),
+                                   parent_id=dispatch_id,
+                                   offset_seconds=10.0)
+        assert adopted == 2
+        by_name = {rec.name: rec for rec in parent.records()}
+        outer, inner = by_name["w.outer"], by_name["w.inner"]
+        # Trace id rewritten, roots reparented, hierarchy preserved.
+        assert outer.trace_id == inner.trace_id == parent.trace_id
+        assert outer.parent_id == by_name["dispatch"].span_id
+        assert inner.parent_id == outer.span_id
+        # Starts rebased by the dispatch instant; durations untouched.
+        assert outer.start_seconds >= 10.0
+        worker_by_name = {r.name: r for r in worker.records()}
+        assert inner.duration_seconds == \
+            worker_by_name["w.inner"].duration_seconds
+        # Remapped ids never collide with the parent's own.
+        ids = [rec.span_id for rec in parent.records()]
+        assert len(ids) == len(set(ids))
+
+    def test_adopt_accepts_wire_dicts(self):
+        worker = Tracer()
+        with worker.span("shipped", shard=3):
+            pass
+        parent = Tracer()
+        parent.adopt([rec.to_dict() for rec in worker.records()])
+        (rec,) = parent.records()
+        assert rec.name == "shipped"
+        assert rec.attrs == {"shard": 3}
+        assert rec.trace_id == parent.trace_id
+
+
+class TestActivation:
+    def test_module_span_records_on_active_tracer(self):
+        tracer = activate_tracer()
+        try:
+            with span("active.path", n=1):
+                pass
+        finally:
+            deactivate_tracer()
+        assert len(tracer) == 1
+        assert tracer.records()[0].name == "active.path"
+
+    def test_deactivate_returns_previous(self):
+        tracer = activate_tracer()
+        assert deactivate_tracer() is tracer
+        assert active_tracer() is None
+        assert deactivate_tracer() is None
+
+    def test_traced_restores_previous(self):
+        outer = activate_tracer()
+        with traced() as inner:
+            assert active_tracer() is inner
+            assert inner is not outer
+        assert active_tracer() is outer
+
+    def test_traced_accepts_existing_tracer(self):
+        mine = Tracer(trace_id="feedbeefdeadbeef")
+        with traced(mine) as got:
+            assert got is mine
+            with span("named"):
+                pass
+        assert active_tracer() is None
+        assert mine.records()[0].trace_id == "feedbeefdeadbeef"
+
+
+class TestSpanRecordRoundTrip:
+    def test_to_from_dict(self):
+        rec = SpanRecord(name="rt", trace_id="t" * 16, span_id=7,
+                         parent_id=3, start_seconds=0.5,
+                         duration_seconds=0.125, pid=11, tid=22,
+                         attrs={"k": "v", "n": 2})
+        assert SpanRecord.from_dict(rec.to_dict()) == rec
+
+    def test_missing_optionals_default(self):
+        rec = SpanRecord.from_dict({
+            "name": "bare", "trace_id": "t", "span_id": 1,
+            "start_seconds": 0.0, "duration_seconds": 1.0,
+        })
+        assert rec.parent_id is None
+        assert rec.pid == 0 and rec.tid == 0
+        assert rec.attrs == {}
